@@ -1,0 +1,81 @@
+//! # p3gm-baselines
+//!
+//! The two published baselines the paper compares P3GM against:
+//!
+//! * [`dpgm`] — **DP-GM** (Acs et al., "Differentially private mixture of
+//!   generative neural networks"): the data is partitioned with private
+//!   k-means and one small generative network is trained per partition with
+//!   DP-SGD; samples are drawn from a randomly chosen partition's network.
+//!   Because each record belongs to exactly one partition, the per-partition
+//!   training runs compose in parallel rather than sequentially.
+//! * [`privbayes`] — **PrivBayes** (Zhang et al.): attributes are
+//!   discretized, a low-degree Bayesian network is selected with the
+//!   exponential mechanism on mutual information, the conditional
+//!   probability tables are released with Laplace noise, and synthetic rows
+//!   are drawn by ancestral sampling.
+//!
+//! Both implement [`p3gm_core::GenerativeModel`] over the same prepared
+//! (`[0,1]`-scaled features + one-hot label) row format that the P3GM
+//! pipeline uses, so the evaluation harness can treat every model uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dpgm;
+pub mod privbayes;
+
+pub use dpgm::{DpGm, DpGmConfig};
+pub use privbayes::{PrivBayes, PrivBayesConfig};
+
+/// Errors produced by the baseline models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// Invalid hyper-parameters.
+    InvalidConfig {
+        /// Description of the problem.
+        msg: String,
+    },
+    /// Invalid training data.
+    InvalidData {
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A failure propagated from a substrate crate.
+    Substrate {
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::InvalidConfig { msg } => write!(f, "invalid configuration: {msg}"),
+            BaselineError::InvalidData { msg } => write!(f, "invalid data: {msg}"),
+            BaselineError::Substrate { msg } => write!(f, "substrate failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(BaselineError::InvalidConfig { msg: "k = 0".into() }
+            .to_string()
+            .contains("k = 0"));
+        assert!(BaselineError::InvalidData { msg: "empty".into() }
+            .to_string()
+            .contains("empty"));
+        assert!(BaselineError::Substrate { msg: "kmeans".into() }
+            .to_string()
+            .contains("kmeans"));
+    }
+}

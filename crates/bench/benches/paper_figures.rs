@@ -1,0 +1,117 @@
+//! Regenerates Figures 2, 4, 5, 6 and 7 of the P3GM paper at paper scale
+//! and benchmarks a representative kernel of each.
+//!
+//! The regenerated figures (as text tables / ASCII sample sheets) are
+//! printed to stdout and written to `target/paper_reports/`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p3gm_bench::persist_report;
+use p3gm_eval::{fig2, fig4, fig5, fig6, fig7, Scale};
+use p3gm_privacy::moments::{ma_dp_sgd, rdp_sampled_gaussian};
+use p3gm_privacy::zcdp::baseline_composition_epsilon;
+use std::time::Duration;
+
+fn bench_fig2(c: &mut Criterion) {
+    let report = fig2::run(Scale::Paper);
+    persist_report("fig2_sample_quality", &report.to_text());
+
+    // Timed kernel: rendering one ASCII sample sheet (the reporting path).
+    let samples = report.panels[0].samples.clone();
+    let size = report.image_size;
+    c.bench_function("fig2/ascii_sheet_rendering", |b| {
+        b.iter(|| {
+            let imgs: Vec<Vec<f64>> = samples.row_iter().map(|r| r.to_vec()).collect();
+            p3gm_datasets::images::ascii_art(&imgs, size, 8).len()
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let report = fig4::run(Scale::Paper);
+    persist_report("fig4_epsilon_sweep", &report.to_text());
+
+    // Timed kernel: the noise calibration performed for every ε of the sweep.
+    c.bench_function("fig4/noise_calibration", |b| {
+        b.iter(|| {
+            p3gm_privacy::calibrate::calibrate_dpsgd_sigma(
+                1.0, 1e-5, 0.1, 10, 200.0, 3, 250, 0.03,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let report = fig5::run(Scale::Paper);
+    persist_report("fig5_dimension_sweep", &report.to_text());
+
+    // Timed kernel: a DP-PCA fit at the largest swept dimensionality.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(505);
+    let data = p3gm_datasets::images::mnist_like(&mut rng, 200, 12);
+    let scaled = data.features.scale(1.0 / (data.n_features() as f64).sqrt());
+    c.bench_function("fig5/dp_pca_fit", |b| {
+        b.iter(|| {
+            p3gm_preprocess::pca::DpPca::fit(&mut rng, &scaled, 16, 0.1)
+                .unwrap()
+                .n_components()
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let report = fig6::run(Scale::Paper);
+    persist_report("fig6_composition", &report.to_text());
+
+    // Timed kernel: one full composition comparison (both accountants).
+    c.bench_function("fig6/composition_point", |b| {
+        b.iter(|| {
+            let rdp = p3gm_privacy::rdp::RdpAccountant::p3gm_total(
+                0.1, 20, 150.0, 3, 2000, 0.005, 2.0, 1e-5,
+            )
+            .unwrap()
+            .epsilon;
+            let baseline =
+                baseline_composition_epsilon(0.1, 20, 150.0, 3, 2000, 0.005, 2.0, 1e-5).unwrap();
+            (rdp, baseline)
+        })
+    });
+
+    // Micro-kernels of the two per-step bounds, useful when tuning the grid.
+    c.bench_function("fig6/eq4_moment_bound", |b| {
+        b.iter(|| ma_dp_sgd(31, 0.005, 2.0))
+    });
+    c.bench_function("fig6/sampled_gaussian_rdp", |b| {
+        b.iter(|| rdp_sampled_gaussian(32, 0.005, 2.0))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let report = fig7::run(Scale::Paper);
+    persist_report("fig7_learning_efficiency", &report.to_text());
+
+    // Timed kernel: one DP-SGD gradient privatization step of the size used
+    // in the decoding phase.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(77);
+    let grads: Vec<Vec<f64>> = (0..64).map(|i| vec![(i as f64) * 0.01; 2_000]).collect();
+    c.bench_function("fig7/dpsgd_privatize_batch", |b| {
+        b.iter(|| {
+            p3gm_privacy::mechanisms::privatize_gradient_sum(&mut rng, &grads, 1.0, 1.5, 64)
+                .unwrap()
+                .len()
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_fig7
+}
+criterion_main!(figures);

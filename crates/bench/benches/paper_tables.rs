@@ -1,0 +1,98 @@
+//! Regenerates Tables V, VI and VII of the P3GM paper at paper scale and
+//! benchmarks a representative kernel of each pipeline.
+//!
+//! The regenerated tables are printed to stdout and written to
+//! `target/paper_reports/`; the Criterion timings cover the per-call cost of
+//! the pieces a user of the library pays repeatedly (privacy accounting and
+//! synthetic-data sampling), not the one-off experiment generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p3gm_bench::persist_report;
+use p3gm_core::config::PgmConfig;
+use p3gm_core::pgm::PhasedGenerativeModel;
+use p3gm_core::synthesis::LabelledSynthesizer;
+use p3gm_core::GenerativeModel;
+use p3gm_datasets::tabular::adult_like;
+use p3gm_eval::{table5, table6, table7, Scale};
+use p3gm_privacy::rdp::RdpAccountant;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_table5(c: &mut Criterion) {
+    let report = table5::run(Scale::Paper);
+    persist_report("table5_nonprivate_comparison", &report.to_text());
+
+    // Timed kernel: the Theorem 4 accounting a Table V reproduction performs
+    // for every candidate hyper-parameter setting.
+    c.bench_function("table5/theorem4_accounting", |b| {
+        b.iter(|| {
+            RdpAccountant::p3gm_total(0.1, 20, 150.0, 3, 2000, 0.005, 1.42, 1e-5)
+                .unwrap()
+                .epsilon
+        })
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let report = table6::run(Scale::Paper);
+    persist_report("table6_private_comparison", &report.to_text());
+
+    // Timed kernel: drawing labelled synthetic rows from a trained P3GM —
+    // the operation a data curator repeats for every release.
+    let mut rng = StdRng::seed_from_u64(606);
+    let data = adult_like(&mut rng, 600);
+    let (_synth, prepared) =
+        LabelledSynthesizer::prepare(&data.features, &data.labels, data.n_classes).unwrap();
+    let cfg = PgmConfig {
+        latent_dim: 8,
+        hidden_dim: 32,
+        epochs: 2,
+        em_iterations: 5,
+        ..PgmConfig::default()
+    };
+    let (model, _) = PhasedGenerativeModel::fit(&mut rng, &prepared, cfg).unwrap();
+    c.bench_function("table6/p3gm_sample_64_rows", |b| {
+        b.iter(|| model.sample(&mut rng, 64))
+    });
+}
+
+fn bench_table7(c: &mut Criterion) {
+    let report = table7::run(Scale::Paper);
+    persist_report("table7_image_accuracy", &report.to_text());
+
+    // Timed kernel: decoding a batch of prior samples into images with a
+    // trained (non-private, tiny) phased model.
+    let mut rng = StdRng::seed_from_u64(707);
+    let images = p3gm_datasets::images::mnist_like(&mut rng, 120, 10);
+    let (model, _) = PhasedGenerativeModel::fit(
+        &mut rng,
+        &images.features,
+        PgmConfig {
+            latent_dim: 6,
+            hidden_dim: 16,
+            epochs: 1,
+            em_iterations: 2,
+            private: false,
+            ..PgmConfig::default()
+        },
+    )
+    .unwrap();
+    c.bench_function("table7/decode_16_images", |b| {
+        b.iter(|| model.sample(&mut rng, 16))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = tables;
+    config = config();
+    targets = bench_table5, bench_table6, bench_table7
+}
+criterion_main!(tables);

@@ -1,0 +1,176 @@
+//! AdaBoost over decision stumps (Freund & Schapire) — the `AdaBoost` row
+//! of Tables V and VI.
+
+use crate::tree::DecisionStump;
+use crate::BinaryClassifier;
+use p3gm_linalg::Matrix;
+use p3gm_nn::activation::sigmoid;
+
+/// Discrete AdaBoost with decision stumps as weak learners.
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    stumps: Vec<(DecisionStump, f64)>,
+    /// Number of boosting rounds.
+    pub n_estimators: usize,
+}
+
+impl Default for AdaBoost {
+    fn default() -> Self {
+        AdaBoost {
+            stumps: Vec::new(),
+            n_estimators: 50,
+        }
+    }
+}
+
+impl AdaBoost {
+    /// Creates an AdaBoost model with the given number of rounds.
+    pub fn new(n_estimators: usize) -> Self {
+        AdaBoost {
+            stumps: Vec::new(),
+            n_estimators,
+        }
+    }
+
+    /// The fitted weak learners and their weights (empty before `fit`).
+    pub fn estimators(&self) -> &[(DecisionStump, f64)] {
+        &self.stumps
+    }
+
+    /// The boosted margin `Σ_m α_m h_m(x)` for one row.
+    pub fn decision_function(&self, row: &[f64]) -> f64 {
+        self.stumps
+            .iter()
+            .map(|(stump, alpha)| alpha * stump.predict(row))
+            .sum()
+    }
+}
+
+impl BinaryClassifier for AdaBoost {
+    fn fit(&mut self, x: &Matrix, labels: &[usize]) {
+        assert_eq!(x.rows(), labels.len(), "row/label mismatch");
+        assert!(x.rows() > 0, "cannot fit on empty data");
+        let n = x.rows();
+        let targets: Vec<f64> = labels.iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
+        let mut weights = vec![1.0 / n as f64; n];
+        self.stumps.clear();
+
+        for _ in 0..self.n_estimators {
+            let (stump, weighted_error) = DecisionStump::fit(x, &targets, &weights);
+            // Clamp the error away from 0 and 0.5 for numerical stability.
+            let err = weighted_error.clamp(1e-10, 0.5 - 1e-10);
+            let alpha = 0.5 * ((1.0 - err) / err).ln();
+            // Update the sample weights: increase for mistakes.
+            let mut total = 0.0;
+            for i in 0..n {
+                let margin = targets[i] * stump.predict(x.row(i));
+                weights[i] *= (-alpha * margin).exp();
+                total += weights[i];
+            }
+            for w in &mut weights {
+                *w /= total;
+            }
+            self.stumps.push((stump, alpha));
+            // Perfect weak learner: no point boosting further.
+            if weighted_error < 1e-10 {
+                break;
+            }
+        }
+    }
+
+    fn predict_score(&self, x: &[f64]) -> f64 {
+        // Map the margin through a sigmoid so scores look like probabilities
+        // (AUROC/AUPRC only care about the ranking).
+        sigmoid(self.decision_function(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, auroc};
+    use p3gm_privacy::sampling;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(61)
+    }
+
+    #[test]
+    fn learns_a_threshold_task_with_one_stump() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = vec![0, 0, 1, 1];
+        let mut model = AdaBoost::new(5);
+        model.fit(&x, &y);
+        let preds: Vec<usize> = x.row_iter().map(|r| model.predict(r)).collect();
+        assert_eq!(accuracy(&preds, &y), 1.0);
+        // Perfect stump stops boosting early.
+        assert!(model.estimators().len() <= 2);
+    }
+
+    #[test]
+    fn learns_a_non_linearly_separable_task() {
+        // Ring data: positive iff |x| in [1, 2] on either axis — needs
+        // several stumps to carve out.
+        let mut r = rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..400 {
+            let a = sampling::normal(&mut r, 0.0, 1.5);
+            let b = sampling::normal(&mut r, 0.0, 1.5);
+            let radius = (a * a + b * b).sqrt();
+            rows.push(vec![a, b]);
+            labels.push(usize::from(radius > 1.0));
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut model = AdaBoost::new(100);
+        model.fit(&x, &labels);
+        let scores = model.predict_scores(&x);
+        assert!(auroc(&scores, &labels) > 0.8);
+    }
+
+    #[test]
+    fn more_estimators_do_not_hurt_training_fit() {
+        let mut r = rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..200 {
+            let label = r.gen_bool(0.5) as usize;
+            let shift = if label == 1 { 1.0 } else { -1.0 };
+            rows.push(vec![
+                shift + sampling::normal(&mut r, 0.0, 1.2),
+                sampling::normal(&mut r, 0.0, 1.0),
+            ]);
+            labels.push(label);
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let fit_auc = |rounds: usize| {
+            let mut m = AdaBoost::new(rounds);
+            m.fit(&x, &labels);
+            auroc(&m.predict_scores(&x), &labels)
+        };
+        let small = fit_auc(3);
+        let large = fit_auc(60);
+        assert!(large >= small - 0.02, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![3.0]]).unwrap();
+        let y = vec![0, 1];
+        let mut model = AdaBoost::new(10);
+        model.fit(&x, &y);
+        for row in x.row_iter() {
+            let s = model.predict_score(row);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row/label mismatch")]
+    fn mismatched_input_panics() {
+        let mut model = AdaBoost::default();
+        model.fit(&Matrix::zeros(3, 2), &[0, 1]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Evaluation metrics: accuracy, AUROC and AUPRC.
+//!
+//! AUROC is computed by the Mann–Whitney U statistic (rank-based, handles
+//! ties by midranks); AUPRC by the step-wise interpolation of the
+//! precision-recall curve (the same convention as scikit-learn's
+//! `average_precision_score`, which is what the paper's numbers are based
+//! on).
+
+/// Fraction of predictions equal to the true label.
+///
+/// Returns 0.0 for empty input.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Area under the ROC curve for binary labels (1 = positive).
+///
+/// Uses the rank-statistic formulation with midranks for ties.  Returns 0.5
+/// when one of the classes is absent (no ranking information).
+pub fn auroc(scores: &[f64], labels: &[usize]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l == 1).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Sort indices by score ascending and assign midranks.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Midrank for the tie group [i, j] (1-based ranks).
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels.iter())
+        .filter(|(_, &l)| l == 1)
+        .map(|(&r, _)| r)
+        .sum();
+    let u = rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Area under the precision-recall curve (average precision) for binary
+/// labels (1 = positive).
+///
+/// Computed as `Σ_k (R_k − R_{k−1}) · P_k` over the ranked predictions.
+/// Returns the positive prevalence when there are no positives/negatives to
+/// rank (the metric's natural baseline).
+pub fn auprc(scores: &[f64], labels: &[usize]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l == 1).count();
+    if labels.is_empty() {
+        return 0.0;
+    }
+    if n_pos == 0 {
+        return 0.0;
+    }
+    if n_pos == labels.len() {
+        return 1.0;
+    }
+    // Sort by score descending.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut prev_recall = 0.0;
+    let mut ap = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        // Process tie groups together so the curve is well defined.
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        for &idx in &order[i..=j] {
+            if labels[idx] == 1 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+        }
+        let recall = tp / n_pos as f64;
+        let precision = tp / (tp + fp);
+        ap += (recall - prev_recall) * precision;
+        prev_recall = recall;
+        i = j + 1;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        let _ = accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn auroc_perfect_and_inverted() {
+        let labels = [0, 0, 1, 1];
+        assert_eq!(auroc(&[0.1, 0.2, 0.8, 0.9], &labels), 1.0);
+        assert_eq!(auroc(&[0.9, 0.8, 0.2, 0.1], &labels), 0.0);
+    }
+
+    #[test]
+    fn auroc_random_scores_is_half() {
+        // Constant scores → all ties → 0.5.
+        assert_eq!(auroc(&[0.5, 0.5, 0.5, 0.5], &[0, 1, 0, 1]), 0.5);
+        // Single-class input → 0.5 by convention.
+        assert_eq!(auroc(&[0.1, 0.9], &[1, 1]), 0.5);
+    }
+
+    #[test]
+    fn auroc_known_value_with_one_error() {
+        // Scores rank one negative above one positive:
+        // pairs: (pos=0.7 vs neg 0.2, 0.8) → 1 + 0 ; (pos=0.9 vs both) → 2.
+        // AUROC = 3/4.
+        let labels = [0, 1, 0, 1];
+        let scores = [0.2, 0.7, 0.8, 0.9];
+        assert!((auroc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auroc_is_threshold_free() {
+        // Monotone transformation of scores leaves AUROC unchanged.
+        let labels = [0, 1, 0, 1, 1, 0];
+        let scores = [0.1, 0.4, 0.35, 0.8, 0.65, 0.2];
+        let transformed: Vec<f64> = scores.iter().map(|s| s * 100.0 - 3.0).collect();
+        assert!((auroc(&scores, &labels) - auroc(&transformed, &labels)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auprc_perfect_ranking_is_one() {
+        let labels = [0, 0, 1, 1];
+        assert!((auprc(&[0.1, 0.2, 0.8, 0.9], &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auprc_worst_ranking_for_balanced_data() {
+        // All negatives ranked above positives: AP = Σ over positives of
+        // precision at their positions = (1/3 + 2/4)/2 = 0.4167.
+        let labels = [1, 1, 0, 0];
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        assert!((auprc(&scores, &labels) - (1.0 / 3.0 + 2.0 / 4.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auprc_constant_scores_equals_prevalence() {
+        // One tie group containing everything → AP = precision = prevalence.
+        let labels = [1, 0, 0, 0, 0];
+        assert!((auprc(&[0.3; 5], &labels) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auprc_degenerate_inputs() {
+        assert_eq!(auprc(&[], &[]), 0.0);
+        assert_eq!(auprc(&[0.5, 0.5], &[0, 0]), 0.0);
+        assert_eq!(auprc(&[0.5, 0.5], &[1, 1]), 1.0);
+    }
+
+    #[test]
+    fn auprc_is_sensitive_to_imbalance() {
+        // Same ranking quality, more negatives → lower AUPRC (unlike AUROC).
+        let balanced_labels = [1, 0, 1, 0];
+        let balanced_scores = [0.9, 0.8, 0.7, 0.1];
+        let imbalanced_labels = [1, 0, 0, 0, 0, 0, 1, 0];
+        let imbalanced_scores = [0.9, 0.85, 0.84, 0.83, 0.82, 0.81, 0.7, 0.1];
+        let b = auprc(&balanced_scores, &balanced_labels);
+        let i = auprc(&imbalanced_scores, &imbalanced_labels);
+        assert!(b > i);
+        // AUROC of both rankings is similar in spirit (sanity check only).
+        assert!(auroc(&balanced_scores, &balanced_labels) > 0.5);
+    }
+}

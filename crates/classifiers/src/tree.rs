@@ -1,0 +1,523 @@
+//! Tree weak learners: a gradient-based regression tree (shared by the GBM
+//! and XGBoost-style boosters) and a decision stump (used by AdaBoost).
+//!
+//! The gradient tree is grown greedily.  Every node stores the sums of the
+//! per-sample first-order gradients `g_i` and second-order statistics
+//! (hessians) `h_i`; a split's quality is the XGBoost gain
+//!
+//! ```text
+//! gain = ½ [ G_L²/(H_L + λ) + G_R²/(H_R + λ) − G²/(H + λ) ]
+//! ```
+//!
+//! and a leaf's value is `−G/(H + λ)`.  With `h_i = 1` and `λ = 0` this is
+//! exactly the variance-reduction criterion / mean-residual leaf of a
+//! classic least-squares regression tree, which is how the GBM uses it.
+
+use p3gm_linalg::Matrix;
+
+/// Hyper-parameters for growing a [`GradientTree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (a depth-0 tree is a single leaf).
+    pub max_depth: usize,
+    /// Minimum number of samples required in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Minimum total hessian weight required in each child (XGBoost's
+    /// `min_child_weight`).
+    pub min_child_weight: f64,
+    /// L2 regularization λ on leaf values.
+    pub lambda: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 3,
+            min_samples_leaf: 5,
+            min_child_weight: 1e-3,
+            lambda: 0.0,
+        }
+    }
+}
+
+/// A node of the regression tree, stored in a flat arena.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A regression tree fitted to per-sample gradient/hessian pairs.
+#[derive(Debug, Clone)]
+pub struct GradientTree {
+    nodes: Vec<Node>,
+    config: TreeConfig,
+}
+
+impl GradientTree {
+    /// Fits a tree to the given gradients and hessians.
+    ///
+    /// # Panics
+    /// Panics if the lengths of `grads`/`hessians` do not match the number of
+    /// rows, or the data is empty.
+    pub fn fit(x: &Matrix, grads: &[f64], hessians: &[f64], config: TreeConfig) -> Self {
+        assert!(x.rows() > 0, "cannot fit a tree on empty data");
+        assert_eq!(x.rows(), grads.len(), "gradient length mismatch");
+        assert_eq!(x.rows(), hessians.len(), "hessian length mismatch");
+        let mut tree = GradientTree {
+            nodes: Vec::new(),
+            config,
+        };
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        tree.grow(x, grads, hessians, &indices, 0);
+        tree
+    }
+
+    /// Predicted value for one row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut node = 0;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree (leaves + splits).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    fn leaf_value(&self, g_sum: f64, h_sum: f64) -> f64 {
+        -g_sum / (h_sum + self.config.lambda).max(1e-12)
+    }
+
+    /// Recursively grows the subtree over `indices`, returning its node id.
+    fn grow(
+        &mut self,
+        x: &Matrix,
+        grads: &[f64],
+        hessians: &[f64],
+        indices: &[usize],
+        depth: usize,
+    ) -> usize {
+        let g_sum: f64 = indices.iter().map(|&i| grads[i]).sum();
+        let h_sum: f64 = indices.iter().map(|&i| hessians[i]).sum();
+
+        let make_leaf = |tree: &mut GradientTree| -> usize {
+            tree.nodes.push(Node::Leaf {
+                value: tree.leaf_value(g_sum, h_sum),
+            });
+            tree.nodes.len() - 1
+        };
+
+        if depth >= self.config.max_depth || indices.len() < 2 * self.config.min_samples_leaf {
+            return make_leaf(self);
+        }
+
+        let Some((feature, threshold, gain)) = self.best_split(x, grads, hessians, indices) else {
+            return make_leaf(self);
+        };
+        if gain <= 1e-12 {
+            return make_leaf(self);
+        }
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| x.get(i, feature) <= threshold);
+        if left_idx.len() < self.config.min_samples_leaf
+            || right_idx.len() < self.config.min_samples_leaf
+        {
+            return make_leaf(self);
+        }
+
+        // Reserve a slot for this split node, then grow children.
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+        let left = self.grow(x, grads, hessians, &left_idx, depth + 1);
+        let right = self.grow(x, grads, hessians, &right_idx, depth + 1);
+        self.nodes[node_id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        node_id
+    }
+
+    /// Finds the best (feature, threshold) split by the gain criterion.
+    fn best_split(
+        &self,
+        x: &Matrix,
+        grads: &[f64],
+        hessians: &[f64],
+        indices: &[usize],
+    ) -> Option<(usize, f64, f64)> {
+        let g_total: f64 = indices.iter().map(|&i| grads[i]).sum();
+        let h_total: f64 = indices.iter().map(|&i| hessians[i]).sum();
+        let lambda = self.config.lambda;
+        let parent_score = g_total * g_total / (h_total + lambda).max(1e-12);
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut sorted = indices.to_vec();
+        for feature in 0..x.cols() {
+            sorted.sort_by(|&a, &b| {
+                x.get(a, feature)
+                    .partial_cmp(&x.get(b, feature))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut g_left = 0.0;
+            let mut h_left = 0.0;
+            for w in 0..sorted.len() - 1 {
+                let i = sorted[w];
+                g_left += grads[i];
+                h_left += hessians[i];
+                let v = x.get(i, feature);
+                let v_next = x.get(sorted[w + 1], feature);
+                if v == v_next {
+                    continue; // cannot split between equal values
+                }
+                let n_left = w + 1;
+                let n_right = sorted.len() - n_left;
+                if n_left < self.config.min_samples_leaf
+                    || n_right < self.config.min_samples_leaf
+                {
+                    continue;
+                }
+                let g_right = g_total - g_left;
+                let h_right = h_total - h_left;
+                if h_left < self.config.min_child_weight || h_right < self.config.min_child_weight
+                {
+                    continue;
+                }
+                let gain = 0.5
+                    * (g_left * g_left / (h_left + lambda).max(1e-12)
+                        + g_right * g_right / (h_right + lambda).max(1e-12)
+                        - parent_score);
+                let threshold = 0.5 * (v + v_next);
+                if best.map_or(true, |(_, _, bg)| gain > bg) {
+                    best = Some((feature, threshold, gain));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// A decision stump: a single threshold on a single feature, predicting
+/// `+1`/`−1`, with an orientation bit. The weak learner of AdaBoost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionStump {
+    /// The feature index used by the stump.
+    pub feature: usize,
+    /// The threshold compared against.
+    pub threshold: f64,
+    /// If `true`, predict +1 when `x[feature] > threshold`; otherwise
+    /// predict +1 when `x[feature] <= threshold`.
+    pub positive_above: bool,
+}
+
+impl DecisionStump {
+    /// Fits the stump minimizing the weighted 0/1 error on ±1 targets.
+    ///
+    /// `targets` must be ±1; `weights` non-negative. Returns the stump and
+    /// its weighted error.
+    pub fn fit(x: &Matrix, targets: &[f64], weights: &[f64]) -> (Self, f64) {
+        assert!(x.rows() > 0, "cannot fit a stump on empty data");
+        assert_eq!(x.rows(), targets.len());
+        assert_eq!(x.rows(), weights.len());
+        let total_weight: f64 = weights.iter().sum();
+        let mut best = (
+            DecisionStump {
+                feature: 0,
+                threshold: 0.0,
+                positive_above: true,
+            },
+            f64::INFINITY,
+        );
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        for feature in 0..x.cols() {
+            order.sort_by(|&a, &b| {
+                x.get(a, feature)
+                    .partial_cmp(&x.get(b, feature))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            // error(positive_above) with threshold below the smallest value:
+            // everything predicted +1.
+            let mut err_above: f64 = order
+                .iter()
+                .map(|&i| if targets[i] < 0.0 { weights[i] } else { 0.0 })
+                .sum();
+            // Consider thresholds between consecutive distinct values.
+            for w in 0..order.len() {
+                let i = order[w];
+                // Moving sample i to the "below" side (predicted −1 by the
+                // positive_above stump).
+                if targets[i] > 0.0 {
+                    err_above += weights[i];
+                } else {
+                    err_above -= weights[i];
+                }
+                let v = x.get(i, feature);
+                let next_differs =
+                    w + 1 >= order.len() || x.get(order[w + 1], feature) != v;
+                if !next_differs {
+                    continue;
+                }
+                let threshold = if w + 1 < order.len() {
+                    0.5 * (v + x.get(order[w + 1], feature))
+                } else {
+                    v + 1.0
+                };
+                // positive_above orientation.
+                if err_above < best.1 {
+                    best = (
+                        DecisionStump {
+                            feature,
+                            threshold,
+                            positive_above: true,
+                        },
+                        err_above,
+                    );
+                }
+                // Opposite orientation has complementary error.
+                let err_below = total_weight - err_above;
+                if err_below < best.1 {
+                    best = (
+                        DecisionStump {
+                            feature,
+                            threshold,
+                            positive_above: false,
+                        },
+                        err_below,
+                    );
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicts ±1 for one row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let above = row[self.feature] > self.threshold;
+        if above == self.positive_above {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and_like() -> (Matrix, Vec<f64>) {
+        // Target = 1 iff both coordinates are large: needs a depth-2 tree
+        // (a single split cannot isolate the positive quadrant).
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.1, 0.1],
+            vec![0.1, 0.9],
+            vec![0.9, 0.1],
+            vec![0.9, 0.9],
+        ])
+        .unwrap();
+        let y = vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        (x, y)
+    }
+
+    #[test]
+    fn single_leaf_predicts_mean() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        // Residual-style: g = -(target), h = 1 → leaf = mean(target).
+        let targets = [1.0, 2.0, 6.0];
+        let grads: Vec<f64> = targets.iter().map(|t| -t).collect();
+        let hessians = vec![1.0; 3];
+        let tree = GradientTree::fit(
+            &x,
+            &grads,
+            &hessians,
+            TreeConfig {
+                max_depth: 0,
+                ..Default::default()
+            },
+        );
+        assert!((tree.predict(&[0.5]) - 3.0).abs() < 1e-12);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.n_nodes(), 1);
+    }
+
+    #[test]
+    fn splits_on_informative_feature() {
+        // Feature 0 is informative, feature 1 is constant.
+        let x = Matrix::from_rows(&[
+            vec![0.0, 5.0],
+            vec![0.1, 5.0],
+            vec![0.2, 5.0],
+            vec![0.9, 5.0],
+            vec![1.0, 5.0],
+            vec![1.1, 5.0],
+        ])
+        .unwrap();
+        let targets = [0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let grads: Vec<f64> = targets.iter().map(|t| -t).collect();
+        let tree = GradientTree::fit(
+            &x,
+            &grads,
+            &vec![1.0; 6],
+            TreeConfig {
+                max_depth: 2,
+                min_samples_leaf: 1,
+                ..Default::default()
+            },
+        );
+        assert!(tree.predict(&[0.05, 5.0]) < 0.2);
+        assert!(tree.predict(&[1.05, 5.0]) > 0.8);
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn depth_two_tree_fits_and() {
+        let (x, y) = and_like();
+        let grads: Vec<f64> = y.iter().map(|t| -t).collect();
+        let tree = GradientTree::fit(
+            &x,
+            &grads,
+            &vec![1.0; y.len()],
+            TreeConfig {
+                max_depth: 2,
+                min_samples_leaf: 1,
+                ..Default::default()
+            },
+        );
+        for (row, &target) in x.row_iter().zip(y.iter()) {
+            let pred = tree.predict(row);
+            assert!(
+                (pred - target).abs() < 0.3,
+                "row {row:?}: predicted {pred}, wanted {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn lambda_shrinks_leaf_values() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let grads = vec![-2.0, -2.0];
+        let hessians = vec![1.0, 1.0];
+        let plain = GradientTree::fit(
+            &x,
+            &grads,
+            &hessians,
+            TreeConfig {
+                max_depth: 0,
+                lambda: 0.0,
+                ..Default::default()
+            },
+        );
+        let regularized = GradientTree::fit(
+            &x,
+            &grads,
+            &hessians,
+            TreeConfig {
+                max_depth: 0,
+                lambda: 2.0,
+                ..Default::default()
+            },
+        );
+        assert!((plain.predict(&[0.0]) - 2.0).abs() < 1e-12);
+        assert!((regularized.predict(&[0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_samples_leaf_prevents_tiny_splits() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let grads = vec![-1.0, -1.0, -1.0, 10.0];
+        let tree = GradientTree::fit(
+            &x,
+            &grads,
+            &vec![1.0; 4],
+            TreeConfig {
+                max_depth: 3,
+                min_samples_leaf: 3,
+                ..Default::default()
+            },
+        );
+        // 4 samples cannot be split into two children of >= 3 samples.
+        assert_eq!(tree.n_nodes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient length mismatch")]
+    fn mismatched_gradients_panic() {
+        let x = Matrix::zeros(3, 1);
+        let _ = GradientTree::fit(&x, &[0.0], &[1.0, 1.0, 1.0], TreeConfig::default());
+    }
+
+    #[test]
+    fn stump_finds_best_threshold_and_orientation() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let targets = [-1.0, -1.0, 1.0, 1.0];
+        let weights = [0.25; 4];
+        let (stump, err) = DecisionStump::fit(&x, &targets, &weights);
+        assert_eq!(stump.feature, 0);
+        assert!(stump.threshold > 1.0 && stump.threshold < 2.0);
+        assert!(stump.positive_above);
+        assert!(err < 1e-12);
+        assert_eq!(stump.predict(&[0.5]), -1.0);
+        assert_eq!(stump.predict(&[2.5]), 1.0);
+
+        // Inverted targets flip the orientation.
+        let inverted = [1.0, 1.0, -1.0, -1.0];
+        let (stump, err) = DecisionStump::fit(&x, &inverted, &weights);
+        assert!(!stump.positive_above);
+        assert!(err < 1e-12);
+    }
+
+    #[test]
+    fn stump_respects_weights() {
+        // Two mislabeled points, but with negligible weight: the stump should
+        // still pick the dominant threshold.
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![1.5]]).unwrap();
+        let targets = [-1.0, -1.0, 1.0, 1.0, 1.0];
+        let weights = [1.0, 1.0, 1.0, 1.0, 1e-9];
+        let (stump, err) = DecisionStump::fit(&x, &targets, &weights);
+        assert!(stump.threshold > 1.0);
+        assert!(err < 1e-6);
+    }
+}

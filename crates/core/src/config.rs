@@ -1,0 +1,318 @@
+//! Hyper-parameter configuration for the generative models.
+
+use crate::{CoreError, Result};
+
+/// How the decoder scores reconstructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecoderLoss {
+    /// Bernoulli likelihood with logits — appropriate for data normalized to
+    /// `[0, 1]` (images, min-max-scaled tabular data). This is what the
+    /// reference implementation uses.
+    Bernoulli,
+    /// Gaussian likelihood with fixed unit variance (sum-of-squares
+    /// reconstruction error) — appropriate for standardized continuous data.
+    Gaussian,
+}
+
+/// How the encoder variance is handled in the Decoding Phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarianceMode {
+    /// Train σ_φ(x) with the decoder (the full P3GM of paper Eq. (10)).
+    Learned,
+    /// Freeze log σ²_φ(x) at the given constant (paper Eq. (11)); with a very
+    /// negative value this is the autoencoder-like P3GM(AE) of Figure 7.
+    Fixed(f64),
+}
+
+/// Configuration of the phased generative model (PGM / P3GM / P3GM(AE)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PgmConfig {
+    /// Latent dimensionality `d'` (the PCA output dimension).
+    pub latent_dim: usize,
+    /// Hidden width of the encoder/decoder MLPs (the paper uses 1000; the
+    /// evaluation harness scales this down).
+    pub hidden_dim: usize,
+    /// Number of mixture components `d_m` of the MoG prior.
+    pub mog_components: usize,
+    /// Training epochs of the Decoding Phase.
+    pub epochs: usize,
+    /// Mini-batch (lot) size `B`.
+    pub batch_size: usize,
+    /// Learning rate of the Adam optimizer.
+    pub learning_rate: f64,
+    /// Per-example gradient clipping norm `C`.
+    pub clip_norm: f64,
+    /// Whether the model is trained under differential privacy (P3GM) or not
+    /// (PGM). When `false`, `eps_p`, `sigma_e` and `sigma_s` are ignored.
+    pub private: bool,
+    /// DP-PCA budget ε_p (paper default 0.1).
+    pub eps_p: f64,
+    /// DP-EM noise multiplier σ_e.
+    pub sigma_e: f64,
+    /// DP-EM iterations T_e (paper default 20).
+    pub em_iterations: usize,
+    /// DP-SGD noise multiplier σ_s.
+    pub sigma_s: f64,
+    /// Target δ of the overall (ε, δ)-DP guarantee.
+    pub delta: f64,
+    /// How the encoder variance is treated.
+    pub variance_mode: VarianceMode,
+    /// Reconstruction likelihood.
+    pub decoder_loss: DecoderLoss,
+}
+
+impl Default for PgmConfig {
+    fn default() -> Self {
+        PgmConfig {
+            latent_dim: 10,
+            hidden_dim: 100,
+            mog_components: 3,
+            epochs: 10,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            clip_norm: 1.0,
+            private: true,
+            eps_p: 0.1,
+            sigma_e: 100.0,
+            em_iterations: 20,
+            sigma_s: 1.42,
+            delta: 1e-5,
+            variance_mode: VarianceMode::Learned,
+            decoder_loss: DecoderLoss::Bernoulli,
+        }
+    }
+}
+
+impl PgmConfig {
+    /// A non-private PGM configuration with the same architecture.
+    pub fn non_private(mut self) -> Self {
+        self.private = false;
+        self
+    }
+
+    /// The P3GM(AE) variant: encoder variance frozen (σ ≈ 0).
+    pub fn autoencoder_variant(mut self) -> Self {
+        self.variance_mode = VarianceMode::Fixed(-20.0);
+        self
+    }
+
+    /// Validates the configuration against a dataset of `n` rows and `d`
+    /// features.
+    pub fn validate(&self, n: usize, d: usize) -> Result<()> {
+        if self.latent_dim == 0 || self.latent_dim > d {
+            return Err(CoreError::InvalidConfig {
+                msg: format!("latent_dim must be in 1..={d}, got {}", self.latent_dim),
+            });
+        }
+        if self.hidden_dim == 0 {
+            return Err(CoreError::InvalidConfig {
+                msg: "hidden_dim must be positive".to_string(),
+            });
+        }
+        if self.mog_components == 0 || self.mog_components > n {
+            return Err(CoreError::InvalidConfig {
+                msg: format!(
+                    "mog_components must be in 1..={n}, got {}",
+                    self.mog_components
+                ),
+            });
+        }
+        if self.epochs == 0 || self.batch_size == 0 {
+            return Err(CoreError::InvalidConfig {
+                msg: "epochs and batch_size must be positive".to_string(),
+            });
+        }
+        if self.learning_rate <= 0.0 || self.clip_norm <= 0.0 {
+            return Err(CoreError::InvalidConfig {
+                msg: "learning_rate and clip_norm must be positive".to_string(),
+            });
+        }
+        if self.private {
+            if self.eps_p <= 0.0 || self.sigma_e <= 0.0 || self.sigma_s <= 0.0 {
+                return Err(CoreError::InvalidConfig {
+                    msg: "private training requires positive eps_p, sigma_e and sigma_s"
+                        .to_string(),
+                });
+            }
+            if !(0.0..1.0).contains(&self.delta) || self.delta == 0.0 {
+                return Err(CoreError::InvalidConfig {
+                    msg: format!("delta must be in (0,1), got {}", self.delta),
+                });
+            }
+            if self.em_iterations == 0 {
+                return Err(CoreError::InvalidConfig {
+                    msg: "private training requires at least one DP-EM iteration".to_string(),
+                });
+            }
+        }
+        if n < 2 * self.batch_size.min(n).max(1) && n < 8 {
+            return Err(CoreError::InvalidData {
+                msg: format!("{n} rows are not enough to train"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of DP-SGD steps `T_s` the Decoding Phase will take on a
+    /// dataset of `n` rows.
+    pub fn sgd_steps(&self, n: usize) -> usize {
+        let steps_per_epoch = n.div_ceil(self.batch_size.max(1)).max(1);
+        steps_per_epoch * self.epochs
+    }
+
+    /// Sampling probability `q = B/N` used by the privacy accountant.
+    pub fn sampling_probability(&self, n: usize) -> f64 {
+        (self.batch_size as f64 / n.max(1) as f64).min(1.0)
+    }
+}
+
+/// Configuration of the (DP-)VAE baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VaeConfig {
+    /// Latent dimensionality.
+    pub latent_dim: usize,
+    /// Hidden width of the encoder/decoder MLPs.
+    pub hidden_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Per-example clipping norm (only used when `sigma_s > 0`).
+    pub clip_norm: f64,
+    /// DP-SGD noise multiplier; `0.0` means non-private end-to-end training
+    /// (plain VAE), positive values give DP-VAE.
+    pub sigma_s: f64,
+    /// Target δ for the DP guarantee of DP-VAE.
+    pub delta: f64,
+    /// Reconstruction likelihood.
+    pub decoder_loss: DecoderLoss,
+}
+
+impl Default for VaeConfig {
+    fn default() -> Self {
+        VaeConfig {
+            latent_dim: 10,
+            hidden_dim: 100,
+            epochs: 10,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            clip_norm: 1.0,
+            sigma_s: 0.0,
+            delta: 1e-5,
+            decoder_loss: DecoderLoss::Bernoulli,
+        }
+    }
+}
+
+impl VaeConfig {
+    /// Returns `true` when the configuration trains with DP-SGD.
+    pub fn is_private(&self) -> bool {
+        self.sigma_s > 0.0
+    }
+
+    /// Validates the configuration against a dataset of `n` rows and `d`
+    /// features.
+    pub fn validate(&self, n: usize, d: usize) -> Result<()> {
+        if self.latent_dim == 0 || self.latent_dim > d {
+            return Err(CoreError::InvalidConfig {
+                msg: format!("latent_dim must be in 1..={d}, got {}", self.latent_dim),
+            });
+        }
+        if self.hidden_dim == 0 || self.epochs == 0 || self.batch_size == 0 {
+            return Err(CoreError::InvalidConfig {
+                msg: "hidden_dim, epochs and batch_size must be positive".to_string(),
+            });
+        }
+        if self.learning_rate <= 0.0 || self.clip_norm <= 0.0 || self.sigma_s < 0.0 {
+            return Err(CoreError::InvalidConfig {
+                msg: "learning_rate and clip_norm must be positive, sigma_s non-negative"
+                    .to_string(),
+            });
+        }
+        if n < 8 {
+            return Err(CoreError::InvalidData {
+                msg: format!("{n} rows are not enough to train"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of SGD steps taken on `n` rows.
+    pub fn sgd_steps(&self, n: usize) -> usize {
+        n.div_ceil(self.batch_size.max(1)).max(1) * self.epochs
+    }
+
+    /// Sampling probability `q = B/N`.
+    pub fn sampling_probability(&self, n: usize) -> f64 {
+        (self.batch_size as f64 / n.max(1) as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pgm_config_is_valid() {
+        let cfg = PgmConfig::default();
+        assert!(cfg.validate(1000, 64).is_ok());
+        assert!(cfg.private);
+    }
+
+    #[test]
+    fn variant_constructors() {
+        let cfg = PgmConfig::default().non_private();
+        assert!(!cfg.private);
+        let ae = PgmConfig::default().autoencoder_variant();
+        assert!(matches!(ae.variance_mode, VarianceMode::Fixed(v) if v < -10.0));
+    }
+
+    #[test]
+    fn pgm_validation_rejects_bad_configs() {
+        let base = PgmConfig::default();
+        assert!(PgmConfig { latent_dim: 0, ..base.clone() }.validate(100, 20).is_err());
+        assert!(PgmConfig { latent_dim: 30, ..base.clone() }.validate(100, 20).is_err());
+        assert!(PgmConfig { hidden_dim: 0, ..base.clone() }.validate(100, 20).is_err());
+        assert!(PgmConfig { mog_components: 0, ..base.clone() }.validate(100, 20).is_err());
+        assert!(PgmConfig { epochs: 0, ..base.clone() }.validate(100, 20).is_err());
+        assert!(PgmConfig { learning_rate: 0.0, ..base.clone() }.validate(100, 20).is_err());
+        assert!(PgmConfig { sigma_s: 0.0, ..base.clone() }.validate(100, 20).is_err());
+        assert!(PgmConfig { delta: 0.0, ..base.clone() }.validate(100, 20).is_err());
+        assert!(PgmConfig { em_iterations: 0, ..base.clone() }.validate(100, 20).is_err());
+        // Non-private config does not care about the privacy fields.
+        assert!(PgmConfig { sigma_s: 0.0, ..base.clone().non_private() }
+            .validate(100, 20)
+            .is_ok());
+        assert!(base.validate(2, 20).is_err());
+    }
+
+    #[test]
+    fn sgd_steps_and_sampling_probability() {
+        let cfg = PgmConfig {
+            epochs: 5,
+            batch_size: 32,
+            ..Default::default()
+        };
+        assert_eq!(cfg.sgd_steps(320), 50);
+        assert_eq!(cfg.sgd_steps(321), 55);
+        assert!((cfg.sampling_probability(320) - 0.1).abs() < 1e-12);
+        assert_eq!(cfg.sampling_probability(10), 1.0);
+    }
+
+    #[test]
+    fn vae_config_validation() {
+        let cfg = VaeConfig::default();
+        assert!(cfg.validate(100, 20).is_ok());
+        assert!(!cfg.is_private());
+        let dp = VaeConfig { sigma_s: 1.5, ..cfg.clone() };
+        assert!(dp.is_private());
+        assert!(VaeConfig { latent_dim: 0, ..cfg.clone() }.validate(100, 20).is_err());
+        assert!(VaeConfig { latent_dim: 40, ..cfg.clone() }.validate(100, 20).is_err());
+        assert!(VaeConfig { epochs: 0, ..cfg.clone() }.validate(100, 20).is_err());
+        assert!(VaeConfig { sigma_s: -1.0, ..cfg.clone() }.validate(100, 20).is_err());
+        assert!(cfg.validate(2, 20).is_err());
+        assert_eq!(cfg.sgd_steps(640), 100);
+    }
+}

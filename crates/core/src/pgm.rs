@@ -1,0 +1,670 @@
+//! The phased generative model (PGM) and its differentially private version
+//! (P3GM) — the paper's §IV.
+//!
+//! **Encoding Phase** (paper §IV-B): a dimensionality reduction `f` is
+//! fitted with (DP-)PCA and the encoder mean is frozen to `µ_φ(x) = f(x)`
+//! (paper Eq. (6)); a mixture-of-Gaussians prior `r_λ(z)` is fitted to the
+//! projected data with (DP-)EM (paper Eq. (7)).
+//!
+//! **Decoding Phase** (paper §IV-C): the decoder `p_θ(x|z)` and the encoder
+//! variance `σ_φ(x)` are trained against the ELBO of paper Eq. (8), whose KL
+//! term is taken against the MoG prior via the Hershey–Olsen approximation;
+//! the optimizer is DP-SGD for P3GM and plain Adam for PGM.
+//!
+//! **Data synthesis** (paper §IV-E): sample `z ~ MoG(λ)`, decode.
+//!
+//! The privacy of the whole pipeline is the RDP composition of Theorem 4,
+//! exposed through [`PhasedGenerativeModel::privacy_spec`].
+
+use crate::config::{DecoderLoss, PgmConfig, VarianceMode};
+use crate::history::{EpochStats, TrainingHistory};
+use crate::{CoreError, GenerativeModel, Result};
+use p3gm_linalg::Matrix;
+use p3gm_mixture::dpem::{self, DpEmConfig};
+use p3gm_mixture::em::{self, EmConfig};
+use p3gm_mixture::Gmm;
+use p3gm_nn::activation::{sigmoid, Activation};
+use p3gm_nn::dpsgd::{sample_batch_indices, DpSgdConfig};
+use p3gm_nn::loss::{bce_with_logits, sse};
+use p3gm_nn::mlp::Mlp;
+use p3gm_nn::optimizer::{Adam, Optimizer};
+use p3gm_preprocess::pca::{DpPca, Pca};
+use p3gm_privacy::rdp::{PrivacySpec, RdpAccountant};
+use p3gm_privacy::sampling;
+use rand::Rng;
+
+/// The dimensionality-reduction component of the Encoding Phase.
+#[derive(Debug, Clone)]
+enum Projection {
+    /// Exact PCA (PGM).
+    Exact(Pca),
+    /// DP-PCA via the Wishart mechanism (P3GM).
+    Private(DpPca),
+}
+
+impl Projection {
+    fn transform_row(&self, x: &[f64]) -> Vec<f64> {
+        match self {
+            Projection::Exact(p) => p.transform_row(x).expect("dimension fixed at fit time"),
+            Projection::Private(p) => p.transform_row(x).expect("dimension fixed at fit time"),
+        }
+    }
+}
+
+/// The phased generative model: PGM when `config.private == false`, P3GM
+/// when `true`, P3GM(AE) when the variance mode is fixed.
+#[derive(Debug, Clone)]
+pub struct PhasedGenerativeModel {
+    projection: Projection,
+    prior: Gmm,
+    /// Encoder-variance network `x → log σ²_φ(x)` (present even in the
+    /// fixed-variance mode, but then it is not trained or used).
+    encoder_var: Mlp,
+    decoder: Mlp,
+    config: PgmConfig,
+    data_dim: usize,
+    /// Scale applied to rows before the projection so that the DP-PCA
+    /// sensitivity bound (unit L2 ball) holds; 1.0 for the non-private PGM.
+    input_scale: f64,
+    optimizer: Adam,
+    trained_epochs: usize,
+    n_train: usize,
+}
+
+impl PhasedGenerativeModel {
+    /// Runs the Encoding Phase: fits the (DP-)PCA projection and the (DP-)EM
+    /// mixture prior, and initializes the networks. The Decoding Phase is
+    /// run separately with [`PhasedGenerativeModel::train_epoch`] (or use
+    /// [`PhasedGenerativeModel::fit`] for the whole pipeline).
+    pub fn encode_phase<R: Rng + ?Sized>(
+        rng: &mut R,
+        data: &Matrix,
+        config: PgmConfig,
+    ) -> Result<Self> {
+        config.validate(data.rows(), data.cols())?;
+        let d = data.cols();
+        let n = data.rows();
+
+        // DP-PCA's Wishart sensitivity analysis assumes rows in the unit L2
+        // ball; [0,1]^d rows have norm at most sqrt(d) (a public bound), so
+        // scale by 1/sqrt(d) before computing the covariance. The same scale
+        // is applied at projection time so f(x) is consistent.
+        let input_scale = if config.private {
+            1.0 / (d as f64).sqrt()
+        } else {
+            1.0
+        };
+        let scaled = if input_scale == 1.0 {
+            data.clone()
+        } else {
+            data.scale(input_scale)
+        };
+
+        let projection = if config.private {
+            Projection::Private(
+                DpPca::fit(rng, &scaled, config.latent_dim, config.eps_p)
+                    .map_err(|e| CoreError::Substrate { msg: e.to_string() })?,
+            )
+        } else {
+            Projection::Exact(
+                Pca::fit(&scaled, config.latent_dim)
+                    .map_err(|e| CoreError::Substrate { msg: e.to_string() })?,
+            )
+        };
+
+        // Project every row and fit the MoG prior.
+        let projected_rows: Vec<Vec<f64>> = scaled
+            .row_iter()
+            .map(|row| projection.transform_row(row))
+            .collect();
+        let projected = Matrix::from_rows(&projected_rows)
+            .map_err(|e| CoreError::Substrate { msg: e.to_string() })?;
+
+        let prior = if config.private {
+            dpem::fit(
+                rng,
+                &projected,
+                &DpEmConfig {
+                    n_components: config.mog_components,
+                    iterations: config.em_iterations,
+                    sigma_e: config.sigma_e,
+                    covariance_regularization: 1e-4,
+                    clip_norm: 1.0,
+                },
+            )
+            .map_err(|e| CoreError::Substrate { msg: e.to_string() })?
+            .model
+        } else {
+            em::fit(
+                rng,
+                &projected,
+                &EmConfig {
+                    n_components: config.mog_components,
+                    max_iters: 50,
+                    tolerance: 1e-5,
+                    covariance_regularization: 1e-6,
+                },
+            )
+            .map_err(|e| CoreError::Substrate { msg: e.to_string() })?
+            .model
+        };
+
+        let encoder_var = Mlp::new(
+            rng,
+            &[d, config.hidden_dim, config.latent_dim],
+            Activation::Relu,
+            Activation::Identity,
+        );
+        let decoder = Mlp::new(
+            rng,
+            &[config.latent_dim, config.hidden_dim, d],
+            Activation::Relu,
+            Activation::Identity,
+        );
+        let optimizer = Adam::new(config.learning_rate);
+
+        Ok(PhasedGenerativeModel {
+            projection,
+            prior,
+            encoder_var,
+            decoder,
+            config,
+            data_dim: d,
+            input_scale,
+            optimizer,
+            trained_epochs: 0,
+            n_train: n,
+        })
+    }
+
+    /// Runs the complete two-phase training (Encoding Phase + `epochs`
+    /// epochs of the Decoding Phase).
+    pub fn fit<R: Rng + ?Sized>(
+        rng: &mut R,
+        data: &Matrix,
+        config: PgmConfig,
+    ) -> Result<(Self, TrainingHistory)> {
+        let epochs = config.epochs;
+        let mut model = Self::encode_phase(rng, data, config)?;
+        let mut history = TrainingHistory::new();
+        for _ in 0..epochs {
+            history.push(model.train_epoch(rng, data)?);
+        }
+        Ok((model, history))
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &PgmConfig {
+        &self.config
+    }
+
+    /// The fitted mixture-of-Gaussians prior `r_λ(z)`.
+    pub fn prior(&self) -> &Gmm {
+        &self.prior
+    }
+
+    /// Dimensionality of the data space.
+    pub fn data_dim(&self) -> usize {
+        self.data_dim
+    }
+
+    /// Number of Decoding-Phase epochs trained so far.
+    pub fn trained_epochs(&self) -> usize {
+        self.trained_epochs
+    }
+
+    /// Whether the encoder-variance network is trained (full P3GM) or the
+    /// variance is frozen (P3GM(AE)).
+    pub fn trains_variance(&self) -> bool {
+        matches!(self.config.variance_mode, VarianceMode::Learned)
+    }
+
+    /// The frozen encoder mean `µ_φ(x) = f(x)` (paper Eq. (6)).
+    pub fn encode_mean(&self, x: &[f64]) -> Vec<f64> {
+        let scaled: Vec<f64> = x.iter().map(|v| v * self.input_scale).collect();
+        self.projection.transform_row(&scaled)
+    }
+
+    /// The encoder log-variance for one row (the frozen constant in the
+    /// fixed-variance mode).
+    pub fn encode_logvar(&self, x: &[f64]) -> Vec<f64> {
+        match self.config.variance_mode {
+            VarianceMode::Learned => self.encoder_var.forward(x),
+            VarianceMode::Fixed(v) => vec![v; self.config.latent_dim],
+        }
+    }
+
+    /// Decodes a latent vector to the data-space mean.
+    pub fn decode(&self, z: &[f64]) -> Vec<f64> {
+        let logits = self.decoder.forward(z);
+        match self.config.decoder_loss {
+            DecoderLoss::Bernoulli => logits.iter().map(|&l| sigmoid(l)).collect(),
+            DecoderLoss::Gaussian => logits,
+        }
+    }
+
+    /// Deterministic reconstruction: decode the frozen encoder mean.
+    pub fn reconstruct(&self, x: &[f64]) -> Vec<f64> {
+        self.decode(&self.encode_mean(x))
+    }
+
+    /// Average per-example reconstruction loss over a dataset (decoding the
+    /// encoder mean; this is the curve plotted in Figure 7a/7b).
+    pub fn reconstruction_loss(&self, data: &Matrix) -> f64 {
+        let mut total = 0.0;
+        for row in data.row_iter() {
+            let mu = self.encode_mean(row);
+            let logits = self.decoder.forward(&mu);
+            total += match self.config.decoder_loss {
+                DecoderLoss::Bernoulli => bce_with_logits(&logits, row).0,
+                DecoderLoss::Gaussian => sse(&logits, row).0,
+            };
+        }
+        total / data.rows().max(1) as f64
+    }
+
+    /// One epoch of the Decoding Phase. Exposed so the Figure 7 experiments
+    /// can evaluate the model after every epoch.
+    pub fn train_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R, data: &Matrix) -> Result<EpochStats> {
+        if data.cols() != self.data_dim {
+            return Err(CoreError::InvalidData {
+                msg: format!("expected {} features, got {}", self.data_dim, data.cols()),
+            });
+        }
+        let n = data.rows();
+        if n == 0 {
+            return Err(CoreError::InvalidData {
+                msg: "empty training data".to_string(),
+            });
+        }
+        let batch = self.config.batch_size.min(n).max(1);
+        let steps_per_epoch = n.div_ceil(batch);
+        let dp = if self.config.private {
+            Some(DpSgdConfig {
+                clip_norm: self.config.clip_norm,
+                noise_multiplier: self.config.sigma_s,
+                batch_size: batch,
+            })
+        } else {
+            None
+        };
+
+        let mut params = self.flat_params();
+        let mut recon_sum = 0.0;
+        let mut kl_sum = 0.0;
+        let mut examples = 0usize;
+
+        for _ in 0..steps_per_epoch {
+            let indices = sample_batch_indices(rng, n, batch);
+            let mut per_example = Vec::with_capacity(indices.len());
+            for &i in &indices {
+                let (recon, kl, grad) = self.example_gradient(rng, data.row(i));
+                recon_sum += recon;
+                kl_sum += kl;
+                examples += 1;
+                per_example.push(grad);
+            }
+            match &dp {
+                Some(cfg) => {
+                    cfg.step(rng, &per_example, &mut params, &mut self.optimizer)
+                        .map_err(|e| CoreError::Substrate { msg: e.to_string() })?;
+                }
+                None => {
+                    let mut avg = vec![0.0; params.len()];
+                    for g in &per_example {
+                        p3gm_linalg::vector::axpy(1.0, g, &mut avg);
+                    }
+                    p3gm_linalg::vector::scale(1.0 / per_example.len() as f64, &mut avg);
+                    self.optimizer.step(&mut params, &avg);
+                }
+            }
+            self.set_flat_params(&params);
+        }
+
+        let stats = EpochStats {
+            epoch: self.trained_epochs,
+            reconstruction_loss: recon_sum / examples.max(1) as f64,
+            kl_loss: kl_sum / examples.max(1) as f64,
+            steps: steps_per_epoch,
+        };
+        self.trained_epochs += 1;
+        Ok(stats)
+    }
+
+    /// The (ε, δ)-DP guarantee of the *configured* training run on `n` rows
+    /// (paper Theorem 4), or `None` for the non-private PGM.
+    ///
+    /// The guarantee covers DP-PCA, `em_iterations` DP-EM steps and the
+    /// number of DP-SGD steps the configuration takes on `n` rows.
+    pub fn privacy_spec(&self, n: usize) -> Option<PrivacySpec> {
+        if !self.config.private {
+            return None;
+        }
+        RdpAccountant::p3gm_total(
+            self.config.eps_p,
+            self.config.em_iterations,
+            self.config.sigma_e,
+            self.config.mog_components,
+            self.config.sgd_steps(n),
+            self.config.sampling_probability(n),
+            self.config.sigma_s,
+            self.config.delta,
+        )
+        .ok()
+    }
+
+    /// Convenience: the privacy guarantee for the dataset the model was
+    /// fitted on.
+    pub fn training_privacy_spec(&self) -> Option<PrivacySpec> {
+        self.privacy_spec(self.n_train)
+    }
+
+    /// Per-example gradient of the Decoding-Phase loss (paper Eq. (10)) with
+    /// respect to the trainable parameters, plus the reconstruction and KL
+    /// losses.
+    fn example_gradient<R: Rng + ?Sized>(&self, rng: &mut R, x: &[f64]) -> (f64, f64, Vec<f64>) {
+        let d = self.config.latent_dim;
+        let mu = self.encode_mean(x);
+
+        // Encoder variance: learned or frozen.
+        let (logvar, enc_cache) = match self.config.variance_mode {
+            VarianceMode::Learned => {
+                let cache = self.encoder_var.forward_cached(x);
+                (cache.output().to_vec(), Some(cache))
+            }
+            VarianceMode::Fixed(v) => (vec![v; d], None),
+        };
+
+        // Reparametrized sample.
+        let eps = sampling::normal_vec(rng, d, 1.0);
+        let sigma: Vec<f64> = logvar.iter().map(|&l| (0.5 * l).exp()).collect();
+        let z: Vec<f64> = (0..d).map(|i| mu[i] + sigma[i] * eps[i]).collect();
+
+        // Reconstruction term.
+        let dec_cache = self.decoder.forward_cached(&z);
+        let (recon, grad_logits) = match self.config.decoder_loss {
+            DecoderLoss::Bernoulli => bce_with_logits(dec_cache.output(), x),
+            DecoderLoss::Gaussian => sse(dec_cache.output(), x),
+        };
+        let mut dec_grads = vec![0.0; self.decoder.num_params()];
+        let grad_z = self.decoder.backward(&dec_cache, &grad_logits, &mut dec_grads);
+
+        // KL against the MoG prior (Hershey–Olsen approximation). The mean
+        // is frozen so only the log-variance gradient is used.
+        let (kl, _kl_grad_mu, kl_grad_logvar) = self.prior.kl_diag_to_mixture(&mu, &logvar);
+
+        match (self.config.variance_mode, enc_cache) {
+            (VarianceMode::Learned, Some(cache)) => {
+                let mut grad_enc_out = vec![0.0; d];
+                for i in 0..d {
+                    grad_enc_out[i] = grad_z[i] * 0.5 * sigma[i] * eps[i] + kl_grad_logvar[i];
+                }
+                let mut enc_grads = vec![0.0; self.encoder_var.num_params()];
+                self.encoder_var
+                    .backward(&cache, &grad_enc_out, &mut enc_grads);
+                enc_grads.extend_from_slice(&dec_grads);
+                (recon, kl, enc_grads)
+            }
+            _ => (recon, kl, dec_grads),
+        }
+    }
+
+    /// Flat trainable-parameter vector: encoder-variance network (when
+    /// trained) followed by the decoder.
+    fn flat_params(&self) -> Vec<f64> {
+        if self.trains_variance() {
+            let mut p = self.encoder_var.params();
+            p.extend(self.decoder.params());
+            p
+        } else {
+            self.decoder.params()
+        }
+    }
+
+    fn set_flat_params(&mut self, params: &[f64]) {
+        if self.trains_variance() {
+            let enc_n = self.encoder_var.num_params();
+            self.encoder_var.set_params(&params[..enc_n]);
+            self.decoder.set_params(&params[enc_n..]);
+        } else {
+            self.decoder.set_params(params);
+        }
+    }
+}
+
+impl GenerativeModel for PhasedGenerativeModel {
+    fn sample(&self, rng: &mut dyn rand::RngCore, n: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let z = self.prior.sample(rng);
+                self.decode(&z)
+            })
+            .collect();
+        Matrix::from_rows(&rows).expect("decoded rows have equal width")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(131)
+    }
+
+    /// Bimodal dataset in [0,1]^8 with two clearly distinct patterns.
+    fn bimodal(rng: &mut StdRng, n: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let hot = i % 2 == 0;
+                (0..8)
+                    .map(|j| {
+                        let base = if (j < 4) == hot { 0.9 } else { 0.1 };
+                        (base + sampling::normal(rng, 0.0, 0.05)).clamp(0.0, 1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    fn small_config(private: bool) -> PgmConfig {
+        PgmConfig {
+            latent_dim: 3,
+            hidden_dim: 16,
+            mog_components: 2,
+            epochs: 10,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            clip_norm: 1.0,
+            private,
+            eps_p: 0.5,
+            sigma_e: 50.0,
+            em_iterations: 5,
+            sigma_s: 1.0,
+            delta: 1e-5,
+            variance_mode: VarianceMode::Learned,
+            decoder_loss: DecoderLoss::Bernoulli,
+        }
+    }
+
+    #[test]
+    fn encode_phase_fixes_the_encoder_mean() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 80);
+        let model = PhasedGenerativeModel::encode_phase(&mut r, &data, small_config(false)).unwrap();
+        // The frozen mean is a deterministic function of x with the latent
+        // dimensionality.
+        let mu1 = model.encode_mean(data.row(0));
+        let mu2 = model.encode_mean(data.row(0));
+        assert_eq!(mu1.len(), 3);
+        assert_eq!(mu1, mu2);
+        // Different patterns land in different latent locations.
+        let a = model.encode_mean(data.row(0));
+        let b = model.encode_mean(data.row(1));
+        assert!(p3gm_linalg::vector::distance(&a, &b) > 0.1);
+        assert_eq!(model.prior().n_components(), 2);
+        assert!(model.trains_variance());
+        assert_eq!(model.trained_epochs(), 0);
+    }
+
+    #[test]
+    fn pgm_training_reduces_reconstruction_loss() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 120);
+        let untrained =
+            PhasedGenerativeModel::encode_phase(&mut r, &data, small_config(false)).unwrap();
+        let before = untrained.reconstruction_loss(&data);
+        let (model, history) =
+            PhasedGenerativeModel::fit(&mut r, &data, small_config(false)).unwrap();
+        let after = model.reconstruction_loss(&data);
+        assert!(after < before, "loss should drop: {before} -> {after}");
+        assert_eq!(history.len(), 10);
+        assert!(history.improved());
+    }
+
+    #[test]
+    fn p3gm_trains_under_noise_and_reports_privacy() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 120);
+        let (model, history) =
+            PhasedGenerativeModel::fit(&mut r, &data, small_config(true)).unwrap();
+        assert_eq!(history.len(), 10);
+        let spec = model.training_privacy_spec().expect("P3GM is private");
+        assert!(spec.epsilon.is_finite() && spec.epsilon > 0.0);
+        assert_eq!(spec.delta, 1e-5);
+        // Reconstruction is still meaningfully better than random guessing
+        // (BCE of ~0.69 per dimension on [0,1] data with p=0.5).
+        let loss = model.reconstruction_loss(&data);
+        assert!(loss < 8.0 * 0.69, "reconstruction loss {loss}");
+    }
+
+    #[test]
+    fn non_private_pgm_has_no_privacy_spec() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 60);
+        let model =
+            PhasedGenerativeModel::encode_phase(&mut r, &data, small_config(false)).unwrap();
+        assert!(model.privacy_spec(60).is_none());
+        assert!(model.training_privacy_spec().is_none());
+    }
+
+    #[test]
+    fn samples_have_correct_shape_and_range() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 80);
+        let (model, _) = PhasedGenerativeModel::fit(&mut r, &data, small_config(false)).unwrap();
+        let samples = model.sample(&mut r, 25);
+        assert_eq!(samples.shape(), (25, 8));
+        assert!(samples
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn generated_samples_resemble_the_two_modes() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 200);
+        let mut cfg = small_config(false);
+        cfg.epochs = 30;
+        let (model, _) = PhasedGenerativeModel::fit(&mut r, &data, cfg).unwrap();
+        let samples = model.sample(&mut r, 60);
+        // Every sample should be closer to one of the two true modes than to
+        // the uniform 0.5 vector.
+        let mode_a: Vec<f64> = (0..8).map(|j| if j < 4 { 0.9 } else { 0.1 }).collect();
+        let mode_b: Vec<f64> = (0..8).map(|j| if j < 4 { 0.1 } else { 0.9 }).collect();
+        let uniform = vec![0.5; 8];
+        let mut near_modes = 0;
+        for row in samples.row_iter() {
+            let da = p3gm_linalg::vector::distance(row, &mode_a);
+            let db = p3gm_linalg::vector::distance(row, &mode_b);
+            let du = p3gm_linalg::vector::distance(row, &uniform);
+            if da.min(db) < du {
+                near_modes += 1;
+            }
+        }
+        assert!(
+            near_modes as f64 / 60.0 > 0.6,
+            "only {near_modes}/60 samples near the true modes"
+        );
+    }
+
+    #[test]
+    fn ae_variant_trains_only_the_decoder() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 80);
+        let cfg = small_config(false).autoencoder_variant();
+        let model = PhasedGenerativeModel::encode_phase(&mut r, &data, cfg).unwrap();
+        assert!(!model.trains_variance());
+        // Frozen log-variance is the configured constant.
+        let lv = model.encode_logvar(data.row(0));
+        assert!(lv.iter().all(|&v| (v + 20.0).abs() < 1e-12));
+        // Training still works and reduces loss.
+        let mut model = model;
+        let before = model.reconstruction_loss(&data);
+        for _ in 0..10 {
+            model.train_epoch(&mut r, &data).unwrap();
+        }
+        let after = model.reconstruction_loss(&data);
+        assert!(after < before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn config_validation_propagates() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 40);
+        let mut cfg = small_config(true);
+        cfg.latent_dim = 50; // larger than data dimension
+        assert!(PhasedGenerativeModel::encode_phase(&mut r, &data, cfg).is_err());
+        let mut cfg = small_config(true);
+        cfg.sigma_s = 0.0;
+        assert!(PhasedGenerativeModel::encode_phase(&mut r, &data, cfg).is_err());
+    }
+
+    #[test]
+    fn train_epoch_rejects_wrong_width() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 40);
+        let mut model =
+            PhasedGenerativeModel::encode_phase(&mut r, &data, small_config(false)).unwrap();
+        assert!(model.train_epoch(&mut r, &Matrix::zeros(5, 3)).is_err());
+        assert!(model.train_epoch(&mut r, &Matrix::zeros(0, 8)).is_err());
+    }
+
+    #[test]
+    fn paper_epsilon_ballpark_for_table_iv_settings() {
+        // MNIST row of Table IV: sigma_s = 1.42, batch 240, 10 epochs,
+        // N = 63 000, eps_p = 0.1, Te = 20, dm = 3 → the paper reports
+        // (1, 1e-5)-DP. Our accountant should place it near 1.
+        let cfg = PgmConfig {
+            sigma_s: 1.42,
+            batch_size: 240,
+            epochs: 10,
+            eps_p: 0.1,
+            em_iterations: 20,
+            mog_components: 3,
+            sigma_e: 70.0,
+            ..PgmConfig::default()
+        };
+        let n = 63_000;
+        let spec = RdpAccountant::p3gm_total(
+            cfg.eps_p,
+            cfg.em_iterations,
+            cfg.sigma_e,
+            cfg.mog_components,
+            cfg.sgd_steps(n),
+            cfg.sampling_probability(n),
+            cfg.sigma_s,
+            cfg.delta,
+        )
+        .unwrap();
+        assert!(
+            spec.epsilon > 0.3 && spec.epsilon < 2.0,
+            "epsilon {} not near the paper's 1.0",
+            spec.epsilon
+        );
+    }
+}

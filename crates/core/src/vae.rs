@@ -1,0 +1,459 @@
+//! Variational autoencoder with end-to-end training — the `VAE` and
+//! `DP-VAE` baselines of the paper.
+//!
+//! The encoder maps `x` to the mean and log-variance of a diagonal Gaussian
+//! `q_φ(z|x)`; the decoder maps a reparametrized sample `z = µ + σ ⊙ ε`
+//! back to logits over `x`. The objective is the negative ELBO of paper
+//! Eq. (1) with the standard-normal prior. With `sigma_s > 0` the gradients
+//! are privatized with DP-SGD (DP-VAE).
+
+use crate::config::{DecoderLoss, VaeConfig};
+use crate::history::{EpochStats, TrainingHistory};
+use crate::{CoreError, GenerativeModel, Result};
+use p3gm_linalg::Matrix;
+use p3gm_nn::activation::{sigmoid, Activation};
+use p3gm_nn::dpsgd::{sample_batch_indices, DpSgdConfig};
+use p3gm_nn::loss::{bce_with_logits, kl_diag_gaussian_standard, sse};
+use p3gm_nn::mlp::Mlp;
+use p3gm_nn::optimizer::{Adam, Optimizer};
+use p3gm_privacy::rdp::{DpSgdBound, PrivacySpec, RdpAccountant};
+use p3gm_privacy::sampling;
+use rand::Rng;
+
+/// A (DP-)VAE with two-layer MLP encoder and decoder.
+#[derive(Debug, Clone)]
+pub struct Vae {
+    encoder: Mlp,
+    decoder: Mlp,
+    config: VaeConfig,
+    data_dim: usize,
+    optimizer: Adam,
+    trained_epochs: usize,
+}
+
+impl Vae {
+    /// Builds an untrained VAE for `data_dim`-dimensional data.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, data_dim: usize, config: VaeConfig) -> Result<Self> {
+        if data_dim == 0 {
+            return Err(CoreError::InvalidConfig {
+                msg: "data_dim must be positive".to_string(),
+            });
+        }
+        if config.latent_dim == 0 || config.latent_dim > data_dim {
+            return Err(CoreError::InvalidConfig {
+                msg: format!(
+                    "latent_dim must be in 1..={data_dim}, got {}",
+                    config.latent_dim
+                ),
+            });
+        }
+        let encoder = Mlp::new(
+            rng,
+            &[data_dim, config.hidden_dim, 2 * config.latent_dim],
+            Activation::Relu,
+            Activation::Identity,
+        );
+        let decoder = Mlp::new(
+            rng,
+            &[config.latent_dim, config.hidden_dim, data_dim],
+            Activation::Relu,
+            Activation::Identity,
+        );
+        let optimizer = Adam::new(config.learning_rate);
+        Ok(Vae {
+            encoder,
+            decoder,
+            config,
+            data_dim,
+            optimizer,
+            trained_epochs: 0,
+        })
+    }
+
+    /// Trains a VAE on `data` (rows in `[0, 1]` for the Bernoulli decoder)
+    /// for the configured number of epochs.
+    pub fn fit<R: Rng + ?Sized>(
+        rng: &mut R,
+        data: &Matrix,
+        config: VaeConfig,
+    ) -> Result<(Self, TrainingHistory)> {
+        config.validate(data.rows(), data.cols())?;
+        let mut vae = Vae::new(rng, data.cols(), config)?;
+        let mut history = TrainingHistory::new();
+        for _ in 0..vae.config.epochs {
+            history.push(vae.train_epoch(rng, data)?);
+        }
+        Ok((vae, history))
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &VaeConfig {
+        &self.config
+    }
+
+    /// Dimensionality of the data space.
+    pub fn data_dim(&self) -> usize {
+        self.data_dim
+    }
+
+    /// Number of epochs trained so far.
+    pub fn trained_epochs(&self) -> usize {
+        self.trained_epochs
+    }
+
+    /// Total number of trainable parameters (encoder + decoder).
+    pub fn num_params(&self) -> usize {
+        self.encoder.num_params() + self.decoder.num_params()
+    }
+
+    /// Runs one epoch of training and returns its statistics. Exposed so the
+    /// learning-efficiency experiments (Figure 7) can evaluate the model
+    /// after every epoch.
+    pub fn train_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R, data: &Matrix) -> Result<EpochStats> {
+        if data.cols() != self.data_dim {
+            return Err(CoreError::InvalidData {
+                msg: format!(
+                    "expected {} features, got {}",
+                    self.data_dim,
+                    data.cols()
+                ),
+            });
+        }
+        let n = data.rows();
+        if n == 0 {
+            return Err(CoreError::InvalidData {
+                msg: "empty training data".to_string(),
+            });
+        }
+        let batch = self.config.batch_size.min(n).max(1);
+        let steps_per_epoch = n.div_ceil(batch);
+        let dp = if self.config.is_private() {
+            Some(DpSgdConfig {
+                clip_norm: self.config.clip_norm,
+                noise_multiplier: self.config.sigma_s,
+                batch_size: batch,
+            })
+        } else {
+            None
+        };
+
+        let mut params: Vec<f64> = self.flat_params();
+        let mut recon_sum = 0.0;
+        let mut kl_sum = 0.0;
+        let mut examples = 0usize;
+
+        for _ in 0..steps_per_epoch {
+            let indices = sample_batch_indices(rng, n, batch);
+            let mut per_example = Vec::with_capacity(indices.len());
+            for &i in &indices {
+                let (recon, kl, grad) = self.example_gradient(rng, data.row(i));
+                recon_sum += recon;
+                kl_sum += kl;
+                examples += 1;
+                per_example.push(grad);
+            }
+            match &dp {
+                Some(cfg) => {
+                    cfg.step(rng, &per_example, &mut params, &mut self.optimizer)
+                        .map_err(|e| CoreError::Substrate { msg: e.to_string() })?;
+                }
+                None => {
+                    let mut avg = vec![0.0; params.len()];
+                    for g in &per_example {
+                        p3gm_linalg::vector::axpy(1.0, g, &mut avg);
+                    }
+                    p3gm_linalg::vector::scale(1.0 / per_example.len() as f64, &mut avg);
+                    self.optimizer.step(&mut params, &avg);
+                }
+            }
+            self.set_flat_params(&params);
+        }
+
+        let stats = EpochStats {
+            epoch: self.trained_epochs,
+            reconstruction_loss: recon_sum / examples.max(1) as f64,
+            kl_loss: kl_sum / examples.max(1) as f64,
+            steps: steps_per_epoch,
+        };
+        self.trained_epochs += 1;
+        Ok(stats)
+    }
+
+    /// Encodes one row to the mean and log-variance of `q_φ(z|x)`.
+    pub fn encode(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let out = self.encoder.forward(x);
+        let d = self.config.latent_dim;
+        (out[..d].to_vec(), out[d..].to_vec())
+    }
+
+    /// Decodes a latent vector to the data-space mean (sigmoid of the logits
+    /// for the Bernoulli decoder, raw output for the Gaussian decoder).
+    pub fn decode(&self, z: &[f64]) -> Vec<f64> {
+        let logits = self.decoder.forward(z);
+        match self.config.decoder_loss {
+            DecoderLoss::Bernoulli => logits.iter().map(|&l| sigmoid(l)).collect(),
+            DecoderLoss::Gaussian => logits,
+        }
+    }
+
+    /// Deterministic reconstruction of one row (encode to the mean, decode).
+    pub fn reconstruct(&self, x: &[f64]) -> Vec<f64> {
+        let (mu, _) = self.encode(x);
+        self.decode(&mu)
+    }
+
+    /// Average per-example reconstruction loss over a dataset (no sampling
+    /// noise; uses the encoder mean).
+    pub fn reconstruction_loss(&self, data: &Matrix) -> f64 {
+        let mut total = 0.0;
+        for row in data.row_iter() {
+            let (mu, _) = self.encode(row);
+            let logits = self.decoder.forward(&mu);
+            total += match self.config.decoder_loss {
+                DecoderLoss::Bernoulli => bce_with_logits(&logits, row).0,
+                DecoderLoss::Gaussian => sse(&logits, row).0,
+            };
+        }
+        total / data.rows().max(1) as f64
+    }
+
+    /// The (ε, δ)-DP guarantee of training this configuration on `n` rows,
+    /// or `None` for the non-private VAE.
+    pub fn privacy_spec(&self, n: usize) -> Option<PrivacySpec> {
+        if !self.config.is_private() {
+            return None;
+        }
+        let mut acc = RdpAccountant::default();
+        acc.add_dp_sgd(
+            self.config.sgd_steps(n),
+            self.config.sampling_probability(n),
+            self.config.sigma_s,
+            DpSgdBound::PaperEq4,
+        )
+        .ok()?;
+        acc.to_dp(self.config.delta).ok()
+    }
+
+    /// Per-example ELBO gradient with respect to all parameters
+    /// (encoder then decoder), plus the reconstruction and KL losses.
+    fn example_gradient<R: Rng + ?Sized>(&self, rng: &mut R, x: &[f64]) -> (f64, f64, Vec<f64>) {
+        let d = self.config.latent_dim;
+        let enc_cache = self.encoder.forward_cached(x);
+        let enc_out = enc_cache.output();
+        let mu = &enc_out[..d];
+        let logvar = &enc_out[d..];
+
+        // Reparametrization trick.
+        let eps = sampling::normal_vec(rng, d, 1.0);
+        let sigma: Vec<f64> = logvar.iter().map(|&l| (0.5 * l).exp()).collect();
+        let z: Vec<f64> = (0..d).map(|i| mu[i] + sigma[i] * eps[i]).collect();
+
+        let dec_cache = self.decoder.forward_cached(&z);
+        let (recon, grad_logits) = match self.config.decoder_loss {
+            DecoderLoss::Bernoulli => bce_with_logits(dec_cache.output(), x),
+            DecoderLoss::Gaussian => sse(dec_cache.output(), x),
+        };
+        let mut dec_grads = vec![0.0; self.decoder.num_params()];
+        let grad_z = self.decoder.backward(&dec_cache, &grad_logits, &mut dec_grads);
+
+        let (kl, kl_grad_mu, kl_grad_logvar) = kl_diag_gaussian_standard(mu, logvar);
+
+        // Chain the reconstruction gradient through the reparametrization.
+        let mut grad_enc_out = vec![0.0; 2 * d];
+        for i in 0..d {
+            grad_enc_out[i] = grad_z[i] + kl_grad_mu[i];
+            grad_enc_out[d + i] = grad_z[i] * 0.5 * sigma[i] * eps[i] + kl_grad_logvar[i];
+        }
+        let mut enc_grads = vec![0.0; self.encoder.num_params()];
+        self.encoder.backward(&enc_cache, &grad_enc_out, &mut enc_grads);
+
+        enc_grads.extend_from_slice(&dec_grads);
+        (recon, kl, enc_grads)
+    }
+
+    fn flat_params(&self) -> Vec<f64> {
+        let mut p = self.encoder.params();
+        p.extend(self.decoder.params());
+        p
+    }
+
+    fn set_flat_params(&mut self, params: &[f64]) {
+        let enc_n = self.encoder.num_params();
+        self.encoder.set_params(&params[..enc_n]);
+        self.decoder.set_params(&params[enc_n..]);
+    }
+}
+
+impl GenerativeModel for Vae {
+    fn sample(&self, rng: &mut dyn rand::RngCore, n: usize) -> Matrix {
+        let d = self.config.latent_dim;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let z = sampling::normal_vec(rng, d, 1.0);
+                self.decode(&z)
+            })
+            .collect();
+        Matrix::from_rows(&rows).expect("decoded rows have equal width")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(111)
+    }
+
+    /// Tiny bimodal dataset in [0,1]^6: half the rows light up the first
+    /// three features, half the last three.
+    fn bimodal(rng: &mut StdRng, n: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let hot = i % 2 == 0;
+                (0..6)
+                    .map(|j| {
+                        let base = if (j < 3) == hot { 0.9 } else { 0.1 };
+                        (base + sampling::normal(rng, 0.0, 0.05)).clamp(0.0, 1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    fn small_config() -> VaeConfig {
+        VaeConfig {
+            latent_dim: 2,
+            hidden_dim: 16,
+            epochs: 15,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn construction_validates() {
+        let mut r = rng();
+        assert!(Vae::new(&mut r, 0, small_config()).is_err());
+        let bad = VaeConfig {
+            latent_dim: 10,
+            ..small_config()
+        };
+        assert!(Vae::new(&mut r, 6, bad).is_err());
+        let vae = Vae::new(&mut r, 6, small_config()).unwrap();
+        assert_eq!(vae.data_dim(), 6);
+        assert!(vae.num_params() > 0);
+        assert_eq!(vae.trained_epochs(), 0);
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_loss() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 120);
+        let untrained = Vae::new(&mut r, 6, small_config()).unwrap();
+        let before = untrained.reconstruction_loss(&data);
+        let (vae, history) = Vae::fit(&mut r, &data, small_config()).unwrap();
+        let after = vae.reconstruction_loss(&data);
+        assert!(
+            after < before,
+            "reconstruction loss should drop: {before} -> {after}"
+        );
+        assert_eq!(history.len(), 15);
+        assert!(history.improved());
+        assert_eq!(vae.trained_epochs(), 15);
+    }
+
+    #[test]
+    fn samples_have_correct_shape_and_range() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 60);
+        let (vae, _) = Vae::fit(&mut r, &data, small_config()).unwrap();
+        let samples = vae.sample(&mut r, 32);
+        assert_eq!(samples.shape(), (32, 6));
+        assert!(samples
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_shapes() {
+        let mut r = rng();
+        let vae = Vae::new(&mut r, 6, small_config()).unwrap();
+        let (mu, logvar) = vae.encode(&[0.5; 6]);
+        assert_eq!(mu.len(), 2);
+        assert_eq!(logvar.len(), 2);
+        assert_eq!(vae.decode(&mu).len(), 6);
+        assert_eq!(vae.reconstruct(&[0.5; 6]).len(), 6);
+    }
+
+    #[test]
+    fn dp_vae_trains_and_reports_privacy() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 80);
+        let cfg = VaeConfig {
+            sigma_s: 2.0,
+            epochs: 3,
+            ..small_config()
+        };
+        let (vae, history) = Vae::fit(&mut r, &data, cfg).unwrap();
+        assert_eq!(history.len(), 3);
+        let spec = vae.privacy_spec(80).expect("private config has a spec");
+        assert!(spec.epsilon > 0.0 && spec.epsilon.is_finite());
+        assert_eq!(spec.delta, 1e-5);
+        // Non-private VAE reports no privacy guarantee.
+        let (plain, _) = Vae::fit(&mut r, &data, small_config()).unwrap();
+        assert!(plain.privacy_spec(80).is_none());
+    }
+
+    #[test]
+    fn dp_vae_with_more_noise_learns_worse() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 100);
+        let loss_with = |sigma: f64, r: &mut StdRng| {
+            let cfg = VaeConfig {
+                sigma_s: sigma,
+                epochs: 8,
+                ..small_config()
+            };
+            let (vae, _) = Vae::fit(r, &data, cfg).unwrap();
+            vae.reconstruction_loss(&data)
+        };
+        // Average two runs each to reduce randomness.
+        let low = (loss_with(0.5, &mut r) + loss_with(0.5, &mut r)) / 2.0;
+        let high = (loss_with(30.0, &mut r) + loss_with(30.0, &mut r)) / 2.0;
+        assert!(
+            high > low,
+            "huge noise should hurt reconstruction: low {low}, high {high}"
+        );
+    }
+
+    #[test]
+    fn gaussian_decoder_variant_trains() {
+        let mut r = rng();
+        let data = bimodal(&mut r, 60);
+        let cfg = VaeConfig {
+            decoder_loss: DecoderLoss::Gaussian,
+            epochs: 5,
+            ..small_config()
+        };
+        let (vae, history) = Vae::fit(&mut r, &data, cfg).unwrap();
+        assert_eq!(history.len(), 5);
+        // Gaussian decoder output is unbounded, but should stay finite.
+        let samples = vae.sample(&mut r, 8);
+        assert!(samples.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn train_epoch_rejects_wrong_width() {
+        let mut r = rng();
+        let mut vae = Vae::new(&mut r, 6, small_config()).unwrap();
+        let bad = Matrix::zeros(10, 3);
+        assert!(vae.train_epoch(&mut r, &bad).is_err());
+        assert!(vae.train_epoch(&mut r, &Matrix::zeros(0, 6)).is_err());
+    }
+}

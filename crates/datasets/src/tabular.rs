@@ -1,0 +1,307 @@
+//! Synthetic tabular datasets mirroring the structure of the paper's four
+//! binary-classification datasets (Table III).
+//!
+//! Each generator produces class-conditional data with
+//!
+//! * the same dimensionality regime as the original (ISOLET and ESR are
+//!   generated at a configurable, reduced width for single-core runtimes —
+//!   the defaults keep the "many more features than the others" property),
+//! * the same class imbalance (0.2% positives for Credit, 24.1% for Adult,
+//!   19.2% for ISOLET, 20% for ESR),
+//! * a low-dimensional latent structure (a handful of latent factors mixed
+//!   into all observed features) so that PCA captures most of the variance,
+//!   exactly the property P3GM's Encoding Phase relies on,
+//! * class-dependent shifts in a subset of features so the classification
+//!   task is learnable but not trivial.
+
+use crate::dataset::Dataset;
+use p3gm_linalg::Matrix;
+use p3gm_privacy::sampling;
+use rand::Rng;
+
+/// Parameters shared by the tabular generators.
+#[derive(Debug, Clone, Copy)]
+struct LatentFactorSpec {
+    n_features: usize,
+    n_latent: usize,
+    /// Observation noise added on top of the latent mixture.
+    noise: f64,
+    /// Magnitude of the class-1 mean shift applied to the first
+    /// `n_features / 3` features (in latent space it is a shift of the
+    /// factors themselves, preserving the low-rank structure).
+    class_shift: f64,
+    positive_fraction: f64,
+}
+
+/// Draws one sample from the latent-factor model: `x = A f + shift(y) + ε`.
+fn latent_factor_row<R: Rng + ?Sized>(
+    rng: &mut R,
+    spec: &LatentFactorSpec,
+    mixing: &Matrix,
+    label: usize,
+) -> Vec<f64> {
+    // Latent factors: class shifts the first factor(s).
+    let mut factors = sampling::normal_vec(rng, spec.n_latent, 1.0);
+    if label == 1 {
+        for f in factors.iter_mut().take((spec.n_latent / 2).max(1)) {
+            *f += spec.class_shift;
+        }
+    }
+    let mut x = mixing.matvec(&factors).expect("shapes fixed at generation");
+    for v in x.iter_mut() {
+        *v += sampling::normal(rng, 0.0, spec.noise);
+    }
+    // A few directly class-informative coordinates (beyond the latent shift)
+    // keep the task learnable even after aggressive dimensionality reduction.
+    let informative = (spec.n_features / 10).clamp(1, 8);
+    for v in x.iter_mut().take(informative) {
+        if label == 1 {
+            *v += spec.class_shift;
+        }
+    }
+    x
+}
+
+fn generate_latent_factor<R: Rng + ?Sized>(
+    rng: &mut R,
+    spec: &LatentFactorSpec,
+    n: usize,
+    name: &str,
+) -> Dataset {
+    assert!(n >= 4, "need at least 4 samples");
+    // Fixed random mixing matrix (d x k).
+    let mixing = Matrix::from_fn(spec.n_features, spec.n_latent, |_, _| {
+        sampling::normal(rng, 0.0, 1.0 / (spec.n_latent as f64).sqrt())
+    });
+    let n_positive = ((n as f64 * spec.positive_fraction).round() as usize).clamp(1, n - 1);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = usize::from(i < n_positive);
+        rows.push(latent_factor_row(rng, spec, &mixing, label));
+        labels.push(label);
+    }
+    // Shuffle so positives are not all at the front.
+    let mut order: Vec<usize> = (0..n).collect();
+    use rand::seq::SliceRandom;
+    order.shuffle(rng);
+    let rows: Vec<Vec<f64>> = order.iter().map(|&i| rows[i].clone()).collect();
+    let labels: Vec<usize> = order.iter().map(|&i| labels[i]).collect();
+    Dataset::new(
+        Matrix::from_rows(&rows).expect("rows have equal width"),
+        labels,
+        2,
+        name,
+    )
+}
+
+/// Kaggle-Credit-like dataset: 29 features, extremely unbalanced
+/// (0.2% positives). The original features are PCA components of card
+/// transactions, i.e. nearly uncorrelated continuous values with a shifted
+/// minority class — which is exactly what the latent-factor model produces.
+pub fn kaggle_credit_like<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Dataset {
+    generate_latent_factor(
+        rng,
+        &LatentFactorSpec {
+            n_features: 29,
+            n_latent: 8,
+            noise: 0.4,
+            class_shift: 2.0,
+            positive_fraction: 0.002,
+        },
+        n,
+        "Kaggle Credit",
+    )
+}
+
+/// Adult-like dataset: 15 features, 24.1% positives, a mix of few latent
+/// factors and direct class signal (the original is low-dimensional with
+/// fairly simple attribute dependencies — the regime where PrivBayes does
+/// well, per the paper's discussion).
+pub fn adult_like<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Dataset {
+    generate_latent_factor(
+        rng,
+        &LatentFactorSpec {
+            n_features: 15,
+            n_latent: 4,
+            noise: 0.5,
+            class_shift: 1.2,
+            positive_fraction: 0.241,
+        },
+        n,
+        "Adult",
+    )
+}
+
+/// ISOLET-like dataset: high-dimensional (default 617, configurable via
+/// [`isolet_like_with_dims`]), 19.2% positives, small sample size relative
+/// to the dimensionality.
+pub fn isolet_like<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Dataset {
+    isolet_like_with_dims(rng, n, 617)
+}
+
+/// ISOLET-like dataset with an explicit feature count (the evaluation
+/// harness uses a reduced width to keep single-core runtimes short while
+/// preserving the "d comparable to N" property).
+pub fn isolet_like_with_dims<R: Rng + ?Sized>(rng: &mut R, n: usize, n_features: usize) -> Dataset {
+    generate_latent_factor(
+        rng,
+        &LatentFactorSpec {
+            n_features,
+            n_latent: 12,
+            noise: 0.5,
+            class_shift: 1.0,
+            positive_fraction: 0.192,
+        },
+        n,
+        "UCI ISOLET",
+    )
+}
+
+/// ESR-like dataset: EEG-style time series of `n_features` samples
+/// (default 179), 20% positives. Positive-class rows ("seizure") have much
+/// larger amplitude and a different dominant frequency, mirroring the real
+/// Epileptic Seizure Recognition data.
+pub fn esr_like<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Dataset {
+    esr_like_with_dims(rng, n, 179)
+}
+
+/// ESR-like dataset with an explicit series length.
+pub fn esr_like_with_dims<R: Rng + ?Sized>(rng: &mut R, n: usize, n_features: usize) -> Dataset {
+    assert!(n >= 4, "need at least 4 samples");
+    let n_positive = ((n as f64 * 0.20).round() as usize).clamp(1, n - 1);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = usize::from(i < n_positive);
+        let (amplitude, freq) = if label == 1 {
+            (4.0 + rng.gen_range(0.0..2.0), 0.6 + rng.gen_range(0.0..0.3))
+        } else {
+            (1.0 + rng.gen_range(0.0..0.5), 0.2 + rng.gen_range(0.0..0.1))
+        };
+        let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        let row: Vec<f64> = (0..n_features)
+            .map(|t| {
+                amplitude * (freq * t as f64 + phase).sin()
+                    + sampling::normal(rng, 0.0, 0.5)
+            })
+            .collect();
+        rows.push(row);
+        labels.push(label);
+    }
+    use rand::seq::SliceRandom;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let rows: Vec<Vec<f64>> = order.iter().map(|&i| rows[i].clone()).collect();
+    let labels: Vec<usize> = order.iter().map(|&i| labels[i]).collect();
+    Dataset::new(
+        Matrix::from_rows(&rows).expect("rows have equal width"),
+        labels,
+        2,
+        "UCI ESR",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3gm_linalg::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(41)
+    }
+
+    #[test]
+    fn credit_shape_and_imbalance() {
+        let mut r = rng();
+        let d = kaggle_credit_like(&mut r, 5000);
+        assert_eq!(d.n_features(), 29);
+        assert_eq!(d.n_samples(), 5000);
+        assert_eq!(d.n_classes, 2);
+        let frac = d.positive_fraction();
+        assert!(frac > 0.0005 && frac < 0.01, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn adult_shape_and_imbalance() {
+        let mut r = rng();
+        let d = adult_like(&mut r, 2000);
+        assert_eq!(d.n_features(), 15);
+        let frac = d.positive_fraction();
+        assert!((frac - 0.241).abs() < 0.03, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn isolet_shape_and_configurable_width() {
+        let mut r = rng();
+        let d = isolet_like_with_dims(&mut r, 300, 120);
+        assert_eq!(d.n_features(), 120);
+        let frac = d.positive_fraction();
+        assert!((frac - 0.192).abs() < 0.05, "positive fraction {frac}");
+        let full = isolet_like(&mut r, 50);
+        assert_eq!(full.n_features(), 617);
+    }
+
+    #[test]
+    fn esr_shape_and_class_amplitude() {
+        let mut r = rng();
+        let d = esr_like_with_dims(&mut r, 400, 64);
+        assert_eq!(d.n_features(), 64);
+        let frac = d.positive_fraction();
+        assert!((frac - 0.2).abs() < 0.03, "positive fraction {frac}");
+        // Positive rows have larger energy.
+        let pos = d.filter_by_label(1);
+        let neg = d.filter_by_label(0);
+        let energy = |ds: &Dataset| -> f64 {
+            ds.features
+                .row_iter()
+                .map(p3gm_linalg::vector::norm2_squared)
+                .sum::<f64>()
+                / ds.n_samples() as f64
+        };
+        assert!(energy(&pos) > 2.0 * energy(&neg));
+    }
+
+    #[test]
+    fn latent_structure_gives_low_rank_covariance() {
+        // The first few principal components should explain most variance.
+        let mut r = rng();
+        let d = kaggle_credit_like(&mut r, 1500);
+        let cov = stats::covariance_matrix(&d.features, None).unwrap();
+        let eig = p3gm_linalg::SymmetricEigen::new(&cov).unwrap();
+        let ratio = eig.explained_variance_ratio(10);
+        assert!(ratio > 0.6, "top-10 explained variance {ratio}");
+    }
+
+    #[test]
+    fn classes_are_separated_in_feature_space() {
+        let mut r = rng();
+        let d = adult_like(&mut r, 3000);
+        let pos = d.filter_by_label(1);
+        let neg = d.filter_by_label(0);
+        let mean_pos = stats::column_means(&pos.features).unwrap();
+        let mean_neg = stats::column_means(&neg.features).unwrap();
+        let dist = p3gm_linalg::vector::distance(&mean_pos, &mean_neg);
+        assert!(dist > 0.5, "class means too close: {dist}");
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = adult_like(&mut r1, 100);
+        let b = adult_like(&mut r2, 100);
+        assert!(a.features.approx_eq(&b.features, 0.0));
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn at_least_one_sample_per_class_even_when_tiny() {
+        let mut r = rng();
+        let d = kaggle_credit_like(&mut r, 50);
+        let counts = d.class_counts();
+        assert!(counts[0] >= 1 && counts[1] >= 1, "{counts:?}");
+    }
+}

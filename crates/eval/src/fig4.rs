@@ -1,0 +1,167 @@
+//! Figure 4: utility versus privacy level ε on the Kaggle-Credit-like data.
+//!
+//! For every ε on the sweep the private models (P3GM, DP-GM, PrivBayes) are
+//! re-trained with noise calibrated to that budget, while the non-private
+//! PGM is a flat reference line. The paper's shape: P3GM degrades slowly as
+//! ε shrinks, DP-GM degrades quickly, PrivBayes is flat and low (it lacks
+//! the capacity for this dataset regardless of budget).
+
+use crate::common::{
+    evaluate_tabular, experiment_rng, make_dataset, stratified_split, GenerativeKind,
+};
+use crate::report::{fmt_eps, fmt_metric, TextTable};
+use crate::scale::Scale;
+use p3gm_datasets::DatasetKind;
+
+/// The models plotted in Figure 4.
+pub const FIG4_MODELS: [GenerativeKind; 4] = [
+    GenerativeKind::Pgm,
+    GenerativeKind::P3gm,
+    GenerativeKind::DpGm,
+    GenerativeKind::PrivBayes,
+];
+
+/// The ε sweep used at paper scale (the paper sweeps 0.1 to 10).
+pub const PAPER_EPSILONS: [f64; 5] = [0.1, 0.3, 1.0, 3.0, 10.0];
+
+/// One point of the figure: a model evaluated at one ε.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Point {
+    /// The model.
+    pub model: GenerativeKind,
+    /// The privacy budget used (non-private models repeat their value).
+    pub epsilon: f64,
+    /// Mean AUROC over the four classifiers.
+    pub auroc: f64,
+    /// Mean AUPRC over the four classifiers.
+    pub auprc: f64,
+}
+
+/// The regenerated Figure 4 (both panels).
+#[derive(Debug, Clone)]
+pub struct Fig4Report {
+    /// All evaluated points.
+    pub points: Vec<Fig4Point>,
+    /// The ε values swept.
+    pub epsilons: Vec<f64>,
+}
+
+/// Runs the Figure 4 experiment over the standard sweep.
+pub fn run(scale: Scale) -> Fig4Report {
+    let epsilons: Vec<f64> = match scale {
+        Scale::Smoke => vec![0.3, 3.0],
+        Scale::Paper => PAPER_EPSILONS.to_vec(),
+    };
+    run_sweep(scale, &epsilons, &FIG4_MODELS)
+}
+
+/// Runs the sweep for explicit ε values and models.
+pub fn run_sweep(scale: Scale, epsilons: &[f64], models: &[GenerativeKind]) -> Fig4Report {
+    let mut rng = experiment_rng(4);
+    let dataset = make_dataset(&mut rng, DatasetKind::KaggleCredit, scale);
+    let split = stratified_split(&mut rng, &dataset, scale.test_fraction());
+    let mut points = Vec::new();
+    for &model in models {
+        if model.is_private() {
+            for &eps in epsilons {
+                let report =
+                    evaluate_tabular(&mut rng, model, &split.train, &split.test, scale, eps);
+                points.push(Fig4Point {
+                    model,
+                    epsilon: eps,
+                    auroc: report.mean_auroc(),
+                    auprc: report.mean_auprc(),
+                });
+            }
+        } else {
+            // Non-private reference: evaluated once, replicated across the sweep.
+            let report =
+                evaluate_tabular(&mut rng, model, &split.train, &split.test, scale, 1.0);
+            for &eps in epsilons {
+                points.push(Fig4Point {
+                    model,
+                    epsilon: eps,
+                    auroc: report.mean_auroc(),
+                    auprc: report.mean_auprc(),
+                });
+            }
+        }
+    }
+    Fig4Report {
+        points,
+        epsilons: epsilons.to_vec(),
+    }
+}
+
+impl Fig4Report {
+    /// Renders the two panels (AUROC and AUPRC vs ε) as text tables.
+    pub fn to_text(&self) -> String {
+        let mut out =
+            String::from("Figure 4: utility in fraud detection (Kaggle Credit) vs privacy level\n\n");
+        for (metric_name, pick) in [("AUROC", 0usize), ("AUPRC", 1usize)] {
+            let mut header: Vec<String> = vec!["model".to_string()];
+            header.extend(self.epsilons.iter().map(|e| format!("eps={}", fmt_eps(*e))));
+            let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+            let mut table = TextTable::new(&header_refs);
+            for model in self.models() {
+                let mut cells = vec![model.name().to_string()];
+                for &eps in &self.epsilons {
+                    let value = self
+                        .point(model, eps)
+                        .map(|p| if pick == 0 { p.auroc } else { p.auprc })
+                        .unwrap_or(f64::NAN);
+                    cells.push(fmt_metric(value));
+                }
+                table.add_row(cells);
+            }
+            out.push_str(metric_name);
+            out.push('\n');
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The distinct models present in the report, in first-seen order.
+    pub fn models(&self) -> Vec<GenerativeKind> {
+        let mut seen = Vec::new();
+        for p in &self.points {
+            if !seen.contains(&p.model) {
+                seen.push(p.model);
+            }
+        }
+        seen
+    }
+
+    /// The point for one model at one ε.
+    pub fn point(&self, model: GenerativeKind, epsilon: f64) -> Option<&Fig4Point> {
+        self.points
+            .iter()
+            .find(|p| p.model == model && (p.epsilon - epsilon).abs() < 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_with_two_models() {
+        let report = run_sweep(
+            Scale::Smoke,
+            &[0.5, 5.0],
+            &[GenerativeKind::P3gm, GenerativeKind::PrivBayes],
+        );
+        assert_eq!(report.points.len(), 4);
+        for p in &report.points {
+            assert!(p.auroc.is_finite() && (0.0..=1.0).contains(&p.auroc));
+            assert!(p.auprc.is_finite() && (0.0..=1.0).contains(&p.auprc));
+        }
+        assert_eq!(report.models().len(), 2);
+        assert!(report.point(GenerativeKind::P3gm, 0.5).is_some());
+        assert!(report.point(GenerativeKind::P3gm, 7.0).is_none());
+        let text = report.to_text();
+        assert!(text.contains("eps=0.500"));
+        assert!(text.contains("PrivBayes"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Figure 7: learning efficiency — how quickly DP-VAE, P3GM(AE) and P3GM
+//! converge under the same privacy constraint.
+//!
+//! * Panels (a)/(b): per-epoch reconstruction loss of DP-VAE vs P3GM on the
+//!   MNIST-like and Credit-like data. The paper's shape: P3GM's loss drops
+//!   faster and more monotonically because the frozen encoder mean shrinks
+//!   the search space.
+//! * Panels (c)/(d): per-epoch downstream utility (classification accuracy
+//!   on MNIST-like, AUROC on Credit-like) of DP-VAE, P3GM(AE) and P3GM. The
+//!   paper's shape: P3GM(AE) converges earliest, P3GM ends best, DP-VAE
+//!   trails both.
+
+use crate::common::{
+    experiment_rng, make_dataset, pgm_config_for, stratified_split, vae_config_for,
+    GenerativeKind,
+};
+use crate::report::{fmt_metric, TextTable};
+use crate::scale::Scale;
+use p3gm_classifiers::mlp_classifier::MlpClassifier;
+use p3gm_classifiers::suite::{evaluate_one, ClassifierKind};
+use p3gm_core::pgm::PhasedGenerativeModel;
+use p3gm_core::synthesis::{synthesize_labelled, LabelledSynthesizer};
+use p3gm_core::vae::Vae;
+use p3gm_datasets::dataset::Dataset;
+use p3gm_datasets::DatasetKind;
+use rand::rngs::StdRng;
+
+/// Learning curves of one model on one dataset.
+#[derive(Debug, Clone)]
+pub struct LearningCurve {
+    /// The model.
+    pub model: GenerativeKind,
+    /// Reconstruction loss after every epoch.
+    pub reconstruction: Vec<f64>,
+    /// Downstream utility (accuracy for images, AUROC for Credit) after
+    /// every epoch.
+    pub utility: Vec<f64>,
+}
+
+/// The regenerated Figure 7.
+#[derive(Debug, Clone)]
+pub struct Fig7Report {
+    /// Curves on the MNIST-like data (panels a and c).
+    pub mnist: Vec<LearningCurve>,
+    /// Curves on the Credit-like data (panels b and d).
+    pub credit: Vec<LearningCurve>,
+    /// Number of epochs trained.
+    pub epochs: usize,
+}
+
+/// Runs the Figure 7 experiment.
+pub fn run(scale: Scale) -> Fig7Report {
+    let epochs = match scale {
+        Scale::Smoke => 3,
+        Scale::Paper => 8,
+    };
+    let mut rng = experiment_rng(77);
+
+    let mnist = dataset_curves(&mut rng, DatasetKind::Mnist, scale, epochs, true);
+    let credit = dataset_curves(&mut rng, DatasetKind::KaggleCredit, scale, epochs, false);
+    Fig7Report {
+        mnist,
+        credit,
+        epochs,
+    }
+}
+
+/// Trains DP-VAE, P3GM(AE) and P3GM epoch by epoch on one dataset, recording
+/// the reconstruction loss and downstream utility after every epoch.
+fn dataset_curves(
+    rng: &mut StdRng,
+    dataset_kind: DatasetKind,
+    scale: Scale,
+    epochs: usize,
+    image_task: bool,
+) -> Vec<LearningCurve> {
+    let dataset = make_dataset(rng, dataset_kind, scale);
+    let split = stratified_split(rng, &dataset, scale.test_fraction());
+    let train = &split.train;
+    let test = &split.test;
+    let epsilon = 1.0;
+
+    let (synth, prepared) =
+        LabelledSynthesizer::prepare(&train.features, &train.labels, train.n_classes)
+            .expect("prepare labelled data");
+    let n = prepared.rows();
+    let d = prepared.cols();
+
+    let mut curves = Vec::new();
+
+    // DP-VAE.
+    {
+        let mut cfg = vae_config_for(scale, true, epsilon, n, d);
+        cfg.epochs = epochs;
+        let mut model = Vae::new(rng, d, cfg).expect("DP-VAE construction");
+        let mut reconstruction = Vec::with_capacity(epochs);
+        let mut utility = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            model.train_epoch(rng, &prepared).expect("DP-VAE epoch");
+            reconstruction.push(model.reconstruction_loss(&prepared));
+            utility.push(downstream_utility(
+                rng, &model, &synth, train, test, scale, image_task,
+            ));
+        }
+        curves.push(LearningCurve {
+            model: GenerativeKind::DpVae,
+            reconstruction,
+            utility,
+        });
+    }
+
+    // P3GM(AE) and P3GM share the Encoding Phase structure but differ in the
+    // variance mode.
+    for kind in [GenerativeKind::P3gmAe, GenerativeKind::P3gm] {
+        let mut cfg = pgm_config_for(scale, kind, epsilon, n, d);
+        cfg.epochs = epochs;
+        let mut model =
+            PhasedGenerativeModel::encode_phase(rng, &prepared, cfg).expect("encode phase");
+        let mut reconstruction = Vec::with_capacity(epochs);
+        let mut utility = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            model.train_epoch(rng, &prepared).expect("decode phase epoch");
+            reconstruction.push(model.reconstruction_loss(&prepared));
+            utility.push(downstream_utility(
+                rng, &model, &synth, train, test, scale, image_task,
+            ));
+        }
+        curves.push(LearningCurve {
+            model: kind,
+            reconstruction,
+            utility,
+        });
+    }
+
+    curves
+}
+
+/// Downstream utility of a partially-trained generative model: accuracy of
+/// an MLP classifier for image tasks, AUROC of a logistic-regression model
+/// for the Credit task (one classifier keeps the per-epoch cost modest).
+fn downstream_utility(
+    rng: &mut StdRng,
+    model: &dyn p3gm_core::GenerativeModel,
+    synth: &LabelledSynthesizer,
+    train: &Dataset,
+    test: &Dataset,
+    scale: Scale,
+    image_task: bool,
+) -> f64 {
+    let counts = train.matched_label_counts(scale.n_synthetic().min(600));
+    let (synth_x, synth_y) = match synthesize_labelled(model, synth, rng, &counts) {
+        Ok(pair) => pair,
+        Err(_) => return if image_task { 0.0 } else { 0.5 },
+    };
+    if image_task {
+        let mut clf = MlpClassifier::new(rng, synth_x.cols(), 32, train.n_classes);
+        clf.epochs = 8;
+        clf.fit(rng, &synth_x, &synth_y);
+        clf.score(&test.features, &test.labels)
+    } else {
+        let scores = evaluate_one(
+            ClassifierKind::LogisticRegression,
+            &synth_x,
+            &synth_y,
+            &test.features,
+            &test.labels,
+        );
+        // `evaluate_one` already computes AUROC on the real test set, which
+        // is the metric the paper plots in panel (d).
+        scores.auroc
+    }
+}
+
+impl Fig7Report {
+    /// Renders all four panels as text tables.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "Figure 7: learning efficiency over {} epochs at (1, 1e-5)-DP\n\n",
+            self.epochs
+        );
+        out.push_str(&panel(
+            "(a) reconstruction loss per epoch (MNIST-like)",
+            &self.mnist,
+            |c| &c.reconstruction,
+        ));
+        out.push_str(&panel(
+            "(b) reconstruction loss per epoch (Kaggle-Credit-like)",
+            &self.credit,
+            |c| &c.reconstruction,
+        ));
+        out.push_str(&panel(
+            "(c) classification accuracy per epoch (MNIST-like)",
+            &self.mnist,
+            |c| &c.utility,
+        ));
+        out.push_str(&panel(
+            "(d) AUROC per epoch (Kaggle-Credit-like)",
+            &self.credit,
+            |c| &c.utility,
+        ));
+        out
+    }
+
+    /// The curve of one model on the MNIST-like panel.
+    pub fn mnist_curve(&self, model: GenerativeKind) -> Option<&LearningCurve> {
+        self.mnist.iter().find(|c| c.model == model)
+    }
+
+    /// The curve of one model on the Credit-like panel.
+    pub fn credit_curve(&self, model: GenerativeKind) -> Option<&LearningCurve> {
+        self.credit.iter().find(|c| c.model == model)
+    }
+}
+
+fn panel(title: &str, curves: &[LearningCurve], pick: impl Fn(&LearningCurve) -> &Vec<f64>) -> String {
+    let epochs = curves.first().map(|c| pick(c).len()).unwrap_or(0);
+    let mut header: Vec<String> = vec!["model".to_string()];
+    header.extend((1..=epochs).map(|e| format!("epoch {e}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    for curve in curves {
+        let mut cells = vec![curve.model.name().to_string()];
+        cells.extend(pick(curve).iter().map(|v| fmt_metric(*v)));
+        table.add_row(cells);
+    }
+    format!("{title}\n{}\n", table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_all_curves() {
+        let report = run(Scale::Smoke);
+        assert_eq!(report.mnist.len(), 3);
+        assert_eq!(report.credit.len(), 3);
+        for curve in report.mnist.iter().chain(report.credit.iter()) {
+            assert_eq!(curve.reconstruction.len(), report.epochs);
+            assert_eq!(curve.utility.len(), report.epochs);
+            assert!(curve.reconstruction.iter().all(|v| v.is_finite()));
+            assert!(curve.utility.iter().all(|v| v.is_finite()));
+        }
+        assert!(report.mnist_curve(GenerativeKind::P3gm).is_some());
+        assert!(report.credit_curve(GenerativeKind::DpVae).is_some());
+        let text = report.to_text();
+        assert!(text.contains("(a) reconstruction"));
+        assert!(text.contains("(d) AUROC"));
+        assert!(text.contains("P3GM(AE)"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Table V: accuracy comparison with non-private models on the Kaggle
+//! Credit dataset.
+//!
+//! Four classifiers are trained on synthetic data from VAE, PGM and P3GM
+//! (ε = 1, δ = 1e-5) and evaluated on the real test split; the paper's
+//! claim is that PGM ≈ VAE (the phased model loses little expressive power)
+//! and that P3GM stays close to both despite the DP noise.
+
+use crate::common::{
+    evaluate_tabular, experiment_rng, make_dataset, stratified_split, GenerativeKind,
+};
+use crate::report::{fmt_metric, TextTable};
+use crate::scale::Scale;
+use p3gm_classifiers::suite::{ClassifierKind, SuiteReport};
+use p3gm_datasets::DatasetKind;
+
+/// The models compared in Table V, in column order.
+pub const TABLE5_MODELS: [GenerativeKind; 3] = [
+    GenerativeKind::Vae,
+    GenerativeKind::Pgm,
+    GenerativeKind::P3gm,
+];
+
+/// The regenerated Table V.
+#[derive(Debug, Clone)]
+pub struct Table5Report {
+    /// Per-model suite reports (AUROC/AUPRC per classifier), aligned with
+    /// [`TABLE5_MODELS`].
+    pub per_model: Vec<(GenerativeKind, SuiteReport)>,
+    /// The target privacy budget used for P3GM.
+    pub epsilon: f64,
+}
+
+/// Runs the Table V experiment.
+pub fn run(scale: Scale) -> Table5Report {
+    let mut rng = experiment_rng(5);
+    let dataset = make_dataset(&mut rng, DatasetKind::KaggleCredit, scale);
+    let split = stratified_split(&mut rng, &dataset, scale.test_fraction());
+    let epsilon = 1.0;
+    let per_model = TABLE5_MODELS
+        .into_iter()
+        .map(|kind| {
+            let report =
+                evaluate_tabular(&mut rng, kind, &split.train, &split.test, scale, epsilon);
+            (kind, report)
+        })
+        .collect();
+    Table5Report { per_model, epsilon }
+}
+
+impl Table5Report {
+    /// Renders the table in the paper's layout (classifiers as rows, models
+    /// as columns, AUROC block then AUPRC block).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(
+            "Table V: AUROC / AUPRC on Kaggle Credit (classifiers trained on synthetic data)\n",
+        );
+        out.push_str(&format!("P3GM privacy budget: ({}, 1e-5)-DP\n\n", self.epsilon));
+        for (metric_name, pick) in [
+            ("AUROC", 0usize),
+            ("AUPRC", 1usize),
+        ] {
+            let mut header = vec!["classifier"];
+            let names: Vec<&str> = self.per_model.iter().map(|(k, _)| k.name()).collect();
+            header.extend(names.iter());
+            let mut table = TextTable::new(&header);
+            for clf in ClassifierKind::all() {
+                let mut cells = vec![clf.name().to_string()];
+                for (_, report) in &self.per_model {
+                    let scores = report.scores_for(clf).expect("classifier present");
+                    let value = if pick == 0 { scores.auroc } else { scores.auprc };
+                    cells.push(fmt_metric(value));
+                }
+                table.add_row(cells);
+            }
+            out.push_str(metric_name);
+            out.push('\n');
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Mean AUROC of one model across the four classifiers.
+    pub fn mean_auroc(&self, kind: GenerativeKind) -> Option<f64> {
+        self.per_model
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, r)| r.mean_auroc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_full_table() {
+        let report = run(Scale::Smoke);
+        assert_eq!(report.per_model.len(), 3);
+        for (_, suite) in &report.per_model {
+            assert_eq!(suite.per_classifier.len(), 4);
+            for (_, s) in &suite.per_classifier {
+                assert!(s.auroc.is_finite() && (0.0..=1.0).contains(&s.auroc));
+                assert!(s.auprc.is_finite() && (0.0..=1.0).contains(&s.auprc));
+            }
+        }
+        let text = report.to_text();
+        assert!(text.contains("AUROC"));
+        assert!(text.contains("AUPRC"));
+        assert!(text.contains("P3GM"));
+        assert!(text.contains("XgBoost"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! The Gaussian-mixture code evaluates multivariate normal log-densities via
+//! a Cholesky factor (for the log-determinant and the quadratic form), and
+//! the Wishart mechanism samples `W = L G Gᵀ Lᵀ` where `L` is the Cholesky
+//! factor of the scale matrix. Both are served by this module.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Lower-triangular Cholesky factor `L` of a symmetric positive-definite
+/// matrix `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    lower: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes the symmetric positive-definite matrix `a`.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive
+    ///   (within a small numerical tolerance).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty { op: "cholesky" });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite {
+                            pivot: i,
+                            value: sum,
+                        });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { lower: l })
+    }
+
+    /// Factorizes `a`, adding `jitter` to the diagonal and retrying (doubling
+    /// the jitter) up to `max_attempts` times if the matrix is numerically
+    /// indefinite. This is the standard way to make EM robust when a noisy
+    /// covariance update (DP-EM) produces a slightly indefinite matrix.
+    pub fn new_with_jitter(a: &Matrix, jitter: f64, max_attempts: usize) -> Result<Self> {
+        match Cholesky::new(a) {
+            Ok(c) => Ok(c),
+            Err(_) if max_attempts > 0 => {
+                let mut current = jitter.max(f64::EPSILON);
+                let mut last_err = LinalgError::NotPositiveDefinite { pivot: 0, value: 0.0 };
+                for _ in 0..max_attempts {
+                    let mut regularized = a.clone();
+                    regularized.add_diagonal(current);
+                    match Cholesky::new(&regularized) {
+                        Ok(c) => return Ok(c),
+                        Err(e) => {
+                            last_err = e;
+                            current *= 10.0;
+                        }
+                    }
+                }
+                Err(last_err)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Returns the lower-triangular factor `L`.
+    pub fn lower(&self) -> &Matrix {
+        &self.lower
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lower.rows()
+    }
+
+    /// Log-determinant of the original matrix `A`:
+    /// `log det A = 2 Σ_i log L_ii`.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim())
+            .map(|i| self.lower.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+
+    /// Solves `L y = b` by forward substitution.
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "solve_lower",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self.lower.get(i, j) * y[j];
+            }
+            y[i] = sum / self.lower.get(i, i);
+        }
+        Ok(y)
+    }
+
+    /// Solves `Lᵀ x = y` by backward substitution.
+    pub fn solve_upper(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if y.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "solve_upper",
+                lhs: (n, n),
+                rhs: (y.len(), 1),
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.lower.get(j, i) * x[j];
+            }
+            x[i] = sum / self.lower.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `A x = b` using the factorization (`A = L Lᵀ`).
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// Computes the Mahalanobis-style quadratic form `bᵀ A⁻¹ b`.
+    ///
+    /// Used in the multivariate-normal log-density:
+    /// `(x-µ)ᵀ Σ⁻¹ (x-µ) = ||L⁻¹ (x-µ)||²`.
+    pub fn quadratic_form(&self, b: &[f64]) -> Result<f64> {
+        let y = self.solve_lower(b)?;
+        Ok(crate::vector::norm2_squared(&y))
+    }
+
+    /// Computes the inverse of the original matrix `A`.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut unit = vec![0.0; n];
+        for j in 0..n {
+            unit[j] = 1.0;
+            let col = self.solve(&unit)?;
+            for (i, &v) in col.iter().enumerate() {
+                inv.set(i, j, v);
+            }
+            unit[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for a fixed B is SPD.
+        let b = Matrix::from_rows(&[
+            vec![1.0, 0.5, 0.0],
+            vec![0.2, 1.2, 0.3],
+            vec![0.0, 0.4, 0.9],
+        ])
+        .unwrap();
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(1.0);
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.lower();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn lower_factor_is_lower_triangular() {
+        let chol = Cholesky::new(&spd3()).unwrap();
+        let l = chol.lower();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_eq!(l.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct_computation() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = chol.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_determinant_matches_2x2_formula() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let chol = Cholesky::new(&a).unwrap();
+        let det: f64 = 4.0 * 3.0 - 1.0;
+        assert!((chol.log_determinant() - det.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn quadratic_form_identity() {
+        let a = Matrix::identity(3);
+        let chol = Cholesky::new(&a).unwrap();
+        let q = chol.quadratic_form(&[1.0, 2.0, 2.0]).unwrap();
+        assert!((q - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let inv = chol.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&m),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(Cholesky::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(Cholesky::new(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn jitter_recovers_indefinite_matrix() {
+        // Slightly indefinite matrix becomes factorable with jitter.
+        let m = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 0.999]]).unwrap();
+        // Direct factorization may fail or produce a tiny pivot; the jittered
+        // version must succeed.
+        let chol = Cholesky::new_with_jitter(&m, 1e-3, 8).unwrap();
+        assert!(chol.log_determinant().is_finite());
+
+        // A strongly indefinite matrix also succeeds once the jitter grows
+        // past the magnitude of the negative eigenvalue.
+        let bad = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!(Cholesky::new_with_jitter(&bad, 1e-3, 10).is_ok());
+    }
+
+    #[test]
+    fn solve_dimension_checks() {
+        let chol = Cholesky::new(&Matrix::identity(3)).unwrap();
+        assert!(chol.solve(&[1.0, 2.0]).is_err());
+        assert!(chol.solve_lower(&[1.0]).is_err());
+        assert!(chol.solve_upper(&[1.0]).is_err());
+    }
+}

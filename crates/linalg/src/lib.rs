@@ -1,0 +1,40 @@
+//! # p3gm-linalg
+//!
+//! Dense linear-algebra substrate for the P3GM reproduction.
+//!
+//! The crate provides exactly the primitives that the rest of the workspace
+//! needs and nothing more:
+//!
+//! * [`Matrix`] — a row-major, heap-allocated dense `f64` matrix with the
+//!   arithmetic, products and factorizations used by PCA, Gaussian mixture
+//!   models, the Wishart mechanism and the downstream classifiers.
+//! * [`vector`] — free functions over `&[f64]` slices (dot products, norms,
+//!   axpy-style updates) used in the hot loops of the neural-network crate.
+//! * [`eigen`] — the cyclic Jacobi eigen-decomposition for symmetric
+//!   matrices, which backs (DP-)PCA.
+//! * [`cholesky`] — Cholesky factorization, triangular solves, log-determinant
+//!   and inverse of symmetric positive-definite matrices, which back the
+//!   Gaussian-mixture density evaluation and Wishart sampling.
+//! * [`stats`] — column means, covariance matrices and related summary
+//!   statistics over data matrices.
+//!
+//! Everything is implemented in safe Rust with no external BLAS so the whole
+//! reproduction builds offline and runs deterministically on a single core.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod eigen;
+pub mod error;
+pub mod matrix;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

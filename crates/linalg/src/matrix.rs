@@ -1,0 +1,658 @@
+//! Dense row-major `f64` matrix.
+//!
+//! [`Matrix`] is deliberately simple: a `Vec<f64>` plus a shape. It favours
+//! clarity and predictable performance on a single core over cleverness —
+//! the heaviest numerical work in the reproduction (neural-network training)
+//! uses the slice-level kernels in [`crate::vector`] directly, while PCA,
+//! GMMs, Wishart sampling and the tree/linear classifiers work at this
+//! matrix level.
+
+use crate::error::LinalgError;
+use crate::Result;
+
+/// A dense, row-major matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix of the given shape filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &v) in diag.iter().enumerate() {
+            m.set(i, i, v);
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument {
+                msg: format!(
+                    "buffer of length {} cannot form a {}x{} matrix",
+                    data.len(),
+                    rows,
+                    cols
+                ),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// Returns an error if the rows are ragged or the input is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::Empty { op: "from_rows" });
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(LinalgError::InvalidArgument {
+                msg: "rows have inconsistent lengths".to_string(),
+            });
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the element at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds (consistent with slice
+    /// indexing; use [`Matrix::try_get`] for a checked variant).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Checked element access.
+    pub fn try_get(&self, row: usize, col: usize) -> Option<f64> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Sets the element at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Returns the `row`-th row as a slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        let start = row * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Returns the `row`-th row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        let start = row * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// Copies the `col`-th column into a new vector.
+    pub fn col(&self, col: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, col)).collect()
+    }
+
+    /// Returns an iterator over the rows (as slices).
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the underlying row-major buffer mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns a new matrix that is the transpose of `self`.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Matrix-matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner loop walking contiguous memory in
+        // both `other` and `out`, which matters on a single core with no BLAS.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let other_row = other.row(k);
+                let out_row = out.row_mut(i);
+                for j in 0..other_row.len() {
+                    out_row[j] += a * other_row[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok(self
+            .row_iter()
+            .map(|row| crate::vector::dot(row, v))
+            .collect())
+    }
+
+    /// Vector-matrix product `v^T * self`, returned as a vector of length
+    /// `self.cols()`.
+    pub fn vecmat(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "vecmat",
+                lhs: (1, v.len()),
+                rhs: self.shape(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, row) in self.row_iter().enumerate() {
+            let vi = v[i];
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &r) in out.iter_mut().zip(row.iter()) {
+                *o += vi * r;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum `self + other`.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Result<Matrix> {
+        self.zip_with(other, "hadamard", |a, b| a * b)
+    }
+
+    fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns `self * scalar`.
+    pub fn scale(&self, scalar: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| x * scalar).collect(),
+        }
+    }
+
+    /// Adds `scalar` to every diagonal entry in place (useful for ridge
+    /// regularization and for repairing nearly-singular noisy covariances).
+    pub fn add_diagonal(&mut self, scalar: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self.data[i * self.cols + i] += scalar;
+        }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Extracts the diagonal as a vector.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Sum of the diagonal entries.
+    pub fn trace(&self) -> f64 {
+        self.diagonal().iter().sum()
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Returns a sub-matrix consisting of the listed rows (in order).
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Matrix> {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            if i >= self.rows {
+                return Err(LinalgError::InvalidArgument {
+                    msg: format!("row index {i} out of bounds for {} rows", self.rows),
+                });
+            }
+            data.extend_from_slice(self.row(i));
+        }
+        Ok(Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns a sub-matrix consisting of the listed columns (in order).
+    pub fn select_cols(&self, indices: &[usize]) -> Result<Matrix> {
+        for &j in indices {
+            if j >= self.cols {
+                return Err(LinalgError::InvalidArgument {
+                    msg: format!("column index {j} out of bounds for {} columns", self.cols),
+                });
+            }
+        }
+        let mut out = Matrix::zeros(self.rows, indices.len());
+        for i in 0..self.rows {
+            for (jj, &j) in indices.iter().enumerate() {
+                out.set(i, jj, self.get(i, j));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Stacks two matrices vertically (`self` on top of `other`).
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Stacks two matrices horizontally (`self` to the left of `other`).
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        Ok(out)
+    }
+
+    /// Computes `self^T * self` (the Gram matrix), a common step when forming
+    /// covariance matrices.
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for row in self.row_iter() {
+            for j in 0..self.cols {
+                let rj = row[j];
+                if rj == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(j);
+                for (o, &rk) in out_row.iter_mut().zip(row.iter()) {
+                    *o += rj * rk;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if every element of `self` is within `tol` of the
+    /// corresponding element of `other`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// Symmetrizes the matrix in place: `A <- (A + A^T)/2`.
+    ///
+    /// Used after adding (possibly asymmetric) noise to covariance matrices.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.rows, self.cols, "symmetrize requires a square matrix");
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let avg = 0.5 * (self.get(i, j) + self.get(j, i));
+                self.set(i, j, avg);
+                self.set(j, i, avg);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn construct_and_index() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn try_get_bounds() {
+        let m = sample();
+        assert_eq!(m.try_get(0, 0), Some(1.0));
+        assert_eq!(m.try_get(2, 0), None);
+        assert_eq!(m.try_get(0, 3), None);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let eye = Matrix::identity(3);
+        assert_eq!(eye.trace(), 3.0);
+        assert_eq!(eye.diagonal(), vec![1.0, 1.0, 1.0]);
+        let d = Matrix::from_diagonal(&[2.0, 3.0]);
+        assert_eq!(d.get(0, 0), 2.0);
+        assert_eq!(d.get(1, 1), 3.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert!(t.transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = sample();
+        let b = a.transpose();
+        let p = a.matmul(&b).unwrap();
+        // [[14, 32], [32, 77]]
+        assert!(p.approx_eq(
+            &Matrix::from_rows(&[vec![14.0, 32.0], vec![32.0, 77.0]]).unwrap(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = sample();
+        let p = a.matmul(&Matrix::identity(3)).unwrap();
+        assert!(p.approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = sample();
+        assert!(a.matmul(&sample()).is_err());
+    }
+
+    #[test]
+    fn matvec_and_vecmat() {
+        let a = sample();
+        assert_eq!(a.matvec(&[1.0, 0.0, 0.0]).unwrap(), vec![1.0, 4.0]);
+        assert_eq!(a.vecmat(&[1.0, 1.0]).unwrap(), vec![5.0, 7.0, 9.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+        assert!(a.vecmat(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = sample();
+        let sum = a.add(&a).unwrap();
+        assert_eq!(sum.get(1, 2), 12.0);
+        let diff = a.sub(&a).unwrap();
+        assert_eq!(diff.frobenius_norm(), 0.0);
+        let had = a.hadamard(&a).unwrap();
+        assert_eq!(had.get(0, 2), 9.0);
+        assert!(a.add(&Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn scale_map_and_diag_update() {
+        let a = sample();
+        assert_eq!(a.scale(2.0).get(0, 0), 2.0);
+        assert_eq!(a.map(|x| x + 1.0).get(0, 0), 2.0);
+        let mut sq = Matrix::identity(2);
+        sq.add_diagonal(0.5);
+        assert_eq!(sq.get(0, 0), 1.5);
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let a = sample();
+        let r = a.select_rows(&[1]).unwrap();
+        assert_eq!(r.shape(), (1, 3));
+        assert_eq!(r.row(0), &[4.0, 5.0, 6.0]);
+        let c = a.select_cols(&[2, 0]).unwrap();
+        assert_eq!(c.row(0), &[3.0, 1.0]);
+        assert!(a.select_rows(&[5]).is_err());
+        assert!(a.select_cols(&[5]).is_err());
+    }
+
+    #[test]
+    fn stacking() {
+        let a = sample();
+        let v = a.vstack(&a).unwrap();
+        assert_eq!(v.shape(), (4, 3));
+        let h = a.hstack(&a).unwrap();
+        assert_eq!(h.shape(), (2, 6));
+        assert_eq!(h.get(0, 3), 1.0);
+        assert!(a.vstack(&Matrix::zeros(1, 2)).is_err());
+        assert!(a.hstack(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = sample();
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        assert!(g.approx_eq(&explicit, 1e-12));
+    }
+
+    #[test]
+    fn symmetrize_produces_symmetric() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        m.symmetrize();
+        assert_eq!(m.get(0, 1), m.get(1, 0));
+        assert_eq!(m.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(&[vec![3.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn from_fn_builds_expected() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.get(1, 0), 10.0);
+        assert_eq!(m.get(1, 1), 11.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Slice-level vector kernels.
+//!
+//! These free functions are the innermost loops of the neural-network and
+//! classifier crates, so they avoid allocation wherever possible and operate
+//! directly on `&[f64]` / `&mut [f64]`.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ; in release builds the
+/// shorter length is used (standard `zip` semantics), which would silently
+/// produce wrong results — callers are expected to guarantee matching
+/// lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean norm.
+#[inline]
+pub fn norm2_squared(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// L1 norm (sum of absolute values).
+#[inline]
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Infinity norm (maximum absolute value).
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_distance(a, b).sqrt()
+}
+
+/// `y += alpha * x` (the BLAS `axpy` primitive).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a vector in place: `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise sum of two slices into a new vector.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect()
+}
+
+/// Element-wise difference of two slices into a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x - y).collect()
+}
+
+/// Element-wise product of two slices into a new vector.
+pub fn mul(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "mul: length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).collect()
+}
+
+/// Arithmetic mean of a slice. Returns `0.0` for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance of a slice (divides by `n`). Returns `0.0` for slices
+/// with fewer than one element.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+/// Sum of a slice.
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Index of the maximum element (first occurrence). Returns `None` for an
+/// empty slice or a slice that is all NaN.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in a.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element (first occurrence). Returns `None` for an
+/// empty slice or a slice that is all NaN.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    let neg: Vec<f64> = a.iter().map(|&x| -x).collect();
+    argmax(&neg)
+}
+
+/// Clips the L2 norm of `x` to at most `max_norm`, in place, returning the
+/// original norm.
+///
+/// This is the gradient-clipping operator `ψ_C` of DP-SGD (paper §II-D):
+/// `ψ_C(g) = g * min(1, C / ||g||₂)`.
+pub fn clip_norm(x: &mut [f64], max_norm: f64) -> f64 {
+    let n = norm2(x);
+    if n > max_norm && n > 0.0 {
+        let factor = max_norm / n;
+        scale(factor, x);
+    }
+    n
+}
+
+/// Numerically-stable log-sum-exp of a slice.
+///
+/// Returns negative infinity for an empty slice.
+pub fn log_sum_exp(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let max = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if max.is_infinite() {
+        return max;
+    }
+    let sum: f64 = a.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Softmax of a slice, computed in a numerically stable way.
+pub fn softmax(a: &[f64]) -> Vec<f64> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let lse = log_sum_exp(a);
+    a.iter().map(|&x| (x - lse).exp()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm2_squared(&[3.0, 4.0]), 25.0);
+        assert_eq!(norm1(&[-1.0, 2.0, -3.0]), 6.0);
+        assert_eq!(norm_inf(&[-1.0, 2.0, -3.0]), 3.0);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert!((distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_scale_add_sub_mul() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![1.5, 2.5]);
+        assert_eq!(add(&[1.0], &[2.0]), vec![3.0]);
+        assert_eq!(sub(&[1.0], &[2.0]), vec![-1.0]);
+        assert_eq!(mul(&[2.0], &[3.0]), vec![6.0]);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(sum(&[1.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[1.0, 5.0, 3.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN, 2.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn clip_norm_behaviour() {
+        let mut g = vec![3.0, 4.0];
+        let orig = clip_norm(&mut g, 1.0);
+        assert!((orig - 5.0).abs() < 1e-12);
+        assert!((norm2(&g) - 1.0).abs() < 1e-12);
+        // Direction preserved.
+        assert!((g[0] / g[1] - 0.75).abs() < 1e-12);
+
+        // Below the bound: unchanged.
+        let mut small = vec![0.1, 0.1];
+        clip_norm(&mut small, 1.0);
+        assert_eq!(small, vec![0.1, 0.1]);
+
+        // Zero vector stays zero.
+        let mut zero = vec![0.0, 0.0];
+        clip_norm(&mut zero, 1.0);
+        assert_eq!(zero, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        // Large values should not overflow.
+        let v = vec![1000.0, 1000.0];
+        assert!((log_sum_exp(&v) - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let s = softmax(&[1.0, 2.0, 3.0]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+        assert!(softmax(&[]).is_empty());
+    }
+}

@@ -1,0 +1,387 @@
+//! DP-EM: differentially private expectation-maximization for a mixture of
+//! Gaussians (Park et al., used by P3GM's Encoding Phase, paper §II-D).
+//!
+//! Each M-step releases `2K + 1` quantities — the weight vector, the `K`
+//! means and the `K` covariance matrices — through the Gaussian mechanism.
+//! Following the paper, the per-release sensitivity is bounded by clipping
+//! every data row to the unit L2 ball, which makes each normalized statistic
+//! change by at most `≈ 2/N` when one record changes; the noise added to a
+//! statistic is `N(0, (σ_e · Δ)²)` where `σ_e` is the *noise multiplier*
+//! that enters the moments bound of paper Eq. (3) and `Δ` the sensitivity.
+//!
+//! The privacy cost of a run with `T_e` iterations is accounted by
+//! `p3gm_privacy::RdpAccountant::add_dp_em(T_e, σ_e, K)`.
+
+use crate::em::{initial_parameters, validate, EmConfig};
+use crate::gmm::Gmm;
+use crate::kmeans::{kmeans, KMeansConfig};
+use crate::{MixtureError, Result};
+use p3gm_linalg::{vector, Matrix};
+use p3gm_privacy::sampling;
+use rand::Rng;
+
+/// Configuration of a DP-EM run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpEmConfig {
+    /// Number of mixture components `K`.
+    pub n_components: usize,
+    /// Number of (noisy) EM iterations `T_e`. Every iteration consumes
+    /// privacy budget, so this is fixed in advance rather than driven by a
+    /// convergence test.
+    pub iterations: usize,
+    /// Noise multiplier `σ_e` of paper Eq. (3).
+    pub sigma_e: f64,
+    /// Diagonal regularization added to every covariance update.
+    pub covariance_regularization: f64,
+    /// Rows are clipped to this L2 norm before fitting (the sensitivity
+    /// bound assumes it). The paper clips to 1.
+    pub clip_norm: f64,
+}
+
+impl Default for DpEmConfig {
+    fn default() -> Self {
+        DpEmConfig {
+            n_components: 3,
+            iterations: 20,
+            sigma_e: 100.0,
+            covariance_regularization: 1e-4,
+            clip_norm: 1.0,
+        }
+    }
+}
+
+/// Result of a DP-EM run.
+#[derive(Debug, Clone)]
+pub struct DpEmResult {
+    /// The fitted (privatized) mixture model.
+    pub model: Gmm,
+    /// Mean log-likelihood of the clipped data after each iteration
+    /// (computed for diagnostics; itself a post-processing of the private
+    /// model, so it costs no extra budget).
+    pub log_likelihood_trace: Vec<f64>,
+    /// The number of iterations performed (equals the configured value).
+    pub iterations: usize,
+}
+
+/// Fits a Gaussian mixture under differential privacy.
+///
+/// `data` rows are clipped to `config.clip_norm` before fitting. The
+/// initialization uses **non-private k-means on clipped data**; in the P3GM
+/// pipeline the input to DP-EM is the output of DP-PCA (already private), and
+/// the initialization budget is accounted for by the caller via the DP-EM
+/// iterations themselves in the paper's analysis — we keep the same
+/// structure and note it here.
+pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &DpEmConfig) -> Result<DpEmResult> {
+    let em_cfg = EmConfig {
+        n_components: config.n_components,
+        max_iters: config.iterations,
+        tolerance: 0.0,
+        covariance_regularization: config.covariance_regularization,
+    };
+    validate(data, &em_cfg)?;
+    if config.sigma_e <= 0.0 || config.clip_norm <= 0.0 {
+        return Err(MixtureError::InvalidParameter {
+            msg: format!(
+                "sigma_e and clip_norm must be positive, got {} and {}",
+                config.sigma_e, config.clip_norm
+            ),
+        });
+    }
+    if config.iterations == 0 {
+        return Err(MixtureError::InvalidParameter {
+            msg: "DP-EM needs at least one iteration".to_string(),
+        });
+    }
+
+    let k = config.n_components;
+    let d = data.cols();
+    let n = data.rows();
+
+    // Clip rows to the unit (clip_norm) ball so the sensitivity bound holds.
+    let clipped = clip_rows(data, config.clip_norm);
+
+    // Sensitivity of the normalized statistics when one record changes:
+    // each mean / covariance entry / weight is an average of N bounded
+    // contributions, so replacing one record moves it by at most ~2*c/N
+    // (c = clip_norm, and c^2 for second moments with c <= 1 -> still <= 2c/N
+    // in the regimes used here). We use the conservative bound 2*c/N.
+    let sensitivity = 2.0 * config.clip_norm / n as f64;
+    let noise_std = config.sigma_e * sensitivity;
+
+    // Initialization from k-means on the clipped data.
+    let km = kmeans(
+        rng,
+        &clipped,
+        &KMeansConfig {
+            k,
+            max_iters: 20,
+            tolerance: 1e-4,
+        },
+    )?;
+    let (mut weights, mut means, mut covariances) = initial_parameters(
+        &clipped,
+        &km.assignments,
+        k,
+        config.covariance_regularization,
+    );
+
+    let mut model =
+        Gmm::new(weights.clone(), means.clone(), covariances.clone()).map_err(keep)?;
+    let mut trace = Vec::with_capacity(config.iterations);
+
+    for _ in 0..config.iterations {
+        // E-step (no privacy cost: responsibilities are internal).
+        let resp: Vec<Vec<f64>> = clipped
+            .row_iter()
+            .map(|row| model.responsibilities(row))
+            .collect();
+
+        // M-step with Gaussian-mechanism noise on each released statistic.
+        let nk: Vec<f64> = (0..k)
+            .map(|c| resp.iter().map(|r| r[c]).sum::<f64>().max(1e-10))
+            .collect();
+
+        // Weights (one release).
+        for c in 0..k {
+            weights[c] =
+                (nk[c] / n as f64 + sampling::normal(rng, 0.0, noise_std)).max(1e-4);
+        }
+
+        for c in 0..k {
+            // Mean (one release per component).
+            let mut mean = vec![0.0; d];
+            for (row, r) in clipped.row_iter().zip(resp.iter()) {
+                vector::axpy(r[c], row, &mut mean);
+            }
+            vector::scale(1.0 / nk[c], &mut mean);
+            for m in &mut mean {
+                *m += sampling::normal(rng, 0.0, noise_std);
+            }
+            means[c] = mean;
+
+            // Covariance (one release per component).
+            let mut cov = Matrix::zeros(d, d);
+            for (row, r) in clipped.row_iter().zip(resp.iter()) {
+                let diff = vector::sub(row, &means[c]);
+                let w = r[c];
+                for i in 0..d {
+                    let di = diff[i] * w;
+                    for j in 0..d {
+                        let v = cov.get(i, j) + di * diff[j];
+                        cov.set(i, j, v);
+                    }
+                }
+            }
+            let mut cov = cov.scale(1.0 / nk[c]);
+            for i in 0..d {
+                for j in i..d {
+                    let noise = sampling::normal(rng, 0.0, noise_std);
+                    let v = cov.get(i, j) + noise;
+                    cov.set(i, j, v);
+                    cov.set(j, i, v);
+                }
+            }
+            cov.add_diagonal(config.covariance_regularization);
+            covariances[c] = cov;
+        }
+
+        model = Gmm::new(weights.clone(), means.clone(), covariances.clone()).map_err(keep)?;
+        trace.push(model.mean_log_likelihood(&clipped));
+    }
+
+    Ok(DpEmResult {
+        model,
+        log_likelihood_trace: trace,
+        iterations: config.iterations,
+    })
+}
+
+/// Returns a copy of `data` with every row clipped to L2 norm `clip_norm`.
+pub fn clip_rows(data: &Matrix, clip_norm: f64) -> Matrix {
+    let mut out = data.clone();
+    for i in 0..out.rows() {
+        vector::clip_norm(out.row_mut(i), clip_norm);
+    }
+    out
+}
+
+fn keep(e: MixtureError) -> MixtureError {
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    /// Two separated blobs inside the unit ball.
+    fn unit_ball_blobs(rng: &mut StdRng, per: usize) -> Matrix {
+        let truth = Gmm::isotropic(
+            vec![0.5, 0.5],
+            vec![vec![-0.5, 0.0], vec![0.5, 0.2]],
+            0.01,
+        )
+        .unwrap();
+        truth.sample_n(rng, per * 2)
+    }
+
+    #[test]
+    fn clip_rows_limits_norms() {
+        let data = Matrix::from_rows(&[vec![3.0, 4.0], vec![0.1, 0.1]]).unwrap();
+        let clipped = clip_rows(&data, 1.0);
+        assert!((vector::norm2(clipped.row(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(clipped.row(1), &[0.1, 0.1]);
+    }
+
+    #[test]
+    fn with_negligible_noise_recovers_components() {
+        let mut r = rng();
+        let data = unit_ball_blobs(&mut r, 400);
+        let res = fit(
+            &mut r,
+            &data,
+            &DpEmConfig {
+                n_components: 2,
+                iterations: 15,
+                sigma_e: 1e-6, // effectively non-private
+                covariance_regularization: 1e-6,
+                clip_norm: 1.0,
+            },
+        )
+        .unwrap();
+        let mut means: Vec<Vec<f64>> = res.model.means().to_vec();
+        means.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+        assert!((means[0][0] + 0.5).abs() < 0.1, "{:?}", means[0]);
+        assert!((means[1][0] - 0.5).abs() < 0.1, "{:?}", means[1]);
+        assert_eq!(res.iterations, 15);
+        assert_eq!(res.log_likelihood_trace.len(), 15);
+    }
+
+    #[test]
+    fn realistic_noise_still_yields_usable_model() {
+        let mut r = rng();
+        let data = unit_ball_blobs(&mut r, 500);
+        // sigma_e = 100 with N = 1000 → noise std = 100 * 2/1000 = 0.2,
+        // comparable to the component separation; the model should still
+        // beat a single wide Gaussian in likelihood.
+        let res = fit(
+            &mut r,
+            &data,
+            &DpEmConfig {
+                n_components: 2,
+                iterations: 10,
+                sigma_e: 100.0,
+                covariance_regularization: 1e-3,
+                clip_norm: 1.0,
+            },
+        )
+        .unwrap();
+        let baseline = Gmm::isotropic(vec![1.0], vec![vec![0.0, 0.0]], 1.0).unwrap();
+        let clipped = clip_rows(&data, 1.0);
+        assert!(
+            res.model.mean_log_likelihood(&clipped) > baseline.mean_log_likelihood(&clipped),
+            "noisy model should still beat a unit Gaussian"
+        );
+    }
+
+    #[test]
+    fn more_noise_means_worse_fit() {
+        let mut r = rng();
+        let data = unit_ball_blobs(&mut r, 500);
+        let fit_with = |r: &mut StdRng, sigma_e: f64| {
+            fit(
+                r,
+                &data,
+                &DpEmConfig {
+                    n_components: 2,
+                    iterations: 10,
+                    sigma_e,
+                    covariance_regularization: 1e-3,
+                    clip_norm: 1.0,
+                },
+            )
+            .unwrap()
+        };
+        let clipped = clip_rows(&data, 1.0);
+        // Average over a few runs to smooth randomness.
+        let mut clean = 0.0;
+        let mut noisy = 0.0;
+        for _ in 0..3 {
+            clean += fit_with(&mut r, 1e-6).model.mean_log_likelihood(&clipped);
+            noisy += fit_with(&mut r, 2000.0).model.mean_log_likelihood(&clipped);
+        }
+        assert!(
+            clean > noisy,
+            "clean ll {clean} should exceed heavily-noised ll {noisy}"
+        );
+    }
+
+    #[test]
+    fn weights_remain_a_distribution() {
+        let mut r = rng();
+        let data = unit_ball_blobs(&mut r, 200);
+        let res = fit(
+            &mut r,
+            &data,
+            &DpEmConfig {
+                n_components: 3,
+                iterations: 5,
+                sigma_e: 500.0,
+                covariance_regularization: 1e-3,
+                clip_norm: 1.0,
+            },
+        )
+        .unwrap();
+        let w = res.model.weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut r = rng();
+        let data = unit_ball_blobs(&mut r, 50);
+        assert!(fit(
+            &mut r,
+            &data,
+            &DpEmConfig {
+                sigma_e: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(fit(
+            &mut r,
+            &data,
+            &DpEmConfig {
+                iterations: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(fit(
+            &mut r,
+            &data,
+            &DpEmConfig {
+                clip_norm: -1.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(fit(
+            &mut r,
+            &data,
+            &DpEmConfig {
+                n_components: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(fit(&mut r, &Matrix::zeros(0, 2), &DpEmConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Maximum-likelihood EM fitting of a Gaussian mixture.
+//!
+//! This is the non-private estimator; [`crate::dpem`] wraps the same E/M
+//! structure with the Gaussian mechanism on the M-step statistics.
+
+use crate::gmm::Gmm;
+use crate::kmeans::{kmeans, KMeansConfig};
+use crate::{MixtureError, Result};
+use p3gm_linalg::{vector, Matrix};
+use rand::Rng;
+
+/// Configuration for EM fitting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmConfig {
+    /// Number of mixture components `K`.
+    pub n_components: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Stop when the mean log-likelihood improves by less than this.
+    pub tolerance: f64,
+    /// Diagonal regularization added to every covariance update.
+    pub covariance_regularization: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig {
+            n_components: 3,
+            max_iters: 100,
+            tolerance: 1e-5,
+            covariance_regularization: 1e-6,
+        }
+    }
+}
+
+/// Result of an EM fit.
+#[derive(Debug, Clone)]
+pub struct EmResult {
+    /// The fitted mixture model.
+    pub model: Gmm,
+    /// Mean log-likelihood after each iteration.
+    pub log_likelihood_trace: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance-based stopping criterion fired.
+    pub converged: bool,
+}
+
+/// Fits a Gaussian mixture to the rows of `data` with EM, initializing the
+/// means with k-means.
+pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &EmConfig) -> Result<EmResult> {
+    validate(data, config)?;
+    let k = config.n_components;
+    let d = data.cols();
+    let n = data.rows();
+
+    // Initialization: k-means centroids, per-cluster covariances, uniform-ish weights.
+    let km = kmeans(
+        rng,
+        data,
+        &KMeansConfig {
+            k,
+            max_iters: 20,
+            tolerance: 1e-4,
+        },
+    )?;
+    let (mut weights, mut means, mut covariances) =
+        initial_parameters(data, &km.assignments, k, config.covariance_regularization);
+
+    let mut model = Gmm::new(weights.clone(), means.clone(), covariances.clone())
+        .map_err(upgrade_numerical)?;
+    let mut trace: Vec<f64> = Vec::with_capacity(config.max_iters);
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // E-step: responsibilities for every row.
+        let resp: Vec<Vec<f64>> = data.row_iter().map(|row| model.responsibilities(row)).collect();
+
+        // M-step.
+        let nk: Vec<f64> = (0..k)
+            .map(|c| resp.iter().map(|r| r[c]).sum::<f64>().max(1e-10))
+            .collect();
+        for c in 0..k {
+            weights[c] = nk[c] / n as f64;
+            let mut mean = vec![0.0; d];
+            for (row, r) in data.row_iter().zip(resp.iter()) {
+                vector::axpy(r[c], row, &mut mean);
+            }
+            vector::scale(1.0 / nk[c], &mut mean);
+            means[c] = mean;
+
+            let mut cov = Matrix::zeros(d, d);
+            for (row, r) in data.row_iter().zip(resp.iter()) {
+                let diff = vector::sub(row, &means[c]);
+                let w = r[c];
+                for i in 0..d {
+                    let di = diff[i] * w;
+                    for j in 0..d {
+                        let v = cov.get(i, j) + di * diff[j];
+                        cov.set(i, j, v);
+                    }
+                }
+            }
+            let mut cov = cov.scale(1.0 / nk[c]);
+            cov.add_diagonal(config.covariance_regularization);
+            covariances[c] = cov;
+        }
+
+        model = Gmm::new(weights.clone(), means.clone(), covariances.clone())
+            .map_err(upgrade_numerical)?;
+        let ll = model.mean_log_likelihood(data);
+        if let Some(&prev) = trace.last() {
+            if (ll - prev).abs() < config.tolerance {
+                trace.push(ll);
+                converged = true;
+                break;
+            }
+        }
+        trace.push(ll);
+    }
+
+    Ok(EmResult {
+        model,
+        log_likelihood_trace: trace,
+        iterations,
+        converged,
+    })
+}
+
+/// Per-cluster initial parameters from a hard assignment.
+pub(crate) fn initial_parameters(
+    data: &Matrix,
+    assignments: &[usize],
+    k: usize,
+    regularization: f64,
+) -> (Vec<f64>, Vec<Vec<f64>>, Vec<Matrix>) {
+    let d = data.cols();
+    let n = data.rows();
+    let mut counts = vec![0.0; k];
+    let mut means = vec![vec![0.0; d]; k];
+    for (row, &a) in data.row_iter().zip(assignments.iter()) {
+        counts[a] += 1.0;
+        vector::axpy(1.0, row, &mut means[a]);
+    }
+    for c in 0..k {
+        if counts[c] > 0.0 {
+            vector::scale(1.0 / counts[c], &mut means[c]);
+        }
+    }
+    let mut covariances = vec![Matrix::identity(d); k];
+    for c in 0..k {
+        if counts[c] < 2.0 {
+            continue;
+        }
+        let mut cov = Matrix::zeros(d, d);
+        for (row, &a) in data.row_iter().zip(assignments.iter()) {
+            if a != c {
+                continue;
+            }
+            let diff = vector::sub(row, &means[c]);
+            for i in 0..d {
+                for j in 0..d {
+                    let v = cov.get(i, j) + diff[i] * diff[j];
+                    cov.set(i, j, v);
+                }
+            }
+        }
+        let mut cov = cov.scale(1.0 / counts[c]);
+        cov.add_diagonal(regularization.max(1e-9));
+        covariances[c] = cov;
+    }
+    let weights: Vec<f64> = counts.iter().map(|&c| (c / n as f64).max(1e-6)).collect();
+    (weights, means, covariances)
+}
+
+pub(crate) fn validate(data: &Matrix, config: &EmConfig) -> Result<()> {
+    if config.n_components == 0 {
+        return Err(MixtureError::InvalidParameter {
+            msg: "n_components must be positive".to_string(),
+        });
+    }
+    if data.rows() == 0 || data.cols() == 0 {
+        return Err(MixtureError::InvalidData {
+            msg: "empty data".to_string(),
+        });
+    }
+    if data.rows() < config.n_components {
+        return Err(MixtureError::InvalidData {
+            msg: format!(
+                "{} rows cannot support {} components",
+                data.rows(),
+                config.n_components
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn upgrade_numerical(e: MixtureError) -> MixtureError {
+    match e {
+        MixtureError::Numerical { msg } => MixtureError::Numerical { msg },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(23)
+    }
+
+    fn two_blob_data(rng: &mut StdRng, per: usize) -> Matrix {
+        let true_model = Gmm::isotropic(
+            vec![0.5, 0.5],
+            vec![vec![-3.0, 0.0], vec![3.0, 1.0]],
+            0.5,
+        )
+        .unwrap();
+        true_model.sample_n(rng, per * 2)
+    }
+
+    #[test]
+    fn recovers_two_well_separated_components() {
+        let mut r = rng();
+        let data = two_blob_data(&mut r, 200);
+        let res = fit(
+            &mut r,
+            &data,
+            &EmConfig {
+                n_components: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut means: Vec<Vec<f64>> = res.model.means().to_vec();
+        means.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+        assert!((means[0][0] + 3.0).abs() < 0.3, "{:?}", means[0]);
+        assert!((means[1][0] - 3.0).abs() < 0.3, "{:?}", means[1]);
+        assert!((res.model.weights()[0] - 0.5).abs() < 0.1);
+        // Covariance close to 0.5 I.
+        let cov = &res.model.covariances()[0];
+        assert!((cov.get(0, 0) - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn log_likelihood_is_monotonically_non_decreasing() {
+        let mut r = rng();
+        let data = two_blob_data(&mut r, 100);
+        let res = fit(
+            &mut r,
+            &data,
+            &EmConfig {
+                n_components: 2,
+                max_iters: 30,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let trace = &res.log_likelihood_trace;
+        assert!(trace.len() >= 2);
+        for w in trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "likelihood decreased: {w:?}");
+        }
+    }
+
+    #[test]
+    fn converges_and_reports_it() {
+        let mut r = rng();
+        let data = two_blob_data(&mut r, 150);
+        let res = fit(
+            &mut r,
+            &data,
+            &EmConfig {
+                n_components: 2,
+                max_iters: 200,
+                tolerance: 1e-6,
+                covariance_regularization: 1e-6,
+            },
+        )
+        .unwrap();
+        assert!(res.converged, "EM did not converge in 200 iterations");
+        assert!(res.iterations < 200);
+    }
+
+    #[test]
+    fn single_component_recovers_mean_and_covariance() {
+        let mut r = rng();
+        let truth = Gmm::new(
+            vec![1.0],
+            vec![vec![1.0, -2.0]],
+            vec![Matrix::from_rows(&[vec![2.0, 0.5], vec![0.5, 1.0]]).unwrap()],
+        )
+        .unwrap();
+        let data = truth.sample_n(&mut r, 2000);
+        let res = fit(
+            &mut r,
+            &data,
+            &EmConfig {
+                n_components: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mean = &res.model.means()[0];
+        assert!((mean[0] - 1.0).abs() < 0.1);
+        assert!((mean[1] + 2.0).abs() < 0.1);
+        let cov = &res.model.covariances()[0];
+        assert!((cov.get(0, 0) - 2.0).abs() < 0.25);
+        assert!((cov.get(0, 1) - 0.5).abs() < 0.15);
+    }
+
+    #[test]
+    fn fitted_model_has_higher_likelihood_than_initialization() {
+        let mut r = rng();
+        let data = two_blob_data(&mut r, 100);
+        let single = Gmm::isotropic(vec![1.0], vec![vec![0.0, 0.0]], 10.0).unwrap();
+        let res = fit(
+            &mut r,
+            &data,
+            &EmConfig {
+                n_components: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(res.model.mean_log_likelihood(&data) > single.mean_log_likelihood(&data));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut r = rng();
+        let data = Matrix::from_rows(&[vec![0.0, 1.0]]).unwrap();
+        assert!(fit(
+            &mut r,
+            &data,
+            &EmConfig {
+                n_components: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(fit(
+            &mut r,
+            &data,
+            &EmConfig {
+                n_components: 5,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(fit(&mut r, &Matrix::zeros(0, 2), &EmConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,482 @@
+//! Gaussian mixture model: densities, responsibilities, sampling, and the
+//! KL-divergence terms used by P3GM's ELBO.
+
+use crate::{MixtureError, Result};
+use p3gm_linalg::{vector, Cholesky, Matrix};
+use p3gm_privacy::sampling;
+use rand::Rng;
+
+/// A mixture of full-covariance Gaussians over `R^d`.
+///
+/// Invariants maintained by the constructors: weights are non-negative and
+/// sum to 1, every mean has length `d`, every covariance is `d x d`
+/// symmetric positive definite (a small jitter is applied when necessary).
+#[derive(Debug, Clone)]
+pub struct Gmm {
+    weights: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    covariances: Vec<Matrix>,
+    /// Cached Cholesky factors of the covariances.
+    factors: Vec<Cholesky>,
+    /// Cached inverses of the covariances (used by the KL gradients).
+    inverses: Vec<Matrix>,
+    /// Cached log-determinants.
+    log_dets: Vec<f64>,
+}
+
+impl Gmm {
+    /// Builds a mixture from weights, means and covariances.
+    ///
+    /// Weights are re-normalized to sum to one; covariances that are not
+    /// positive definite are repaired with increasing diagonal jitter.
+    pub fn new(
+        weights: Vec<f64>,
+        means: Vec<Vec<f64>>,
+        covariances: Vec<Matrix>,
+    ) -> Result<Self> {
+        let k = weights.len();
+        if k == 0 || means.len() != k || covariances.len() != k {
+            return Err(MixtureError::InvalidParameter {
+                msg: format!(
+                    "component count mismatch: {} weights, {} means, {} covariances",
+                    k,
+                    means.len(),
+                    covariances.len()
+                ),
+            });
+        }
+        let d = means[0].len();
+        if d == 0 {
+            return Err(MixtureError::InvalidParameter {
+                msg: "zero-dimensional mixture".to_string(),
+            });
+        }
+        if means.iter().any(|m| m.len() != d)
+            || covariances.iter().any(|c| c.shape() != (d, d))
+        {
+            return Err(MixtureError::InvalidParameter {
+                msg: "inconsistent component dimensions".to_string(),
+            });
+        }
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        if total <= 0.0 {
+            return Err(MixtureError::InvalidParameter {
+                msg: "weights must have positive total mass".to_string(),
+            });
+        }
+        let weights: Vec<f64> = weights.iter().map(|w| w.max(0.0) / total).collect();
+
+        let mut factors = Vec::with_capacity(k);
+        let mut inverses = Vec::with_capacity(k);
+        let mut log_dets = Vec::with_capacity(k);
+        for cov in &covariances {
+            let chol = Cholesky::new_with_jitter(cov, 1e-6, 12).map_err(|e| {
+                MixtureError::Numerical {
+                    msg: format!("covariance not positive definite: {e}"),
+                }
+            })?;
+            let inv = chol.inverse().map_err(|e| MixtureError::Numerical {
+                msg: format!("covariance inversion failed: {e}"),
+            })?;
+            log_dets.push(chol.log_determinant());
+            inverses.push(inv);
+            factors.push(chol);
+        }
+        Ok(Gmm {
+            weights,
+            means,
+            covariances,
+            factors,
+            inverses,
+            log_dets,
+        })
+    }
+
+    /// Builds an isotropic mixture (`σ² I` covariances) — a convenient
+    /// constructor for tests and for the DP-GM baseline's latent prior.
+    pub fn isotropic(weights: Vec<f64>, means: Vec<Vec<f64>>, variance: f64) -> Result<Self> {
+        if variance <= 0.0 {
+            return Err(MixtureError::InvalidParameter {
+                msg: format!("variance must be positive, got {variance}"),
+            });
+        }
+        let d = means.first().map(Vec::len).unwrap_or(0);
+        let covs = (0..means.len())
+            .map(|_| Matrix::identity(d).scale(variance))
+            .collect();
+        Self::new(weights, means, covs)
+    }
+
+    /// Number of mixture components.
+    pub fn n_components(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Data dimensionality.
+    pub fn dim(&self) -> usize {
+        self.means[0].len()
+    }
+
+    /// Mixture weights (sum to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Component means.
+    pub fn means(&self) -> &[Vec<f64>] {
+        &self.means
+    }
+
+    /// Component covariance matrices.
+    pub fn covariances(&self) -> &[Matrix] {
+        &self.covariances
+    }
+
+    /// Log-density of `x` under component `k` (a multivariate normal).
+    pub fn component_log_density(&self, k: usize, x: &[f64]) -> f64 {
+        let d = self.dim() as f64;
+        let diff = vector::sub(x, &self.means[k]);
+        let maha = self
+            .factors[k]
+            .quadratic_form(&diff)
+            .expect("dimension checked at construction");
+        -0.5 * (d * (2.0 * std::f64::consts::PI).ln() + self.log_dets[k] + maha)
+    }
+
+    /// Log-density of `x` under the mixture.
+    pub fn log_density(&self, x: &[f64]) -> f64 {
+        let logs: Vec<f64> = (0..self.n_components())
+            .map(|k| self.weights[k].max(1e-300).ln() + self.component_log_density(k, x))
+            .collect();
+        vector::log_sum_exp(&logs)
+    }
+
+    /// Average log-likelihood of a set of rows.
+    pub fn mean_log_likelihood(&self, data: &Matrix) -> f64 {
+        if data.rows() == 0 {
+            return 0.0;
+        }
+        data.row_iter().map(|row| self.log_density(row)).sum::<f64>() / data.rows() as f64
+    }
+
+    /// Posterior responsibilities `p(component | x)`.
+    pub fn responsibilities(&self, x: &[f64]) -> Vec<f64> {
+        let logs: Vec<f64> = (0..self.n_components())
+            .map(|k| self.weights[k].max(1e-300).ln() + self.component_log_density(k, x))
+            .collect();
+        vector::softmax(&logs)
+    }
+
+    /// Draws one sample from the mixture.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let k = sampling::categorical(rng, &self.weights);
+        sampling::multivariate_normal(rng, &self.means[k], &self.factors[k])
+    }
+
+    /// Draws one sample from a specific component.
+    pub fn sample_component<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<f64> {
+        sampling::multivariate_normal(rng, &self.means[k], &self.factors[k])
+    }
+
+    /// Draws `n` samples from the mixture as rows of a matrix.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| self.sample(rng)).collect();
+        Matrix::from_rows(&rows).expect("samples have equal dimension")
+    }
+
+    /// KL divergence `KL( N(mu, diag(exp(logvar))) || component k )` with
+    /// gradients with respect to `mu` and `logvar`.
+    ///
+    /// For a diagonal Gaussian `q` and a full-covariance component
+    /// `N(m_k, Σ_k)`:
+    ///
+    /// ```text
+    /// KL = ½ [ tr(Σ_k⁻¹ diag(v)) + (m_k − µ)ᵀ Σ_k⁻¹ (m_k − µ) − d
+    ///          + log det Σ_k − Σ_i log v_i ]
+    /// ∂KL/∂µ      = Σ_k⁻¹ (µ − m_k)
+    /// ∂KL/∂logvar_i = ½ ( (Σ_k⁻¹)_{ii} v_i − 1 )
+    /// ```
+    pub fn kl_diag_to_component(
+        &self,
+        k: usize,
+        mu: &[f64],
+        logvar: &[f64],
+    ) -> (f64, Vec<f64>, Vec<f64>) {
+        let d = self.dim();
+        debug_assert_eq!(mu.len(), d);
+        debug_assert_eq!(logvar.len(), d);
+        let inv = &self.inverses[k];
+        let var: Vec<f64> = logvar.iter().map(|l| l.exp()).collect();
+
+        let mut trace = 0.0;
+        for i in 0..d {
+            trace += inv.get(i, i) * var[i];
+        }
+        let diff = vector::sub(mu, &self.means[k]);
+        let inv_diff = inv.matvec(&diff).expect("dimension checked");
+        let maha = vector::dot(&diff, &inv_diff);
+        let sum_logvar: f64 = logvar.iter().sum();
+        let value =
+            0.5 * (trace + maha - d as f64 + self.log_dets[k] - sum_logvar);
+
+        let grad_mu = inv_diff;
+        let grad_logvar: Vec<f64> = (0..d)
+            .map(|i| 0.5 * (inv.get(i, i) * var[i] - 1.0))
+            .collect();
+        (value, grad_mu, grad_logvar)
+    }
+
+    /// Variational (Hershey–Olsen) approximation of
+    /// `KL( N(mu, diag(exp(logvar))) || mixture )`, with gradients.
+    ///
+    /// For a single-Gaussian `q` the approximation reduces to
+    /// `−log Σ_k π_k exp(−KL(q || component_k))`; the gradient is the
+    /// softmin-weighted combination of the per-component gradients.
+    pub fn kl_diag_to_mixture(
+        &self,
+        mu: &[f64],
+        logvar: &[f64],
+    ) -> (f64, Vec<f64>, Vec<f64>) {
+        let k = self.n_components();
+        let d = self.dim();
+        let mut kls = Vec::with_capacity(k);
+        let mut grads_mu = Vec::with_capacity(k);
+        let mut grads_logvar = Vec::with_capacity(k);
+        for j in 0..k {
+            let (v, gm, gl) = self.kl_diag_to_component(j, mu, logvar);
+            kls.push(v);
+            grads_mu.push(gm);
+            grads_logvar.push(gl);
+        }
+        // log Σ_k π_k exp(−KL_k), computed stably.
+        let logs: Vec<f64> = (0..k)
+            .map(|j| self.weights[j].max(1e-300).ln() - kls[j])
+            .collect();
+        let lse = vector::log_sum_exp(&logs);
+        let value = -lse;
+        // Softmin weights w_j = π_j exp(−KL_j) / Σ …
+        let w: Vec<f64> = logs.iter().map(|&l| (l - lse).exp()).collect();
+        let mut grad_mu = vec![0.0; d];
+        let mut grad_logvar = vec![0.0; d];
+        for j in 0..k {
+            vector::axpy(w[j], &grads_mu[j], &mut grad_mu);
+            vector::axpy(w[j], &grads_logvar[j], &mut grad_logvar);
+        }
+        (value, grad_mu, grad_logvar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(13)
+    }
+
+    fn two_component_gmm() -> Gmm {
+        Gmm::new(
+            vec![0.3, 0.7],
+            vec![vec![-2.0, 0.0], vec![2.0, 1.0]],
+            vec![
+                Matrix::from_rows(&[vec![1.0, 0.2], vec![0.2, 0.5]]).unwrap(),
+                Matrix::from_rows(&[vec![0.5, 0.0], vec![0.0, 1.5]]).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Gmm::new(vec![], vec![], vec![]).is_err());
+        assert!(Gmm::new(vec![1.0], vec![vec![0.0]], vec![]).is_err());
+        assert!(Gmm::new(
+            vec![1.0],
+            vec![vec![0.0, 0.0]],
+            vec![Matrix::identity(3)]
+        )
+        .is_err());
+        assert!(Gmm::new(vec![0.0], vec![vec![0.0]], vec![Matrix::identity(1)]).is_err());
+        assert!(Gmm::isotropic(vec![1.0], vec![vec![0.0]], 0.0).is_err());
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let gmm = Gmm::isotropic(vec![2.0, 6.0], vec![vec![0.0], vec![1.0]], 1.0).unwrap();
+        assert!((gmm.weights()[0] - 0.25).abs() < 1e-12);
+        assert!((gmm.weights()[1] - 0.75).abs() < 1e-12);
+        assert_eq!(gmm.n_components(), 2);
+        assert_eq!(gmm.dim(), 1);
+    }
+
+    #[test]
+    fn single_gaussian_density_matches_closed_form() {
+        let gmm = Gmm::isotropic(vec![1.0], vec![vec![0.0, 0.0]], 1.0).unwrap();
+        // Standard normal at origin: log p = -log(2π).
+        let expected = -(2.0 * std::f64::consts::PI).ln();
+        assert!((gmm.log_density(&[0.0, 0.0]) - expected).abs() < 1e-10);
+        // At (1, 0): subtract 1/2.
+        assert!((gmm.log_density(&[1.0, 0.0]) - (expected - 0.5)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn responsibilities_sum_to_one_and_favor_nearest() {
+        let gmm = two_component_gmm();
+        let r = gmm.responsibilities(&[2.0, 1.0]);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(r[1] > 0.9);
+        let r = gmm.responsibilities(&[-2.0, 0.0]);
+        assert!(r[0] > 0.9);
+    }
+
+    #[test]
+    fn sampling_recovers_component_means() {
+        let mut r = rng();
+        let gmm = two_component_gmm();
+        let samples = gmm.sample_n(&mut r, 8000);
+        // Split by nearest mean and check the empirical means/mixing weight.
+        let mut count1 = 0usize;
+        let mut sum0 = vec![0.0; 2];
+        let mut sum1 = vec![0.0; 2];
+        for row in samples.row_iter() {
+            if vector::distance(row, &[2.0, 1.0]) < vector::distance(row, &[-2.0, 0.0]) {
+                count1 += 1;
+                vector::axpy(1.0, row, &mut sum1);
+            } else {
+                vector::axpy(1.0, row, &mut sum0);
+            }
+        }
+        let frac1 = count1 as f64 / 8000.0;
+        assert!((frac1 - 0.7).abs() < 0.05, "weight {frac1}");
+        assert!((sum1[0] / count1 as f64 - 2.0).abs() < 0.1);
+        assert!((sum0[0] / (8000 - count1) as f64 + 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn mean_log_likelihood_prefers_generating_model() {
+        let mut r = rng();
+        let gmm = two_component_gmm();
+        let data = gmm.sample_n(&mut r, 500);
+        let wrong = Gmm::isotropic(vec![1.0], vec![vec![10.0, 10.0]], 1.0).unwrap();
+        assert!(gmm.mean_log_likelihood(&data) > wrong.mean_log_likelihood(&data));
+        assert_eq!(wrong.mean_log_likelihood(&Matrix::zeros(0, 2)), 0.0);
+    }
+
+    #[test]
+    fn kl_to_component_zero_when_equal() {
+        // Component 0: isotropic unit variance at origin; q identical.
+        let gmm = Gmm::isotropic(vec![1.0], vec![vec![0.0, 0.0]], 1.0).unwrap();
+        let (v, gm, gl) = gmm.kl_diag_to_component(0, &[0.0, 0.0], &[0.0, 0.0]);
+        assert!(v.abs() < 1e-10);
+        assert!(gm.iter().all(|g| g.abs() < 1e-10));
+        assert!(gl.iter().all(|g| g.abs() < 1e-10));
+    }
+
+    #[test]
+    fn kl_to_component_matches_diagonal_formula() {
+        // Against the diagonal-vs-diagonal closed form in p3gm-nn::loss.
+        let gmm = Gmm::new(
+            vec![1.0],
+            vec![vec![1.0, -0.5]],
+            vec![Matrix::from_diagonal(&[2.0, 0.7])],
+        )
+        .unwrap();
+        let mu = [0.3, 0.4];
+        let logvar = [0.1, -0.3];
+        let (v, gm, gl) = gmm.kl_diag_to_component(0, &mu, &logvar);
+        let (v2, gm2, gl2) =
+            p3gm_nn::loss::kl_diag_gaussians(&mu, &logvar, &[1.0, -0.5], &[2.0, 0.7]);
+        assert!((v - v2).abs() < 1e-9);
+        for i in 0..2 {
+            assert!((gm[i] - gm2[i]).abs() < 1e-9);
+            assert!((gl[i] - gl2[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kl_to_component_gradients_match_finite_differences() {
+        let gmm = two_component_gmm();
+        let mu = [0.5, -0.2];
+        let logvar = [-0.4, 0.3];
+        let (_, gm, gl) = gmm.kl_diag_to_component(1, &mu, &logvar);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut mp = mu;
+            mp[i] += h;
+            let mut mm = mu;
+            mm[i] -= h;
+            let numeric = (gmm.kl_diag_to_component(1, &mp, &logvar).0
+                - gmm.kl_diag_to_component(1, &mm, &logvar).0)
+                / (2.0 * h);
+            assert!((gm[i] - numeric).abs() < 1e-5, "mu[{i}]");
+            let mut lp = logvar;
+            lp[i] += h;
+            let mut lm = logvar;
+            lm[i] -= h;
+            let numeric = (gmm.kl_diag_to_component(1, &mu, &lp).0
+                - gmm.kl_diag_to_component(1, &mu, &lm).0)
+                / (2.0 * h);
+            assert!((gl[i] - numeric).abs() < 1e-5, "logvar[{i}]");
+        }
+    }
+
+    #[test]
+    fn kl_to_mixture_reduces_to_single_component() {
+        let gmm = Gmm::isotropic(vec![1.0], vec![vec![1.0, 2.0]], 0.5).unwrap();
+        let mu = [0.2, 0.9];
+        let logvar = [-0.1, 0.4];
+        let (single, gm_s, gl_s) = gmm.kl_diag_to_component(0, &mu, &logvar);
+        let (mix, gm_m, gl_m) = gmm.kl_diag_to_mixture(&mu, &logvar);
+        assert!((single - mix).abs() < 1e-10);
+        for i in 0..2 {
+            assert!((gm_s[i] - gm_m[i]).abs() < 1e-10);
+            assert!((gl_s[i] - gl_m[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn kl_to_mixture_gradients_match_finite_differences() {
+        let gmm = two_component_gmm();
+        let mu = [0.5, -0.2];
+        let logvar = [-0.4, 0.3];
+        let (_, gm, gl) = gmm.kl_diag_to_mixture(&mu, &logvar);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut mp = mu;
+            mp[i] += h;
+            let mut mm = mu;
+            mm[i] -= h;
+            let numeric = (gmm.kl_diag_to_mixture(&mp, &logvar).0
+                - gmm.kl_diag_to_mixture(&mm, &logvar).0)
+                / (2.0 * h);
+            assert!((gm[i] - numeric).abs() < 1e-5, "mu[{i}]");
+            let mut lp = logvar;
+            lp[i] += h;
+            let mut lm = logvar;
+            lm[i] -= h;
+            let numeric = (gmm.kl_diag_to_mixture(&mu, &lp).0
+                - gmm.kl_diag_to_mixture(&mu, &lm).0)
+                / (2.0 * h);
+            assert!((gl[i] - numeric).abs() < 1e-5, "logvar[{i}]");
+        }
+    }
+
+    #[test]
+    fn kl_to_mixture_smaller_near_a_component() {
+        let gmm = two_component_gmm();
+        let (near, _, _) = gmm.kl_diag_to_mixture(&[2.0, 1.0], &[-1.0, -1.0]);
+        let (far, _, _) = gmm.kl_diag_to_mixture(&[10.0, 10.0], &[-1.0, -1.0]);
+        assert!(near < far);
+    }
+
+    #[test]
+    fn indefinite_covariance_is_repaired() {
+        // A covariance that is slightly indefinite (as DP-EM noise can
+        // produce) should be accepted thanks to the jittered factorization.
+        let cov = Matrix::from_rows(&[vec![1.0, 1.0005], vec![1.0005, 1.0]]).unwrap();
+        let gmm = Gmm::new(vec![1.0], vec![vec![0.0, 0.0]], vec![cov]);
+        assert!(gmm.is_ok());
+    }
+}

@@ -1,0 +1,371 @@
+//! k-means clustering: Lloyd's algorithm with k-means++ seeding, plus a
+//! differentially private variant (noisy counts and sums) used by the DP-GM
+//! baseline's partitioning step.
+
+use crate::{MixtureError, Result};
+use p3gm_linalg::{vector, Matrix};
+use p3gm_privacy::sampling;
+use rand::Rng;
+
+/// Configuration of a k-means run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when no centroid moves more than this (L2).
+    pub tolerance: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iters: 50,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids, one row per cluster.
+    pub centroids: Vec<Vec<f64>>,
+    /// Assignment of every input row to a cluster index.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Runs (non-private) k-means with k-means++ initialization.
+pub fn kmeans<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &Matrix,
+    config: &KMeansConfig,
+) -> Result<KMeansResult> {
+    validate(data, config)?;
+    let mut centroids = kmeans_plus_plus_init(rng, data, config.k);
+    let mut assignments = vec![0usize; data.rows()];
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        assign(data, &centroids, &mut assignments);
+        let (sums, counts) = cluster_sums(data, &assignments, config.k);
+        let mut max_shift: f64 = 0.0;
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] == 0.0 {
+                continue; // keep the old centroid for empty clusters
+            }
+            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c]).collect();
+            max_shift = max_shift.max(vector::distance(centroid, &new));
+            *centroid = new;
+        }
+        if max_shift < config.tolerance {
+            break;
+        }
+    }
+    assign(data, &centroids, &mut assignments);
+    let inertia = compute_inertia(data, &centroids, &assignments);
+    Ok(KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+/// Runs differentially private k-means.
+///
+/// Each Lloyd iteration releases, per cluster, a noisy count (Laplace,
+/// sensitivity 1) and a noisy coordinate sum (Laplace, sensitivity `radius`
+/// per coordinate under the assumption that rows are clipped to
+/// `‖x‖_∞ ≤ radius`).  With `iters` iterations the whole run satisfies
+/// ε-DP where each iteration gets `epsilon / iters`, split evenly between
+/// counts and sums.  This is the standard DPLloyd construction used by the
+/// DP-GM baseline's partitioning step.
+pub fn dp_kmeans<R: Rng + ?Sized>(
+    rng: &mut R,
+    data: &Matrix,
+    config: &KMeansConfig,
+    epsilon: f64,
+    radius: f64,
+) -> Result<KMeansResult> {
+    validate(data, config)?;
+    if epsilon <= 0.0 || radius <= 0.0 {
+        return Err(MixtureError::InvalidParameter {
+            msg: format!("dp_kmeans requires positive epsilon and radius, got {epsilon}, {radius}"),
+        });
+    }
+    let iters = config.max_iters.max(1);
+    let eps_per_iter = epsilon / iters as f64;
+    let eps_counts = eps_per_iter / 2.0;
+    let eps_sums = eps_per_iter / 2.0;
+    let d = data.cols();
+
+    // Initialize centroids privately: random points in the data bounding box
+    // would be data-dependent, so use random points in [-radius, radius]^d
+    // (data independent, costs no budget).
+    let mut centroids: Vec<Vec<f64>> = (0..config.k)
+        .map(|_| (0..d).map(|_| rng.gen_range(-radius..radius)).collect())
+        .collect();
+    let mut assignments = vec![0usize; data.rows()];
+
+    for _ in 0..iters {
+        assign(data, &centroids, &mut assignments);
+        let (sums, counts) = cluster_sums(data, &assignments, config.k);
+        for c in 0..config.k {
+            // Noisy count: sensitivity 1.
+            let noisy_count =
+                (counts[c] + sampling::laplace(rng, 1.0 / eps_counts)).max(1.0);
+            // Noisy sums: L1 sensitivity of the per-coordinate sum is radius.
+            let noisy_sum: Vec<f64> = sums[c]
+                .iter()
+                .map(|&s| s + sampling::laplace(rng, d as f64 * radius / eps_sums))
+                .collect();
+            centroids[c] = noisy_sum
+                .iter()
+                .map(|&s| (s / noisy_count).clamp(-radius, radius))
+                .collect();
+        }
+    }
+    assign(data, &centroids, &mut assignments);
+    let inertia = compute_inertia(data, &centroids, &assignments);
+    Ok(KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations: iters,
+    })
+}
+
+fn validate(data: &Matrix, config: &KMeansConfig) -> Result<()> {
+    if config.k == 0 {
+        return Err(MixtureError::InvalidParameter {
+            msg: "k must be positive".to_string(),
+        });
+    }
+    if data.rows() == 0 || data.cols() == 0 {
+        return Err(MixtureError::InvalidData {
+            msg: "empty data".to_string(),
+        });
+    }
+    if data.rows() < config.k {
+        return Err(MixtureError::InvalidData {
+            msg: format!("{} rows cannot form {} clusters", data.rows(), config.k),
+        });
+    }
+    Ok(())
+}
+
+/// k-means++ seeding: the first centroid is uniform, each subsequent one is
+/// drawn with probability proportional to the squared distance to the
+/// nearest already-chosen centroid.
+fn kmeans_plus_plus_init<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, k: usize) -> Vec<Vec<f64>> {
+    let n = data.rows();
+    let first = rng.gen_range(0..n);
+    let mut centroids = vec![data.row(first).to_vec()];
+    let mut dist2: Vec<f64> = data
+        .row_iter()
+        .map(|row| vector::squared_distance(row, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let idx = sampling::categorical(rng, &dist2);
+        centroids.push(data.row(idx).to_vec());
+        let newest = centroids.last().expect("just pushed");
+        for (d2, row) in dist2.iter_mut().zip(data.row_iter()) {
+            let nd = vector::squared_distance(row, newest);
+            if nd < *d2 {
+                *d2 = nd;
+            }
+        }
+    }
+    centroids
+}
+
+fn assign(data: &Matrix, centroids: &[Vec<f64>], assignments: &mut [usize]) {
+    for (a, row) in assignments.iter_mut().zip(data.row_iter()) {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (c, centroid) in centroids.iter().enumerate() {
+            let d = vector::squared_distance(row, centroid);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *a = best;
+    }
+}
+
+fn cluster_sums(data: &Matrix, assignments: &[usize], k: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let d = data.cols();
+    let mut sums = vec![vec![0.0; d]; k];
+    let mut counts = vec![0.0; k];
+    for (row, &a) in data.row_iter().zip(assignments.iter()) {
+        vector::axpy(1.0, row, &mut sums[a]);
+        counts[a] += 1.0;
+    }
+    (sums, counts)
+}
+
+fn compute_inertia(data: &Matrix, centroids: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    data.row_iter()
+        .zip(assignments.iter())
+        .map(|(row, &a)| vector::squared_distance(row, &centroids[a]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    /// Three well-separated blobs in 2-D.
+    fn blobs(rng: &mut StdRng, per_cluster: usize) -> (Matrix, Vec<Vec<f64>>) {
+        let centers = vec![vec![-5.0, 0.0], vec![5.0, 0.0], vec![0.0, 8.0]];
+        let mut rows = Vec::new();
+        for c in &centers {
+            for _ in 0..per_cluster {
+                rows.push(vec![
+                    c[0] + sampling::normal(rng, 0.0, 0.3),
+                    c[1] + sampling::normal(rng, 0.0, 0.3),
+                ]);
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), centers)
+    }
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let mut r = rng();
+        let (data, centers) = blobs(&mut r, 60);
+        let res = kmeans(
+            &mut r,
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Every true center has a recovered centroid within 0.5.
+        for c in &centers {
+            let nearest = res
+                .centroids
+                .iter()
+                .map(|f| vector::distance(f, c))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 0.5, "center {c:?} not recovered ({nearest})");
+        }
+        // Inertia is small relative to the cluster spread.
+        assert!(res.inertia / (data.rows() as f64) < 0.5);
+        assert!(res.iterations >= 1);
+        assert_eq!(res.assignments.len(), data.rows());
+    }
+
+    #[test]
+    fn single_cluster_is_the_mean() {
+        let mut r = rng();
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![2.0, 2.0], vec![4.0, 4.0]]).unwrap();
+        let res = kmeans(
+            &mut r,
+            &data,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((res.centroids[0][0] - 2.0).abs() < 1e-9);
+        assert!((res.centroids[0][1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut r = rng();
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert!(kmeans(&mut r, &data, &KMeansConfig { k: 0, ..Default::default() }).is_err());
+        assert!(kmeans(&mut r, &data, &KMeansConfig { k: 5, ..Default::default() }).is_err());
+        assert!(kmeans(&mut r, &Matrix::zeros(0, 2), &KMeansConfig::default()).is_err());
+        assert!(dp_kmeans(&mut r, &data, &KMeansConfig { k: 1, ..Default::default() }, 0.0, 1.0)
+            .is_err());
+        assert!(
+            dp_kmeans(&mut r, &data, &KMeansConfig { k: 1, ..Default::default() }, 1.0, 0.0)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn dp_kmeans_with_large_budget_close_to_nonprivate() {
+        let mut r = rng();
+        let (data, centers) = blobs(&mut r, 80);
+        // Scale data into [-1, 1]-ish radius 10 box (already is).
+        let res = dp_kmeans(
+            &mut r,
+            &data,
+            &KMeansConfig {
+                k: 3,
+                max_iters: 8,
+                tolerance: 1e-6,
+            },
+            1000.0, // effectively non-private
+            10.0,
+        )
+        .unwrap();
+        for c in &centers {
+            let nearest = res
+                .centroids
+                .iter()
+                .map(|f| vector::distance(f, c))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 1.0, "center {c:?} not recovered ({nearest})");
+        }
+    }
+
+    #[test]
+    fn dp_kmeans_noise_degrades_with_small_budget() {
+        let mut r = rng();
+        let (data, _) = blobs(&mut r, 80);
+        let cfg = KMeansConfig {
+            k: 3,
+            max_iters: 5,
+            tolerance: 1e-6,
+        };
+        let tight = dp_kmeans(&mut r, &data, &cfg, 0.05, 10.0).unwrap();
+        let loose = dp_kmeans(&mut r, &data, &cfg, 1000.0, 10.0).unwrap();
+        assert!(
+            tight.inertia > loose.inertia,
+            "tight {} vs loose {}",
+            tight.inertia,
+            loose.inertia
+        );
+        // Centroids stay inside the clipping box.
+        for c in &tight.centroids {
+            assert!(c.iter().all(|&x| x.abs() <= 10.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn kmeans_plus_plus_produces_distinct_centroids_on_separated_data() {
+        let mut r = rng();
+        let (data, _) = blobs(&mut r, 30);
+        let centroids = kmeans_plus_plus_init(&mut r, &data, 3);
+        assert_eq!(centroids.len(), 3);
+        // With well separated blobs, k-means++ should pick three points that
+        // are far apart with overwhelming probability.
+        let d01 = vector::distance(&centroids[0], &centroids[1]);
+        let d02 = vector::distance(&centroids[0], &centroids[2]);
+        let d12 = vector::distance(&centroids[1], &centroids[2]);
+        assert!(d01 > 1.0 && d02 > 1.0 && d12 > 1.0, "{d01} {d02} {d12}");
+    }
+}

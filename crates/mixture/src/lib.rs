@@ -1,0 +1,85 @@
+//! # p3gm-mixture
+//!
+//! Gaussian mixture models and clustering for the P3GM reproduction.
+//!
+//! P3GM's Encoding Phase fits a mixture of Gaussians `r_λ(z)` to the
+//! PCA-projected data with a differentially private EM algorithm (DP-EM,
+//! Park et al.), and its Decoding Phase evaluates the KL divergence between
+//! the encoder's diagonal Gaussian and that mixture (via the Hershey–Olsen
+//! approximation).  The DP-GM baseline additionally needs (private) k-means.
+//! This crate provides all of it:
+//!
+//! * [`gmm`] — the [`gmm::Gmm`] model: densities, responsibilities,
+//!   sampling, and the KL terms used in the ELBO.
+//! * [`em`] — maximum-likelihood EM fitting.
+//! * [`dpem`] — DP-EM: EM whose M-step statistics are released through the
+//!   Gaussian mechanism (paper §II-D).
+//! * [`kmeans`] — Lloyd's k-means with k-means++ seeding, plus a
+//!   differentially private variant used by the DP-GM baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dpem;
+pub mod em;
+pub mod gmm;
+pub mod kmeans;
+
+pub use dpem::{DpEmConfig, DpEmResult};
+pub use em::{EmConfig, EmResult};
+pub use gmm::Gmm;
+pub use kmeans::{dp_kmeans, kmeans, KMeansConfig, KMeansResult};
+
+/// Errors produced by mixture-model fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MixtureError {
+    /// Invalid hyper-parameter (zero components, non-positive noise, …).
+    InvalidParameter {
+        /// Description of the problem.
+        msg: String,
+    },
+    /// The input data was empty or inconsistent.
+    InvalidData {
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A numerical failure (e.g. covariance factorization) that could not be
+    /// repaired by regularization.
+    Numerical {
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for MixtureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MixtureError::InvalidParameter { msg } => write!(f, "invalid parameter: {msg}"),
+            MixtureError::InvalidData { msg } => write!(f, "invalid data: {msg}"),
+            MixtureError::Numerical { msg } => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MixtureError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, MixtureError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(MixtureError::InvalidParameter { msg: "k = 0".into() }
+            .to_string()
+            .contains("k = 0"));
+        assert!(MixtureError::InvalidData { msg: "empty".into() }
+            .to_string()
+            .contains("empty"));
+        assert!(MixtureError::Numerical { msg: "singular".into() }
+            .to_string()
+            .contains("singular"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Element-wise activation functions with derivatives.
+
+/// The activation functions used by the networks in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (no non-linearity). Used for output layers whose
+    /// non-linearity lives inside the loss (logits).
+    Identity,
+    /// Rectified linear unit, `max(0, x)`.
+    Relu,
+    /// Logistic sigmoid, `1 / (1 + exp(-x))`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Softplus, `log(1 + exp(x))` — a smooth positive function used when a
+    /// network must output a strictly positive quantity (e.g. a variance).
+    Softplus,
+}
+
+impl Activation {
+    /// Applies the activation to a single value.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Tanh => x.tanh(),
+            Activation::Softplus => softplus(x),
+        }
+    }
+
+    /// Derivative of the activation evaluated at the **pre-activation**
+    /// value `x`.
+    #[inline]
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Softplus => sigmoid(x),
+        }
+    }
+
+    /// Applies the activation element-wise to a slice, returning a new
+    /// vector.
+    pub fn apply_vec(self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.apply(x)).collect()
+    }
+
+    /// Multiplies `grad` element-wise by the derivative evaluated at the
+    /// pre-activation values `pre`, in place. This is the backward pass of
+    /// an element-wise activation.
+    pub fn backprop_inplace(self, pre: &[f64], grad: &mut [f64]) {
+        debug_assert_eq!(pre.len(), grad.len());
+        for (g, &z) in grad.iter_mut().zip(pre.iter()) {
+            *g *= self.derivative(z);
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softplus `log(1 + exp(x))`.
+#[inline]
+pub fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACTS: [Activation; 5] = [
+        Activation::Identity,
+        Activation::Relu,
+        Activation::Sigmoid,
+        Activation::Tanh,
+        Activation::Softplus,
+    ];
+
+    #[test]
+    fn known_values() {
+        assert_eq!(Activation::Identity.apply(-2.5), -2.5);
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-12);
+        assert!((Activation::Softplus.apply(0.0) - 2.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for act in ACTS {
+            for &x in &[-2.0, -0.5, 0.3, 1.7] {
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let analytic = act.derivative(x);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {x}: numeric {numeric}, analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(1000.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-1000.0) < 1e-12);
+        assert!(!sigmoid(750.0).is_nan());
+        assert!(!sigmoid(-750.0).is_nan());
+    }
+
+    #[test]
+    fn softplus_is_stable_at_extremes() {
+        assert!((softplus(100.0) - 100.0).abs() < 1e-9);
+        assert!(softplus(-100.0) > 0.0);
+        assert!(softplus(-100.0) < 1e-9);
+        assert!(!softplus(750.0).is_nan());
+    }
+
+    #[test]
+    fn apply_vec_and_backprop() {
+        let pre = vec![-1.0, 0.5, 2.0];
+        let out = Activation::Relu.apply_vec(&pre);
+        assert_eq!(out, vec![0.0, 0.5, 2.0]);
+        let mut grad = vec![1.0, 1.0, 1.0];
+        Activation::Relu.backprop_inplace(&pre, &mut grad);
+        assert_eq!(grad, vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_derivative_at_zero_is_zero() {
+        // Convention: subgradient 0 at the kink.
+        assert_eq!(Activation::Relu.derivative(0.0), 0.0);
+    }
+}

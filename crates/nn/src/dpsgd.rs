@@ -1,0 +1,177 @@
+//! DP-SGD: differentially private stochastic gradient descent (paper §II-D).
+//!
+//! This module glues the per-example gradients produced by [`crate::mlp`]
+//! to the gradient-privatization primitive in `p3gm-privacy` and an
+//! [`crate::optimizer`] step.  The privacy *accounting* for the resulting
+//! training run lives in `p3gm-privacy::rdp` — the trainer here only reports
+//! the (steps, sampling-rate, noise) triple the accountant needs.
+
+use crate::optimizer::Optimizer;
+use p3gm_privacy::mechanisms::privatize_gradient_sum;
+use p3gm_privacy::PrivacyError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyper-parameters of a DP-SGD run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpSgdConfig {
+    /// Per-example gradient clipping norm `C`.
+    pub clip_norm: f64,
+    /// Noise multiplier σ (noise std is `σ · C`).
+    pub noise_multiplier: f64,
+    /// Expected lot (batch) size `B`.
+    pub batch_size: usize,
+}
+
+impl Default for DpSgdConfig {
+    fn default() -> Self {
+        DpSgdConfig {
+            clip_norm: 1.0,
+            noise_multiplier: 1.0,
+            batch_size: 256,
+        }
+    }
+}
+
+impl DpSgdConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), PrivacyError> {
+        if self.clip_norm <= 0.0 || self.noise_multiplier < 0.0 || self.batch_size == 0 {
+            return Err(PrivacyError::InvalidParameter {
+                msg: format!("invalid DP-SGD configuration: {self:?}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// The sampling probability `q = B / N` used by the privacy accountant
+    /// for a dataset of `n` records.
+    pub fn sampling_probability(&self, n: usize) -> f64 {
+        (self.batch_size as f64 / n.max(1) as f64).min(1.0)
+    }
+
+    /// Privatizes a batch of per-example gradients and applies one optimizer
+    /// step to `params`. Returns the privatized average gradient (useful for
+    /// logging gradient norms).
+    pub fn step<R: Rng + ?Sized, O: Optimizer + ?Sized>(
+        &self,
+        rng: &mut R,
+        per_example_grads: &[Vec<f64>],
+        params: &mut [f64],
+        optimizer: &mut O,
+    ) -> Result<Vec<f64>, PrivacyError> {
+        self.validate()?;
+        let noisy = privatize_gradient_sum(
+            rng,
+            per_example_grads,
+            self.clip_norm,
+            self.noise_multiplier,
+            self.batch_size,
+        )?;
+        optimizer.step(params, &noisy);
+        Ok(noisy)
+    }
+}
+
+/// Samples a lot of `batch_size` example indices uniformly without
+/// replacement from `0..n` (the paper assumes uniformly sampled batches, so
+/// the sampling probability of any one record is `B/N`).
+pub fn sample_batch_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, batch_size: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.truncate(batch_size.min(n));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Sgd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DpSgdConfig::default().validate().is_ok());
+        assert!(DpSgdConfig {
+            clip_norm: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DpSgdConfig {
+            noise_multiplier: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DpSgdConfig {
+            batch_size: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn sampling_probability_clamped() {
+        let cfg = DpSgdConfig {
+            batch_size: 100,
+            ..Default::default()
+        };
+        assert!((cfg.sampling_probability(1000) - 0.1).abs() < 1e-12);
+        assert_eq!(cfg.sampling_probability(50), 1.0);
+    }
+
+    #[test]
+    fn step_without_noise_is_clipped_sgd() {
+        let mut r = rng();
+        let cfg = DpSgdConfig {
+            clip_norm: 1.0,
+            noise_multiplier: 0.0,
+            batch_size: 2,
+        };
+        let mut params = vec![0.0, 0.0];
+        let mut opt = Sgd::new(1.0);
+        // Two identical unit-norm gradients → average is the gradient itself.
+        let grads = vec![vec![0.6, 0.8], vec![0.6, 0.8]];
+        let noisy = cfg.step(&mut r, &grads, &mut params, &mut opt).unwrap();
+        assert!((noisy[0] - 0.6).abs() < 1e-12);
+        assert!((params[0] + 0.6).abs() < 1e-12);
+        assert!((params[1] + 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_with_noise_changes_params() {
+        let mut r = rng();
+        let cfg = DpSgdConfig {
+            clip_norm: 1.0,
+            noise_multiplier: 2.0,
+            batch_size: 4,
+        };
+        let mut params = vec![0.0; 8];
+        let mut opt = Sgd::new(0.1);
+        let grads = vec![vec![0.0; 8]; 4];
+        cfg.step(&mut r, &grads, &mut params, &mut opt).unwrap();
+        // Pure noise: parameters moved away from zero.
+        assert!(params.iter().any(|&p| p.abs() > 1e-6));
+    }
+
+    #[test]
+    fn batch_indices_are_unique_and_in_range() {
+        let mut r = rng();
+        let idx = sample_batch_indices(&mut r, 100, 32);
+        assert_eq!(idx.len(), 32);
+        assert!(idx.iter().all(|&i| i < 100));
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 32);
+        // Requesting more than n clamps.
+        assert_eq!(sample_batch_indices(&mut r, 5, 32).len(), 5);
+    }
+}

@@ -1,0 +1,389 @@
+//! Multi-layer perceptron with per-example backpropagation and flat
+//! parameter/gradient vectors.
+//!
+//! DP-SGD needs the gradient of the loss with respect to **all** parameters
+//! of a model for **each individual example** (so it can clip per-example
+//! norms before aggregation).  The [`Mlp`] therefore exposes its parameters
+//! as one flat `Vec<f64>` and its backward pass produces a matching flat
+//! gradient, which `p3gm-privacy::privatize_gradient_sum` consumes directly.
+
+use crate::activation::Activation;
+use crate::linear::Linear;
+use rand::Rng;
+
+/// A fully-connected feed-forward network.
+///
+/// Hidden layers use `hidden_activation`; the final layer uses
+/// `output_activation` (typically [`Activation::Identity`], with any output
+/// non-linearity folded into the loss as logits).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+/// Intermediate values cached during a forward pass, needed by backward.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    /// Input to each layer (`inputs[0]` is the network input).
+    inputs: Vec<Vec<f64>>,
+    /// Pre-activation output of each layer.
+    pre_activations: Vec<Vec<f64>>,
+    /// Post-activation output of the final layer.
+    output: Vec<f64>,
+}
+
+impl MlpCache {
+    /// The network output recorded in this cache.
+    pub fn output(&self) -> &[f64] {
+        &self.output
+    }
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `[784, 1000, 10]`
+    /// creates two `Linear` layers (`784→1000`, `1000→10`).
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        sizes: &[usize],
+        hidden_activation: Activation,
+        output_activation: Activation,
+    ) -> Self {
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least an input and an output size"
+        );
+        let layers = sizes
+            .windows(2)
+            .map(|w| match hidden_activation {
+                Activation::Relu => Linear::new_he(rng, w[0], w[1]),
+                _ => Linear::new_xavier(rng, w[0], w[1]),
+            })
+            .collect();
+        Mlp {
+            layers,
+            hidden_activation,
+            output_activation,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map(Linear::in_dim).unwrap_or(0)
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map(Linear::out_dim).unwrap_or(0)
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Linear::num_params).sum()
+    }
+
+    /// Returns all parameters as one flat vector (layer by layer, weights
+    /// then biases).
+    pub fn params(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_params()];
+        let mut offset = 0;
+        for layer in &self.layers {
+            offset += layer.write_params(&mut out[offset..offset + layer.num_params()]);
+        }
+        debug_assert_eq!(offset, out.len());
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector produced by
+    /// [`Mlp::params`].
+    ///
+    /// # Panics
+    /// Panics if the length does not match [`Mlp::num_params`].
+    pub fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.num_params(), "parameter length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            offset += layer.read_params(&params[offset..offset + layer.num_params()]);
+        }
+    }
+
+    /// Plain forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut h = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(&h);
+            let act = if i == last {
+                self.output_activation
+            } else {
+                self.hidden_activation
+            };
+            h = act.apply_vec(&z);
+        }
+        h
+    }
+
+    /// Forward pass that records the intermediate values needed by
+    /// [`Mlp::backward`].
+    pub fn forward_cached(&self, x: &[f64]) -> MlpCache {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pre_activations = Vec::with_capacity(self.layers.len());
+        let mut h = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            inputs.push(h.clone());
+            let z = layer.forward(&h);
+            let act = if i == last {
+                self.output_activation
+            } else {
+                self.hidden_activation
+            };
+            h = act.apply_vec(&z);
+            pre_activations.push(z);
+        }
+        MlpCache {
+            inputs,
+            pre_activations,
+            output: h,
+        }
+    }
+
+    /// Backward pass for one example.
+    ///
+    /// `grad_output` is the gradient of the loss with respect to the
+    /// network's (post-activation) output. The parameter gradient is
+    /// **accumulated** into `grad_params` (flat, same layout as
+    /// [`Mlp::params`]); the return value is the gradient with respect to
+    /// the network input.
+    pub fn backward(
+        &self,
+        cache: &MlpCache,
+        grad_output: &[f64],
+        grad_params: &mut [f64],
+    ) -> Vec<f64> {
+        assert_eq!(grad_params.len(), self.num_params());
+        assert_eq!(grad_output.len(), self.out_dim());
+
+        // Pre-compute flat offsets of each layer.
+        let mut offsets = Vec::with_capacity(self.layers.len());
+        let mut acc = 0;
+        for layer in &self.layers {
+            offsets.push(acc);
+            acc += layer.num_params();
+        }
+
+        let last = self.layers.len() - 1;
+        let mut grad = grad_output.to_vec();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let act = if i == last {
+                self.output_activation
+            } else {
+                self.hidden_activation
+            };
+            act.backprop_inplace(&cache.pre_activations[i], &mut grad);
+            let start = offsets[i];
+            let w_len = layer.in_dim() * layer.out_dim();
+            let (gw, gb) = grad_params[start..start + layer.num_params()]
+                .split_at_mut(w_len);
+            grad = layer.backward(&cache.inputs[i], &grad, gw, gb);
+        }
+        grad
+    }
+
+    /// Convenience: computes the per-example flat gradient for a loss whose
+    /// gradient with respect to the output is supplied by `loss_grad`
+    /// (a fresh zeroed buffer is allocated).
+    pub fn example_gradient(&self, x: &[f64], grad_output: &[f64]) -> Vec<f64> {
+        let cache = self.forward_cached(x);
+        let mut grads = vec![0.0; self.num_params()];
+        self.backward(&cache, grad_output, &mut grads);
+        grads
+    }
+
+    /// Applies a gradient-descent style update `params -= lr * grad` (used
+    /// by tests and by simple non-private training loops; real training uses
+    /// the [`crate::optimizer`] module).
+    pub fn apply_gradient(&mut self, grad: &[f64], lr: f64) {
+        let mut params = self.params();
+        assert_eq!(grad.len(), params.len());
+        for (p, &g) in params.iter_mut().zip(grad.iter()) {
+            *p -= lr * g;
+        }
+        self.set_params(&params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mut r = rng();
+        let mlp = Mlp::new(&mut r, &[4, 8, 3], Activation::Relu, Activation::Identity);
+        assert_eq!(mlp.in_dim(), 4);
+        assert_eq!(mlp.out_dim(), 3);
+        assert_eq!(mlp.num_layers(), 2);
+        assert_eq!(mlp.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(mlp.forward(&[0.1, 0.2, 0.3, 0.4]).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least an input and an output")]
+    fn rejects_single_size() {
+        let mut r = rng();
+        let _ = Mlp::new(&mut r, &[4], Activation::Relu, Activation::Identity);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut r = rng();
+        let mlp = Mlp::new(&mut r, &[3, 5, 2], Activation::Tanh, Activation::Identity);
+        let p = mlp.params();
+        let mut other = Mlp::new(&mut r, &[3, 5, 2], Activation::Tanh, Activation::Identity);
+        other.set_params(&p);
+        let x = [0.5, -0.5, 1.0];
+        let a = mlp.forward(&x);
+        let b = other.forward(&x);
+        for (u, v) in a.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_cached_output_matches_forward() {
+        let mut r = rng();
+        let mlp = Mlp::new(&mut r, &[3, 6, 2], Activation::Relu, Activation::Sigmoid);
+        let x = [0.2, -0.4, 0.9];
+        let cache = mlp.forward_cached(&x);
+        let direct = mlp.forward(&x);
+        for (a, b) in cache.output().iter().zip(direct.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut r = rng();
+        let mlp = Mlp::new(&mut r, &[3, 5, 2], Activation::Tanh, Activation::Identity);
+        let x = [0.3, -0.2, 0.8];
+        let target = [0.7, -0.4];
+
+        // Loss: MSE between output and target.
+        let loss_of = |m: &Mlp| -> f64 {
+            let y = m.forward(&x);
+            loss::mse(&y, &target).0
+        };
+
+        let cache = mlp.forward_cached(&x);
+        let (_, grad_out) = loss::mse(cache.output(), &target);
+        let mut grads = vec![0.0; mlp.num_params()];
+        mlp.backward(&cache, &grad_out, &mut grads);
+
+        let params = mlp.params();
+        let h = 1e-5;
+        // Spot-check a spread of parameters (checking all ~30 is fine too).
+        for k in (0..params.len()).step_by(3) {
+            let mut plus = mlp.clone();
+            let mut p = params.clone();
+            p[k] += h;
+            plus.set_params(&p);
+            let mut minus = mlp.clone();
+            let mut p = params.clone();
+            p[k] -= h;
+            minus.set_params(&p);
+            let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * h);
+            assert!(
+                (numeric - grads[k]).abs() < 1e-4,
+                "param {k}: numeric {numeric} vs analytic {}",
+                grads[k]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_input_gradient_matches_finite_differences() {
+        let mut r = rng();
+        let mlp = Mlp::new(&mut r, &[3, 4, 1], Activation::Relu, Activation::Identity);
+        let x = [0.3, 0.6, -0.1];
+        let cache = mlp.forward_cached(&x);
+        let grad_out = [1.0];
+        let mut grads = vec![0.0; mlp.num_params()];
+        let grad_x = mlp.backward(&cache, &grad_out, &mut grads);
+        let h = 1e-6;
+        for k in 0..x.len() {
+            let mut xp = x;
+            xp[k] += h;
+            let mut xm = x;
+            xm[k] -= h;
+            let numeric = (mlp.forward(&xp)[0] - mlp.forward(&xm)[0]) / (2.0 * h);
+            assert!((numeric - grad_x[k]).abs() < 1e-5, "x[{k}]");
+        }
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss() {
+        let mut r = rng();
+        let mut mlp = Mlp::new(&mut r, &[2, 8, 1], Activation::Relu, Activation::Identity);
+        // Fit the function y = x0 + 2*x1 on a few points.
+        let data = [
+            ([0.0, 0.0], 0.0),
+            ([1.0, 0.0], 1.0),
+            ([0.0, 1.0], 2.0),
+            ([1.0, 1.0], 3.0),
+            ([0.5, 0.5], 1.5),
+        ];
+        let total_loss = |m: &Mlp| -> f64 {
+            data.iter()
+                .map(|(x, y)| loss::mse(&m.forward(x), &[*y]).0)
+                .sum::<f64>()
+        };
+        let before = total_loss(&mlp);
+        for _ in 0..300 {
+            let mut grads = vec![0.0; mlp.num_params()];
+            for (x, y) in &data {
+                let cache = mlp.forward_cached(x);
+                let (_, g) = loss::mse(cache.output(), &[*y]);
+                mlp.backward(&cache, &g, &mut grads);
+            }
+            for g in &mut grads {
+                *g /= data.len() as f64;
+            }
+            mlp.apply_gradient(&grads, 0.05);
+        }
+        let after = total_loss(&mlp);
+        assert!(
+            after < before * 0.1,
+            "training failed to reduce loss: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn example_gradient_matches_manual_backward() {
+        let mut r = rng();
+        let mlp = Mlp::new(&mut r, &[2, 3, 2], Activation::Relu, Activation::Identity);
+        let x = [0.4, -0.6];
+        let g_out = [1.0, -1.0];
+        let auto = mlp.example_gradient(&x, &g_out);
+        let cache = mlp.forward_cached(&x);
+        let mut manual = vec![0.0; mlp.num_params()];
+        mlp.backward(&cache, &g_out, &mut manual);
+        assert_eq!(auto, manual);
+    }
+}

@@ -1,0 +1,263 @@
+//! Categorical encodings: one-hot encoding (for labels appended to the
+//! generative model's input, paper §IV-E) and equal-width discretization
+//! (for the PrivBayes baseline, which operates on discrete attributes).
+
+use crate::{PreprocessError, Result};
+use p3gm_linalg::Matrix;
+
+/// One-hot encoder for integer class labels `0..n_classes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OneHotEncoder {
+    n_classes: usize,
+}
+
+impl OneHotEncoder {
+    /// Creates an encoder for the given number of classes.
+    pub fn new(n_classes: usize) -> Result<Self> {
+        if n_classes == 0 {
+            return Err(PreprocessError::InvalidParameter {
+                msg: "n_classes must be positive".to_string(),
+            });
+        }
+        Ok(OneHotEncoder { n_classes })
+    }
+
+    /// The number of classes (and the encoded width).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Encodes a label as a one-hot vector.
+    pub fn encode(&self, label: usize) -> Result<Vec<f64>> {
+        if label >= self.n_classes {
+            return Err(PreprocessError::InvalidData {
+                msg: format!("label {label} out of range for {} classes", self.n_classes),
+            });
+        }
+        let mut v = vec![0.0; self.n_classes];
+        v[label] = 1.0;
+        Ok(v)
+    }
+
+    /// Decodes a (possibly soft) one-hot vector back to the argmax label.
+    pub fn decode(&self, encoded: &[f64]) -> Result<usize> {
+        if encoded.len() != self.n_classes {
+            return Err(PreprocessError::InvalidData {
+                msg: format!(
+                    "expected {} entries, got {}",
+                    self.n_classes,
+                    encoded.len()
+                ),
+            });
+        }
+        p3gm_linalg::vector::argmax(encoded).ok_or_else(|| PreprocessError::InvalidData {
+            msg: "cannot decode an all-NaN vector".to_string(),
+        })
+    }
+
+    /// Appends the one-hot encoding of each label to the corresponding row
+    /// of `data` — this is how P3GM attaches labels so that sampled data
+    /// carries a label (paper §IV-E).
+    pub fn append_to_rows(&self, data: &Matrix, labels: &[usize]) -> Result<Matrix> {
+        if data.rows() != labels.len() {
+            return Err(PreprocessError::InvalidData {
+                msg: format!(
+                    "{} rows but {} labels",
+                    data.rows(),
+                    labels.len()
+                ),
+            });
+        }
+        let rows: Vec<Vec<f64>> = data
+            .row_iter()
+            .zip(labels.iter())
+            .map(|(row, &label)| {
+                let mut r = row.to_vec();
+                r.extend(self.encode(label)?);
+                Ok(r)
+            })
+            .collect::<Result<_>>()?;
+        Matrix::from_rows(&rows).map_err(|e| PreprocessError::Numerical { msg: e.to_string() })
+    }
+
+    /// Splits rows produced by [`OneHotEncoder::append_to_rows`] back into
+    /// features and decoded labels.
+    pub fn split_rows(&self, data: &Matrix) -> Result<(Matrix, Vec<usize>)> {
+        if data.cols() <= self.n_classes {
+            return Err(PreprocessError::InvalidData {
+                msg: format!(
+                    "{} columns cannot contain {} label columns plus features",
+                    data.cols(),
+                    self.n_classes
+                ),
+            });
+        }
+        let feature_cols = data.cols() - self.n_classes;
+        let mut feature_rows = Vec::with_capacity(data.rows());
+        let mut labels = Vec::with_capacity(data.rows());
+        for row in data.row_iter() {
+            feature_rows.push(row[..feature_cols].to_vec());
+            labels.push(self.decode(&row[feature_cols..])?);
+        }
+        let features = Matrix::from_rows(&feature_rows)
+            .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })?;
+        Ok((features, labels))
+    }
+}
+
+/// Equal-width discretizer mapping continuous features to bin indices
+/// `0..n_bins` (per feature), used by the PrivBayes baseline.
+#[derive(Debug, Clone)]
+pub struct Discretizer {
+    n_bins: usize,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl Discretizer {
+    /// Fits equal-width bins per feature.
+    pub fn fit(data: &Matrix, n_bins: usize) -> Result<Self> {
+        if n_bins < 2 {
+            return Err(PreprocessError::InvalidParameter {
+                msg: format!("need at least 2 bins, got {n_bins}"),
+            });
+        }
+        let (mins, maxs) = p3gm_linalg::stats::column_min_max(data)
+            .map_err(|e| PreprocessError::InvalidData { msg: e.to_string() })?;
+        Ok(Discretizer { n_bins, mins, maxs })
+    }
+
+    /// Number of bins per feature.
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Maps one row to per-feature bin indices.
+    pub fn transform_row(&self, x: &[f64]) -> Result<Vec<usize>> {
+        if x.len() != self.mins.len() {
+            return Err(PreprocessError::InvalidData {
+                msg: format!("expected {} features, got {}", self.mins.len(), x.len()),
+            });
+        }
+        Ok(x.iter()
+            .zip(self.mins.iter().zip(self.maxs.iter()))
+            .map(|(&v, (&lo, &hi))| {
+                if hi <= lo {
+                    0
+                } else {
+                    let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+                    ((frac * self.n_bins as f64) as usize).min(self.n_bins - 1)
+                }
+            })
+            .collect())
+    }
+
+    /// Maps every row of a matrix to bin indices.
+    pub fn transform(&self, data: &Matrix) -> Result<Vec<Vec<usize>>> {
+        data.row_iter().map(|r| self.transform_row(r)).collect()
+    }
+
+    /// Maps a row of bin indices back to the bin centres in original units.
+    pub fn inverse_transform_row(&self, bins: &[usize]) -> Result<Vec<f64>> {
+        if bins.len() != self.mins.len() {
+            return Err(PreprocessError::InvalidData {
+                msg: format!("expected {} features, got {}", self.mins.len(), bins.len()),
+            });
+        }
+        Ok(bins
+            .iter()
+            .zip(self.mins.iter().zip(self.maxs.iter()))
+            .map(|(&b, (&lo, &hi))| {
+                if hi <= lo {
+                    lo
+                } else {
+                    let width = (hi - lo) / self.n_bins as f64;
+                    lo + (b.min(self.n_bins - 1) as f64 + 0.5) * width
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_roundtrip() {
+        let enc = OneHotEncoder::new(3).unwrap();
+        assert_eq!(enc.n_classes(), 3);
+        assert_eq!(enc.encode(1).unwrap(), vec![0.0, 1.0, 0.0]);
+        assert_eq!(enc.decode(&[0.1, 0.2, 0.9]).unwrap(), 2);
+        assert!(enc.encode(3).is_err());
+        assert!(enc.decode(&[0.1, 0.2]).is_err());
+        assert!(OneHotEncoder::new(0).is_err());
+    }
+
+    #[test]
+    fn append_and_split_rows() {
+        let enc = OneHotEncoder::new(2).unwrap();
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let labels = vec![0, 1];
+        let combined = enc.append_to_rows(&data, &labels).unwrap();
+        assert_eq!(combined.shape(), (2, 4));
+        assert_eq!(combined.row(0), &[1.0, 2.0, 1.0, 0.0]);
+        assert_eq!(combined.row(1), &[3.0, 4.0, 0.0, 1.0]);
+        let (features, decoded) = enc.split_rows(&combined).unwrap();
+        assert!(features.approx_eq(&data, 0.0));
+        assert_eq!(decoded, labels);
+        // Errors.
+        assert!(enc.append_to_rows(&data, &[0]).is_err());
+        assert!(enc.split_rows(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn discretizer_bins_and_centres() {
+        let data = Matrix::from_rows(&[vec![0.0, 5.0], vec![10.0, 5.0], vec![5.0, 5.0]]).unwrap();
+        let disc = Discretizer::fit(&data, 4).unwrap();
+        assert_eq!(disc.n_bins(), 4);
+        assert_eq!(disc.n_features(), 2);
+        // 0 → bin 0, 10 → last bin, 5 → bin 2; constant feature → bin 0.
+        assert_eq!(disc.transform_row(&[0.0, 5.0]).unwrap(), vec![0, 0]);
+        assert_eq!(disc.transform_row(&[10.0, 5.0]).unwrap(), vec![3, 0]);
+        assert_eq!(disc.transform_row(&[5.0, 5.0]).unwrap(), vec![2, 0]);
+        // Out-of-range values clamp to the extreme bins.
+        assert_eq!(disc.transform_row(&[-5.0, 5.0]).unwrap()[0], 0);
+        assert_eq!(disc.transform_row(&[50.0, 5.0]).unwrap()[0], 3);
+        // Centres are inside the original range.
+        let centres = disc.inverse_transform_row(&[0, 0]).unwrap();
+        assert!((centres[0] - 1.25).abs() < 1e-12);
+        assert_eq!(centres[1], 5.0);
+        let centres = disc.inverse_transform_row(&[3, 0]).unwrap();
+        assert!((centres[0] - 8.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discretizer_transform_matrix_and_errors() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let disc = Discretizer::fit(&data, 2).unwrap();
+        let bins = disc.transform(&data).unwrap();
+        assert_eq!(bins, vec![vec![0], vec![1]]);
+        assert!(disc.transform_row(&[0.0, 1.0]).is_err());
+        assert!(disc.inverse_transform_row(&[0, 1]).is_err());
+        assert!(Discretizer::fit(&data, 1).is_err());
+        assert!(Discretizer::fit(&Matrix::zeros(0, 1), 3).is_err());
+    }
+
+    #[test]
+    fn discretizer_roundtrip_preserves_bin() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![100.0]]).unwrap();
+        let disc = Discretizer::fit(&data, 10).unwrap();
+        for v in [3.0, 47.0, 99.0] {
+            let bin = disc.transform_row(&[v]).unwrap();
+            let centre = disc.inverse_transform_row(&bin).unwrap();
+            let bin2 = disc.transform_row(&centre).unwrap();
+            assert_eq!(bin, bin2, "value {v}");
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Principal component analysis, exact and differentially private.
+//!
+//! P3GM uses PCA as the dimensionality reduction `f` of its Encoding Phase
+//! and fixes the encoder mean to `µ_φ(x) = f(x)` (paper Eq. (6)).  The
+//! private variant perturbs the second-moment matrix with a Wishart noise
+//! matrix whose scale matrix has `d` equal eigenvalues `3/(2nε)` (Jiang et
+//! al.; paper §II-D), which gives a pure (ε_p, 0)-DP release of the
+//! projection basis.  Following the paper's footnote 2, the column means
+//! used for centring are treated as publicly available.
+
+use crate::{PreprocessError, Result};
+use p3gm_linalg::{stats, Matrix, SymmetricEigen};
+use p3gm_privacy::mechanisms::wishart_noise;
+use rand::Rng;
+
+/// A fitted PCA transform: `z = Vᵀ (x − µ)` with `V` the `d x d'` matrix of
+/// leading eigenvectors.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `d x d'` matrix whose columns are the principal directions.
+    components: Matrix,
+    eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits an exact PCA with `n_components` output dimensions.
+    pub fn fit(data: &Matrix, n_components: usize) -> Result<Self> {
+        let (mean, cov) = mean_and_covariance(data, n_components)?;
+        Self::from_covariance(&cov, mean, n_components)
+    }
+
+    /// Builds a PCA from an already-computed covariance matrix and mean.
+    pub fn from_covariance(cov: &Matrix, mean: Vec<f64>, n_components: usize) -> Result<Self> {
+        let eigen = SymmetricEigen::new(cov).map_err(|e| PreprocessError::Numerical {
+            msg: format!("eigen-decomposition failed: {e}"),
+        })?;
+        let components = eigen.top_k_eigenvectors(n_components);
+        Ok(Pca {
+            mean,
+            components,
+            eigenvalues: eigen.eigenvalues,
+        })
+    }
+
+    /// The per-feature mean subtracted before projection.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The projection matrix (columns are principal directions).
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// All eigenvalues of the (possibly noisy) covariance, descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Number of output dimensions `d'`.
+    pub fn n_components(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// Input dimensionality `d`.
+    pub fn input_dim(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Fraction of spectrum mass captured by the kept components.
+    pub fn explained_variance_ratio(&self) -> f64 {
+        let total: f64 = self.eigenvalues.iter().map(|l| l.abs()).sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        self.eigenvalues[..self.n_components()]
+            .iter()
+            .map(|l| l.abs())
+            .sum::<f64>()
+            / total
+    }
+
+    /// Projects one row: `z = Vᵀ (x − µ)`.
+    pub fn transform_row(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.input_dim() {
+            return Err(PreprocessError::InvalidData {
+                msg: format!(
+                    "expected {} features, got {}",
+                    self.input_dim(),
+                    x.len()
+                ),
+            });
+        }
+        let centered: Vec<f64> = x.iter().zip(self.mean.iter()).map(|(a, m)| a - m).collect();
+        self.components
+            .vecmat(&centered)
+            .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })
+    }
+
+    /// Projects every row of a data matrix.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        let rows: Vec<Vec<f64>> = data
+            .row_iter()
+            .map(|r| self.transform_row(r))
+            .collect::<Result<_>>()?;
+        Matrix::from_rows(&rows).map_err(|e| PreprocessError::Numerical { msg: e.to_string() })
+    }
+
+    /// Reconstructs a row from its projection: `x ≈ V z + µ`.
+    pub fn inverse_transform_row(&self, z: &[f64]) -> Result<Vec<f64>> {
+        if z.len() != self.n_components() {
+            return Err(PreprocessError::InvalidData {
+                msg: format!(
+                    "expected {} components, got {}",
+                    self.n_components(),
+                    z.len()
+                ),
+            });
+        }
+        let mut x = self
+            .components
+            .matvec(z)
+            .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })?;
+        for (xi, m) in x.iter_mut().zip(self.mean.iter()) {
+            *xi += m;
+        }
+        Ok(x)
+    }
+
+    /// Reconstructs every row of a projected matrix.
+    pub fn inverse_transform(&self, data: &Matrix) -> Result<Matrix> {
+        let rows: Vec<Vec<f64>> = data
+            .row_iter()
+            .map(|r| self.inverse_transform_row(r))
+            .collect::<Result<_>>()?;
+        Matrix::from_rows(&rows).map_err(|e| PreprocessError::Numerical { msg: e.to_string() })
+    }
+
+    /// Mean squared reconstruction error over a dataset — the quantity the
+    /// Encoding Phase objective (paper Eq. (5)) minimizes.
+    pub fn reconstruction_error(&self, data: &Matrix) -> Result<f64> {
+        let mut total = 0.0;
+        for row in data.row_iter() {
+            let z = self.transform_row(row)?;
+            let back = self.inverse_transform_row(&z)?;
+            total += p3gm_linalg::vector::squared_distance(row, &back);
+        }
+        Ok(total / data.rows().max(1) as f64)
+    }
+}
+
+/// Differentially private PCA via the Wishart mechanism.
+///
+/// The covariance (second-moment) matrix is computed from rows that are
+/// assumed to lie in the unit L2 ball (callers should scale the data first;
+/// the sensitivity analysis of the Wishart mechanism requires it), then a
+/// Wishart noise matrix `W_d(d+1, C)` with `C = 3/(2nε) I` is added before
+/// the eigen-decomposition. The release satisfies (ε, 0)-DP, so the
+/// projection and everything derived from it are post-processing.
+#[derive(Debug, Clone)]
+pub struct DpPca {
+    inner: Pca,
+    epsilon: f64,
+}
+
+impl DpPca {
+    /// Fits a DP-PCA with the given output dimensionality and budget ε.
+    pub fn fit<R: Rng + ?Sized>(
+        rng: &mut R,
+        data: &Matrix,
+        n_components: usize,
+        epsilon: f64,
+    ) -> Result<Self> {
+        if epsilon <= 0.0 {
+            return Err(PreprocessError::InvalidParameter {
+                msg: format!("epsilon must be positive, got {epsilon}"),
+            });
+        }
+        let (mean, cov) = mean_and_covariance(data, n_components)?;
+        let noise = wishart_noise(rng, data.cols(), data.rows(), epsilon).map_err(|e| {
+            PreprocessError::Numerical {
+                msg: format!("Wishart noise sampling failed: {e}"),
+            }
+        })?;
+        let noisy = cov
+            .add(&noise)
+            .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })?;
+        let inner = Pca::from_covariance(&noisy, mean, n_components)?;
+        Ok(DpPca { inner, epsilon })
+    }
+
+    /// The privacy budget consumed by the fit.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Access to the fitted (noisy) PCA transform.
+    pub fn pca(&self) -> &Pca {
+        &self.inner
+    }
+
+    /// Projects one row.
+    pub fn transform_row(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.inner.transform_row(x)
+    }
+
+    /// Projects every row of a data matrix.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        self.inner.transform(data)
+    }
+
+    /// Reconstructs a row from its projection.
+    pub fn inverse_transform_row(&self, z: &[f64]) -> Result<Vec<f64>> {
+        self.inner.inverse_transform_row(z)
+    }
+
+    /// Number of output dimensions.
+    pub fn n_components(&self) -> usize {
+        self.inner.n_components()
+    }
+}
+
+fn mean_and_covariance(data: &Matrix, n_components: usize) -> Result<(Vec<f64>, Matrix)> {
+    if data.rows() == 0 || data.cols() == 0 {
+        return Err(PreprocessError::InvalidData {
+            msg: "empty data".to_string(),
+        });
+    }
+    if n_components == 0 || n_components > data.cols() {
+        return Err(PreprocessError::InvalidParameter {
+            msg: format!(
+                "n_components must be in 1..={}, got {}",
+                data.cols(),
+                n_components
+            ),
+        });
+    }
+    let mean = stats::column_means(data)
+        .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })?;
+    let cov = stats::covariance_matrix(data, Some(&mean))
+        .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })?;
+    Ok((mean, cov))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3gm_privacy::sampling;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(37)
+    }
+
+    /// Data lying mostly along the (1, 1, 0) direction in 3-D.
+    fn line_data(rng: &mut StdRng, n: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let t = sampling::normal(rng, 0.0, 2.0);
+                vec![
+                    t + sampling::normal(rng, 0.0, 0.05),
+                    t + sampling::normal(rng, 0.0, 0.05),
+                    sampling::normal(rng, 0.0, 0.05),
+                ]
+            })
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        let mut r = rng();
+        let data = line_data(&mut r, 500);
+        let pca = Pca::fit(&data, 1).unwrap();
+        let v = pca.components().col(0);
+        // Should be ±(1,1,0)/sqrt(2).
+        assert!((v[0].abs() - 1.0 / 2.0_f64.sqrt()).abs() < 0.05, "{v:?}");
+        assert!((v[1].abs() - 1.0 / 2.0_f64.sqrt()).abs() < 0.05, "{v:?}");
+        assert!(v[2].abs() < 0.1, "{v:?}");
+        assert!(pca.explained_variance_ratio() > 0.95);
+        assert_eq!(pca.n_components(), 1);
+        assert_eq!(pca.input_dim(), 3);
+    }
+
+    #[test]
+    fn full_rank_projection_reconstructs_exactly() {
+        let mut r = rng();
+        let data = line_data(&mut r, 100);
+        let pca = Pca::fit(&data, 3).unwrap();
+        let err = pca.reconstruction_error(&data).unwrap();
+        assert!(err < 1e-18, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn reconstruction_error_decreases_with_more_components() {
+        let mut r = rng();
+        let data = line_data(&mut r, 300);
+        let e1 = Pca::fit(&data, 1).unwrap().reconstruction_error(&data).unwrap();
+        let e2 = Pca::fit(&data, 2).unwrap().reconstruction_error(&data).unwrap();
+        let e3 = Pca::fit(&data, 3).unwrap().reconstruction_error(&data).unwrap();
+        assert!(e1 >= e2 - 1e-12);
+        assert!(e2 >= e3 - 1e-12);
+    }
+
+    #[test]
+    fn transform_then_inverse_is_projection() {
+        let mut r = rng();
+        let data = line_data(&mut r, 200);
+        let pca = Pca::fit(&data, 1).unwrap();
+        let z = pca.transform(&data).unwrap();
+        assert_eq!(z.shape(), (200, 1));
+        let back = pca.inverse_transform(&z).unwrap();
+        assert_eq!(back.shape(), (200, 3));
+        // Data is near a line, so rank-1 reconstruction is accurate.
+        let err = pca.reconstruction_error(&data).unwrap();
+        assert!(err < 0.02, "error {err}");
+        // Projected data is centred.
+        let col = z.col(0);
+        let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut r = rng();
+        let data = line_data(&mut r, 20);
+        assert!(Pca::fit(&data, 0).is_err());
+        assert!(Pca::fit(&data, 4).is_err());
+        assert!(Pca::fit(&Matrix::zeros(0, 3), 1).is_err());
+        let pca = Pca::fit(&data, 2).unwrap();
+        assert!(pca.transform_row(&[1.0]).is_err());
+        assert!(pca.inverse_transform_row(&[1.0, 2.0, 3.0]).is_err());
+        assert!(DpPca::fit(&mut r, &data, 2, 0.0).is_err());
+    }
+
+    #[test]
+    fn dp_pca_with_huge_budget_matches_exact_direction() {
+        let mut r = rng();
+        // Scale rows into the unit ball as the mechanism assumes.
+        let raw = line_data(&mut r, 800);
+        let scale = raw
+            .row_iter()
+            .map(p3gm_linalg::vector::norm2)
+            .fold(0.0_f64, f64::max);
+        let data = raw.scale(1.0 / scale);
+        let exact = Pca::fit(&data, 1).unwrap();
+        let dp = DpPca::fit(&mut r, &data, 1, 1e6).unwrap();
+        let v_exact = exact.components().col(0);
+        let v_dp = dp.pca().components().col(0);
+        let cos: f64 = v_exact
+            .iter()
+            .zip(v_dp.iter())
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            .abs();
+        assert!(cos > 0.99, "cosine similarity {cos}");
+        assert!((dp.epsilon() - 1e6).abs() < 1.0);
+        assert_eq!(dp.n_components(), 1);
+    }
+
+    #[test]
+    fn dp_pca_small_budget_adds_distortion_but_stays_usable() {
+        let mut r = rng();
+        let raw = line_data(&mut r, 800);
+        let scale = raw
+            .row_iter()
+            .map(p3gm_linalg::vector::norm2)
+            .fold(0.0_f64, f64::max);
+        let data = raw.scale(1.0 / scale);
+        let exact = Pca::fit(&data, 2).unwrap();
+        let dp = DpPca::fit(&mut r, &data, 2, 0.1).unwrap();
+        // The noisy reconstruction error is at least the exact one.
+        let e_exact = exact.reconstruction_error(&data).unwrap();
+        let e_dp = dp.pca().reconstruction_error(&data).unwrap();
+        assert!(e_dp >= e_exact - 1e-12);
+        // And the transform still produces finite, shaped output.
+        let z = dp.transform(&data).unwrap();
+        assert_eq!(z.shape(), (800, 2));
+        assert!(z.as_slice().iter().all(|v| v.is_finite()));
+        // Round-trip of a single row works.
+        let z0 = dp.transform_row(data.row(0)).unwrap();
+        let back = dp.inverse_transform_row(&z0).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn dp_pca_noise_decreases_with_larger_n() {
+        // The Wishart scale is 3/(2nε): more records → less distortion of
+        // the leading eigenvector, measured via cosine similarity.
+        let mut r = rng();
+        let cos_for = |n: usize, r: &mut StdRng| -> f64 {
+            let raw = line_data(r, n);
+            let scale = raw
+                .row_iter()
+                .map(p3gm_linalg::vector::norm2)
+                .fold(0.0_f64, f64::max);
+            let data = raw.scale(1.0 / scale);
+            let exact = Pca::fit(&data, 1).unwrap();
+            let dp = DpPca::fit(r, &data, 1, 0.5).unwrap();
+            exact
+                .components()
+                .col(0)
+                .iter()
+                .zip(dp.pca().components().col(0).iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+                .abs()
+        };
+        // Average a few repetitions to reduce flakiness.
+        let mut small = 0.0;
+        let mut large = 0.0;
+        for _ in 0..5 {
+            small += cos_for(60, &mut r);
+            large += cos_for(2000, &mut r);
+        }
+        assert!(
+            large >= small - 0.2,
+            "more data should not hurt: small {small}, large {large}"
+        );
+        assert!(large / 5.0 > 0.9, "large-n similarity too low: {}", large / 5.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Feature scaling.
+//!
+//! The P3GM pipeline scales tabular features into `[0, 1]` (so the decoder's
+//! Bernoulli likelihood applies and DP-PCA's unit-ball assumption is easy to
+//! satisfy) and standardizes features for the downstream classifiers.
+
+use crate::{PreprocessError, Result};
+use p3gm_linalg::{stats, Matrix};
+
+/// Scales every feature into `[0, 1]` via `(x − min) / (max − min)`.
+///
+/// Constant features map to 0.5. `inverse_transform` restores the original
+/// units.
+#[derive(Debug, Clone)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler on the rows of `data`.
+    pub fn fit(data: &Matrix) -> Result<Self> {
+        let (mins, maxs) = stats::column_min_max(data)
+            .map_err(|e| PreprocessError::InvalidData { msg: e.to_string() })?;
+        Ok(MinMaxScaler { mins, maxs })
+    }
+
+    /// Per-feature minima observed at fit time.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Per-feature maxima observed at fit time.
+    pub fn maxs(&self) -> &[f64] {
+        &self.maxs
+    }
+
+    /// Transforms one row into `[0, 1]` (values outside the fitted range are
+    /// clamped).
+    pub fn transform_row(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.check_width(x.len())?;
+        Ok(x.iter()
+            .zip(self.mins.iter().zip(self.maxs.iter()))
+            .map(|(&v, (&lo, &hi))| {
+                if hi > lo {
+                    ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+                } else {
+                    0.5
+                }
+            })
+            .collect())
+    }
+
+    /// Transforms every row of a matrix.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        map_rows(data, |r| self.transform_row(r))
+    }
+
+    /// Maps a `[0, 1]` row back to the original units.
+    pub fn inverse_transform_row(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.check_width(x.len())?;
+        Ok(x.iter()
+            .zip(self.mins.iter().zip(self.maxs.iter()))
+            .map(|(&v, (&lo, &hi))| {
+                if hi > lo {
+                    lo + v.clamp(0.0, 1.0) * (hi - lo)
+                } else {
+                    lo
+                }
+            })
+            .collect())
+    }
+
+    /// Inverse-transforms every row of a matrix.
+    pub fn inverse_transform(&self, data: &Matrix) -> Result<Matrix> {
+        map_rows(data, |r| self.inverse_transform_row(r))
+    }
+
+    fn check_width(&self, len: usize) -> Result<()> {
+        if len != self.mins.len() {
+            return Err(PreprocessError::InvalidData {
+                msg: format!("expected {} features, got {}", self.mins.len(), len),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Standardizes every feature to zero mean and unit variance.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler on the rows of `data`. Features with zero variance
+    /// get a standard deviation of 1 (so they map to 0).
+    pub fn fit(data: &Matrix) -> Result<Self> {
+        let means = stats::column_means(data)
+            .map_err(|e| PreprocessError::InvalidData { msg: e.to_string() })?;
+        let vars = stats::column_variances(data)
+            .map_err(|e| PreprocessError::InvalidData { msg: e.to_string() })?;
+        let stds = vars
+            .iter()
+            .map(|&v| if v > 0.0 { v.sqrt() } else { 1.0 })
+            .collect();
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// Per-feature means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-feature standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Standardizes one row.
+    pub fn transform_row(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.means.len() {
+            return Err(PreprocessError::InvalidData {
+                msg: format!("expected {} features, got {}", self.means.len(), x.len()),
+            });
+        }
+        Ok(x.iter()
+            .zip(self.means.iter().zip(self.stds.iter()))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect())
+    }
+
+    /// Standardizes every row of a matrix.
+    pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        map_rows(data, |r| self.transform_row(r))
+    }
+
+    /// Restores the original units of one row.
+    pub fn inverse_transform_row(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.means.len() {
+            return Err(PreprocessError::InvalidData {
+                msg: format!("expected {} features, got {}", self.means.len(), x.len()),
+            });
+        }
+        Ok(x.iter()
+            .zip(self.means.iter().zip(self.stds.iter()))
+            .map(|(&v, (&m, &s))| v * s + m)
+            .collect())
+    }
+}
+
+fn map_rows(data: &Matrix, f: impl Fn(&[f64]) -> Result<Vec<f64>>) -> Result<Matrix> {
+    let rows: Vec<Vec<f64>> = data.row_iter().map(|r| f(r)).collect::<Result<_>>()?;
+    Matrix::from_rows(&rows).map_err(|e| PreprocessError::Numerical { msg: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 10.0, 5.0],
+            vec![2.0, 20.0, 5.0],
+            vec![4.0, 40.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let scaler = MinMaxScaler::fit(&data()).unwrap();
+        let t = scaler.transform(&data()).unwrap();
+        let (mins, maxs) = stats_minmax(&t);
+        assert!(mins.iter().all(|&m| m >= 0.0));
+        assert!(maxs.iter().all(|&m| m <= 1.0));
+        assert_eq!(t.get(0, 0), 0.0);
+        assert_eq!(t.get(2, 0), 1.0);
+        // Constant feature maps to 0.5.
+        assert_eq!(t.get(1, 2), 0.5);
+        assert_eq!(scaler.mins()[1], 10.0);
+        assert_eq!(scaler.maxs()[1], 40.0);
+    }
+
+    #[test]
+    fn minmax_roundtrip() {
+        let scaler = MinMaxScaler::fit(&data()).unwrap();
+        let t = scaler.transform(&data()).unwrap();
+        let back = scaler.inverse_transform(&t).unwrap();
+        for (orig, rec) in data().row_iter().zip(back.row_iter()) {
+            // Constant columns lose information (come back as the min).
+            assert!((orig[0] - rec[0]).abs() < 1e-12);
+            assert!((orig[1] - rec[1]).abs() < 1e-12);
+            assert!((rec[2] - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn minmax_clamps_out_of_range() {
+        let scaler = MinMaxScaler::fit(&data()).unwrap();
+        let t = scaler.transform_row(&[-10.0, 100.0, 5.0]).unwrap();
+        assert_eq!(t[0], 0.0);
+        assert_eq!(t[1], 1.0);
+        assert!(scaler.transform_row(&[1.0]).is_err());
+        assert!(scaler.inverse_transform_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_variance() {
+        let scaler = StandardScaler::fit(&data()).unwrap();
+        let t = scaler.transform(&data()).unwrap();
+        let means = stats::column_means(&t).unwrap();
+        let vars = stats::column_variances(&t).unwrap();
+        assert!(means[0].abs() < 1e-12);
+        assert!(means[1].abs() < 1e-12);
+        assert!((vars[0] - 1.0).abs() < 1e-9);
+        assert!((vars[1] - 1.0).abs() < 1e-9);
+        // Constant feature maps to 0 with std 1.
+        assert_eq!(t.get(0, 2), 0.0);
+        assert_eq!(scaler.stds()[2], 1.0);
+        assert_eq!(scaler.means()[2], 5.0);
+    }
+
+    #[test]
+    fn standard_scaler_roundtrip() {
+        let scaler = StandardScaler::fit(&data()).unwrap();
+        let row = [3.0, 25.0, 5.0];
+        let t = scaler.transform_row(&row).unwrap();
+        let back = scaler.inverse_transform_row(&t).unwrap();
+        for (a, b) in row.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(scaler.transform_row(&[1.0]).is_err());
+        assert!(scaler.inverse_transform_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn fitting_empty_data_fails() {
+        assert!(MinMaxScaler::fit(&Matrix::zeros(0, 2)).is_err());
+        assert!(StandardScaler::fit(&Matrix::zeros(0, 2)).is_err());
+    }
+
+    fn stats_minmax(m: &Matrix) -> (Vec<f64>, Vec<f64>) {
+        stats::column_min_max(m).unwrap()
+    }
+
+    use p3gm_linalg::stats;
+}

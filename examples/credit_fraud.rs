@@ -1,0 +1,70 @@
+//! Credit-card fraud scenario (the paper's Kaggle Credit workload):
+//! compare P3GM against the DP-GM and PrivBayes baselines on a heavily
+//! imbalanced dataset (0.2% positives) at several privacy levels.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example credit_fraud
+//! ```
+
+use p3gm::eval::common::{
+    evaluate_tabular, make_dataset, stratified_split, GenerativeKind,
+};
+use p3gm::eval::Scale;
+use p3gm::datasets::DatasetKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let scale = Scale::Smoke; // keep the example snappy; Scale::Paper for the full run
+
+    let dataset = make_dataset(&mut rng, DatasetKind::KaggleCredit, scale);
+    let split = stratified_split(&mut rng, &dataset, 0.25);
+    println!(
+        "Kaggle-Credit-like data: {} rows, {} features, {:.2}% positive",
+        dataset.n_samples(),
+        dataset.n_features(),
+        100.0 * dataset.positive_fraction()
+    );
+
+    let models = [
+        GenerativeKind::Original,
+        GenerativeKind::Pgm,
+        GenerativeKind::P3gm,
+        GenerativeKind::DpGm,
+        GenerativeKind::PrivBayes,
+    ];
+    let epsilons = [0.5, 1.0, 5.0];
+
+    println!("\nmean AUROC / AUPRC over four classifiers (train on synthetic, test on real):");
+    println!("{:<12} {:>8} {:>10} {:>10}", "model", "epsilon", "AUROC", "AUPRC");
+    for model in models {
+        if model.is_private() {
+            for eps in epsilons {
+                let report =
+                    evaluate_tabular(&mut rng, model, &split.train, &split.test, scale, eps);
+                println!(
+                    "{:<12} {:>8.1} {:>10.4} {:>10.4}",
+                    model.name(),
+                    eps,
+                    report.mean_auroc(),
+                    report.mean_auprc()
+                );
+            }
+        } else {
+            let report = evaluate_tabular(&mut rng, model, &split.train, &split.test, scale, 1.0);
+            println!(
+                "{:<12} {:>8} {:>10.4} {:>10.4}",
+                model.name(),
+                "-",
+                report.mean_auroc(),
+                report.mean_auprc()
+            );
+        }
+    }
+    println!(
+        "\nExpected shape (paper Fig. 4): P3GM degrades gracefully as epsilon shrinks,\n\
+         DP-GM degrades sharply, PrivBayes stays low at every budget."
+    );
+}

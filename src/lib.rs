@@ -1,0 +1,76 @@
+//! # P3GM — Privacy-Preserving Phased Generative Model
+//!
+//! A from-scratch Rust reproduction of
+//! *"P3GM: Private High-Dimensional Data Release via Privacy Preserving
+//! Phased Generative Model"* (Takagi, Takahashi, Cao, Yoshikawa — ICDE 2021).
+//!
+//! This crate is a thin facade that re-exports the workspace:
+//!
+//! * [`linalg`] — dense matrices, Jacobi eigendecomposition, Cholesky.
+//! * [`nn`] — MLP/CNN layers, per-example backprop, optimizers, DP-SGD.
+//! * [`privacy`] — DP mechanisms (Gaussian, Laplace, Wishart, exponential)
+//!   and accounting (RDP, moments accountant, zCDP, calibration).
+//! * [`preprocess`] — PCA / DP-PCA, scalers, encoders.
+//! * [`mixture`] — GMM, EM, DP-EM, (DP) k-means.
+//! * [`datasets`] — synthetic stand-ins for the paper's six datasets.
+//! * [`classifiers`] — logistic regression, AdaBoost, GBM, XGBoost-style
+//!   boosting, MLP/CNN classifiers, AUROC/AUPRC/accuracy.
+//! * [`core`] — VAE, DP-VAE, PGM, P3GM, P3GM(AE) and labelled synthesis.
+//! * [`baselines`] — DP-GM and PrivBayes.
+//! * [`eval`] — the experiment harness regenerating every table and figure
+//!   of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use p3gm::core::{PgmConfig, PhasedGenerativeModel, GenerativeModel};
+//! use p3gm::datasets::tabular::adult_like;
+//! use p3gm::core::synthesis::LabelledSynthesizer;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let data = adult_like(&mut rng, 2000);
+//! let (synth, prepared) =
+//!     LabelledSynthesizer::prepare(&data.features, &data.labels, data.n_classes).unwrap();
+//! let config = PgmConfig::default();           // (ε ≈ 1, δ = 1e-5) training
+//! let (model, _history) = PhasedGenerativeModel::fit(&mut rng, &prepared, config).unwrap();
+//! println!("privacy: {:?}", model.training_privacy_spec());
+//! let samples = model.sample(&mut rng, 100);   // differentially private synthetic rows
+//! assert_eq!(samples.rows(), 100);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `EXPERIMENTS.md`
+//! for the paper-vs-measured comparison of every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Dense linear algebra substrate.
+pub use p3gm_linalg as linalg;
+
+/// Neural-network substrate (MLP, CNN, DP-SGD).
+pub use p3gm_nn as nn;
+
+/// Differential-privacy mechanisms and accounting.
+pub use p3gm_privacy as privacy;
+
+/// Preprocessing: PCA/DP-PCA, scalers, encoders.
+pub use p3gm_preprocess as preprocess;
+
+/// Gaussian mixtures, EM/DP-EM, k-means.
+pub use p3gm_mixture as mixture;
+
+/// Synthetic datasets mirroring the paper's evaluation data.
+pub use p3gm_datasets as datasets;
+
+/// Downstream classifiers and metrics.
+pub use p3gm_classifiers as classifiers;
+
+/// The P3GM model family (VAE, DP-VAE, PGM, P3GM, P3GM(AE)).
+pub use p3gm_core as core;
+
+/// Baseline DP generative models (DP-GM, PrivBayes).
+pub use p3gm_baselines as baselines;
+
+/// Experiment harness for the paper's tables and figures.
+pub use p3gm_eval as eval;
