@@ -85,8 +85,7 @@ impl DpGmConfig {
         }
         if self.vae.sigma_s <= 0.0 {
             return Err(BaselineError::InvalidConfig {
-                msg: "the per-cluster VAEs must be trained with DP-SGD (sigma_s > 0)"
-                    .to_string(),
+                msg: "the per-cluster VAEs must be trained with DP-SGD (sigma_s > 0)".to_string(),
             });
         }
         if !(0.0..1.0).contains(&self.delta) || self.delta == 0.0 {
@@ -321,10 +320,7 @@ mod tests {
         assert!((model.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
         let samples = model.sample(&mut r, 20);
         assert_eq!(samples.shape(), (20, 6));
-        assert!(samples
-            .as_slice()
-            .iter()
-            .all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(samples.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -368,6 +364,9 @@ mod tests {
             })
             .sum::<f64>()
             / samples.rows() as f64;
-        assert!(avg_dist < 1.0, "average distance to nearest mode {avg_dist}");
+        assert!(
+            avg_dist < 1.0,
+            "average distance to nearest mode {avg_dist}"
+        );
     }
 }

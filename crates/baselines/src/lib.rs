@@ -68,14 +68,20 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(BaselineError::InvalidConfig { msg: "k = 0".into() }
-            .to_string()
-            .contains("k = 0"));
-        assert!(BaselineError::InvalidData { msg: "empty".into() }
-            .to_string()
-            .contains("empty"));
-        assert!(BaselineError::Substrate { msg: "kmeans".into() }
-            .to_string()
-            .contains("kmeans"));
+        assert!(BaselineError::InvalidConfig {
+            msg: "k = 0".into()
+        }
+        .to_string()
+        .contains("k = 0"));
+        assert!(BaselineError::InvalidData {
+            msg: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
+        assert!(BaselineError::Substrate {
+            msg: "kmeans".into()
+        }
+        .to_string()
+        .contains("kmeans"));
     }
 }

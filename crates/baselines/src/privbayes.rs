@@ -108,7 +108,11 @@ pub struct PrivBayes {
 
 impl PrivBayes {
     /// Fits PrivBayes on a (continuous or already-discrete) data matrix.
-    pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: PrivBayesConfig) -> Result<Self> {
+    pub fn fit<R: Rng + ?Sized>(
+        rng: &mut R,
+        data: &Matrix,
+        config: PrivBayesConfig,
+    ) -> Result<Self> {
         config.validate()?;
         if data.rows() < 8 || data.cols() == 0 {
             return Err(BaselineError::InvalidData {
@@ -159,14 +163,8 @@ impl PrivBayes {
                     .map_err(|e| BaselineError::Substrate { msg: e.to_string() })?;
                 candidates[idx].clone()
             };
-            let table = noisy_conditional_table(
-                rng,
-                &bins,
-                attr,
-                &parents,
-                config.n_bins,
-                eps_per_table,
-            );
+            let table =
+                noisy_conditional_table(rng, &bins, attr, &parents, config.n_bins, eps_per_table);
             nodes.push(NetworkNode {
                 attribute: attr,
                 parents,
@@ -365,10 +363,30 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(PrivBayesConfig::default().validate().is_ok());
-        assert!(PrivBayesConfig { n_bins: 1, ..Default::default() }.validate().is_err());
-        assert!(PrivBayesConfig { degree: 0, ..Default::default() }.validate().is_err());
-        assert!(PrivBayesConfig { epsilon: 0.0, ..Default::default() }.validate().is_err());
-        assert!(PrivBayesConfig { max_candidates: 0, ..Default::default() }.validate().is_err());
+        assert!(PrivBayesConfig {
+            n_bins: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PrivBayesConfig {
+            degree: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PrivBayesConfig {
+            epsilon: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PrivBayesConfig {
+            max_candidates: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

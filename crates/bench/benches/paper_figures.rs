@@ -33,10 +33,8 @@ fn bench_fig4(c: &mut Criterion) {
     // Timed kernel: the noise calibration performed for every ε of the sweep.
     c.bench_function("fig4/noise_calibration", |b| {
         b.iter(|| {
-            p3gm_privacy::calibrate::calibrate_dpsgd_sigma(
-                1.0, 1e-5, 0.1, 10, 200.0, 3, 250, 0.03,
-            )
-            .unwrap()
+            p3gm_privacy::calibrate::calibrate_dpsgd_sigma(1.0, 1e-5, 0.1, 10, 200.0, 3, 250, 0.03)
+                .unwrap()
         })
     });
 }

@@ -51,7 +51,10 @@ impl BinaryClassifier for AdaBoost {
         assert_eq!(x.rows(), labels.len(), "row/label mismatch");
         assert!(x.rows() > 0, "cannot fit on empty data");
         let n = x.rows();
-        let targets: Vec<f64> = labels.iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l == 1 { 1.0 } else { -1.0 })
+            .collect();
         let mut weights = vec![1.0 / n as f64; n];
         self.stumps.clear();
 

@@ -35,7 +35,11 @@ pub fn auroc(scores: &[f64], labels: &[usize]) -> f64 {
     }
     // Sort indices by score ascending and assign midranks.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {
@@ -80,7 +84,11 @@ pub fn auprc(scores: &[f64], labels: &[usize]) -> f64 {
     }
     // Sort by score descending.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut tp = 0.0;
     let mut fp = 0.0;
     let mut prev_recall = 0.0;

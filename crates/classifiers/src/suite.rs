@@ -172,12 +172,7 @@ mod tests {
         let report = evaluate_binary_suite(&train_x, &train_y, &test_x, &test_y);
         assert_eq!(report.per_classifier.len(), 4);
         for (kind, scores) in &report.per_classifier {
-            assert!(
-                scores.auroc > 0.8,
-                "{} AUROC {}",
-                kind.name(),
-                scores.auroc
-            );
+            assert!(scores.auroc > 0.8, "{} AUROC {}", kind.name(), scores.auroc);
             assert!(scores.auprc > 0.5, "{} AUPRC {}", kind.name(), scores.auprc);
         }
         assert!(report.mean_auroc() > 0.8);
@@ -219,6 +214,9 @@ mod tests {
     fn kind_names_and_listing() {
         assert_eq!(ClassifierKind::all().len(), 4);
         assert_eq!(ClassifierKind::GradientBoosting.name(), "GBM");
-        assert_eq!(ClassifierKind::LogisticRegression.name(), "Logistic Regression");
+        assert_eq!(
+            ClassifierKind::LogisticRegression.name(),
+            "Logistic Regression"
+        );
     }
 }

@@ -92,7 +92,11 @@ impl GradientTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] <= *threshold { *left } else { *right };
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -211,15 +215,12 @@ impl GradientTree {
                 }
                 let n_left = w + 1;
                 let n_right = sorted.len() - n_left;
-                if n_left < self.config.min_samples_leaf
-                    || n_right < self.config.min_samples_leaf
-                {
+                if n_left < self.config.min_samples_leaf || n_right < self.config.min_samples_leaf {
                     continue;
                 }
                 let g_right = g_total - g_left;
                 let h_right = h_total - h_left;
-                if h_left < self.config.min_child_weight || h_right < self.config.min_child_weight
-                {
+                if h_left < self.config.min_child_weight || h_right < self.config.min_child_weight {
                     continue;
                 }
                 let gain = 0.5
@@ -227,7 +228,7 @@ impl GradientTree {
                         + g_right * g_right / (h_right + lambda).max(1e-12)
                         - parent_score);
                 let threshold = 0.5 * (v + v_next);
-                if best.map_or(true, |(_, _, bg)| gain > bg) {
+                if best.is_none_or(|(_, _, bg)| gain > bg) {
                     best = Some((feature, threshold, gain));
                 }
             }
@@ -291,8 +292,7 @@ impl DecisionStump {
                     err_above -= weights[i];
                 }
                 let v = x.get(i, feature);
-                let next_differs =
-                    w + 1 >= order.len() || x.get(order[w + 1], feature) != v;
+                let next_differs = w + 1 >= order.len() || x.get(order[w + 1], feature) != v;
                 if !next_differs {
                     continue;
                 }
@@ -400,7 +400,7 @@ mod tests {
         let tree = GradientTree::fit(
             &x,
             &grads,
-            &vec![1.0; 6],
+            &[1.0; 6],
             TreeConfig {
                 max_depth: 2,
                 min_samples_leaf: 1,
@@ -471,7 +471,7 @@ mod tests {
         let tree = GradientTree::fit(
             &x,
             &grads,
-            &vec![1.0; 4],
+            &[1.0; 4],
             TreeConfig {
                 max_depth: 3,
                 min_samples_leaf: 3,
@@ -513,7 +513,8 @@ mod tests {
     fn stump_respects_weights() {
         // Two mislabeled points, but with negligible weight: the stump should
         // still pick the dominant threshold.
-        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![1.5]]).unwrap();
+        let x =
+            Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![1.5]]).unwrap();
         let targets = [-1.0, -1.0, 1.0, 1.0, 1.0];
         let weights = [1.0, 1.0, 1.0, 1.0, 1e-9];
         let (stump, err) = DecisionStump::fit(&x, &targets, &weights);

@@ -145,7 +145,11 @@ mod tests {
         for _ in 0..n {
             let label = rng.gen_bool(0.5) as usize;
             let t: f64 = rng.gen_range(0.0..std::f64::consts::PI);
-            let (cx, cy, flip) = if label == 1 { (1.0, 0.3, -1.0) } else { (0.0, 0.0, 1.0) };
+            let (cx, cy, flip) = if label == 1 {
+                (1.0, 0.3, -1.0)
+            } else {
+                (0.0, 0.0, 1.0)
+            };
             rows.push(vec![
                 cx + t.cos() * flip + sampling::normal(rng, 0.0, 0.15),
                 cy + t.sin() * flip + sampling::normal(rng, 0.0, 0.15),
@@ -185,8 +189,10 @@ mod tests {
     fn column_subsampling_still_learns() {
         let mut r = rng();
         let (x, y) = moons_like(&mut r, 300);
-        let mut model = XgBoost::default();
-        model.colsample_bytree = 0.5;
+        let mut model = XgBoost {
+            colsample_bytree: 0.5,
+            ..Default::default()
+        };
         model.fit(&x, &y);
         assert!(auroc(&model.predict_scores(&x), &y) > 0.85);
     }

@@ -1,0 +1,116 @@
+//! Polyak (exponential moving) averaging of parameter iterates.
+//!
+//! DP-SGD adds independent noise at every step, so the *last* iterate is a
+//! high-variance draw around the optimum while the average of the trailing
+//! iterates cancels most of the injected noise. Averaging is post-processing
+//! of the privatized gradients, so it costs no additional privacy budget —
+//! and it also smooths the non-private trainers at no cost.
+
+/// Exponential moving average of flat parameter vectors.
+#[derive(Debug, Clone)]
+pub struct PolyakAverager {
+    decay: f64,
+    steps: u64,
+    avg: Vec<f64>,
+}
+
+impl PolyakAverager {
+    /// Creates an averager with the given per-step decay in `[0, 1)`; the
+    /// effective averaging window is roughly `(1 + decay) / (1 - decay)`
+    /// steps.
+    pub fn new(decay: f64) -> Self {
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0, 1)");
+        PolyakAverager {
+            decay,
+            steps: 0,
+            avg: Vec::new(),
+        }
+    }
+
+    /// Number of iterates folded in so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Folds one iterate into the average. A length change resets the
+    /// average (the parameter vector belongs to a different model).
+    pub fn update(&mut self, params: &[f64]) {
+        if self.avg.len() != params.len() {
+            self.avg = vec![0.0; params.len()];
+            self.steps = 0;
+        }
+        self.steps += 1;
+        let d = self.decay;
+        for (a, &p) in self.avg.iter_mut().zip(params.iter()) {
+            *a = d * *a + (1.0 - d) * p;
+        }
+    }
+
+    /// The bias-corrected average, or `None` before the first update.
+    pub fn average(&self) -> Option<Vec<f64>> {
+        if self.steps == 0 {
+            return None;
+        }
+        let correction = 1.0 - self.decay.powi(self.steps.min(i32::MAX as u64) as i32);
+        Some(self.avg.iter().map(|&a| a / correction).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_average_is_none() {
+        let avg = PolyakAverager::new(0.9);
+        assert!(avg.average().is_none());
+        assert_eq!(avg.steps(), 0);
+    }
+
+    #[test]
+    fn single_update_is_identity() {
+        // Bias correction makes the first average equal the first iterate.
+        let mut avg = PolyakAverager::new(0.9);
+        avg.update(&[2.0, -3.0]);
+        let a = avg.average().unwrap();
+        assert!((a[0] - 2.0).abs() < 1e-12);
+        assert!((a[1] + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sequence_averages_to_constant() {
+        let mut avg = PolyakAverager::new(0.95);
+        for _ in 0..100 {
+            avg.update(&[1.5]);
+        }
+        assert!((avg.average().unwrap()[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_is_suppressed() {
+        // Alternating ±1 around 10: the average should be much closer to 10
+        // than the raw iterates.
+        let mut avg = PolyakAverager::new(0.95);
+        for i in 0..200 {
+            let noise = if i % 2 == 0 { 1.0 } else { -1.0 };
+            avg.update(&[10.0 + noise]);
+        }
+        assert!((avg.average().unwrap()[0] - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn length_change_resets() {
+        let mut avg = PolyakAverager::new(0.9);
+        avg.update(&[1.0]);
+        avg.update(&[5.0, 5.0]);
+        assert_eq!(avg.steps(), 1);
+        let a = avg.average().unwrap();
+        assert!((a[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in [0, 1)")]
+    fn rejects_bad_decay() {
+        let _ = PolyakAverager::new(1.0);
+    }
+}

@@ -197,7 +197,7 @@ impl Default for VaeConfig {
             hidden_dim: 100,
             epochs: 10,
             batch_size: 64,
-            learning_rate: 1e-3,
+            learning_rate: 1e-2,
             clip_norm: 1.0,
             sigma_s: 0.0,
             delta: 1e-5,
@@ -272,19 +272,67 @@ mod tests {
     #[test]
     fn pgm_validation_rejects_bad_configs() {
         let base = PgmConfig::default();
-        assert!(PgmConfig { latent_dim: 0, ..base.clone() }.validate(100, 20).is_err());
-        assert!(PgmConfig { latent_dim: 30, ..base.clone() }.validate(100, 20).is_err());
-        assert!(PgmConfig { hidden_dim: 0, ..base.clone() }.validate(100, 20).is_err());
-        assert!(PgmConfig { mog_components: 0, ..base.clone() }.validate(100, 20).is_err());
-        assert!(PgmConfig { epochs: 0, ..base.clone() }.validate(100, 20).is_err());
-        assert!(PgmConfig { learning_rate: 0.0, ..base.clone() }.validate(100, 20).is_err());
-        assert!(PgmConfig { sigma_s: 0.0, ..base.clone() }.validate(100, 20).is_err());
-        assert!(PgmConfig { delta: 0.0, ..base.clone() }.validate(100, 20).is_err());
-        assert!(PgmConfig { em_iterations: 0, ..base.clone() }.validate(100, 20).is_err());
+        assert!(PgmConfig {
+            latent_dim: 0,
+            ..base.clone()
+        }
+        .validate(100, 20)
+        .is_err());
+        assert!(PgmConfig {
+            latent_dim: 30,
+            ..base.clone()
+        }
+        .validate(100, 20)
+        .is_err());
+        assert!(PgmConfig {
+            hidden_dim: 0,
+            ..base.clone()
+        }
+        .validate(100, 20)
+        .is_err());
+        assert!(PgmConfig {
+            mog_components: 0,
+            ..base.clone()
+        }
+        .validate(100, 20)
+        .is_err());
+        assert!(PgmConfig {
+            epochs: 0,
+            ..base.clone()
+        }
+        .validate(100, 20)
+        .is_err());
+        assert!(PgmConfig {
+            learning_rate: 0.0,
+            ..base.clone()
+        }
+        .validate(100, 20)
+        .is_err());
+        assert!(PgmConfig {
+            sigma_s: 0.0,
+            ..base.clone()
+        }
+        .validate(100, 20)
+        .is_err());
+        assert!(PgmConfig {
+            delta: 0.0,
+            ..base.clone()
+        }
+        .validate(100, 20)
+        .is_err());
+        assert!(PgmConfig {
+            em_iterations: 0,
+            ..base.clone()
+        }
+        .validate(100, 20)
+        .is_err());
         // Non-private config does not care about the privacy fields.
-        assert!(PgmConfig { sigma_s: 0.0, ..base.clone().non_private() }
-            .validate(100, 20)
-            .is_ok());
+        assert!(PgmConfig {
+            sigma_s: 0.0,
+            ..base.clone().non_private()
+        }
+        .validate(100, 20)
+        .is_ok());
         assert!(base.validate(2, 20).is_err());
     }
 
@@ -306,12 +354,35 @@ mod tests {
         let cfg = VaeConfig::default();
         assert!(cfg.validate(100, 20).is_ok());
         assert!(!cfg.is_private());
-        let dp = VaeConfig { sigma_s: 1.5, ..cfg.clone() };
+        let dp = VaeConfig {
+            sigma_s: 1.5,
+            ..cfg.clone()
+        };
         assert!(dp.is_private());
-        assert!(VaeConfig { latent_dim: 0, ..cfg.clone() }.validate(100, 20).is_err());
-        assert!(VaeConfig { latent_dim: 40, ..cfg.clone() }.validate(100, 20).is_err());
-        assert!(VaeConfig { epochs: 0, ..cfg.clone() }.validate(100, 20).is_err());
-        assert!(VaeConfig { sigma_s: -1.0, ..cfg.clone() }.validate(100, 20).is_err());
+        assert!(VaeConfig {
+            latent_dim: 0,
+            ..cfg.clone()
+        }
+        .validate(100, 20)
+        .is_err());
+        assert!(VaeConfig {
+            latent_dim: 40,
+            ..cfg.clone()
+        }
+        .validate(100, 20)
+        .is_err());
+        assert!(VaeConfig {
+            epochs: 0,
+            ..cfg.clone()
+        }
+        .validate(100, 20)
+        .is_err());
+        assert!(VaeConfig {
+            sigma_s: -1.0,
+            ..cfg.clone()
+        }
+        .validate(100, 20)
+        .is_err());
         assert!(cfg.validate(2, 20).is_err());
         assert_eq!(cfg.sgd_steps(640), 100);
     }

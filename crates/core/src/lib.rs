@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod averaging;
 pub mod config;
 pub mod history;
 pub mod pgm;
@@ -97,12 +98,16 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(CoreError::InvalidConfig { msg: "latent_dim = 0".into() }
-            .to_string()
-            .contains("latent_dim"));
-        assert!(CoreError::InvalidData { msg: "empty".into() }
-            .to_string()
-            .contains("empty"));
+        assert!(CoreError::InvalidConfig {
+            msg: "latent_dim = 0".into()
+        }
+        .to_string()
+        .contains("latent_dim"));
+        assert!(CoreError::InvalidData {
+            msg: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
         assert!(CoreError::Substrate { msg: "PCA".into() }
             .to_string()
             .contains("PCA"));

@@ -16,6 +16,7 @@
 //! The privacy of the whole pipeline is the RDP composition of Theorem 4,
 //! exposed through [`PhasedGenerativeModel::privacy_spec`].
 
+use crate::averaging::PolyakAverager;
 use crate::config::{DecoderLoss, PgmConfig, VarianceMode};
 use crate::history::{EpochStats, TrainingHistory};
 use crate::{CoreError, GenerativeModel, Result};
@@ -69,6 +70,11 @@ pub struct PhasedGenerativeModel {
     optimizer: Adam,
     trained_epochs: usize,
     n_train: usize,
+    /// Raw (non-averaged) optimizer iterate. The networks themselves hold the
+    /// Polyak-averaged weights after each epoch, which is what inference and
+    /// sampling should use; the optimizer continues from the raw iterate.
+    raw_params: Option<Vec<f64>>,
+    averager: PolyakAverager,
 }
 
 impl PhasedGenerativeModel {
@@ -100,11 +106,24 @@ impl PhasedGenerativeModel {
             data.scale(input_scale)
         };
 
+        // For the private pipeline, keep the DP-PCA's noisy eigenvalues: they
+        // are part of the same DP release and provide a calibrated estimate
+        // of the projected data's per-coordinate variance, which the prior
+        // sanitization below uses (post-processing, no extra budget).
+        let mut latent_scale: Option<Vec<f64>> = None;
         let projection = if config.private {
-            Projection::Private(
-                DpPca::fit(rng, &scaled, config.latent_dim, config.eps_p)
-                    .map_err(|e| CoreError::Substrate { msg: e.to_string() })?,
-            )
+            let dp_pca = DpPca::fit(rng, &scaled, config.latent_dim, config.eps_p)
+                .map_err(|e| CoreError::Substrate { msg: e.to_string() })?;
+            // The Wishart noise matrix has known mean (d+1)·3/(2nε)·I; subtract
+            // it from the noisy eigenvalues to debias the variance estimate.
+            let noise_mean = (d as f64 + 1.0) * 3.0 / (2.0 * n as f64 * config.eps_p);
+            latent_scale = Some(
+                dp_pca.pca().eigenvalues()[..config.latent_dim]
+                    .iter()
+                    .map(|&l| (l - noise_mean).max(l.abs() * 0.05).max(1e-10))
+                    .collect(),
+            );
+            Projection::Private(dp_pca)
         } else {
             Projection::Exact(
                 Pca::fit(&scaled, config.latent_dim)
@@ -121,7 +140,7 @@ impl PhasedGenerativeModel {
             .map_err(|e| CoreError::Substrate { msg: e.to_string() })?;
 
         let prior = if config.private {
-            dpem::fit(
+            let raw = dpem::fit(
                 rng,
                 &projected,
                 &DpEmConfig {
@@ -133,7 +152,11 @@ impl PhasedGenerativeModel {
                 },
             )
             .map_err(|e| CoreError::Substrate { msg: e.to_string() })?
-            .model
+            .model;
+            match &latent_scale {
+                Some(scale) => sanitize_prior(&raw, scale)?,
+                None => raw,
+            }
         } else {
             em::fit(
                 rng,
@@ -149,18 +172,67 @@ impl PhasedGenerativeModel {
             .model
         };
 
-        let encoder_var = Mlp::new(
+        let mut encoder_var = Mlp::new(
             rng,
             &[d, config.hidden_dim, config.latent_dim],
             Activation::Relu,
             Activation::Identity,
         );
-        let decoder = Mlp::new(
+        // Initialize the output bias of the variance network so that the
+        // initial σ_φ(x) matches the within-component scale of the prior
+        // instead of the default σ = 1. The frozen encoder mean µ_φ(x) =
+        // f(x) lives on the prior's scale (typically ≪ 1 after the unit-ball
+        // normalization), so starting with unit reparametrization noise
+        // would drown the latent signal for most of a short training run.
+        // The prior is already a DP release, so this is pure post-processing.
+        {
+            let weights = prior.weights();
+            let mut v_bar = 0.0;
+            for (k, cov) in prior.covariances().iter().enumerate() {
+                let dim = cov.rows();
+                let trace_mean = (0..dim).map(|i| cov.get(i, i)).sum::<f64>() / dim as f64;
+                v_bar += weights[k] * trace_mean;
+            }
+            let log_var = v_bar.max(1e-12).ln();
+            let mut params = encoder_var.params();
+            let n_params = params.len();
+            for b in &mut params[n_params - config.latent_dim..] {
+                *b = log_var;
+            }
+            encoder_var.set_params(&params);
+        }
+        let mut decoder = Mlp::new(
             rng,
             &[config.latent_dim, config.hidden_dim, d],
             Activation::Relu,
             Activation::Identity,
         );
+        // Warm-start the decoder at the linear inverse of the projection,
+        // which is known in closed form: the reconstruction
+        // x̂ = (V z + µ) / input_scale. A ReLU pair per latent coordinate
+        // (+z_i, −z_i) represents the identity exactly, so the two-layer
+        // decoder can start as precisely this affine map instead of a
+        // random function. Privacy: V is post-processing of the DP-PCA
+        // release; the centring mean µ is the same quantity the projection
+        // already exposes through `transform_row` and is treated as
+        // publicly available per the paper's footnote 2 (see the
+        // `p3gm-preprocess::pca` module docs), so the warm start consumes
+        // no additional budget under the paper's threat model. It lets a
+        // short (or heavily noised) decoding phase start from a generator
+        // that already respects the data's principal structure.
+        {
+            let pca = match &projection {
+                Projection::Exact(p) => p,
+                Projection::Private(p) => p.pca(),
+            };
+            warm_start_decoder(
+                &mut decoder,
+                pca.components(),
+                pca.mean(),
+                input_scale,
+                config.decoder_loss,
+            );
+        }
         let optimizer = Adam::new(config.learning_rate);
 
         Ok(PhasedGenerativeModel {
@@ -174,6 +246,8 @@ impl PhasedGenerativeModel {
             optimizer,
             trained_epochs: 0,
             n_train: n,
+            raw_params: None,
+            averager: PolyakAverager::new(0.99),
         })
     }
 
@@ -265,7 +339,11 @@ impl PhasedGenerativeModel {
 
     /// One epoch of the Decoding Phase. Exposed so the Figure 7 experiments
     /// can evaluate the model after every epoch.
-    pub fn train_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R, data: &Matrix) -> Result<EpochStats> {
+    pub fn train_epoch<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        data: &Matrix,
+    ) -> Result<EpochStats> {
         if data.cols() != self.data_dim {
             return Err(CoreError::InvalidData {
                 msg: format!("expected {} features, got {}", self.data_dim, data.cols()),
@@ -289,7 +367,17 @@ impl PhasedGenerativeModel {
             None
         };
 
-        let mut params = self.flat_params();
+        // Resume from the raw optimizer iterate: the networks hold the
+        // Polyak-averaged weights between epochs.
+        let mut params = match self.raw_params.take() {
+            Some(p) => p,
+            None => self.flat_params(),
+        };
+        // Re-install the raw iterate before computing any gradients: the
+        // networks currently hold the averaged weights from the previous
+        // epoch, and gradients must be evaluated at the point the optimizer
+        // actually updates.
+        self.set_flat_params(&params);
         let mut recon_sum = 0.0;
         let mut kl_sum = 0.0;
         let mut examples = 0usize;
@@ -319,6 +407,14 @@ impl PhasedGenerativeModel {
                 }
             }
             self.set_flat_params(&params);
+            self.averager.update(&params);
+        }
+
+        // Install the averaged weights for inference; keep the raw iterate
+        // so the next epoch's optimization continues undisturbed.
+        if let Some(avg) = self.averager.average() {
+            self.raw_params = Some(params);
+            self.set_flat_params(&avg);
         }
 
         let stats = EpochStats {
@@ -387,7 +483,9 @@ impl PhasedGenerativeModel {
             DecoderLoss::Gaussian => sse(dec_cache.output(), x),
         };
         let mut dec_grads = vec![0.0; self.decoder.num_params()];
-        let grad_z = self.decoder.backward(&dec_cache, &grad_logits, &mut dec_grads);
+        let grad_z = self
+            .decoder
+            .backward(&dec_cache, &grad_logits, &mut dec_grads);
 
         // KL against the MoG prior (Hershey–Olsen approximation). The mean
         // is frozen so only the log-variance gradient is used.
@@ -430,6 +528,128 @@ impl PhasedGenerativeModel {
             self.decoder.set_params(params);
         }
     }
+}
+
+/// Initializes a two-layer ReLU decoder to the affine PCA reconstruction
+/// `x̂(z) = (V z + µ) / input_scale`, using one `(+z_i, −z_i)` ReLU pair per
+/// latent coordinate (`ReLU(t) − ReLU(−t) = t`). For the Bernoulli decoder
+/// the output is expressed in logit space via the first-order linearization
+/// `logit ≈ 4 (x̂ − ½)`, which matches value and slope of `sigmoid⁻¹` at ½.
+///
+/// Requires `hidden ≥ 2 · latent`; smaller hidden layers keep their random
+/// initialization. Hidden units beyond the identity pairs keep their random
+/// incoming weights but start with zero outgoing weights, so the function is
+/// exactly affine at initialization while spare capacity remains trainable.
+fn warm_start_decoder(
+    decoder: &mut Mlp,
+    components: &Matrix,
+    mean: &[f64],
+    input_scale: f64,
+    decoder_loss: DecoderLoss,
+) {
+    let latent = components.cols();
+    let d = components.rows();
+    let hidden = (decoder.num_params() - d) / (latent + d + 1);
+    if hidden < 2 * latent {
+        return;
+    }
+    let (k, shift) = match decoder_loss {
+        DecoderLoss::Bernoulli => (4.0, -0.5),
+        DecoderLoss::Gaussian => (1.0, 0.0),
+    };
+
+    let mut params = decoder.params();
+    let w0_len = hidden * latent;
+    // Layer 0: rows 2i and 2i+1 select ±z_i; their biases are zero.
+    for i in 0..latent {
+        for (row, sign) in [(2 * i, 1.0), (2 * i + 1, -1.0)] {
+            for j in 0..latent {
+                params[row * latent + j] = if j == i { sign } else { 0.0 };
+            }
+            params[w0_len + row] = 0.0;
+        }
+    }
+    // Layer 1: recombine the pairs into k·V/s and zero the spare columns.
+    let l1 = w0_len + hidden;
+    for out in 0..d {
+        for h in 0..hidden {
+            let value = if h < 2 * latent {
+                let i = h / 2;
+                let sign = if h % 2 == 0 { 1.0 } else { -1.0 };
+                sign * k * components.get(out, i) / input_scale
+            } else {
+                0.0
+            };
+            params[l1 + out * hidden + h] = value;
+        }
+        params[l1 + d * hidden + out] = k * (mean[out] / input_scale + shift);
+    }
+    decoder.set_params(&params);
+}
+
+/// Post-processes a DP-EM prior so its per-coordinate marginal second
+/// moments match `target_var` — the (debiased) DP-PCA eigenvalue spectrum of
+/// the same latent space.
+///
+/// At small `n` the DP-EM noise can leave component means and covariances
+/// orders of magnitude off the data's scale, in which case samples from the
+/// prior land far outside the region the decoder is trained on and the
+/// synthesized data degrades to extrapolation noise. Both inputs are DP
+/// releases, so this rescaling is pure post-processing (no privacy cost);
+/// when DP-EM already matches the spectrum (large `n`), the scale factors
+/// are ≈ 1 and the prior is returned essentially unchanged.
+fn sanitize_prior(raw: &Gmm, target_var: &[f64]) -> Result<Gmm> {
+    let k = raw.n_components();
+    let dim = raw.dim();
+    debug_assert_eq!(dim, target_var.len());
+
+    // Floor collapsed component weights: noisy responsibilities can starve a
+    // component to numerical zero, which would make sampling degenerate.
+    let floor = 1.0 / (20.0 * k as f64);
+    let weights: Vec<f64> = raw.weights().iter().map(|&w| w.max(floor)).collect();
+
+    // Per-coordinate marginal second moment of the mixture.
+    let mut m2 = vec![0.0; dim];
+    let total: f64 = weights.iter().sum();
+    for (c, (mean, cov)) in raw.means().iter().zip(raw.covariances().iter()).enumerate() {
+        let w = weights[c] / total;
+        for j in 0..dim {
+            m2[j] += w * (cov.get(j, j) + mean[j] * mean[j]);
+        }
+    }
+
+    // Clamp the correction to four orders of magnitude: enough to pull a
+    // noise-dominated prior back on scale, while keeping the congruence
+    // transform numerically safe for the Cholesky revalidation below.
+    let scale: Vec<f64> = (0..dim)
+        .map(|j| (target_var[j] / m2[j].max(1e-12)).sqrt().clamp(1e-2, 1e2))
+        .collect();
+
+    let means: Vec<Vec<f64>> = raw
+        .means()
+        .iter()
+        .map(|m| m.iter().zip(scale.iter()).map(|(v, s)| v * s).collect())
+        .collect();
+    let covariances: Vec<Matrix> = raw
+        .covariances()
+        .iter()
+        .map(|cov| {
+            let mut out = cov.clone();
+            for i in 0..dim {
+                for j in 0..dim {
+                    out.set(i, j, cov.get(i, j) * scale[i] * scale[j]);
+                }
+            }
+            // Diagonal jitter keeps the rescaled matrix safely positive
+            // definite despite floating-point asymmetry.
+            for (j, &tv) in target_var.iter().enumerate() {
+                out.set(j, j, out.get(j, j) + 1e-9 + 1e-6 * tv);
+            }
+            out
+        })
+        .collect();
+
+    Gmm::new(weights, means, covariances).map_err(|e| CoreError::Substrate { msg: e.to_string() })
 }
 
 impl GenerativeModel for PhasedGenerativeModel {
@@ -494,7 +714,8 @@ mod tests {
     fn encode_phase_fixes_the_encoder_mean() {
         let mut r = rng();
         let data = bimodal(&mut r, 80);
-        let model = PhasedGenerativeModel::encode_phase(&mut r, &data, small_config(false)).unwrap();
+        let model =
+            PhasedGenerativeModel::encode_phase(&mut r, &data, small_config(false)).unwrap();
         // The frozen mean is a deterministic function of x with the latent
         // dimensionality.
         let mu1 = model.encode_mean(data.row(0));
@@ -558,10 +779,7 @@ mod tests {
         let (model, _) = PhasedGenerativeModel::fit(&mut r, &data, small_config(false)).unwrap();
         let samples = model.sample(&mut r, 25);
         assert_eq!(samples.shape(), (25, 8));
-        assert!(samples
-            .as_slice()
-            .iter()
-            .all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(samples.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! [`GenerativeModel`]:
 //!
 //! 1. [`LabelledSynthesizer::prepare`] appends the one-hot labels and
-//!    min-max-scales the features into `[0, 1]` (so the Bernoulli decoder
-//!    applies).
+//!    min-max-scales the features into `[0, 1]` and then weights the
+//!    feature block by `sqrt(n_classes / n_features)` so the one-hot label
+//!    columns keep a comparable share of the total variance (the Bernoulli
+//!    decoder still applies — all entries stay in `[0, 1]`).
 //! 2. The caller trains any generative model on the prepared matrix.
 //! 3. [`LabelledSynthesizer::split`] converts generated rows back into
 //!    features (in original units) and labels, and
@@ -29,13 +31,22 @@ pub struct LabelledSynthesizer {
     encoder: OneHotEncoder,
     scaler: MinMaxScaler,
     n_features: usize,
+    /// Scale applied to the (min-max-scaled) feature block so that its total
+    /// variance budget is comparable to the one-hot label block. Without
+    /// this, a wide feature matrix drowns the `n_classes` label columns and
+    /// the generative model's latent space barely encodes the label,
+    /// breaking the feature↔label association of the synthetic data. The
+    /// weight depends only on the (public) column counts, not on the data.
+    feature_weight: f64,
 }
 
 impl LabelledSynthesizer {
     /// Fits the scaler on `features` and records the label encoding.
     ///
     /// Returns the synthesizer and the prepared training matrix
-    /// (`[0,1]`-scaled features with the one-hot label appended).
+    /// (features min-max-scaled to `[0, 1]` and then multiplied by the
+    /// public `sqrt(n_classes / n_features)` feature weight, with the
+    /// one-hot label appended).
     pub fn prepare(
         features: &Matrix,
         labels: &[usize],
@@ -54,9 +65,13 @@ impl LabelledSynthesizer {
             .map_err(|e| CoreError::InvalidConfig { msg: e.to_string() })?;
         let scaler = MinMaxScaler::fit(features)
             .map_err(|e| CoreError::InvalidData { msg: e.to_string() })?;
+        let feature_weight = (n_classes as f64 / features.cols().max(1) as f64)
+            .sqrt()
+            .min(1.0);
         let scaled = scaler
             .transform(features)
-            .map_err(|e| CoreError::InvalidData { msg: e.to_string() })?;
+            .map_err(|e| CoreError::InvalidData { msg: e.to_string() })?
+            .scale(feature_weight);
         let prepared = encoder
             .append_to_rows(&scaled, labels)
             .map_err(|e| CoreError::InvalidData { msg: e.to_string() })?;
@@ -65,6 +80,7 @@ impl LabelledSynthesizer {
                 encoder,
                 scaler,
                 n_features: features.cols(),
+                feature_weight,
             },
             prepared,
         ))
@@ -82,10 +98,11 @@ impl LabelledSynthesizer {
 
     /// Splits generated rows back into original-unit features and labels.
     pub fn split(&self, generated: &Matrix) -> Result<(Matrix, Vec<usize>)> {
-        let (scaled, labels) = self
+        let (weighted, labels) = self
             .encoder
             .split_rows(generated)
             .map_err(|e| CoreError::InvalidData { msg: e.to_string() })?;
+        let scaled = weighted.scale(1.0 / self.feature_weight);
         let features = self
             .scaler
             .inverse_transform(&scaled)
@@ -154,7 +171,7 @@ pub fn synthesize_labelled<M: GenerativeModel + ?Sized, R: Rng>(
     // the still-needed labels round-robin.
     let mut needed: Vec<usize> = Vec::new();
     for (class, &count) in remaining.iter().enumerate() {
-        needed.extend(std::iter::repeat(class).take(count));
+        needed.extend(std::iter::repeat_n(class, count));
     }
     let mut leftover_iter = leftovers.into_iter();
     for class in needed {
@@ -255,13 +272,12 @@ mod tests {
         let (synth, prepared) = LabelledSynthesizer::prepare(&x, &y, 3).unwrap();
         let model = Replay { rows: prepared };
         let targets = vec![10, 5, 15];
-        let (features, labels) =
-            synthesize_labelled(&model, &synth, &mut r, &targets).unwrap();
+        let (features, labels) = synthesize_labelled(&model, &synth, &mut r, &targets).unwrap();
         assert_eq!(features.rows(), 30);
         assert_eq!(labels.len(), 30);
-        for class in 0..3 {
+        for (class, &target) in targets.iter().enumerate() {
             let count = labels.iter().filter(|&&l| l == class).count();
-            assert_eq!(count, targets[class], "class {class}");
+            assert_eq!(count, target, "class {class}");
         }
         // Features are back in original units (first column spans ~0..20).
         let col0 = features.col(0);
@@ -285,8 +301,7 @@ mod tests {
         let (synth, prepared) = LabelledSynthesizer::prepare(&x0, &y0, 3).unwrap();
         let model = Replay { rows: prepared };
         let targets = vec![4, 4, 4];
-        let (features, labels) =
-            synthesize_labelled(&model, &synth, &mut r, &targets).unwrap();
+        let (features, labels) = synthesize_labelled(&model, &synth, &mut r, &targets).unwrap();
         assert_eq!(features.rows(), 12);
         for class in 0..3 {
             assert_eq!(labels.iter().filter(|&&l| l == class).count(), 4);

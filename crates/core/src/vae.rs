@@ -7,6 +7,7 @@
 //! Eq. (1) with the standard-normal prior. With `sigma_s > 0` the gradients
 //! are privatized with DP-SGD (DP-VAE).
 
+use crate::averaging::PolyakAverager;
 use crate::config::{DecoderLoss, VaeConfig};
 use crate::history::{EpochStats, TrainingHistory};
 use crate::{CoreError, GenerativeModel, Result};
@@ -29,6 +30,10 @@ pub struct Vae {
     data_dim: usize,
     optimizer: Adam,
     trained_epochs: usize,
+    /// Raw (non-averaged) optimizer iterate; the networks hold the
+    /// Polyak-averaged weights between epochs (see [`PolyakAverager`]).
+    raw_params: Option<Vec<f64>>,
+    averager: PolyakAverager,
 }
 
 impl Vae {
@@ -67,6 +72,8 @@ impl Vae {
             data_dim,
             optimizer,
             trained_epochs: 0,
+            raw_params: None,
+            averager: PolyakAverager::new(0.95),
         })
     }
 
@@ -109,14 +116,14 @@ impl Vae {
     /// Runs one epoch of training and returns its statistics. Exposed so the
     /// learning-efficiency experiments (Figure 7) can evaluate the model
     /// after every epoch.
-    pub fn train_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R, data: &Matrix) -> Result<EpochStats> {
+    pub fn train_epoch<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        data: &Matrix,
+    ) -> Result<EpochStats> {
         if data.cols() != self.data_dim {
             return Err(CoreError::InvalidData {
-                msg: format!(
-                    "expected {} features, got {}",
-                    self.data_dim,
-                    data.cols()
-                ),
+                msg: format!("expected {} features, got {}", self.data_dim, data.cols()),
             });
         }
         let n = data.rows();
@@ -137,7 +144,17 @@ impl Vae {
             None
         };
 
-        let mut params: Vec<f64> = self.flat_params();
+        // Resume from the raw optimizer iterate: the networks hold the
+        // Polyak-averaged weights between epochs.
+        let mut params: Vec<f64> = match self.raw_params.take() {
+            Some(p) => p,
+            None => self.flat_params(),
+        };
+        // Re-install the raw iterate before computing any gradients: the
+        // networks currently hold the averaged weights from the previous
+        // epoch, and gradients must be evaluated at the point the optimizer
+        // actually updates.
+        self.set_flat_params(&params);
         let mut recon_sum = 0.0;
         let mut kl_sum = 0.0;
         let mut examples = 0usize;
@@ -167,6 +184,14 @@ impl Vae {
                 }
             }
             self.set_flat_params(&params);
+            self.averager.update(&params);
+        }
+
+        // Install the averaged weights for inference; keep the raw iterate
+        // so the next epoch's optimization continues undisturbed.
+        if let Some(avg) = self.averager.average() {
+            self.raw_params = Some(params);
+            self.set_flat_params(&avg);
         }
 
         let stats = EpochStats {
@@ -254,7 +279,9 @@ impl Vae {
             DecoderLoss::Gaussian => sse(dec_cache.output(), x),
         };
         let mut dec_grads = vec![0.0; self.decoder.num_params()];
-        let grad_z = self.decoder.backward(&dec_cache, &grad_logits, &mut dec_grads);
+        let grad_z = self
+            .decoder
+            .backward(&dec_cache, &grad_logits, &mut dec_grads);
 
         let (kl, kl_grad_mu, kl_grad_logvar) = kl_diag_gaussian_standard(mu, logvar);
 
@@ -265,7 +292,8 @@ impl Vae {
             grad_enc_out[d + i] = grad_z[i] * 0.5 * sigma[i] * eps[i] + kl_grad_logvar[i];
         }
         let mut enc_grads = vec![0.0; self.encoder.num_params()];
-        self.encoder.backward(&enc_cache, &grad_enc_out, &mut enc_grads);
+        self.encoder
+            .backward(&enc_cache, &grad_enc_out, &mut enc_grads);
 
         enc_grads.extend_from_slice(&dec_grads);
         (recon, kl, enc_grads)
@@ -374,10 +402,7 @@ mod tests {
         let (vae, _) = Vae::fit(&mut r, &data, small_config()).unwrap();
         let samples = vae.sample(&mut r, 32);
         assert_eq!(samples.shape(), (32, 6));
-        assert!(samples
-            .as_slice()
-            .iter()
-            .all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(samples.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]

@@ -75,7 +75,17 @@ fn stroke_dataset<R: Rng + ?Sized>(
 }
 
 /// Paints a thick anti-aliased line segment into the image.
-fn paint_line(img: &mut [f64], size: usize, x0: f64, y0: f64, x1: f64, y1: f64, thickness: f64, intensity: f64) {
+#[allow(clippy::too_many_arguments)]
+fn paint_line(
+    img: &mut [f64],
+    size: usize,
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+    thickness: f64,
+    intensity: f64,
+) {
     let steps = (size * 3).max(8);
     for s in 0..=steps {
         let t = s as f64 / steps as f64;
@@ -149,37 +159,181 @@ fn render_digit_like<R: Rng + ?Sized>(rng: &mut R, size: usize, label: usize) ->
             }
         }
         // Vertical bar ("1").
-        1 => paint_line(&mut img, size, mid + jx, lo + jy, mid + jx, hi + jy, thickness, intensity / 3.0),
+        1 => paint_line(
+            &mut img,
+            size,
+            mid + jx,
+            lo + jy,
+            mid + jx,
+            hi + jy,
+            thickness,
+            intensity / 3.0,
+        ),
         // Horizontal bar.
-        2 => paint_line(&mut img, size, lo + jx, mid + jy, hi + jx, mid + jy, thickness, intensity / 3.0),
+        2 => paint_line(
+            &mut img,
+            size,
+            lo + jx,
+            mid + jy,
+            hi + jx,
+            mid + jy,
+            thickness,
+            intensity / 3.0,
+        ),
         // Main diagonal.
-        3 => paint_line(&mut img, size, lo + jx, lo + jy, hi + jx, hi + jy, thickness, intensity / 3.0),
+        3 => paint_line(
+            &mut img,
+            size,
+            lo + jx,
+            lo + jy,
+            hi + jx,
+            hi + jy,
+            thickness,
+            intensity / 3.0,
+        ),
         // Anti-diagonal.
-        4 => paint_line(&mut img, size, lo + jx, hi + jy, hi + jx, lo + jy, thickness, intensity / 3.0),
+        4 => paint_line(
+            &mut img,
+            size,
+            lo + jx,
+            hi + jy,
+            hi + jx,
+            lo + jy,
+            thickness,
+            intensity / 3.0,
+        ),
         // Cross.
         5 => {
-            paint_line(&mut img, size, mid + jx, lo + jy, mid + jx, hi + jy, thickness, intensity / 3.0);
-            paint_line(&mut img, size, lo + jx, mid + jy, hi + jx, mid + jy, thickness, intensity / 3.0);
+            paint_line(
+                &mut img,
+                size,
+                mid + jx,
+                lo + jy,
+                mid + jx,
+                hi + jy,
+                thickness,
+                intensity / 3.0,
+            );
+            paint_line(
+                &mut img,
+                size,
+                lo + jx,
+                mid + jy,
+                hi + jx,
+                mid + jy,
+                thickness,
+                intensity / 3.0,
+            );
         }
         // L shapes in the four orientations.
         6 => {
-            paint_line(&mut img, size, lo + jx, lo + jy, lo + jx, hi + jy, thickness, intensity / 3.0);
-            paint_line(&mut img, size, lo + jx, hi + jy, hi + jx, hi + jy, thickness, intensity / 3.0);
+            paint_line(
+                &mut img,
+                size,
+                lo + jx,
+                lo + jy,
+                lo + jx,
+                hi + jy,
+                thickness,
+                intensity / 3.0,
+            );
+            paint_line(
+                &mut img,
+                size,
+                lo + jx,
+                hi + jy,
+                hi + jx,
+                hi + jy,
+                thickness,
+                intensity / 3.0,
+            );
         }
         7 => {
-            paint_line(&mut img, size, hi + jx, lo + jy, hi + jx, hi + jy, thickness, intensity / 3.0);
-            paint_line(&mut img, size, lo + jx, lo + jy, hi + jx, lo + jy, thickness, intensity / 3.0);
+            paint_line(
+                &mut img,
+                size,
+                hi + jx,
+                lo + jy,
+                hi + jx,
+                hi + jy,
+                thickness,
+                intensity / 3.0,
+            );
+            paint_line(
+                &mut img,
+                size,
+                lo + jx,
+                lo + jy,
+                hi + jx,
+                lo + jy,
+                thickness,
+                intensity / 3.0,
+            );
         }
         8 => {
-            paint_line(&mut img, size, lo + jx, lo + jy, hi + jx, lo + jy, thickness, intensity / 3.0);
-            paint_line(&mut img, size, lo + jx, lo + jy, lo + jx, hi + jy, thickness, intensity / 3.0);
-            paint_line(&mut img, size, lo + jx, hi + jy, hi + jx, hi + jy, thickness, intensity / 3.0);
+            paint_line(
+                &mut img,
+                size,
+                lo + jx,
+                lo + jy,
+                hi + jx,
+                lo + jy,
+                thickness,
+                intensity / 3.0,
+            );
+            paint_line(
+                &mut img,
+                size,
+                lo + jx,
+                lo + jy,
+                lo + jx,
+                hi + jy,
+                thickness,
+                intensity / 3.0,
+            );
+            paint_line(
+                &mut img,
+                size,
+                lo + jx,
+                hi + jy,
+                hi + jx,
+                hi + jy,
+                thickness,
+                intensity / 3.0,
+            );
         }
         // X plus vertical ("9"-ish asterisk).
         _ => {
-            paint_line(&mut img, size, lo + jx, lo + jy, hi + jx, hi + jy, thickness, intensity / 3.0);
-            paint_line(&mut img, size, lo + jx, hi + jy, hi + jx, lo + jy, thickness, intensity / 3.0);
-            paint_line(&mut img, size, mid + jx, lo + jy, mid + jx, hi + jy, thickness, intensity / 3.0);
+            paint_line(
+                &mut img,
+                size,
+                lo + jx,
+                lo + jy,
+                hi + jx,
+                hi + jy,
+                thickness,
+                intensity / 3.0,
+            );
+            paint_line(
+                &mut img,
+                size,
+                lo + jx,
+                hi + jy,
+                hi + jx,
+                lo + jy,
+                thickness,
+                intensity / 3.0,
+            );
+            paint_line(
+                &mut img,
+                size,
+                mid + jx,
+                lo + jy,
+                mid + jx,
+                hi + jy,
+                thickness,
+                intensity / 3.0,
+            );
         }
     }
     add_pixel_noise(rng, &mut img, 0.03);
@@ -201,18 +355,58 @@ fn render_fashion_like<R: Rng + ?Sized>(rng: &mut R, size: usize, label: usize) 
         // Wide top rectangle (t-shirt body).
         1 => paint_rect(&mut img, size, lo + jx, lo + jy, hi + jx, mid + jy, fill),
         // Tall narrow rectangle (dress).
-        2 => paint_rect(&mut img, size, 0.35 * s + jx, lo + jy, 0.65 * s + jx, hi + jy, fill),
+        2 => paint_rect(
+            &mut img,
+            size,
+            0.35 * s + jx,
+            lo + jy,
+            0.65 * s + jx,
+            hi + jy,
+            fill,
+        ),
         // Two vertical legs (trousers).
         3 => {
-            paint_rect(&mut img, size, lo + jx, lo + jy, 0.4 * s + jx, hi + jy, fill);
-            paint_rect(&mut img, size, 0.6 * s + jx, lo + jy, hi + jx, hi + jy, fill);
+            paint_rect(
+                &mut img,
+                size,
+                lo + jx,
+                lo + jy,
+                0.4 * s + jx,
+                hi + jy,
+                fill,
+            );
+            paint_rect(
+                &mut img,
+                size,
+                0.6 * s + jx,
+                lo + jy,
+                hi + jx,
+                hi + jy,
+                fill,
+            );
         }
         // Bottom rectangle (shoe).
         4 => paint_rect(&mut img, size, lo + jx, mid + jy, hi + jx, hi + jy, fill),
         // T shape (pullover with arms).
         5 => {
-            paint_rect(&mut img, size, lo + jx, lo + jy, hi + jx, 0.4 * s + jy, fill);
-            paint_rect(&mut img, size, 0.4 * s + jx, lo + jy, 0.6 * s + jx, hi + jy, fill);
+            paint_rect(
+                &mut img,
+                size,
+                lo + jx,
+                lo + jy,
+                hi + jx,
+                0.4 * s + jy,
+                fill,
+            );
+            paint_rect(
+                &mut img,
+                size,
+                0.4 * s + jx,
+                lo + jy,
+                0.6 * s + jx,
+                hi + jy,
+                fill,
+            );
         }
         // Left half (bag).
         6 => paint_rect(&mut img, size, lo + jx, lo + jy, mid + jx, hi + jy, fill),
@@ -221,7 +415,15 @@ fn render_fashion_like<R: Rng + ?Sized>(rng: &mut R, size: usize, label: usize) 
         // Frame (hollow square).
         8 => {
             paint_rect(&mut img, size, lo + jx, lo + jy, hi + jx, hi + jy, fill);
-            paint_rect(&mut img, size, 0.35 * s + jx, 0.35 * s + jy, 0.65 * s + jx, 0.65 * s + jy, -fill);
+            paint_rect(
+                &mut img,
+                size,
+                0.35 * s + jx,
+                0.35 * s + jy,
+                0.65 * s + jx,
+                0.65 * s + jy,
+                -fill,
+            );
             for v in img.iter_mut() {
                 *v = v.max(0.0);
             }
@@ -229,7 +431,16 @@ fn render_fashion_like<R: Rng + ?Sized>(rng: &mut R, size: usize, label: usize) 
         // Diagonal band (sandal strap).
         _ => {
             let t = s * 0.12;
-            paint_line(&mut img, size, lo + jx, hi + jy, hi + jx, lo + jy, t, fill / 2.5);
+            paint_line(
+                &mut img,
+                size,
+                lo + jx,
+                hi + jy,
+                hi + jx,
+                lo + jy,
+                t,
+                fill / 2.5,
+            );
         }
     }
     // Texture: multiplicative speckle inside the silhouette.
@@ -257,7 +468,11 @@ pub fn ascii_art(images: &[Vec<f64>], size: usize, per_row: usize) -> String {
         for y in 0..size {
             for img in chunk {
                 for x in 0..size {
-                    let v = img.get(y * size + x).copied().unwrap_or(0.0).clamp(0.0, 1.0);
+                    let v = img
+                        .get(y * size + x)
+                        .copied()
+                        .unwrap_or(0.0)
+                        .clamp(0.0, 1.0);
                     let idx = (v * (SHADES.len() - 1) as f64).round() as usize;
                     out.push(SHADES[idx]);
                 }
@@ -334,7 +549,10 @@ mod tests {
         let v = mean_img(1);
         let h = mean_img(2);
         let dist = p3gm_linalg::vector::distance(&v, &h);
-        assert!(dist > 1.0, "vertical and horizontal bars too similar: {dist}");
+        assert!(
+            dist > 1.0,
+            "vertical and horizontal bars too similar: {dist}"
+        );
         // Same class across two draws is much closer than different classes.
         let v2 = mean_img(1);
         assert!(p3gm_linalg::vector::distance(&v, &v2) < 1e-12);

@@ -181,10 +181,7 @@ pub fn esr_like_with_dims<R: Rng + ?Sized>(rng: &mut R, n: usize, n_features: us
         };
         let phase = rng.gen_range(0.0..std::f64::consts::TAU);
         let row: Vec<f64> = (0..n_features)
-            .map(|t| {
-                amplitude * (freq * t as f64 + phase).sin()
-                    + sampling::normal(rng, 0.0, 0.5)
-            })
+            .map(|t| amplitude * (freq * t as f64 + phase).sin() + sampling::normal(rng, 0.0, 0.5))
             .collect();
         rows.push(row);
         labels.push(label);

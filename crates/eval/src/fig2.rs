@@ -13,7 +13,9 @@
 //! * **diversity** — average pairwise distance among the samples
 //!   (higher = more varied samples; mode collapse drives it toward 0).
 
-use crate::common::{experiment_rng, make_dataset, stratified_split, train_generator, GenerativeKind};
+use crate::common::{
+    experiment_rng, make_dataset, stratified_split, train_generator, GenerativeKind,
+};
 use crate::report::{fmt_metric, TextTable};
 use crate::scale::Scale;
 use p3gm_core::synthesis::LabelledSynthesizer;
@@ -145,7 +147,11 @@ impl Fig2Report {
         let mut out = String::from(
             "Figure 2: sample quality on the MNIST-like data ((1, 1e-5)-DP for the private models)\n\n",
         );
-        let mut table = TextTable::new(&["panel", "fidelity (lower=cleaner)", "diversity (higher=varied)"]);
+        let mut table = TextTable::new(&[
+            "panel",
+            "fidelity (lower=cleaner)",
+            "diversity (higher=varied)",
+        ]);
         table.add_row(vec![
             "original data".to_string(),
             fmt_metric(0.0),

@@ -75,8 +75,7 @@ pub fn run_sweep(scale: Scale, epsilons: &[f64], models: &[GenerativeKind]) -> F
             }
         } else {
             // Non-private reference: evaluated once, replicated across the sweep.
-            let report =
-                evaluate_tabular(&mut rng, model, &split.train, &split.test, scale, 1.0);
+            let report = evaluate_tabular(&mut rng, model, &split.train, &split.test, scale, 1.0);
             for &eps in epsilons {
                 points.push(Fig4Point {
                     model,
@@ -96,8 +95,9 @@ pub fn run_sweep(scale: Scale, epsilons: &[f64], models: &[GenerativeKind]) -> F
 impl Fig4Report {
     /// Renders the two panels (AUROC and AUPRC vs ε) as text tables.
     pub fn to_text(&self) -> String {
-        let mut out =
-            String::from("Figure 4: utility in fraud detection (Kaggle Credit) vs privacy level\n\n");
+        let mut out = String::from(
+            "Figure 4: utility in fraud detection (Kaggle Credit) vs privacy level\n\n",
+        );
         for (metric_name, pick) in [("AUROC", 0usize), ("AUPRC", 1usize)] {
             let mut header: Vec<String> = vec!["model".to_string()];
             header.extend(self.epsilons.iter().map(|e| format!("eps={}", fmt_eps(*e))));

@@ -64,22 +64,35 @@ pub fn run_sweeps(scale: Scale, dps: &[usize], dms: &[usize]) -> Fig5Report {
     let epsilon = 1.0;
     let d = train.n_features();
 
-    let evaluate_with = |latent_dim: usize, mog_components: usize, rng: &mut rand::rngs::StdRng| -> f64 {
-        let (synth, prepared) =
-            LabelledSynthesizer::prepare(&train.features, &train.labels, train.n_classes)
-                .expect("prepare labelled data");
-        let mut cfg = pgm_config_for(scale, GenerativeKind::P3gm, epsilon, prepared.rows(), prepared.cols());
-        cfg.latent_dim = latent_dim.min(prepared.cols() - 1).max(1);
-        cfg.mog_components = mog_components.max(1);
-        let (model, _) = PhasedGenerativeModel::fit(rng, &prepared, cfg).expect("P3GM training");
-        let counts = train.matched_label_counts(scale.n_synthetic());
-        let (synth_x, synth_y) =
-            synthesize_labelled(&model, &synth, rng, &counts).expect("synthesis");
-        let mut clf = MlpClassifier::new(rng, synth_x.cols(), scale.hidden_dim().max(32), train.n_classes);
-        clf.epochs = 12;
-        clf.fit(rng, &synth_x, &synth_y);
-        clf.score(&test.features, &test.labels)
-    };
+    let evaluate_with =
+        |latent_dim: usize, mog_components: usize, rng: &mut rand::rngs::StdRng| -> f64 {
+            let (synth, prepared) =
+                LabelledSynthesizer::prepare(&train.features, &train.labels, train.n_classes)
+                    .expect("prepare labelled data");
+            let mut cfg = pgm_config_for(
+                scale,
+                GenerativeKind::P3gm,
+                epsilon,
+                prepared.rows(),
+                prepared.cols(),
+            );
+            cfg.latent_dim = latent_dim.min(prepared.cols() - 1).max(1);
+            cfg.mog_components = mog_components.max(1);
+            let (model, _) =
+                PhasedGenerativeModel::fit(rng, &prepared, cfg).expect("P3GM training");
+            let counts = train.matched_label_counts(scale.n_synthetic());
+            let (synth_x, synth_y) =
+                synthesize_labelled(&model, &synth, rng, &counts).expect("synthesis");
+            let mut clf = MlpClassifier::new(
+                rng,
+                synth_x.cols(),
+                scale.hidden_dim().max(32),
+                train.n_classes,
+            );
+            clf.epochs = 12;
+            clf.fit(rng, &synth_x, &synth_y);
+            clf.score(&test.features, &test.labels)
+        };
 
     let dp_sweep: Vec<Fig5Point> = dps
         .iter()

@@ -11,8 +11,7 @@
 //!   trails both.
 
 use crate::common::{
-    experiment_rng, make_dataset, pgm_config_for, stratified_split, vae_config_for,
-    GenerativeKind,
+    experiment_rng, make_dataset, pgm_config_for, stratified_split, vae_config_for, GenerativeKind,
 };
 use crate::report::{fmt_metric, TextTable};
 use crate::scale::Scale;
@@ -119,7 +118,9 @@ fn dataset_curves(
         let mut reconstruction = Vec::with_capacity(epochs);
         let mut utility = Vec::with_capacity(epochs);
         for _ in 0..epochs {
-            model.train_epoch(rng, &prepared).expect("decode phase epoch");
+            model
+                .train_epoch(rng, &prepared)
+                .expect("decode phase epoch");
             reconstruction.push(model.reconstruction_loss(&prepared));
             utility.push(downstream_utility(
                 rng, &model, &synth, train, test, scale, image_task,
@@ -212,7 +213,11 @@ impl Fig7Report {
     }
 }
 
-fn panel(title: &str, curves: &[LearningCurve], pick: impl Fn(&LearningCurve) -> &Vec<f64>) -> String {
+fn panel(
+    title: &str,
+    curves: &[LearningCurve],
+    pick: impl Fn(&LearningCurve) -> &Vec<f64>,
+) -> String {
     let epochs = curves.first().map(|c| pick(c).len()).unwrap_or(0);
     let mut header: Vec<String> = vec!["model".to_string()];
     header.extend((1..=epochs).map(|e| format!("epoch {e}")));

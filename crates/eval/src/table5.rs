@@ -55,11 +55,11 @@ impl Table5Report {
         let mut out = String::from(
             "Table V: AUROC / AUPRC on Kaggle Credit (classifiers trained on synthetic data)\n",
         );
-        out.push_str(&format!("P3GM privacy budget: ({}, 1e-5)-DP\n\n", self.epsilon));
-        for (metric_name, pick) in [
-            ("AUROC", 0usize),
-            ("AUPRC", 1usize),
-        ] {
+        out.push_str(&format!(
+            "P3GM privacy budget: ({}, 1e-5)-DP\n\n",
+            self.epsilon
+        ));
+        for (metric_name, pick) in [("AUROC", 0usize), ("AUPRC", 1usize)] {
             let mut header = vec!["classifier"];
             let names: Vec<&str> = self.per_model.iter().map(|(k, _)| k.name()).collect();
             header.extend(names.iter());
@@ -68,7 +68,11 @@ impl Table5Report {
                 let mut cells = vec![clf.name().to_string()];
                 for (_, report) in &self.per_model {
                     let scores = report.scores_for(clf).expect("classifier present");
-                    let value = if pick == 0 { scores.auroc } else { scores.auprc };
+                    let value = if pick == 0 {
+                        scores.auroc
+                    } else {
+                        scores.auprc
+                    };
                     cells.push(fmt_metric(value));
                 }
                 table.add_row(cells);

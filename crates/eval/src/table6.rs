@@ -58,14 +58,8 @@ pub fn run_datasets(scale: Scale, datasets: &[DatasetKind]) -> Table6Report {
             let cells = TABLE6_MODELS
                 .into_iter()
                 .map(|kind| {
-                    let report = evaluate_tabular(
-                        &mut rng,
-                        kind,
-                        &split.train,
-                        &split.test,
-                        scale,
-                        epsilon,
-                    );
+                    let report =
+                        evaluate_tabular(&mut rng, kind, &split.train, &split.test, scale, epsilon);
                     (kind, report.mean_auroc(), report.mean_auprc())
                 })
                 .collect();

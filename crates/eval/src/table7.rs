@@ -8,7 +8,9 @@
 //! centroids (mediocre accuracy), and PrivBayes fails completely on
 //! image-dimensional data.
 
-use crate::common::{evaluate_images, experiment_rng, make_dataset, stratified_split, GenerativeKind};
+use crate::common::{
+    evaluate_images, experiment_rng, make_dataset, stratified_split, GenerativeKind,
+};
 use crate::report::{fmt_metric, TextTable};
 use crate::scale::Scale;
 use p3gm_datasets::DatasetKind;
@@ -56,14 +58,8 @@ pub fn run_datasets(scale: Scale, datasets: &[DatasetKind]) -> Table7Report {
             let accuracies = TABLE7_MODELS
                 .into_iter()
                 .map(|kind| {
-                    let acc = evaluate_images(
-                        &mut rng,
-                        kind,
-                        &split.train,
-                        &split.test,
-                        scale,
-                        epsilon,
-                    );
+                    let acc =
+                        evaluate_images(&mut rng, kind, &split.train, &split.test, scale, epsilon);
                     (kind, acc)
                 })
                 .collect();

@@ -63,7 +63,10 @@ impl Cholesky {
             Ok(c) => Ok(c),
             Err(_) if max_attempts > 0 => {
                 let mut current = jitter.max(f64::EPSILON);
-                let mut last_err = LinalgError::NotPositiveDefinite { pivot: 0, value: 0.0 };
+                let mut last_err = LinalgError::NotPositiveDefinite {
+                    pivot: 0,
+                    value: 0.0,
+                };
                 for _ in 0..max_attempts {
                     let mut regularized = a.clone();
                     regularized.add_diagonal(current);
@@ -113,8 +116,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for j in 0..i {
-                sum -= self.lower.get(i, j) * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                sum -= self.lower.get(i, j) * yj;
             }
             y[i] = sum / self.lower.get(i, i);
         }
@@ -134,8 +137,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for j in (i + 1)..n {
-                sum -= self.lower.get(j, i) * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.lower.get(j, i) * xj;
             }
             x[i] = sum / self.lower.get(i, i);
         }

@@ -90,9 +90,7 @@ impl SymmetricEigen {
         }
 
         // Extract eigenpairs and sort by descending eigenvalue.
-        let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
-            .map(|i| (m.get(i, i), v.col(i)))
-            .collect();
+        let mut pairs: Vec<(f64, Vec<f64>)> = (0..n).map(|i| (m.get(i, i), v.col(i))).collect();
         pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
 
         let eigenvalues: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();

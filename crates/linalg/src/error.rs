@@ -122,7 +122,9 @@ mod tests {
         assert!(LinalgError::EigenNoConvergence { off_diagonal: 1.0 }
             .to_string()
             .contains("converge"));
-        assert!(LinalgError::Empty { op: "mean" }.to_string().contains("empty"));
+        assert!(LinalgError::Empty { op: "mean" }
+            .to_string()
+            .contains("empty"));
         assert!(LinalgError::InvalidArgument {
             msg: "k must be > 0".into()
         }

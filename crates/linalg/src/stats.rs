@@ -49,7 +49,9 @@ pub fn column_variances(data: &Matrix) -> Result<Vec<f64>> {
 /// Column-wise minimum and maximum of a data matrix.
 pub fn column_min_max(data: &Matrix) -> Result<(Vec<f64>, Vec<f64>)> {
     if data.rows() == 0 {
-        return Err(LinalgError::Empty { op: "column_min_max" });
+        return Err(LinalgError::Empty {
+            op: "column_min_max",
+        });
     }
     let mut mins = data.row(0).to_vec();
     let mut maxs = data.row(0).to_vec();
@@ -116,7 +118,9 @@ pub fn covariance_matrix(data: &Matrix, means: Option<&[f64]>) -> Result<Matrix>
 /// the quantity whose sensitivity is bounded by 1.
 pub fn scatter_matrix(data: &Matrix) -> Result<Matrix> {
     if data.rows() == 0 {
-        return Err(LinalgError::Empty { op: "scatter_matrix" });
+        return Err(LinalgError::Empty {
+            op: "scatter_matrix",
+        });
     }
     Ok(data.gram().scale(1.0 / data.rows() as f64))
 }

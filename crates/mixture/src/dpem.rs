@@ -125,8 +125,7 @@ pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &DpEmConfig) -> 
         config.covariance_regularization,
     );
 
-    let mut model =
-        Gmm::new(weights.clone(), means.clone(), covariances.clone()).map_err(keep)?;
+    let mut model = Gmm::new(weights.clone(), means.clone(), covariances.clone()).map_err(keep)?;
     let mut trace = Vec::with_capacity(config.iterations);
 
     for _ in 0..config.iterations {
@@ -143,8 +142,7 @@ pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &DpEmConfig) -> 
 
         // Weights (one release).
         for c in 0..k {
-            weights[c] =
-                (nk[c] / n as f64 + sampling::normal(rng, 0.0, noise_std)).max(1e-4);
+            weights[c] = (nk[c] / n as f64 + sampling::normal(rng, 0.0, noise_std)).max(1e-4);
         }
 
         for c in 0..k {
@@ -166,8 +164,8 @@ pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &DpEmConfig) -> 
                 let w = r[c];
                 for i in 0..d {
                     let di = diff[i] * w;
-                    for j in 0..d {
-                        let v = cov.get(i, j) + di * diff[j];
+                    for (j, &dj) in diff.iter().enumerate() {
+                        let v = cov.get(i, j) + di * dj;
                         cov.set(i, j, v);
                     }
                 }
@@ -221,12 +219,8 @@ mod tests {
 
     /// Two separated blobs inside the unit ball.
     fn unit_ball_blobs(rng: &mut StdRng, per: usize) -> Matrix {
-        let truth = Gmm::isotropic(
-            vec![0.5, 0.5],
-            vec![vec![-0.5, 0.0], vec![0.5, 0.2]],
-            0.01,
-        )
-        .unwrap();
+        let truth =
+            Gmm::isotropic(vec![0.5, 0.5], vec![vec![-0.5, 0.0], vec![0.5, 0.2]], 0.01).unwrap();
         truth.sample_n(rng, per * 2)
     }
 

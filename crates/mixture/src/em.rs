@@ -67,8 +67,8 @@ pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &EmConfig) -> Re
     let (mut weights, mut means, mut covariances) =
         initial_parameters(data, &km.assignments, k, config.covariance_regularization);
 
-    let mut model = Gmm::new(weights.clone(), means.clone(), covariances.clone())
-        .map_err(upgrade_numerical)?;
+    let mut model =
+        Gmm::new(weights.clone(), means.clone(), covariances.clone()).map_err(upgrade_numerical)?;
     let mut trace: Vec<f64> = Vec::with_capacity(config.max_iters);
     let mut converged = false;
     let mut iterations = 0;
@@ -76,7 +76,10 @@ pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &EmConfig) -> Re
     for iter in 0..config.max_iters {
         iterations = iter + 1;
         // E-step: responsibilities for every row.
-        let resp: Vec<Vec<f64>> = data.row_iter().map(|row| model.responsibilities(row)).collect();
+        let resp: Vec<Vec<f64>> = data
+            .row_iter()
+            .map(|row| model.responsibilities(row))
+            .collect();
 
         // M-step.
         let nk: Vec<f64> = (0..k)
@@ -97,8 +100,8 @@ pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &EmConfig) -> Re
                 let w = r[c];
                 for i in 0..d {
                     let di = diff[i] * w;
-                    for j in 0..d {
-                        let v = cov.get(i, j) + di * diff[j];
+                    for (j, &dj) in diff.iter().enumerate() {
+                        let v = cov.get(i, j) + di * dj;
                         cov.set(i, j, v);
                     }
                 }
@@ -216,12 +219,8 @@ mod tests {
     }
 
     fn two_blob_data(rng: &mut StdRng, per: usize) -> Matrix {
-        let true_model = Gmm::isotropic(
-            vec![0.5, 0.5],
-            vec![vec![-3.0, 0.0], vec![3.0, 1.0]],
-            0.5,
-        )
-        .unwrap();
+        let true_model =
+            Gmm::isotropic(vec![0.5, 0.5], vec![vec![-3.0, 0.0], vec![3.0, 1.0]], 0.5).unwrap();
         true_model.sample_n(rng, per * 2)
     }
 

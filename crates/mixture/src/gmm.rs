@@ -29,11 +29,7 @@ impl Gmm {
     ///
     /// Weights are re-normalized to sum to one; covariances that are not
     /// positive definite are repaired with increasing diagonal jitter.
-    pub fn new(
-        weights: Vec<f64>,
-        means: Vec<Vec<f64>>,
-        covariances: Vec<Matrix>,
-    ) -> Result<Self> {
+    pub fn new(weights: Vec<f64>, means: Vec<Vec<f64>>, covariances: Vec<Matrix>) -> Result<Self> {
         let k = weights.len();
         if k == 0 || means.len() != k || covariances.len() != k {
             return Err(MixtureError::InvalidParameter {
@@ -51,9 +47,7 @@ impl Gmm {
                 msg: "zero-dimensional mixture".to_string(),
             });
         }
-        if means.iter().any(|m| m.len() != d)
-            || covariances.iter().any(|c| c.shape() != (d, d))
-        {
+        if means.iter().any(|m| m.len() != d) || covariances.iter().any(|c| c.shape() != (d, d)) {
             return Err(MixtureError::InvalidParameter {
                 msg: "inconsistent component dimensions".to_string(),
             });
@@ -70,11 +64,10 @@ impl Gmm {
         let mut inverses = Vec::with_capacity(k);
         let mut log_dets = Vec::with_capacity(k);
         for cov in &covariances {
-            let chol = Cholesky::new_with_jitter(cov, 1e-6, 12).map_err(|e| {
-                MixtureError::Numerical {
+            let chol =
+                Cholesky::new_with_jitter(cov, 1e-6, 12).map_err(|e| MixtureError::Numerical {
                     msg: format!("covariance not positive definite: {e}"),
-                }
-            })?;
+                })?;
             let inv = chol.inverse().map_err(|e| MixtureError::Numerical {
                 msg: format!("covariance inversion failed: {e}"),
             })?;
@@ -136,8 +129,7 @@ impl Gmm {
     pub fn component_log_density(&self, k: usize, x: &[f64]) -> f64 {
         let d = self.dim() as f64;
         let diff = vector::sub(x, &self.means[k]);
-        let maha = self
-            .factors[k]
+        let maha = self.factors[k]
             .quadratic_form(&diff)
             .expect("dimension checked at construction");
         -0.5 * (d * (2.0 * std::f64::consts::PI).ln() + self.log_dets[k] + maha)
@@ -156,7 +148,10 @@ impl Gmm {
         if data.rows() == 0 {
             return 0.0;
         }
-        data.row_iter().map(|row| self.log_density(row)).sum::<f64>() / data.rows() as f64
+        data.row_iter()
+            .map(|row| self.log_density(row))
+            .sum::<f64>()
+            / data.rows() as f64
     }
 
     /// Posterior responsibilities `p(component | x)`.
@@ -209,15 +204,14 @@ impl Gmm {
         let var: Vec<f64> = logvar.iter().map(|l| l.exp()).collect();
 
         let mut trace = 0.0;
-        for i in 0..d {
-            trace += inv.get(i, i) * var[i];
+        for (i, &v) in var.iter().enumerate() {
+            trace += inv.get(i, i) * v;
         }
         let diff = vector::sub(mu, &self.means[k]);
         let inv_diff = inv.matvec(&diff).expect("dimension checked");
         let maha = vector::dot(&diff, &inv_diff);
         let sum_logvar: f64 = logvar.iter().sum();
-        let value =
-            0.5 * (trace + maha - d as f64 + self.log_dets[k] - sum_logvar);
+        let value = 0.5 * (trace + maha - d as f64 + self.log_dets[k] - sum_logvar);
 
         let grad_mu = inv_diff;
         let grad_logvar: Vec<f64> = (0..d)
@@ -232,11 +226,7 @@ impl Gmm {
     /// For a single-Gaussian `q` the approximation reduces to
     /// `−log Σ_k π_k exp(−KL(q || component_k))`; the gradient is the
     /// softmin-weighted combination of the per-component gradients.
-    pub fn kl_diag_to_mixture(
-        &self,
-        mu: &[f64],
-        logvar: &[f64],
-    ) -> (f64, Vec<f64>, Vec<f64>) {
+    pub fn kl_diag_to_mixture(&self, mu: &[f64], logvar: &[f64]) -> (f64, Vec<f64>, Vec<f64>) {
         let k = self.n_components();
         let d = self.dim();
         let mut kls = Vec::with_capacity(k);
@@ -292,12 +282,7 @@ mod tests {
     fn construction_validates() {
         assert!(Gmm::new(vec![], vec![], vec![]).is_err());
         assert!(Gmm::new(vec![1.0], vec![vec![0.0]], vec![]).is_err());
-        assert!(Gmm::new(
-            vec![1.0],
-            vec![vec![0.0, 0.0]],
-            vec![Matrix::identity(3)]
-        )
-        .is_err());
+        assert!(Gmm::new(vec![1.0], vec![vec![0.0, 0.0]], vec![Matrix::identity(3)]).is_err());
         assert!(Gmm::new(vec![0.0], vec![vec![0.0]], vec![Matrix::identity(1)]).is_err());
         assert!(Gmm::isotropic(vec![1.0], vec![vec![0.0]], 0.0).is_err());
     }
@@ -456,8 +441,7 @@ mod tests {
             lp[i] += h;
             let mut lm = logvar;
             lm[i] -= h;
-            let numeric = (gmm.kl_diag_to_mixture(&mu, &lp).0
-                - gmm.kl_diag_to_mixture(&mu, &lm).0)
+            let numeric = (gmm.kl_diag_to_mixture(&mu, &lp).0 - gmm.kl_diag_to_mixture(&mu, &lm).0)
                 / (2.0 * h);
             assert!((gl[i] - numeric).abs() < 1e-5, "logvar[{i}]");
         }

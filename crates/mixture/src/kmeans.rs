@@ -120,8 +120,7 @@ pub fn dp_kmeans<R: Rng + ?Sized>(
         let (sums, counts) = cluster_sums(data, &assignments, config.k);
         for c in 0..config.k {
             // Noisy count: sensitivity 1.
-            let noisy_count =
-                (counts[c] + sampling::laplace(rng, 1.0 / eps_counts)).max(1.0);
+            let noisy_count = (counts[c] + sampling::laplace(rng, 1.0 / eps_counts)).max(1.0);
             // Noisy sums: L1 sensitivity of the per-coordinate sum is radius.
             let noisy_sum: Vec<f64> = sums[c]
                 .iter()
@@ -294,15 +293,47 @@ mod tests {
     fn validation_errors() {
         let mut r = rng();
         let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
-        assert!(kmeans(&mut r, &data, &KMeansConfig { k: 0, ..Default::default() }).is_err());
-        assert!(kmeans(&mut r, &data, &KMeansConfig { k: 5, ..Default::default() }).is_err());
+        assert!(kmeans(
+            &mut r,
+            &data,
+            &KMeansConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(kmeans(
+            &mut r,
+            &data,
+            &KMeansConfig {
+                k: 5,
+                ..Default::default()
+            }
+        )
+        .is_err());
         assert!(kmeans(&mut r, &Matrix::zeros(0, 2), &KMeansConfig::default()).is_err());
-        assert!(dp_kmeans(&mut r, &data, &KMeansConfig { k: 1, ..Default::default() }, 0.0, 1.0)
-            .is_err());
-        assert!(
-            dp_kmeans(&mut r, &data, &KMeansConfig { k: 1, ..Default::default() }, 1.0, 0.0)
-                .is_err()
-        );
+        assert!(dp_kmeans(
+            &mut r,
+            &data,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+            0.0,
+            1.0
+        )
+        .is_err());
+        assert!(dp_kmeans(
+            &mut r,
+            &data,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+            1.0,
+            0.0
+        )
+        .is_err());
     }
 
     #[test]

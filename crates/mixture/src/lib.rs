@@ -72,14 +72,20 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(MixtureError::InvalidParameter { msg: "k = 0".into() }
-            .to_string()
-            .contains("k = 0"));
-        assert!(MixtureError::InvalidData { msg: "empty".into() }
-            .to_string()
-            .contains("empty"));
-        assert!(MixtureError::Numerical { msg: "singular".into() }
-            .to_string()
-            .contains("singular"));
+        assert!(MixtureError::InvalidParameter {
+            msg: "k = 0".into()
+        }
+        .to_string()
+        .contains("k = 0"));
+        assert!(MixtureError::InvalidData {
+            msg: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
+        assert!(MixtureError::Numerical {
+            msg: "singular".into()
+        }
+        .to_string()
+        .contains("singular"));
     }
 }

@@ -60,7 +60,8 @@ impl Conv2d {
                 for ox in 0..out {
                     let mut acc = b;
                     for ky in 0..self.kernel {
-                        let row = &input[(oy + ky) * size + ox..(oy + ky) * size + ox + self.kernel];
+                        let row =
+                            &input[(oy + ky) * size + ox..(oy + ky) * size + ox + self.kernel];
                         let wrow = &w[ky * self.kernel..(ky + 1) * self.kernel];
                         for (iv, wv) in row.iter().zip(wrow.iter()) {
                             acc += iv * wv;
@@ -315,7 +316,9 @@ impl SimpleCnn {
         // FC1 backward.
         let fc1_w_len = self.fc1.in_dim() * self.fc1.out_dim();
         let (fc1_w, fc1_b) = fc1_grad.split_at_mut(fc1_w_len);
-        let grad_pooled_flat = self.fc1.backward(&cache.pooled_flat, &grad_z1, fc1_w, fc1_b);
+        let grad_pooled_flat = self
+            .fc1
+            .backward(&cache.pooled_flat, &grad_z1, fc1_w, fc1_b);
 
         // Un-pool and un-ReLU back to the convolution output.
         let conv_size = self.conv.out_size(self.image_size);
@@ -388,8 +391,11 @@ impl SimpleCnn {
             .bias
             .copy_from_slice(&params[offset..offset + self.conv.out_channels]);
         offset += self.conv.out_channels;
-        offset += self.fc1.read_params(&params[offset..offset + self.fc1.num_params()]);
-        self.fc2.read_params(&params[offset..offset + self.fc2.num_params()]);
+        offset += self
+            .fc1
+            .read_params(&params[offset..offset + self.fc1.num_params()]);
+        self.fc2
+            .read_params(&params[offset..offset + self.fc2.num_params()]);
     }
 }
 
@@ -426,6 +432,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // indexed loops mirror the flat gradient layout
     fn conv_backward_matches_finite_differences() {
         let mut r = rng();
         let conv = Conv2d::new(&mut r, 2, 2);
@@ -433,9 +440,7 @@ mod tests {
         let size = 4;
         let out = conv.out_size(size);
         // Loss: sum of all output values.
-        let loss_of = |c: &Conv2d| -> f64 {
-            c.forward(&input, size).iter().flatten().sum()
-        };
+        let loss_of = |c: &Conv2d| -> f64 { c.forward(&input, size).iter().flatten().sum() };
         let grad_maps = vec![vec![1.0; out * out]; 2];
         let mut gw = vec![vec![0.0; 4]; 2];
         let mut gb = vec![0.0; 2];
@@ -461,7 +466,9 @@ mod tests {
 
     #[test]
     fn maxpool_forward_and_backward() {
-        let map = vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 6.0, 7.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+        let map = vec![
+            1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 6.0, 7.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+        ];
         let (pooled, argmax) = MaxPool2d::forward(&map, 4);
         assert_eq!(pooled.len(), 4);
         assert_eq!(pooled[0], 5.0);

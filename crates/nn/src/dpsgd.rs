@@ -76,7 +76,11 @@ impl DpSgdConfig {
 /// Samples a lot of `batch_size` example indices uniformly without
 /// replacement from `0..n` (the paper assumes uniformly sampled batches, so
 /// the sampling probability of any one record is `B/N`).
-pub fn sample_batch_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, batch_size: usize) -> Vec<usize> {
+pub fn sample_batch_indices<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    batch_size: usize,
+) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(rng);
     idx.truncate(batch_size.min(n));

@@ -165,6 +165,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // indexed loops mirror the flat gradient layout
     fn backward_matches_finite_differences() {
         let mut rng = StdRng::seed_from_u64(3);
         let layer = Linear::new_he(&mut rng, 3, 2);
@@ -242,8 +243,7 @@ mod tests {
     fn initializations_have_sane_scale() {
         let mut rng = StdRng::seed_from_u64(5);
         let he = Linear::new_he(&mut rng, 100, 50);
-        let var: f64 =
-            he.weights.iter().map(|w| w * w).sum::<f64>() / he.weights.len() as f64;
+        let var: f64 = he.weights.iter().map(|w| w * w).sum::<f64>() / he.weights.len() as f64;
         assert!((var - 0.02).abs() < 0.005, "He variance {var}");
         assert!(he.bias.iter().all(|&b| b == 0.0));
 

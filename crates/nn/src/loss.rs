@@ -262,8 +262,7 @@ mod tests {
         let mu = [0.4, -0.7];
         let logvar = [0.3, -0.5];
         let (a, gm_a, gl_a) = kl_diag_gaussian_standard(&mu, &logvar);
-        let (b, gm_b, gl_b) =
-            kl_diag_gaussians(&mu, &logvar, &[0.0, 0.0], &[1.0, 1.0]);
+        let (b, gm_b, gl_b) = kl_diag_gaussians(&mu, &logvar, &[0.0, 0.0], &[1.0, 1.0]);
         assert!((a - b).abs() < 1e-12);
         for i in 0..2 {
             assert!((gm_a[i] - gm_b[i]).abs() < 1e-12);

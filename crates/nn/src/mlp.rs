@@ -192,8 +192,7 @@ impl Mlp {
             act.backprop_inplace(&cache.pre_activations[i], &mut grad);
             let start = offsets[i];
             let w_len = layer.in_dim() * layer.out_dim();
-            let (gw, gb) = grad_params[start..start + layer.num_params()]
-                .split_at_mut(w_len);
+            let (gw, gb) = grad_params[start..start + layer.num_params()].split_at_mut(w_len);
             grad = layer.backward(&cache.inputs[i], &grad, gw, gb);
         }
         grad

@@ -40,7 +40,11 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [f64], grad: &[f64]) {
-        assert_eq!(params.len(), grad.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grad.len(),
+            "parameter/gradient length mismatch"
+        );
         if self.momentum == 0.0 {
             for (p, &g) in params.iter_mut().zip(grad.iter()) {
                 *p -= self.lr * g;
@@ -50,7 +54,11 @@ impl Optimizer for Sgd {
         if self.velocity.len() != params.len() {
             self.velocity = vec![0.0; params.len()];
         }
-        for ((p, v), &g) in params.iter_mut().zip(self.velocity.iter_mut()).zip(grad.iter()) {
+        for ((p, v), &g) in params
+            .iter_mut()
+            .zip(self.velocity.iter_mut())
+            .zip(grad.iter())
+        {
             *v = self.momentum * *v + g;
             *p -= self.lr * *v;
         }
@@ -109,7 +117,11 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [f64], grad: &[f64]) {
-        assert_eq!(params.len(), grad.len(), "parameter/gradient length mismatch");
+        assert_eq!(
+            params.len(),
+            grad.len(),
+            "parameter/gradient length mismatch"
+        );
         if self.m.len() != params.len() {
             self.m = vec![0.0; params.len()];
             self.v = vec![0.0; params.len()];

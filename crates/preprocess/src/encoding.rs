@@ -43,11 +43,7 @@ impl OneHotEncoder {
     pub fn decode(&self, encoded: &[f64]) -> Result<usize> {
         if encoded.len() != self.n_classes {
             return Err(PreprocessError::InvalidData {
-                msg: format!(
-                    "expected {} entries, got {}",
-                    self.n_classes,
-                    encoded.len()
-                ),
+                msg: format!("expected {} entries, got {}", self.n_classes, encoded.len()),
             });
         }
         p3gm_linalg::vector::argmax(encoded).ok_or_else(|| PreprocessError::InvalidData {
@@ -61,11 +57,7 @@ impl OneHotEncoder {
     pub fn append_to_rows(&self, data: &Matrix, labels: &[usize]) -> Result<Matrix> {
         if data.rows() != labels.len() {
             return Err(PreprocessError::InvalidData {
-                msg: format!(
-                    "{} rows but {} labels",
-                    data.rows(),
-                    labels.len()
-                ),
+                msg: format!("{} rows but {} labels", data.rows(), labels.len()),
             });
         }
         let rows: Vec<Vec<f64>> = data

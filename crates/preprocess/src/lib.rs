@@ -67,14 +67,20 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(PreprocessError::InvalidParameter { msg: "d' = 0".into() }
-            .to_string()
-            .contains("d' = 0"));
-        assert!(PreprocessError::InvalidData { msg: "empty".into() }
-            .to_string()
-            .contains("empty"));
-        assert!(PreprocessError::Numerical { msg: "eigen".into() }
-            .to_string()
-            .contains("eigen"));
+        assert!(PreprocessError::InvalidParameter {
+            msg: "d' = 0".into()
+        }
+        .to_string()
+        .contains("d' = 0"));
+        assert!(PreprocessError::InvalidData {
+            msg: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
+        assert!(PreprocessError::Numerical {
+            msg: "eigen".into()
+        }
+        .to_string()
+        .contains("eigen"));
     }
 }

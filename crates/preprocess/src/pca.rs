@@ -85,11 +85,7 @@ impl Pca {
     pub fn transform_row(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.input_dim() {
             return Err(PreprocessError::InvalidData {
-                msg: format!(
-                    "expected {} features, got {}",
-                    self.input_dim(),
-                    x.len()
-                ),
+                msg: format!("expected {} features, got {}", self.input_dim(), x.len()),
             });
         }
         let centered: Vec<f64> = x.iter().zip(self.mean.iter()).map(|(a, m)| a - m).collect();
@@ -236,8 +232,8 @@ fn mean_and_covariance(data: &Matrix, n_components: usize) -> Result<(Vec<f64>, 
             ),
         });
     }
-    let mean = stats::column_means(data)
-        .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })?;
+    let mean =
+        stats::column_means(data).map_err(|e| PreprocessError::Numerical { msg: e.to_string() })?;
     let cov = stats::covariance_matrix(data, Some(&mean))
         .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })?;
     Ok((mean, cov))
@@ -297,9 +293,18 @@ mod tests {
     fn reconstruction_error_decreases_with_more_components() {
         let mut r = rng();
         let data = line_data(&mut r, 300);
-        let e1 = Pca::fit(&data, 1).unwrap().reconstruction_error(&data).unwrap();
-        let e2 = Pca::fit(&data, 2).unwrap().reconstruction_error(&data).unwrap();
-        let e3 = Pca::fit(&data, 3).unwrap().reconstruction_error(&data).unwrap();
+        let e1 = Pca::fit(&data, 1)
+            .unwrap()
+            .reconstruction_error(&data)
+            .unwrap();
+        let e2 = Pca::fit(&data, 2)
+            .unwrap()
+            .reconstruction_error(&data)
+            .unwrap();
+        let e3 = Pca::fit(&data, 3)
+            .unwrap()
+            .reconstruction_error(&data)
+            .unwrap();
         assert!(e1 >= e2 - 1e-12);
         assert!(e2 >= e3 - 1e-12);
     }
@@ -419,6 +424,10 @@ mod tests {
             large >= small - 0.2,
             "more data should not hurt: small {small}, large {large}"
         );
-        assert!(large / 5.0 > 0.9, "large-n similarity too low: {}", large / 5.0);
+        assert!(
+            large / 5.0 > 0.9,
+            "large-n similarity too low: {}",
+            large / 5.0
+        );
     }
 }

@@ -151,7 +151,7 @@ impl StandardScaler {
 }
 
 fn map_rows(data: &Matrix, f: impl Fn(&[f64]) -> Result<Vec<f64>>) -> Result<Matrix> {
-    let rows: Vec<Vec<f64>> = data.row_iter().map(|r| f(r)).collect::<Result<_>>()?;
+    let rows: Vec<Vec<f64>> = data.row_iter().map(f).collect::<Result<_>>()?;
     Matrix::from_rows(&rows).map_err(|e| PreprocessError::Numerical { msg: e.to_string() })
 }
 

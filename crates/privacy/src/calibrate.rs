@@ -112,22 +112,14 @@ pub fn calibrate_dpsgd_sigma(
         });
     }
     let eps_of = |sigma: f64| -> Result<f64> {
-        Ok(
-            RdpAccountant::p3gm_total(eps_p, t_e, sigma_e, k, t_s, q, sigma, delta)?
-                .epsilon,
-        )
+        Ok(RdpAccountant::p3gm_total(eps_p, t_e, sigma_e, k, t_s, q, sigma, delta)?.epsilon)
     };
     bisect_sigma(target_eps, eps_of)
 }
 
 /// Calibrates the DP-EM noise scale σ_e so that `t_e` DP-EM iterations with
 /// `k` components cost at most `target_eps` on their own (RDP-accounted).
-pub fn calibrate_dpem_sigma(
-    target_eps: f64,
-    delta: f64,
-    t_e: usize,
-    k: usize,
-) -> Result<f64> {
+pub fn calibrate_dpem_sigma(target_eps: f64, delta: f64, t_e: usize, k: usize) -> Result<f64> {
     if target_eps <= 0.0 || t_e == 0 || k == 0 {
         return Err(PrivacyError::InvalidParameter {
             msg: format!(

@@ -81,7 +81,9 @@ mod tests {
             msg: "sigma must be positive".into(),
         };
         assert!(e.to_string().contains("sigma"));
-        let e = PrivacyError::CalibrationFailed { msg: "no root".into() };
+        let e = PrivacyError::CalibrationFailed {
+            msg: "no root".into(),
+        };
         assert!(e.to_string().contains("no root"));
     }
 }

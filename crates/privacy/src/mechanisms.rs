@@ -110,11 +110,7 @@ impl GaussianMechanism {
     /// Adds i.i.d. Gaussian noise to every entry of a matrix, then
     /// symmetrizes it (the DP-EM covariance update perturbs a symmetric
     /// matrix, and re-symmetrizing is a post-processing step).
-    pub fn randomize_symmetric_matrix<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        m: &Matrix,
-    ) -> Matrix {
+    pub fn randomize_symmetric_matrix<R: Rng + ?Sized>(&self, rng: &mut R, m: &Matrix) -> Matrix {
         let mut out = m.clone();
         for i in 0..out.rows() {
             for j in 0..out.cols() {
@@ -142,11 +138,7 @@ pub fn gaussian_mechanism_vec<R: Rng + ?Sized>(
 }
 
 /// Convenience wrapper: adds Laplace(0, scale) noise to each coordinate.
-pub fn laplace_mechanism_vec<R: Rng + ?Sized>(
-    rng: &mut R,
-    values: &[f64],
-    scale: f64,
-) -> Vec<f64> {
+pub fn laplace_mechanism_vec<R: Rng + ?Sized>(rng: &mut R, values: &[f64], scale: f64) -> Vec<f64> {
     values
         .iter()
         .map(|&v| v + sampling::laplace(rng, scale))
@@ -369,7 +361,10 @@ mod tests {
         for _ in 0..6000 {
             uniform_counts[exponential_mechanism(&mut r, &utilities, 1.0, 1e-6).unwrap()] += 1;
         }
-        assert!(uniform_counts.iter().all(|&c| c > 1500), "{uniform_counts:?}");
+        assert!(
+            uniform_counts.iter().all(|&c| c > 1500),
+            "{uniform_counts:?}"
+        );
     }
 
     #[test]
@@ -407,7 +402,10 @@ mod tests {
         let var = acc / trials as f64;
         // Per coordinate: N(0, (σC)²)/B → variance (σC/B)².
         let expected = (sigma * clip / b as f64).powi(2);
-        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.2,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]
@@ -417,8 +415,6 @@ mod tests {
         assert!(privatize_gradient_sum(&mut r, &[vec![1.0]], 0.0, 1.0, 1).is_err());
         assert!(privatize_gradient_sum(&mut r, &[vec![1.0]], 1.0, -1.0, 1).is_err());
         assert!(privatize_gradient_sum(&mut r, &[vec![1.0]], 1.0, 1.0, 0).is_err());
-        assert!(
-            privatize_gradient_sum(&mut r, &[vec![1.0], vec![1.0, 2.0]], 1.0, 1.0, 2).is_err()
-        );
+        assert!(privatize_gradient_sum(&mut r, &[vec![1.0], vec![1.0, 2.0]], 1.0, 1.0, 2).is_err());
     }
 }

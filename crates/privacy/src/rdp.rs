@@ -251,7 +251,11 @@ mod tests {
         let spec = acc.to_dp(DELTA).unwrap();
         // Analytic: min over α of α/(2σ²) + log(1/δ)/(α−1);
         // optimum near α = 1 + sqrt(2σ² log(1/δ)) ≈ 20.2 → ε ≈ 1.23.
-        assert!(spec.epsilon > 1.0 && spec.epsilon < 1.45, "{}", spec.epsilon);
+        assert!(
+            spec.epsilon > 1.0 && spec.epsilon < 1.45,
+            "{}",
+            spec.epsilon
+        );
     }
 
     #[test]
@@ -313,7 +317,8 @@ mod tests {
     #[test]
     fn sampled_gaussian_bound_not_looser_than_eq4() {
         let mut eq4 = RdpAccountant::default();
-        eq4.add_dp_sgd(500, 0.01, 2.0, DpSgdBound::PaperEq4).unwrap();
+        eq4.add_dp_sgd(500, 0.01, 2.0, DpSgdBound::PaperEq4)
+            .unwrap();
         let mut sg = RdpAccountant::default();
         sg.add_dp_sgd(500, 0.01, 2.0, DpSgdBound::SampledGaussian)
             .unwrap();
@@ -333,8 +338,7 @@ mod tests {
         let batch = 240.0;
         let q = batch / n;
         let t_s = (10.0 * n / batch) as usize;
-        let spec =
-            RdpAccountant::p3gm_total(0.1, 20, 70.0, 3, t_s, q, 1.42, DELTA).unwrap();
+        let spec = RdpAccountant::p3gm_total(0.1, 20, 70.0, 3, t_s, q, 1.42, DELTA).unwrap();
         assert!(
             spec.epsilon > 0.3 && spec.epsilon < 2.0,
             "epsilon {} not near 1",

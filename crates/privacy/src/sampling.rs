@@ -60,12 +60,12 @@ pub fn multivariate_normal<R: Rng + ?Sized>(
     let z = normal_vec(rng, d, 1.0);
     let l = chol.lower();
     let mut out = mean.to_vec();
-    for i in 0..d {
+    for (i, o) in out.iter_mut().enumerate() {
         let mut acc = 0.0;
-        for j in 0..=i {
-            acc += l.get(i, j) * z[j];
+        for (j, &zj) in z.iter().enumerate().take(i + 1) {
+            acc += l.get(i, j) * zj;
         }
-        out[i] += acc;
+        *o += acc;
     }
     out
 }

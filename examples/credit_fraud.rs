@@ -7,11 +7,9 @@
 //! cargo run --release --example credit_fraud
 //! ```
 
-use p3gm::eval::common::{
-    evaluate_tabular, make_dataset, stratified_split, GenerativeKind,
-};
-use p3gm::eval::Scale;
 use p3gm::datasets::DatasetKind;
+use p3gm::eval::common::{evaluate_tabular, make_dataset, stratified_split, GenerativeKind};
+use p3gm::eval::Scale;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,7 +36,10 @@ fn main() {
     let epsilons = [0.5, 1.0, 5.0];
 
     println!("\nmean AUROC / AUPRC over four classifiers (train on synthetic, test on real):");
-    println!("{:<12} {:>8} {:>10} {:>10}", "model", "epsilon", "AUROC", "AUPRC");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10}",
+        "model", "epsilon", "AUROC", "AUPRC"
+    );
     for model in models {
         if model.is_private() {
             for eps in epsilons {

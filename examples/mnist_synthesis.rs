@@ -7,8 +7,8 @@
 //! cargo run --release --example mnist_synthesis
 //! ```
 
-use p3gm::eval::fig2;
 use p3gm::eval::common::GenerativeKind;
+use p3gm::eval::fig2;
 use p3gm::eval::Scale;
 
 fn main() {

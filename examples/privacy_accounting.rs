@@ -41,7 +41,8 @@ fn main() {
     let mut acc = RdpAccountant::default();
     acc.add_pure_dp(eps_p).unwrap();
     acc.add_dp_em(t_e, sigma_e, k).unwrap();
-    acc.add_dp_sgd(t_s, q, 1.42, DpSgdBound::SampledGaussian).unwrap();
+    acc.add_dp_sgd(t_s, q, 1.42, DpSgdBound::SampledGaussian)
+        .unwrap();
     println!(
         "  sampled-Gaussian RDP ablation: epsilon = {:.3}",
         acc.to_dp(delta).unwrap().epsilon
@@ -51,9 +52,17 @@ fn main() {
     println!("\nnoise calibration for smaller budgets (same schedule):");
     for target in [0.5, 1.0, 2.0, 5.0] {
         let sigma_e_cal = calibrate_dpem_sigma(0.2 * target, delta, t_e, k).unwrap();
-        let sigma_s_cal =
-            calibrate_dpsgd_sigma(target, delta, eps_p.min(0.1 * target), t_e, sigma_e_cal, k, t_s, q)
-                .unwrap();
+        let sigma_s_cal = calibrate_dpsgd_sigma(
+            target,
+            delta,
+            eps_p.min(0.1 * target),
+            t_e,
+            sigma_e_cal,
+            k,
+            t_s,
+            q,
+        )
+        .unwrap();
         println!(
             "  target epsilon = {target:<4}  ->  sigma_e = {sigma_e_cal:7.1}, sigma_s = {sigma_s_cal:5.2}"
         );

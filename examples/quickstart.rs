@@ -71,7 +71,10 @@ fn main() {
     println!(
         "trained for {} epochs; final reconstruction loss {:.3}; privacy = ({:.3}, {:.0e})-DP",
         history.len(),
-        history.last().map(|e| e.reconstruction_loss).unwrap_or(f64::NAN),
+        history
+            .last()
+            .map(|e| e.reconstruction_loss)
+            .unwrap_or(f64::NAN),
         spec.epsilon,
         spec.delta
     );
@@ -84,7 +87,8 @@ fn main() {
 
     // 6. A third party trains classifiers on the synthetic data and applies
     //    them to real test data — the paper's utility protocol.
-    let report = evaluate_binary_suite(&synth_x, &synth_y, &split.test.features, &split.test.labels);
+    let report =
+        evaluate_binary_suite(&synth_x, &synth_y, &split.test.features, &split.test.labels);
     println!("\ntrain-on-synthetic / test-on-real performance:");
     for (kind, scores) in &report.per_classifier {
         println!(
@@ -96,6 +100,8 @@ fn main() {
     }
     println!(
         "  {:<22} AUROC {:.4}   AUPRC {:.4}",
-        "mean", report.mean_auroc(), report.mean_auprc()
+        "mean",
+        report.mean_auroc(),
+        report.mean_auprc()
     );
 }

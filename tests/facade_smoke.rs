@@ -1,0 +1,62 @@
+//! Smoke test for the workspace wiring itself: every facade re-export must
+//! resolve and expose its expected entry points, so a broken crate graph is
+//! caught even before any numerical test runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn facade_reexports_resolve() {
+    // One symbol from every re-exported member crate.
+    let m = p3gm::linalg::Matrix::zeros(2, 3);
+    assert_eq!(m.shape(), (2, 3));
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mlp = p3gm::nn::mlp::Mlp::new(
+        &mut rng,
+        &[2, 4, 1],
+        p3gm::nn::activation::Activation::Relu,
+        p3gm::nn::activation::Activation::Identity,
+    );
+    assert_eq!(mlp.out_dim(), 1);
+
+    let mut acc = p3gm::privacy::zcdp::ZcdpAccountant::new();
+    acc.add_rho(0.1).unwrap();
+    assert!(acc.rho() > 0.0);
+
+    let scaler_err =
+        p3gm::preprocess::scaler::MinMaxScaler::fit(&p3gm::linalg::Matrix::zeros(0, 0));
+    assert!(scaler_err.is_err());
+
+    let gmm = p3gm::mixture::Gmm::isotropic(vec![1.0], vec![vec![0.0, 0.0]], 1.0).unwrap();
+    assert_eq!(gmm.n_components(), 1);
+
+    let data = p3gm::datasets::tabular::adult_like(&mut rng, 50);
+    assert_eq!(data.n_samples(), 50);
+
+    let auroc = p3gm::classifiers::metrics::auroc(&[0.1, 0.9], &[0, 1]);
+    assert!((auroc - 1.0).abs() < 1e-12);
+
+    let cfg = p3gm::core::PgmConfig::default();
+    assert!(cfg.private);
+
+    // Baselines and eval expose their top-level types.
+    let _kind: p3gm::eval::Scale = p3gm::eval::Scale::Smoke;
+    let privbayes_err = p3gm::baselines::privbayes::PrivBayes::fit(
+        &mut rng,
+        &p3gm::linalg::Matrix::zeros(0, 0),
+        Default::default(),
+    );
+    assert!(privbayes_err.is_err());
+}
+
+#[test]
+fn vendored_rand_is_usable_through_the_facade() {
+    // The examples and docs rely on the vendored `rand` API surface.
+    let mut rng = StdRng::seed_from_u64(7);
+    let x: f64 = rng.gen_range(0.0..1.0);
+    assert!((0.0..1.0).contains(&x));
+    let i: usize = rng.gen_range(0..10);
+    assert!(i < 10);
+    assert!([true, false].contains(&rng.gen_bool(0.5)));
+}

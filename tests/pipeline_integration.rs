@@ -8,11 +8,9 @@ use p3gm::core::synthesis::{synthesize_labelled, LabelledSynthesizer};
 use p3gm::core::vae::Vae;
 use p3gm::core::GenerativeModel;
 use p3gm::datasets::tabular::{adult_like, kaggle_credit_like};
-use p3gm::eval::common::{
-    evaluate_tabular, make_dataset, stratified_split, GenerativeKind,
-};
-use p3gm::eval::Scale;
 use p3gm::datasets::DatasetKind;
+use p3gm::eval::common::{evaluate_tabular, make_dataset, stratified_split, GenerativeKind};
+use p3gm::eval::Scale;
 use p3gm::privacy::rdp::RdpAccountant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,7 +79,8 @@ fn non_private_pgm_tracks_vae_quality() {
     )
     .unwrap();
 
-    let (pgm, _) = PhasedGenerativeModel::fit(&mut rng, &prepared, small_pgm_config(false)).unwrap();
+    let (pgm, _) =
+        PhasedGenerativeModel::fit(&mut rng, &prepared, small_pgm_config(false)).unwrap();
     let vae_cfg = VaeConfig {
         latent_dim: 6,
         hidden_dim: 24,

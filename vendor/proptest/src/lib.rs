@@ -1,0 +1,286 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate reimplements the slice of the proptest 1.x API the
+//! workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map`, implemented for half-open ranges of every
+//!   numeric type the vendored `rand` can sample,
+//! * [`collection::vec`] for fixed-length vectors of a strategy,
+//! * [`prelude::any`] for `bool` and the primitive numeric types,
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`) and
+//!   [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike real proptest there is **no shrinking**: failures report the
+//! case's seed and generated inputs via the panic message (every generated
+//! case is deterministic given the test name, so failures reproduce
+//! exactly).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A source of generated values for one property-test case.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Generates one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// The result of [`prelude::any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_any_uniform {
+    ($($t:ty => $lo:expr, $hi:expr;)*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range($lo..$hi)
+            }
+        }
+    )*};
+}
+
+impl_any_uniform! {
+    f64 => -1e6, 1e6;
+    f32 => -1e6f32, 1e6f32;
+    usize => 0, usize::MAX;
+    u64 => 0, u64::MAX;
+    u32 => 0, u32::MAX;
+    i64 => i64::MIN, i64::MAX;
+    i32 => i32::MIN, i32::MAX;
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// A strategy producing `len` independent draws from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Generates fixed-length vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-file configuration for the [`proptest!`] macro.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Seeds one test's generator deterministically from its name, honouring a
+/// `PROPTEST_SEED` environment override for reproduction.
+pub fn rng_for_test(test_name: &str) -> StdRng {
+    use rand::SeedableRng;
+    let base: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x9E37_79B9_7F4A_7C15);
+    // FNV-1a over the test name keeps distinct tests on distinct streams.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(base ^ h)
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        collection, prop_assert, prop_assert_eq, proptest, Any, ProptestConfig, Strategy,
+    };
+    use std::marker::PhantomData;
+
+    /// A strategy generating arbitrary values of `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: crate::Strategy,
+    {
+        Any(PhantomData)
+    }
+}
+
+/// Asserts a property within a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality within a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(#![proptest_config($cfg:expr)])?
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        #[allow(unused_mut, unused_assignments)]
+        fn __proptest_cases() -> u32 {
+            let mut cases = $crate::ProptestConfig::default().cases;
+            $(cases = ($cfg).cases;)?
+            cases
+        }
+
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = __proptest_cases();
+                let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let result =
+                        ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest case {case}/{cases} failed in {} (set PROPTEST_SEED to reproduce)",
+                            stringify!($name)
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_strategy_respects_bounds() {
+        let mut rng = super::rng_for_test("range_strategy_respects_bounds");
+        let s = 0.25..0.75f64;
+        for _ in 0..1_000 {
+            let v = super::Strategy::sample(&s, &mut rng);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_has_fixed_len() {
+        let mut rng = super::rng_for_test("vec_strategy_has_fixed_len");
+        let s = collection::vec(0.0..1.0f64, 17);
+        assert_eq!(super::Strategy::sample(&s, &mut rng).len(), 17);
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = super::rng_for_test("prop_map_applies");
+        let s = (0.0..1.0f64).prop_map(|v| v + 10.0);
+        let v = super::Strategy::sample(&s, &mut rng);
+        assert!((10.0..11.0).contains(&v));
+    }
+
+    #[test]
+    fn any_bool_takes_both_values() {
+        let mut rng = super::rng_for_test("any_bool_takes_both_values");
+        let s = any::<bool>();
+        let draws: Vec<bool> = (0..64)
+            .map(|_| super::Strategy::sample(&s, &mut rng))
+            .collect();
+        assert!(draws.iter().any(|&b| b) && draws.iter().any(|&b| !b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_runs(x in 0.0..1.0f64, n in 1usize..5usize) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate reimplements exactly the slice of the `rand` 0.8 API
+//! the workspace uses:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen_range` (half-open ranges over floats and
+//!   integers) and `gen_bool`,
+//! * [`SeedableRng`] with `from_seed` and `seed_from_u64`,
+//! * [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64 — deterministic,
+//!   portable, and fast; not the upstream ChaCha12, so seeded streams differ
+//!   from the real `rand` crate),
+//! * [`seq::SliceRandom`] with Fisher–Yates `shuffle` and `choose`.
+//!
+//! Everything is implemented from scratch on stable Rust with no
+//! dependencies. Statistical quality is far beyond what the workspace's
+//! tests require: xoshiro256++ passes BigCrush, and integer ranges use
+//! Lemire's widening-multiply reduction.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// The core of a random number generator: a source of uniform bits.
+pub trait RngCore {
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniformly random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A type that [`Rng::gen_range`] can sample uniformly.
+///
+/// Mirroring the real `rand` crate, this is one trait with a blanket
+/// [`SampleRange`] impl over `Range<T>`, so that unsuffixed float literals
+/// (`0.8..1.2`) still default to `f64` during inference.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws one uniform sample from `[start, end)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+/// A range that [`Rng::gen_range`] can sample a single value from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+#[inline]
+fn f64_from_bits(bits: u64) -> f64 {
+    // 53 significant bits, scaled into [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, start: f64, end: f64) -> f64 {
+        let v = start + (end - start) * f64_from_bits(rng.next_u64());
+        // Guard against rounding up to `end` when the span is large.
+        if v < end {
+            v
+        } else {
+            start
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, start: f32, end: f32) -> f32 {
+        let u = ((rng.next_u32() >> 8) as f32) * (1.0 / (1u32 << 24) as f32);
+        let v = start + (end - start) * u;
+        if v < end {
+            v
+        } else {
+            start
+        }
+    }
+}
+
+/// Lemire's widening-multiply reduction of a random `u64` onto `[0, span)`.
+/// The residual bias is at most 2⁻⁶⁴ per draw.
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                let span = (end - start) as u64;
+                start + uniform_u64_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                (start as i64).wrapping_add(uniform_u64_below(rng, span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(isize, i64, i32, i16, i8);
+
+/// Convenience methods layered on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value from the half-open `range`.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        f64_from_bits(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The byte-array seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from the full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanded through SplitMix64 — the
+    /// standard recommendation for seeding xoshiro-family generators.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generator implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Unlike the upstream `rand::rngs::StdRng` (ChaCha12), this is a small
+    /// non-cryptographic generator; it is deterministic for a given seed and
+    /// passes BigCrush, which is all the workspace relies on.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related extensions.
+
+    use super::Rng;
+
+    /// Extension methods on slices that consume randomness.
+    pub trait SliceRandom {
+        /// The element type of the slice.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn gen_range_f64_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_f64_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_usize_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_negative_ints() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let x: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let v = [10, 20, 30];
+        for _ in 0..20 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(23);
+        let x = draw(&mut &mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}
