@@ -19,10 +19,7 @@ fn bench_fig2(c: &mut Criterion) {
     let samples = report.panels[0].samples.clone();
     let size = report.image_size;
     c.bench_function("fig2/ascii_sheet_rendering", |b| {
-        b.iter(|| {
-            let imgs: Vec<Vec<f64>> = samples.row_iter().map(|r| r.to_vec()).collect();
-            p3gm_datasets::images::ascii_art(&imgs, size, 8).len()
-        })
+        b.iter(|| p3gm_datasets::images::ascii_art(&samples, size, 8).len())
     });
 }
 
@@ -90,7 +87,7 @@ fn bench_fig7(c: &mut Criterion) {
     // Timed kernel: one DP-SGD gradient privatization step of the size used
     // in the decoding phase.
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(77);
-    let grads: Vec<Vec<f64>> = (0..64).map(|i| vec![(i as f64) * 0.01; 2_000]).collect();
+    let grads = p3gm_linalg::Matrix::from_fn(64, 2_000, |i, _| (i as f64) * 0.01);
     c.bench_function("fig7/dpsgd_privatize_batch", |b| {
         b.iter(|| {
             p3gm_privacy::mechanisms::privatize_gradient_sum(&mut rng, &grads, 1.0, 1.5, 64)

@@ -72,14 +72,31 @@ impl MlpClassifier {
             order.shuffle(rng);
             let mut epoch_loss = 0.0;
             for chunk in order.chunks(self.batch_size.max(1)) {
-                let mut grads = vec![0.0; self.net.num_params()];
-                let mut batch_loss = 0.0;
-                for &i in chunk {
-                    let cache = self.net.forward_cached(x.row(i));
-                    let (loss, grad_out) = softmax_cross_entropy(cache.output(), labels[i]);
-                    batch_loss += loss;
-                    self.net.backward(&cache, &grad_out, &mut grads);
-                }
+                // Per-example passes run on parallel row chunks; the partial
+                // gradients are folded in chunk order (deterministic for
+                // every thread count). Chunks are floored at 8 examples so a
+                // tiny mini-batch does not pay one thread dispatch and one
+                // P-length partial per example.
+                let (batch_loss, mut grads) = p3gm_parallel::par_map_reduce(
+                    chunk.len(),
+                    p3gm_parallel::default_chunk_len(chunk.len()).max(8),
+                    |range| {
+                        let mut grads = vec![0.0; self.net.num_params()];
+                        let mut loss = 0.0;
+                        for &i in &chunk[range] {
+                            let cache = self.net.forward_cached(x.row(i));
+                            let (l, grad_out) = softmax_cross_entropy(cache.output(), labels[i]);
+                            loss += l;
+                            self.net.backward(&cache, &grad_out, &mut grads);
+                        }
+                        (loss, grads)
+                    },
+                    |(loss_a, mut grads_a), (loss_b, grads_b)| {
+                        vector::axpy(1.0, &grads_b, &mut grads_a);
+                        (loss_a + loss_b, grads_a)
+                    },
+                )
+                .unwrap_or_else(|| (0.0, vec![0.0; self.net.num_params()]));
                 let scale = 1.0 / chunk.len() as f64;
                 for g in &mut grads {
                     *g *= scale;
@@ -108,9 +125,14 @@ impl MlpClassifier {
         vector::argmax(&self.logits(row)).unwrap_or(0)
     }
 
-    /// Predicted classes for every row.
+    /// Predicted classes for every row (one batched, parallel forward
+    /// pass).
     pub fn predict_all(&self, x: &Matrix) -> Vec<usize> {
-        x.row_iter().map(|row| self.predict(row)).collect()
+        self.net
+            .forward_batch(x)
+            .row_iter()
+            .map(|logits| vector::argmax(logits).unwrap_or(0))
+            .collect()
     }
 
     /// Accuracy on a labelled dataset.

@@ -124,17 +124,23 @@ pub fn evaluate_one(
 }
 
 /// Runs the full four-classifier suite (the paper's Table V protocol).
+///
+/// The four classifiers are trained and scored concurrently (one per
+/// `p3gm-parallel` worker); they share no state, so the report is identical
+/// for every thread count.
 pub fn evaluate_binary_suite(
     train_x: &Matrix,
     train_y: &[usize],
     test_x: &Matrix,
     test_y: &[usize],
 ) -> SuiteReport {
-    let per_classifier = ClassifierKind::all()
-        .into_iter()
-        .map(|kind| (kind, evaluate_one(kind, train_x, train_y, test_x, test_y)))
-        .collect();
-    SuiteReport { per_classifier }
+    let kinds = ClassifierKind::all();
+    let scores = p3gm_parallel::par_map_chunks(kinds.len(), |i| {
+        evaluate_one(kinds[i], train_x, train_y, test_x, test_y)
+    });
+    SuiteReport {
+        per_classifier: kinds.into_iter().zip(scores).collect(),
+    }
 }
 
 #[cfg(test)]

@@ -50,6 +50,15 @@ impl Projection {
             Projection::Private(p) => p.transform_row(x).expect("dimension fixed at fit time"),
         }
     }
+
+    /// Projects a whole batch as one centred matrix product.
+    fn transform(&self, data: &Matrix) -> Result<Matrix> {
+        match self {
+            Projection::Exact(p) => p.transform(data),
+            Projection::Private(p) => p.transform(data),
+        }
+        .map_err(|e| CoreError::Substrate { msg: e.to_string() })
+    }
 }
 
 /// The phased generative model: PGM when `config.private == false`, P3GM
@@ -131,13 +140,8 @@ impl PhasedGenerativeModel {
             )
         };
 
-        // Project every row and fit the MoG prior.
-        let projected_rows: Vec<Vec<f64>> = scaled
-            .row_iter()
-            .map(|row| projection.transform_row(row))
-            .collect();
-        let projected = Matrix::from_rows(&projected_rows)
-            .map_err(|e| CoreError::Substrate { msg: e.to_string() })?;
+        // Project the whole batch and fit the MoG prior.
+        let projected = projection.transform(&scaled)?;
 
         let prior = if config.private {
             let raw = dpem::fit(
@@ -324,16 +328,28 @@ impl PhasedGenerativeModel {
 
     /// Average per-example reconstruction loss over a dataset (decoding the
     /// encoder mean; this is the curve plotted in Figure 7a/7b).
+    /// Accumulated over parallel row chunks with a deterministic in-order
+    /// fold.
     pub fn reconstruction_loss(&self, data: &Matrix) -> f64 {
-        let mut total = 0.0;
-        for row in data.row_iter() {
-            let mu = self.encode_mean(row);
-            let logits = self.decoder.forward(&mu);
-            total += match self.config.decoder_loss {
-                DecoderLoss::Bernoulli => bce_with_logits(&logits, row).0,
-                DecoderLoss::Gaussian => sse(&logits, row).0,
-            };
-        }
+        let total = p3gm_parallel::par_map_reduce(
+            data.rows(),
+            p3gm_parallel::default_chunk_len(data.rows()),
+            |range| {
+                let mut sum = 0.0;
+                for i in range {
+                    let row = data.row(i);
+                    let mu = self.encode_mean(row);
+                    let logits = self.decoder.forward(&mu);
+                    sum += match self.config.decoder_loss {
+                        DecoderLoss::Bernoulli => bce_with_logits(&logits, row).0,
+                        DecoderLoss::Gaussian => sse(&logits, row).0,
+                    };
+                }
+                sum
+            },
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0);
         total / data.rows().max(1) as f64
     }
 
@@ -382,15 +398,40 @@ impl PhasedGenerativeModel {
         let mut kl_sum = 0.0;
         let mut examples = 0usize;
 
+        let n_params = params.len();
+        let d = self.config.latent_dim;
         for _ in 0..steps_per_epoch {
             let indices = sample_batch_indices(rng, n, batch);
-            let mut per_example = Vec::with_capacity(indices.len());
-            for &i in &indices {
-                let (recon, kl, grad) = self.example_gradient(rng, data.row(i));
+            let xb = data
+                .select_rows(&indices)
+                .map_err(|e| CoreError::Substrate { msg: e.to_string() })?;
+            let b = xb.rows();
+            // Draw the reparametrization noise serially (row-major, the same
+            // rng order as the per-example loop used), then compute the
+            // per-example gradients on parallel row chunks — bit-identical
+            // for every thread count.
+            let eps = Matrix::from_fn(b, d, |_, _| sampling::normal(rng, 0.0, 1.0));
+            let mut per_example = Matrix::zeros(b, n_params);
+            let rows_per_chunk = p3gm_parallel::default_chunk_len(b);
+            let losses = p3gm_parallel::par_chunks_mut_map(
+                per_example.as_mut_slice(),
+                rows_per_chunk * n_params,
+                |chunk_index, grad_chunk| {
+                    let base = chunk_index * rows_per_chunk;
+                    grad_chunk
+                        .chunks_mut(n_params)
+                        .enumerate()
+                        .map(|(local, grad_row)| {
+                            let i = base + local;
+                            self.example_gradient_into(xb.row(i), eps.row(i), grad_row)
+                        })
+                        .collect::<Vec<_>>()
+                },
+            );
+            for (recon, kl) in losses.into_iter().flatten() {
                 recon_sum += recon;
                 kl_sum += kl;
                 examples += 1;
-                per_example.push(grad);
             }
             match &dp {
                 Some(cfg) => {
@@ -398,11 +439,8 @@ impl PhasedGenerativeModel {
                         .map_err(|e| CoreError::Substrate { msg: e.to_string() })?;
                 }
                 None => {
-                    let mut avg = vec![0.0; params.len()];
-                    for g in &per_example {
-                        p3gm_linalg::vector::axpy(1.0, g, &mut avg);
-                    }
-                    p3gm_linalg::vector::scale(1.0 / per_example.len() as f64, &mut avg);
+                    let mut avg = per_example.column_sums();
+                    p3gm_linalg::vector::scale(1.0 / b as f64, &mut avg);
                     self.optimizer.step(&mut params, &avg);
                 }
             }
@@ -456,9 +494,13 @@ impl PhasedGenerativeModel {
     }
 
     /// Per-example gradient of the Decoding-Phase loss (paper Eq. (10)) with
-    /// respect to the trainable parameters, plus the reconstruction and KL
-    /// losses.
-    fn example_gradient<R: Rng + ?Sized>(&self, rng: &mut R, x: &[f64]) -> (f64, f64, Vec<f64>) {
+    /// respect to the trainable parameters, written into `out`
+    /// (encoder-variance block then decoder block when the variance is
+    /// trained, decoder only otherwise). `eps` is the example's pre-drawn
+    /// standard-normal reparametrization noise, so this function is
+    /// deterministic and safe to run on worker threads. Returns the
+    /// reconstruction and KL losses.
+    fn example_gradient_into(&self, x: &[f64], eps: &[f64], out: &mut [f64]) -> (f64, f64) {
         let d = self.config.latent_dim;
         let mu = self.encode_mean(x);
 
@@ -471,10 +513,16 @@ impl PhasedGenerativeModel {
             VarianceMode::Fixed(v) => (vec![v; d], None),
         };
 
-        // Reparametrized sample.
-        let eps = sampling::normal_vec(rng, d, 1.0);
+        // Reparametrized sample with the pre-drawn noise.
         let sigma: Vec<f64> = logvar.iter().map(|&l| (0.5 * l).exp()).collect();
         let z: Vec<f64> = (0..d).map(|i| mu[i] + sigma[i] * eps[i]).collect();
+
+        let (enc_grads, dec_grads) = if self.trains_variance() {
+            let (enc, dec) = out.split_at_mut(self.encoder_var.num_params());
+            (Some(enc), dec)
+        } else {
+            (None, out)
+        };
 
         // Reconstruction term.
         let dec_cache = self.decoder.forward_cached(&z);
@@ -482,29 +530,20 @@ impl PhasedGenerativeModel {
             DecoderLoss::Bernoulli => bce_with_logits(dec_cache.output(), x),
             DecoderLoss::Gaussian => sse(dec_cache.output(), x),
         };
-        let mut dec_grads = vec![0.0; self.decoder.num_params()];
-        let grad_z = self
-            .decoder
-            .backward(&dec_cache, &grad_logits, &mut dec_grads);
+        let grad_z = self.decoder.backward(&dec_cache, &grad_logits, dec_grads);
 
         // KL against the MoG prior (Hershey–Olsen approximation). The mean
         // is frozen so only the log-variance gradient is used.
         let (kl, _kl_grad_mu, kl_grad_logvar) = self.prior.kl_diag_to_mixture(&mu, &logvar);
 
-        match (self.config.variance_mode, enc_cache) {
-            (VarianceMode::Learned, Some(cache)) => {
-                let mut grad_enc_out = vec![0.0; d];
-                for i in 0..d {
-                    grad_enc_out[i] = grad_z[i] * 0.5 * sigma[i] * eps[i] + kl_grad_logvar[i];
-                }
-                let mut enc_grads = vec![0.0; self.encoder_var.num_params()];
-                self.encoder_var
-                    .backward(&cache, &grad_enc_out, &mut enc_grads);
-                enc_grads.extend_from_slice(&dec_grads);
-                (recon, kl, enc_grads)
+        if let (Some(enc_grads), Some(cache)) = (enc_grads, enc_cache) {
+            let mut grad_enc_out = vec![0.0; d];
+            for i in 0..d {
+                grad_enc_out[i] = grad_z[i] * 0.5 * sigma[i] * eps[i] + kl_grad_logvar[i];
             }
-            _ => (recon, kl, dec_grads),
+            self.encoder_var.backward(&cache, &grad_enc_out, enc_grads);
         }
+        (recon, kl)
     }
 
     /// Flat trainable-parameter vector: encoder-variance network (when
@@ -611,7 +650,12 @@ fn sanitize_prior(raw: &Gmm, target_var: &[f64]) -> Result<Gmm> {
     // Per-coordinate marginal second moment of the mixture.
     let mut m2 = vec![0.0; dim];
     let total: f64 = weights.iter().sum();
-    for (c, (mean, cov)) in raw.means().iter().zip(raw.covariances().iter()).enumerate() {
+    for (c, (mean, cov)) in raw
+        .means()
+        .row_iter()
+        .zip(raw.covariances().iter())
+        .enumerate()
+    {
         let w = weights[c] / total;
         for j in 0..dim {
             m2[j] += w * (cov.get(j, j) + mean[j] * mean[j]);
@@ -625,11 +669,12 @@ fn sanitize_prior(raw: &Gmm, target_var: &[f64]) -> Result<Gmm> {
         .map(|j| (target_var[j] / m2[j].max(1e-12)).sqrt().clamp(1e-2, 1e2))
         .collect();
 
-    let means: Vec<Vec<f64>> = raw
-        .means()
-        .iter()
-        .map(|m| m.iter().zip(scale.iter()).map(|(v, s)| v * s).collect())
-        .collect();
+    let mut means = raw.means().clone();
+    for c in 0..k {
+        for (v, s) in means.row_mut(c).iter_mut().zip(scale.iter()) {
+            *v *= s;
+        }
+    }
     let covariances: Vec<Matrix> = raw
         .covariances()
         .iter()
@@ -654,13 +699,12 @@ fn sanitize_prior(raw: &Gmm, target_var: &[f64]) -> Result<Gmm> {
 
 impl GenerativeModel for PhasedGenerativeModel {
     fn sample(&self, rng: &mut dyn rand::RngCore, n: usize) -> Matrix {
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| {
-                let z = self.prior.sample(rng);
-                self.decode(&z)
-            })
-            .collect();
-        Matrix::from_rows(&rows).expect("decoded rows have equal width")
+        let mut out = Matrix::zeros(n, self.data_dim);
+        for i in 0..n {
+            let z = self.prior.sample(rng);
+            out.row_mut(i).copy_from_slice(&self.decode(&z));
+        }
+        out
     }
 }
 

@@ -159,15 +159,40 @@ impl Vae {
         let mut kl_sum = 0.0;
         let mut examples = 0usize;
 
+        let n_params = params.len();
+        let d = self.config.latent_dim;
         for _ in 0..steps_per_epoch {
             let indices = sample_batch_indices(rng, n, batch);
-            let mut per_example = Vec::with_capacity(indices.len());
-            for &i in &indices {
-                let (recon, kl, grad) = self.example_gradient(rng, data.row(i));
+            let xb = data
+                .select_rows(&indices)
+                .map_err(|e| CoreError::Substrate { msg: e.to_string() })?;
+            let b = xb.rows();
+            // Draw the reparametrization noise serially (row-major, the same
+            // rng order as the per-example loop used), then compute the
+            // per-example gradients on parallel row chunks — bit-identical
+            // for every thread count.
+            let eps = Matrix::from_fn(b, d, |_, _| sampling::normal(rng, 0.0, 1.0));
+            let mut per_example = Matrix::zeros(b, n_params);
+            let rows_per_chunk = p3gm_parallel::default_chunk_len(b);
+            let losses = p3gm_parallel::par_chunks_mut_map(
+                per_example.as_mut_slice(),
+                rows_per_chunk * n_params,
+                |chunk_index, grad_chunk| {
+                    let base = chunk_index * rows_per_chunk;
+                    grad_chunk
+                        .chunks_mut(n_params)
+                        .enumerate()
+                        .map(|(local, grad_row)| {
+                            let i = base + local;
+                            self.example_gradient_into(xb.row(i), eps.row(i), grad_row)
+                        })
+                        .collect::<Vec<_>>()
+                },
+            );
+            for (recon, kl) in losses.into_iter().flatten() {
                 recon_sum += recon;
                 kl_sum += kl;
                 examples += 1;
-                per_example.push(grad);
             }
             match &dp {
                 Some(cfg) => {
@@ -175,11 +200,8 @@ impl Vae {
                         .map_err(|e| CoreError::Substrate { msg: e.to_string() })?;
                 }
                 None => {
-                    let mut avg = vec![0.0; params.len()];
-                    for g in &per_example {
-                        p3gm_linalg::vector::axpy(1.0, g, &mut avg);
-                    }
-                    p3gm_linalg::vector::scale(1.0 / per_example.len() as f64, &mut avg);
+                    let mut avg = per_example.column_sums();
+                    p3gm_linalg::vector::scale(1.0 / b as f64, &mut avg);
                     self.optimizer.step(&mut params, &avg);
                 }
             }
@@ -228,17 +250,28 @@ impl Vae {
     }
 
     /// Average per-example reconstruction loss over a dataset (no sampling
-    /// noise; uses the encoder mean).
+    /// noise; uses the encoder mean). Accumulated over parallel row chunks
+    /// with a deterministic in-order fold.
     pub fn reconstruction_loss(&self, data: &Matrix) -> f64 {
-        let mut total = 0.0;
-        for row in data.row_iter() {
-            let (mu, _) = self.encode(row);
-            let logits = self.decoder.forward(&mu);
-            total += match self.config.decoder_loss {
-                DecoderLoss::Bernoulli => bce_with_logits(&logits, row).0,
-                DecoderLoss::Gaussian => sse(&logits, row).0,
-            };
-        }
+        let total = p3gm_parallel::par_map_reduce(
+            data.rows(),
+            p3gm_parallel::default_chunk_len(data.rows()),
+            |range| {
+                let mut sum = 0.0;
+                for i in range {
+                    let row = data.row(i);
+                    let (mu, _) = self.encode(row);
+                    let logits = self.decoder.forward(&mu);
+                    sum += match self.config.decoder_loss {
+                        DecoderLoss::Bernoulli => bce_with_logits(&logits, row).0,
+                        DecoderLoss::Gaussian => sse(&logits, row).0,
+                    };
+                }
+                sum
+            },
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0);
         total / data.rows().max(1) as f64
     }
 
@@ -259,29 +292,29 @@ impl Vae {
         acc.to_dp(self.config.delta).ok()
     }
 
-    /// Per-example ELBO gradient with respect to all parameters
-    /// (encoder then decoder), plus the reconstruction and KL losses.
-    fn example_gradient<R: Rng + ?Sized>(&self, rng: &mut R, x: &[f64]) -> (f64, f64, Vec<f64>) {
+    /// Per-example ELBO gradient with respect to all parameters, written
+    /// into `out` (encoder block then decoder block, matching the flat
+    /// parameter layout). `eps` is the example's pre-drawn standard-normal
+    /// reparametrization noise, so this function is deterministic and safe
+    /// to run on worker threads. Returns the reconstruction and KL losses.
+    fn example_gradient_into(&self, x: &[f64], eps: &[f64], out: &mut [f64]) -> (f64, f64) {
         let d = self.config.latent_dim;
         let enc_cache = self.encoder.forward_cached(x);
         let enc_out = enc_cache.output();
         let mu = &enc_out[..d];
         let logvar = &enc_out[d..];
 
-        // Reparametrization trick.
-        let eps = sampling::normal_vec(rng, d, 1.0);
+        // Reparametrization trick with the pre-drawn noise.
         let sigma: Vec<f64> = logvar.iter().map(|&l| (0.5 * l).exp()).collect();
         let z: Vec<f64> = (0..d).map(|i| mu[i] + sigma[i] * eps[i]).collect();
 
+        let (enc_grads, dec_grads) = out.split_at_mut(self.encoder.num_params());
         let dec_cache = self.decoder.forward_cached(&z);
         let (recon, grad_logits) = match self.config.decoder_loss {
             DecoderLoss::Bernoulli => bce_with_logits(dec_cache.output(), x),
             DecoderLoss::Gaussian => sse(dec_cache.output(), x),
         };
-        let mut dec_grads = vec![0.0; self.decoder.num_params()];
-        let grad_z = self
-            .decoder
-            .backward(&dec_cache, &grad_logits, &mut dec_grads);
+        let grad_z = self.decoder.backward(&dec_cache, &grad_logits, dec_grads);
 
         let (kl, kl_grad_mu, kl_grad_logvar) = kl_diag_gaussian_standard(mu, logvar);
 
@@ -291,12 +324,8 @@ impl Vae {
             grad_enc_out[i] = grad_z[i] + kl_grad_mu[i];
             grad_enc_out[d + i] = grad_z[i] * 0.5 * sigma[i] * eps[i] + kl_grad_logvar[i];
         }
-        let mut enc_grads = vec![0.0; self.encoder.num_params()];
-        self.encoder
-            .backward(&enc_cache, &grad_enc_out, &mut enc_grads);
-
-        enc_grads.extend_from_slice(&dec_grads);
-        (recon, kl, enc_grads)
+        self.encoder.backward(&enc_cache, &grad_enc_out, enc_grads);
+        (recon, kl)
     }
 
     fn flat_params(&self) -> Vec<f64> {
@@ -315,13 +344,12 @@ impl Vae {
 impl GenerativeModel for Vae {
     fn sample(&self, rng: &mut dyn rand::RngCore, n: usize) -> Matrix {
         let d = self.config.latent_dim;
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| {
-                let z = sampling::normal_vec(rng, d, 1.0);
-                self.decode(&z)
-            })
-            .collect();
-        Matrix::from_rows(&rows).expect("decoded rows have equal width")
+        let mut out = Matrix::zeros(n, self.data_dim);
+        for i in 0..n {
+            let z = sampling::normal_vec(rng, d, 1.0);
+            out.row_mut(i).copy_from_slice(&self.decode(&z));
+        }
+        out
     }
 }
 

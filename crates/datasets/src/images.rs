@@ -64,14 +64,12 @@ fn stroke_dataset<R: Rng + ?Sized>(
     use rand::seq::SliceRandom;
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
-    let rows: Vec<Vec<f64>> = order.iter().map(|&i| rows[i].clone()).collect();
+    let features = Matrix::from_rows(&rows)
+        .expect("images have equal size")
+        .select_rows(&order)
+        .expect("shuffle order is a permutation");
     let labels: Vec<usize> = order.iter().map(|&i| labels[i]).collect();
-    Dataset::new(
-        Matrix::from_rows(&rows).expect("images have equal size"),
-        labels,
-        10,
-        name,
-    )
+    Dataset::new(features, labels, 10, name)
 }
 
 /// Paints a thick anti-aliased line segment into the image.
@@ -459,14 +457,15 @@ fn add_pixel_noise<R: Rng + ?Sized>(rng: &mut R, img: &mut [f64], std: f64) {
     }
 }
 
-/// Renders a grid of images as ASCII art (one character per pixel), used by
-/// the Figure 2 reproduction to dump sample sheets into a text report.
-pub fn ascii_art(images: &[Vec<f64>], size: usize, per_row: usize) -> String {
+/// Renders a grid of images (one flattened image per matrix row) as ASCII
+/// art (one character per pixel), used by the Figure 2 reproduction to dump
+/// sample sheets into a text report.
+pub fn ascii_art(images: &Matrix, size: usize, per_row: usize) -> String {
     const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
     let mut out = String::new();
-    for chunk in images.chunks(per_row.max(1)) {
+    for chunk in images.rows_chunks(per_row.max(1)) {
         for y in 0..size {
-            for img in chunk {
+            for img in chunk.chunks(images.cols().max(1)) {
                 for x in 0..size {
                     let v = img
                         .get(y * size + x)
@@ -582,8 +581,8 @@ mod tests {
     fn ascii_art_has_expected_dimensions() {
         let mut r = rng();
         let d = mnist_like(&mut r, 10, 8);
-        let imgs: Vec<Vec<f64>> = d.features.row_iter().map(|r| r.to_vec()).collect();
-        let art = ascii_art(&imgs[..4], 8, 2);
+        let imgs = d.features.select_rows(&[0, 1, 2, 3]).unwrap();
+        let art = ascii_art(&imgs, 8, 2);
         let lines: Vec<&str> = art.lines().collect();
         // 2 rows of images * 8 pixel rows + blank separators.
         assert!(lines.len() >= 16);

@@ -85,14 +85,12 @@ fn generate_latent_factor<R: Rng + ?Sized>(
     let mut order: Vec<usize> = (0..n).collect();
     use rand::seq::SliceRandom;
     order.shuffle(rng);
-    let rows: Vec<Vec<f64>> = order.iter().map(|&i| rows[i].clone()).collect();
+    let features = Matrix::from_rows(&rows)
+        .expect("rows have equal width")
+        .select_rows(&order)
+        .expect("shuffle order is a permutation");
     let labels: Vec<usize> = order.iter().map(|&i| labels[i]).collect();
-    Dataset::new(
-        Matrix::from_rows(&rows).expect("rows have equal width"),
-        labels,
-        2,
-        name,
-    )
+    Dataset::new(features, labels, 2, name)
 }
 
 /// Kaggle-Credit-like dataset: 29 features, extremely unbalanced
@@ -189,14 +187,12 @@ pub fn esr_like_with_dims<R: Rng + ?Sized>(rng: &mut R, n: usize, n_features: us
     use rand::seq::SliceRandom;
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
-    let rows: Vec<Vec<f64>> = order.iter().map(|&i| rows[i].clone()).collect();
+    let features = Matrix::from_rows(&rows)
+        .expect("rows have equal width")
+        .select_rows(&order)
+        .expect("shuffle order is a permutation");
     let labels: Vec<usize> = order.iter().map(|&i| labels[i]).collect();
-    Dataset::new(
-        Matrix::from_rows(&rows).expect("rows have equal width"),
-        labels,
-        2,
-        "UCI ESR",
-    )
+    Dataset::new(features, labels, 2, "UCI ESR")
 }
 
 #[cfg(test)]

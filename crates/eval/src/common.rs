@@ -140,26 +140,28 @@ pub fn stratified_split(rng: &mut StdRng, dataset: &Dataset, test_fraction: f64)
 }
 
 fn concat_datasets(parts: &[Dataset], template: &Dataset) -> Dataset {
-    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut features: Option<Matrix> = None;
     let mut labels: Vec<usize> = Vec::new();
     for p in parts {
-        for (row, &label) in p.features.row_iter().zip(p.labels.iter()) {
-            rows.push(row.to_vec());
-            labels.push(label);
+        if p.n_samples() == 0 {
+            continue;
         }
+        features = Some(match features {
+            None => p.features.clone(),
+            Some(acc) => acc.vstack(&p.features).expect("parts share a width"),
+        });
+        labels.extend_from_slice(&p.labels);
     }
-    if rows.is_empty() {
+    let features = features.unwrap_or_else(|| {
         // Degenerate fallback: a single row from the template keeps the
         // downstream metric code well-defined.
-        rows.push(template.features.row(0).to_vec());
         labels.push(template.labels[0]);
-    }
-    Dataset::new(
-        Matrix::from_rows(&rows).expect("rows share a width"),
-        labels,
-        template.n_classes,
-        &template.name,
-    )
+        template
+            .features
+            .select_rows(&[0])
+            .expect("template has at least one row")
+    });
+    Dataset::new(features, labels, template.n_classes, &template.name)
 }
 
 /// Builds the P3GM configuration for a target total ε on `n` rows of `d`

@@ -183,7 +183,10 @@ impl Fig2Report {
 }
 
 fn sheet(samples: &Matrix, size: usize) -> String {
-    let images: Vec<Vec<f64>> = samples.row_iter().take(8).map(|r| r.to_vec()).collect();
+    let first: Vec<usize> = (0..samples.rows().min(8)).collect();
+    let images = samples
+        .select_rows(&first)
+        .expect("indices within sample count");
     ascii_art(&images, size, 8)
 }
 

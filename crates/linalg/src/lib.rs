@@ -5,11 +5,15 @@
 //! The crate provides exactly the primitives that the rest of the workspace
 //! needs and nothing more:
 //!
-//! * [`Matrix`] — a row-major, heap-allocated dense `f64` matrix with the
-//!   arithmetic, products and factorizations used by PCA, Gaussian mixture
-//!   models, the Wishart mechanism and the downstream classifiers.
+//! * [`Matrix`] — a row-major, heap-allocated dense `f64` matrix: the
+//!   workspace's single contiguous batch representation, flowing end-to-end
+//!   from preprocessing through training to evaluation. The heavy kernels
+//!   (`matmul`, `gram`, `column_sums`) are blocked for cache locality and
+//!   parallelized over row chunks via `p3gm-parallel`, with results that
+//!   are bit-identical for every thread count.
 //! * [`vector`] — free functions over `&[f64]` slices (dot products, norms,
-//!   axpy-style updates) used in the hot loops of the neural-network crate.
+//!   axpy-style updates) used in the innermost loops of the neural-network
+//!   crate.
 //! * [`eigen`] — the cyclic Jacobi eigen-decomposition for symmetric
 //!   matrices, which backs (DP-)PCA.
 //! * [`cholesky`] — Cholesky factorization, triangular solves, log-determinant
@@ -19,7 +23,9 @@
 //!   statistics over data matrices.
 //!
 //! Everything is implemented in safe Rust with no external BLAS so the whole
-//! reproduction builds offline and runs deterministically on a single core.
+//! reproduction builds offline; data parallelism comes from the vendored
+//! `p3gm-parallel` scoped thread pool (honoring `P3GM_THREADS`), and every
+//! kernel is deterministic regardless of the worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,14 +1,23 @@
 //! Dense row-major `f64` matrix.
 //!
-//! [`Matrix`] is deliberately simple: a `Vec<f64>` plus a shape. It favours
-//! clarity and predictable performance on a single core over cleverness —
-//! the heaviest numerical work in the reproduction (neural-network training)
-//! uses the slice-level kernels in [`crate::vector`] directly, while PCA,
-//! GMMs, Wishart sampling and the tree/linear classifiers work at this
-//! matrix level.
+//! [`Matrix`] is the workspace's single batch representation: one contiguous
+//! `Vec<f64>` plus a shape. Every hot path — per-example DP-SGD gradients,
+//! the (DP-)EM E-step, PCA covariance accumulation, the classifier suite —
+//! operates on these contiguous batches, and the heavy kernels
+//! ([`Matrix::matmul`], [`Matrix::gram`]) tile their inner loops for cache
+//! locality and parallelize over row chunks through `p3gm-parallel` with
+//! deterministic (thread-count-independent) results. Row-list
+//! (`Vec<Vec<f64>>`) adapters exist only for the I/O boundary:
+//! [`Matrix::from_rows`] in, [`Matrix::to_rows`] out.
 
 use crate::error::LinalgError;
 use crate::Result;
+
+/// Column-count threshold above which `matmul` tiles the shared dimension:
+/// three row-sized working sets (lhs row tail, rhs row, out row) should fit
+/// in L1/L2 comfortably; beyond that, walking `k` in blocks keeps the rhs
+/// rows that a block touches hot across the whole output row.
+const MATMUL_TILE: usize = 256;
 
 /// A dense, row-major matrix of `f64` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -183,6 +192,20 @@ impl Matrix {
         self.data.chunks_exact(self.cols.max(1))
     }
 
+    /// Returns an iterator over contiguous blocks of `rows_per_chunk` rows,
+    /// each as one flat row-major slice (the view the parallel kernels hand
+    /// to worker threads).
+    pub fn rows_chunks(&self, rows_per_chunk: usize) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(rows_per_chunk.max(1) * self.cols.max(1))
+    }
+
+    /// Returns an iterator over mutable contiguous blocks of
+    /// `rows_per_chunk` rows.
+    pub fn rows_chunks_mut(&mut self, rows_per_chunk: usize) -> impl Iterator<Item = &mut [f64]> {
+        let cols = self.cols.max(1);
+        self.data.chunks_mut(rows_per_chunk.max(1) * cols)
+    }
+
     /// Returns the underlying row-major buffer.
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
@@ -200,6 +223,14 @@ impl Matrix {
         self.data
     }
 
+    /// Copies the matrix out as a list of rows.
+    ///
+    /// This is an I/O-boundary adapter (serialization, report rendering);
+    /// compute paths should stay on the contiguous buffer.
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.row_iter().map(<[f64]>::to_vec).collect()
+    }
+
     /// Returns a new matrix that is the transpose of `self`.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
@@ -212,6 +243,12 @@ impl Matrix {
     }
 
     /// Matrix-matrix product `self * other`.
+    ///
+    /// The kernel is blocked over the shared dimension (i-k-j order with a
+    /// `k` tile, so the inner loop walks contiguous memory in both `other`
+    /// and the output) and parallelized over output-row chunks. Each output
+    /// row is computed independently, so the result is bit-identical for
+    /// every thread count.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -221,21 +258,30 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner loop walking contiguous memory in
-        // both `other` and `out`, which matters on a single core with no BLAS.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
+        let out_cols = other.cols;
+        let rows_per_chunk = p3gm_parallel::default_chunk_len(self.rows);
+        p3gm_parallel::par_chunks_mut(
+            out.as_mut_slice(),
+            rows_per_chunk * out_cols.max(1),
+            |chunk_index, out_chunk| {
+                let row_base = chunk_index * rows_per_chunk;
+                for (local, out_row) in out_chunk.chunks_mut(out_cols.max(1)).enumerate() {
+                    let lhs_row = self.row(row_base + local);
+                    for k_tile in (0..self.cols).step_by(MATMUL_TILE) {
+                        let k_end = (k_tile + MATMUL_TILE).min(self.cols);
+                        for (k, &a) in lhs_row[k_tile..k_end].iter().enumerate() {
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let other_row = other.row(k_tile + k);
+                            for (o, &b) in out_row.iter_mut().zip(other_row.iter()) {
+                                *o += a * b;
+                            }
+                        }
+                    }
                 }
-                let other_row = other.row(k);
-                let out_row = out.row_mut(i);
-                for j in 0..other_row.len() {
-                    out_row[j] += a * other_row[j];
-                }
-            }
-        }
+            },
+        );
         Ok(out)
     }
 
@@ -325,6 +371,56 @@ impl Matrix {
             cols: self.cols,
             data: self.data.iter().map(|&x| x * scalar).collect(),
         }
+    }
+
+    /// Scales every element in place: `self *= scalar`.
+    pub fn scale_inplace(&mut self, scalar: f64) {
+        for x in &mut self.data {
+            *x *= scalar;
+        }
+    }
+
+    /// In-place element-wise update `self += alpha * other` (the matrix
+    /// `axpy` primitive the chunked reductions fold partial batches with).
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Column-wise sums over the rows, accumulated with the deterministic
+    /// chunked reduction (fixed chunk boundaries, in-order fold), so the
+    /// result is bit-identical for every thread count.
+    pub fn column_sums(&self) -> Vec<f64> {
+        let chunk_len = p3gm_parallel::default_chunk_len(self.rows);
+        p3gm_parallel::par_map_reduce(
+            self.rows,
+            chunk_len,
+            |range| {
+                let mut acc = vec![0.0; self.cols];
+                for i in range {
+                    for (a, &x) in acc.iter_mut().zip(self.row(i).iter()) {
+                        *a += x;
+                    }
+                }
+                acc
+            },
+            |mut a, b| {
+                for (x, &y) in a.iter_mut().zip(b.iter()) {
+                    *x += y;
+                }
+                a
+            },
+        )
+        .unwrap_or_else(|| vec![0.0; self.cols])
     }
 
     /// Adds `scalar` to every diagonal entry in place (useful for ridge
@@ -446,21 +542,37 @@ impl Matrix {
 
     /// Computes `self^T * self` (the Gram matrix), a common step when forming
     /// covariance matrices.
+    ///
+    /// Row chunks accumulate `d x d` partial Gram matrices in parallel; the
+    /// partials are folded in chunk order, so the result is deterministic
+    /// for every thread count.
     pub fn gram(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.cols);
-        for row in self.row_iter() {
-            for j in 0..self.cols {
-                let rj = row[j];
-                if rj == 0.0 {
-                    continue;
+        let chunk_len = p3gm_parallel::default_chunk_len(self.rows);
+        p3gm_parallel::par_map_reduce(
+            self.rows,
+            chunk_len,
+            |range| {
+                let mut partial = Matrix::zeros(self.cols, self.cols);
+                for i in range {
+                    let row = self.row(i);
+                    for (j, &rj) in row.iter().enumerate() {
+                        if rj == 0.0 {
+                            continue;
+                        }
+                        let out_row = partial.row_mut(j);
+                        for (o, &rk) in out_row.iter_mut().zip(row.iter()) {
+                            *o += rj * rk;
+                        }
+                    }
                 }
-                let out_row = out.row_mut(j);
-                for (o, &rk) in out_row.iter_mut().zip(row.iter()) {
-                    *o += rj * rk;
-                }
-            }
-        }
-        out
+                partial
+            },
+            |mut a, b| {
+                a.axpy(1.0, &b).expect("partial Gram shapes match");
+                a
+            },
+        )
+        .unwrap_or_else(|| Matrix::zeros(self.cols, self.cols))
     }
 
     /// Returns `true` if every element of `self` is within `tol` of the
@@ -654,5 +766,59 @@ mod tests {
         let m = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
         assert_eq!(m.get(1, 0), 10.0);
         assert_eq!(m.get(1, 1), 11.0);
+    }
+
+    #[test]
+    fn to_rows_roundtrips_from_rows() {
+        let m = sample();
+        let rows = m.to_rows();
+        assert_eq!(rows, vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert!(Matrix::from_rows(&rows).unwrap().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn rows_chunks_cover_the_buffer() {
+        let m = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64);
+        let chunks: Vec<&[f64]> = m.rows_chunks(2).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 6);
+        assert_eq!(chunks[2].len(), 3);
+        assert_eq!(chunks[1][0], 6.0);
+        let mut m2 = m.clone();
+        for chunk in m2.rows_chunks_mut(2) {
+            for v in chunk.iter_mut() {
+                *v += 1.0;
+            }
+        }
+        assert!(m2.approx_eq(&m.map(|x| x + 1.0), 0.0));
+    }
+
+    #[test]
+    fn axpy_scale_inplace_and_column_sums() {
+        let mut a = sample();
+        let b = sample();
+        a.axpy(2.0, &b).unwrap();
+        assert_eq!(a.get(1, 2), 18.0);
+        a.scale_inplace(0.5);
+        assert_eq!(a.get(1, 2), 9.0);
+        assert!(a.axpy(1.0, &Matrix::zeros(1, 1)).is_err());
+        assert_eq!(sample().column_sums(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(Matrix::zeros(0, 2).column_sums(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn parallel_kernels_are_bit_identical_across_thread_counts() {
+        let a = Matrix::from_fn(67, 41, |i, j| ((i * 31 + j * 17) % 13) as f64 * 0.37 - 1.1);
+        let b = Matrix::from_fn(41, 29, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.23 - 0.7);
+        let reference =
+            p3gm_parallel::with_threads(1, || (a.matmul(&b).unwrap(), a.gram(), a.column_sums()));
+        for threads in [2, 4, 8] {
+            let (product, gram, sums) = p3gm_parallel::with_threads(threads, || {
+                (a.matmul(&b).unwrap(), a.gram(), a.column_sums())
+            });
+            assert_eq!(product.as_slice(), reference.0.as_slice());
+            assert_eq!(gram.as_slice(), reference.1.as_slice());
+            assert_eq!(sums, reference.2);
+        }
     }
 }

@@ -16,12 +16,7 @@ pub fn column_means(data: &Matrix) -> Result<Vec<f64>> {
     if data.rows() == 0 {
         return Err(LinalgError::Empty { op: "column_means" });
     }
-    let mut means = vec![0.0; data.cols()];
-    for row in data.row_iter() {
-        for (m, &x) in means.iter_mut().zip(row.iter()) {
-            *m += x;
-        }
-    }
+    let mut means = data.column_sums();
     let n = data.rows() as f64;
     for m in &mut means {
         *m /= n;

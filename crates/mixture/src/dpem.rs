@@ -12,7 +12,9 @@
 //! The privacy cost of a run with `T_e` iterations is accounted by
 //! `p3gm_privacy::RdpAccountant::add_dp_em(T_e, σ_e, K)`.
 
-use crate::em::{initial_parameters, validate, EmConfig};
+use crate::em::{
+    initial_parameters, validate, weighted_mean_sums, weighted_scatter_sums, EmConfig,
+};
 use crate::gmm::Gmm;
 use crate::kmeans::{kmeans, KMeansConfig};
 use crate::{MixtureError, Result};
@@ -129,48 +131,37 @@ pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &DpEmConfig) -> 
     let mut trace = Vec::with_capacity(config.iterations);
 
     for _ in 0..config.iterations {
-        // E-step (no privacy cost: responsibilities are internal).
-        let resp: Vec<Vec<f64>> = clipped
-            .row_iter()
-            .map(|row| model.responsibilities(row))
-            .collect();
+        // E-step (no privacy cost: responsibilities are internal). Batched
+        // and parallel; bit-identical for every thread count.
+        let resp = model.responsibilities_batch(&clipped);
 
         // M-step with Gaussian-mechanism noise on each released statistic.
-        let nk: Vec<f64> = (0..k)
-            .map(|c| resp.iter().map(|r| r[c]).sum::<f64>().max(1e-10))
-            .collect();
+        // The clean statistics are accumulated with the deterministic
+        // chunked reduction; noise is drawn serially from the caller's rng
+        // afterwards, so the rng consumption order is thread-independent.
+        let nk: Vec<f64> = resp.column_sums().iter().map(|&s| s.max(1e-10)).collect();
 
         // Weights (one release).
         for c in 0..k {
             weights[c] = (nk[c] / n as f64 + sampling::normal(rng, 0.0, noise_std)).max(1e-4);
         }
 
-        for c in 0..k {
-            // Mean (one release per component).
-            let mut mean = vec![0.0; d];
-            for (row, r) in clipped.row_iter().zip(resp.iter()) {
-                vector::axpy(r[c], row, &mut mean);
-            }
-            vector::scale(1.0 / nk[c], &mut mean);
-            for m in &mut mean {
+        // Means (one release per component).
+        let mean_sums = weighted_mean_sums(&clipped, &resp);
+        for (c, &nkc) in nk.iter().enumerate() {
+            let mean = means.row_mut(c);
+            mean.copy_from_slice(mean_sums.row(c));
+            vector::scale(1.0 / nkc, mean);
+            for m in mean.iter_mut() {
                 *m += sampling::normal(rng, 0.0, noise_std);
             }
-            means[c] = mean;
+        }
 
-            // Covariance (one release per component).
-            let mut cov = Matrix::zeros(d, d);
-            for (row, r) in clipped.row_iter().zip(resp.iter()) {
-                let diff = vector::sub(row, &means[c]);
-                let w = r[c];
-                for i in 0..d {
-                    let di = diff[i] * w;
-                    for (j, &dj) in diff.iter().enumerate() {
-                        let v = cov.get(i, j) + di * dj;
-                        cov.set(i, j, v);
-                    }
-                }
-            }
-            let mut cov = cov.scale(1.0 / nk[c]);
+        // Covariances (one release per component), around the *noisy* means
+        // just released.
+        let scatter = weighted_scatter_sums(&clipped, &resp, &means);
+        for (c, sum) in scatter.into_iter().enumerate() {
+            let mut cov = sum.scale(1.0 / nk[c]);
             for i in 0..d {
                 for j in i..d {
                     let noise = sampling::normal(rng, 0.0, noise_std);
@@ -219,8 +210,12 @@ mod tests {
 
     /// Two separated blobs inside the unit ball.
     fn unit_ball_blobs(rng: &mut StdRng, per: usize) -> Matrix {
-        let truth =
-            Gmm::isotropic(vec![0.5, 0.5], vec![vec![-0.5, 0.0], vec![0.5, 0.2]], 0.01).unwrap();
+        let truth = Gmm::isotropic(
+            vec![0.5, 0.5],
+            Matrix::from_rows(&[vec![-0.5, 0.0], vec![0.5, 0.2]]).unwrap(),
+            0.01,
+        )
+        .unwrap();
         truth.sample_n(rng, per * 2)
     }
 
@@ -248,7 +243,7 @@ mod tests {
             },
         )
         .unwrap();
-        let mut means: Vec<Vec<f64>> = res.model.means().to_vec();
+        let mut means = res.model.means().to_rows();
         means.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
         assert!((means[0][0] + 0.5).abs() < 0.1, "{:?}", means[0]);
         assert!((means[1][0] - 0.5).abs() < 0.1, "{:?}", means[1]);
@@ -275,7 +270,12 @@ mod tests {
             },
         )
         .unwrap();
-        let baseline = Gmm::isotropic(vec![1.0], vec![vec![0.0, 0.0]], 1.0).unwrap();
+        let baseline = Gmm::isotropic(
+            vec![1.0],
+            Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap(),
+            1.0,
+        )
+        .unwrap();
         let clipped = clip_rows(&data, 1.0);
         assert!(
             res.model.mean_log_likelihood(&clipped) > baseline.mean_log_likelihood(&clipped),

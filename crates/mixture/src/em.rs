@@ -9,6 +9,69 @@ use crate::{MixtureError, Result};
 use p3gm_linalg::{vector, Matrix};
 use rand::Rng;
 
+/// Responsibility-weighted row sums: returns the `k x d` matrix whose row
+/// `c` is `Σ_i resp[i][c] · data.row(i)` (the numerator of the M-step mean
+/// update), accumulated over parallel row chunks with an in-order fold so
+/// the result is bit-identical for every thread count.
+pub(crate) fn weighted_mean_sums(data: &Matrix, resp: &Matrix) -> Matrix {
+    let k = resp.cols();
+    let d = data.cols();
+    p3gm_parallel::par_map_reduce(
+        data.rows(),
+        p3gm_parallel::default_chunk_len(data.rows()),
+        |range| {
+            let mut partial = Matrix::zeros(k, d);
+            for i in range {
+                let row = data.row(i);
+                for (c, &r) in resp.row(i).iter().enumerate() {
+                    vector::axpy(r, row, partial.row_mut(c));
+                }
+            }
+            partial
+        },
+        |mut a, b| {
+            a.axpy(1.0, &b).expect("partial shapes match");
+            a
+        },
+    )
+    .unwrap_or_else(|| Matrix::zeros(k, d))
+}
+
+/// Responsibility-weighted scatter sums: element `c` of the returned list
+/// is `Σ_i resp[i][c] · (x_i − µ_c)(x_i − µ_c)ᵀ` (the numerator of the
+/// M-step covariance update). Accumulated like [`weighted_mean_sums`]:
+/// parallel row chunks, deterministic in-order fold.
+pub(crate) fn weighted_scatter_sums(data: &Matrix, resp: &Matrix, means: &Matrix) -> Vec<Matrix> {
+    let k = resp.cols();
+    let d = data.cols();
+    p3gm_parallel::par_map_reduce(
+        data.rows(),
+        p3gm_parallel::default_chunk_len(data.rows()),
+        |range| {
+            let mut partials = vec![Matrix::zeros(d, d); k];
+            for i in range {
+                let row = data.row(i);
+                for (c, &w) in resp.row(i).iter().enumerate() {
+                    let diff = vector::sub(row, means.row(c));
+                    let partial = &mut partials[c];
+                    for (a, &da) in diff.iter().enumerate() {
+                        let scaled = da * w;
+                        vector::axpy(scaled, &diff, partial.row_mut(a));
+                    }
+                }
+            }
+            partials
+        },
+        |mut a, b| {
+            for (pa, pb) in a.iter_mut().zip(b.iter()) {
+                pa.axpy(1.0, pb).expect("partial shapes match");
+            }
+            a
+        },
+    )
+    .unwrap_or_else(|| vec![Matrix::zeros(d, d); k])
+}
+
 /// Configuration for EM fitting.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EmConfig {
@@ -51,7 +114,6 @@ pub struct EmResult {
 pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &EmConfig) -> Result<EmResult> {
     validate(data, config)?;
     let k = config.n_components;
-    let d = data.cols();
     let n = data.rows();
 
     // Initialization: k-means centroids, per-cluster covariances, uniform-ish weights.
@@ -75,38 +137,22 @@ pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &EmConfig) -> Re
 
     for iter in 0..config.max_iters {
         iterations = iter + 1;
-        // E-step: responsibilities for every row.
-        let resp: Vec<Vec<f64>> = data
-            .row_iter()
-            .map(|row| model.responsibilities(row))
-            .collect();
+        // E-step: responsibilities for every row (n x k, parallel).
+        let resp = model.responsibilities_batch(data);
 
-        // M-step.
-        let nk: Vec<f64> = (0..k)
-            .map(|c| resp.iter().map(|r| r[c]).sum::<f64>().max(1e-10))
-            .collect();
+        // M-step, accumulated over parallel row chunks with deterministic
+        // in-order folds.
+        let nk: Vec<f64> = resp.column_sums().iter().map(|&s| s.max(1e-10)).collect();
+        let mean_sums = weighted_mean_sums(data, &resp);
         for c in 0..k {
             weights[c] = nk[c] / n as f64;
-            let mut mean = vec![0.0; d];
-            for (row, r) in data.row_iter().zip(resp.iter()) {
-                vector::axpy(r[c], row, &mut mean);
-            }
-            vector::scale(1.0 / nk[c], &mut mean);
-            means[c] = mean;
-
-            let mut cov = Matrix::zeros(d, d);
-            for (row, r) in data.row_iter().zip(resp.iter()) {
-                let diff = vector::sub(row, &means[c]);
-                let w = r[c];
-                for i in 0..d {
-                    let di = diff[i] * w;
-                    for (j, &dj) in diff.iter().enumerate() {
-                        let v = cov.get(i, j) + di * dj;
-                        cov.set(i, j, v);
-                    }
-                }
-            }
-            let mut cov = cov.scale(1.0 / nk[c]);
+            let mean = means.row_mut(c);
+            mean.copy_from_slice(mean_sums.row(c));
+            vector::scale(1.0 / nk[c], mean);
+        }
+        let scatter = weighted_scatter_sums(data, &resp, &means);
+        for (c, sum) in scatter.into_iter().enumerate() {
+            let mut cov = sum.scale(1.0 / nk[c]);
             cov.add_diagonal(config.covariance_regularization);
             covariances[c] = cov;
         }
@@ -132,24 +178,25 @@ pub fn fit<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, config: &EmConfig) -> Re
     })
 }
 
-/// Per-cluster initial parameters from a hard assignment.
+/// Per-cluster initial parameters from a hard assignment: weights, a
+/// `k x d` mean matrix and per-cluster covariances.
 pub(crate) fn initial_parameters(
     data: &Matrix,
     assignments: &[usize],
     k: usize,
     regularization: f64,
-) -> (Vec<f64>, Vec<Vec<f64>>, Vec<Matrix>) {
+) -> (Vec<f64>, Matrix, Vec<Matrix>) {
     let d = data.cols();
     let n = data.rows();
     let mut counts = vec![0.0; k];
-    let mut means = vec![vec![0.0; d]; k];
+    let mut means = Matrix::zeros(k, d);
     for (row, &a) in data.row_iter().zip(assignments.iter()) {
         counts[a] += 1.0;
-        vector::axpy(1.0, row, &mut means[a]);
+        vector::axpy(1.0, row, means.row_mut(a));
     }
-    for c in 0..k {
-        if counts[c] > 0.0 {
-            vector::scale(1.0 / counts[c], &mut means[c]);
+    for (c, &count) in counts.iter().enumerate() {
+        if count > 0.0 {
+            vector::scale(1.0 / count, means.row_mut(c));
         }
     }
     let mut covariances = vec![Matrix::identity(d); k];
@@ -162,12 +209,9 @@ pub(crate) fn initial_parameters(
             if a != c {
                 continue;
             }
-            let diff = vector::sub(row, &means[c]);
-            for i in 0..d {
-                for j in 0..d {
-                    let v = cov.get(i, j) + diff[i] * diff[j];
-                    cov.set(i, j, v);
-                }
+            let diff = vector::sub(row, means.row(c));
+            for (i, &di) in diff.iter().enumerate() {
+                vector::axpy(di, &diff, cov.row_mut(i));
             }
         }
         let mut cov = cov.scale(1.0 / counts[c]);
@@ -219,8 +263,12 @@ mod tests {
     }
 
     fn two_blob_data(rng: &mut StdRng, per: usize) -> Matrix {
-        let true_model =
-            Gmm::isotropic(vec![0.5, 0.5], vec![vec![-3.0, 0.0], vec![3.0, 1.0]], 0.5).unwrap();
+        let true_model = Gmm::isotropic(
+            vec![0.5, 0.5],
+            Matrix::from_rows(&[vec![-3.0, 0.0], vec![3.0, 1.0]]).unwrap(),
+            0.5,
+        )
+        .unwrap();
         true_model.sample_n(rng, per * 2)
     }
 
@@ -237,7 +285,7 @@ mod tests {
             },
         )
         .unwrap();
-        let mut means: Vec<Vec<f64>> = res.model.means().to_vec();
+        let mut means = res.model.means().to_rows();
         means.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
         assert!((means[0][0] + 3.0).abs() < 0.3, "{:?}", means[0]);
         assert!((means[1][0] - 3.0).abs() < 0.3, "{:?}", means[1]);
@@ -292,7 +340,7 @@ mod tests {
         let mut r = rng();
         let truth = Gmm::new(
             vec![1.0],
-            vec![vec![1.0, -2.0]],
+            Matrix::from_rows(&[vec![1.0, -2.0]]).unwrap(),
             vec![Matrix::from_rows(&[vec![2.0, 0.5], vec![0.5, 1.0]]).unwrap()],
         )
         .unwrap();
@@ -306,7 +354,7 @@ mod tests {
             },
         )
         .unwrap();
-        let mean = &res.model.means()[0];
+        let mean = res.model.mean(0);
         assert!((mean[0] - 1.0).abs() < 0.1);
         assert!((mean[1] + 2.0).abs() < 0.1);
         let cov = &res.model.covariances()[0];
@@ -318,7 +366,12 @@ mod tests {
     fn fitted_model_has_higher_likelihood_than_initialization() {
         let mut r = rng();
         let data = two_blob_data(&mut r, 100);
-        let single = Gmm::isotropic(vec![1.0], vec![vec![0.0, 0.0]], 10.0).unwrap();
+        let single = Gmm::isotropic(
+            vec![1.0],
+            Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap(),
+            10.0,
+        )
+        .unwrap();
         let res = fit(
             &mut r,
             &data,

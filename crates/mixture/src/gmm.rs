@@ -9,12 +9,14 @@ use rand::Rng;
 /// A mixture of full-covariance Gaussians over `R^d`.
 ///
 /// Invariants maintained by the constructors: weights are non-negative and
-/// sum to 1, every mean has length `d`, every covariance is `d x d`
-/// symmetric positive definite (a small jitter is applied when necessary).
+/// sum to 1, the means form a `k x d` matrix (one component per row), every
+/// covariance is `d x d` symmetric positive definite (a small jitter is
+/// applied when necessary).
 #[derive(Debug, Clone)]
 pub struct Gmm {
     weights: Vec<f64>,
-    means: Vec<Vec<f64>>,
+    /// Component means, one per row (`k x d`).
+    means: Matrix,
     covariances: Vec<Matrix>,
     /// Cached Cholesky factors of the covariances.
     factors: Vec<Cholesky>,
@@ -25,29 +27,30 @@ pub struct Gmm {
 }
 
 impl Gmm {
-    /// Builds a mixture from weights, means and covariances.
+    /// Builds a mixture from weights, a `k x d` mean matrix (one component
+    /// mean per row) and covariances.
     ///
     /// Weights are re-normalized to sum to one; covariances that are not
     /// positive definite are repaired with increasing diagonal jitter.
-    pub fn new(weights: Vec<f64>, means: Vec<Vec<f64>>, covariances: Vec<Matrix>) -> Result<Self> {
+    pub fn new(weights: Vec<f64>, means: Matrix, covariances: Vec<Matrix>) -> Result<Self> {
         let k = weights.len();
-        if k == 0 || means.len() != k || covariances.len() != k {
+        if k == 0 || means.rows() != k || covariances.len() != k {
             return Err(MixtureError::InvalidParameter {
                 msg: format!(
                     "component count mismatch: {} weights, {} means, {} covariances",
                     k,
-                    means.len(),
+                    means.rows(),
                     covariances.len()
                 ),
             });
         }
-        let d = means[0].len();
+        let d = means.cols();
         if d == 0 {
             return Err(MixtureError::InvalidParameter {
                 msg: "zero-dimensional mixture".to_string(),
             });
         }
-        if means.iter().any(|m| m.len() != d) || covariances.iter().any(|c| c.shape() != (d, d)) {
+        if covariances.iter().any(|c| c.shape() != (d, d)) {
             return Err(MixtureError::InvalidParameter {
                 msg: "inconsistent component dimensions".to_string(),
             });
@@ -87,14 +90,15 @@ impl Gmm {
 
     /// Builds an isotropic mixture (`σ² I` covariances) — a convenient
     /// constructor for tests and for the DP-GM baseline's latent prior.
-    pub fn isotropic(weights: Vec<f64>, means: Vec<Vec<f64>>, variance: f64) -> Result<Self> {
+    /// `means` holds one component mean per row.
+    pub fn isotropic(weights: Vec<f64>, means: Matrix, variance: f64) -> Result<Self> {
         if variance <= 0.0 {
             return Err(MixtureError::InvalidParameter {
                 msg: format!("variance must be positive, got {variance}"),
             });
         }
-        let d = means.first().map(Vec::len).unwrap_or(0);
-        let covs = (0..means.len())
+        let d = means.cols();
+        let covs = (0..means.rows())
             .map(|_| Matrix::identity(d).scale(variance))
             .collect();
         Self::new(weights, means, covs)
@@ -107,7 +111,7 @@ impl Gmm {
 
     /// Data dimensionality.
     pub fn dim(&self) -> usize {
-        self.means[0].len()
+        self.means.cols()
     }
 
     /// Mixture weights (sum to 1).
@@ -115,9 +119,14 @@ impl Gmm {
         &self.weights
     }
 
-    /// Component means.
-    pub fn means(&self) -> &[Vec<f64>] {
+    /// Component means as a `k x d` matrix (one component per row).
+    pub fn means(&self) -> &Matrix {
         &self.means
+    }
+
+    /// The mean of component `k`.
+    pub fn mean(&self, k: usize) -> &[f64] {
+        self.means.row(k)
     }
 
     /// Component covariance matrices.
@@ -128,7 +137,7 @@ impl Gmm {
     /// Log-density of `x` under component `k` (a multivariate normal).
     pub fn component_log_density(&self, k: usize, x: &[f64]) -> f64 {
         let d = self.dim() as f64;
-        let diff = vector::sub(x, &self.means[k]);
+        let diff = vector::sub(x, self.means.row(k));
         let maha = self.factors[k]
             .quadratic_form(&diff)
             .expect("dimension checked at construction");
@@ -143,15 +152,22 @@ impl Gmm {
         vector::log_sum_exp(&logs)
     }
 
-    /// Average log-likelihood of a set of rows.
+    /// Average log-likelihood of a set of rows, accumulated with the
+    /// deterministic chunked reduction (bit-identical for every thread
+    /// count).
     pub fn mean_log_likelihood(&self, data: &Matrix) -> f64 {
         if data.rows() == 0 {
             return 0.0;
         }
-        data.row_iter()
-            .map(|row| self.log_density(row))
-            .sum::<f64>()
-            / data.rows() as f64
+        let chunk_len = p3gm_parallel::default_chunk_len(data.rows());
+        let total = p3gm_parallel::par_map_reduce(
+            data.rows(),
+            chunk_len,
+            |range| range.map(|i| self.log_density(data.row(i))).sum::<f64>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0);
+        total / data.rows() as f64
     }
 
     /// Posterior responsibilities `p(component | x)`.
@@ -162,21 +178,47 @@ impl Gmm {
         vector::softmax(&logs)
     }
 
+    /// Posterior responsibilities for a whole batch: row `i` of the
+    /// returned `n x k` matrix is `p(component | data.row(i))`.
+    ///
+    /// This is the (DP-)EM E-step kernel: rows are processed independently
+    /// on parallel row chunks, so the result is bit-identical for every
+    /// thread count.
+    pub fn responsibilities_batch(&self, data: &Matrix) -> Matrix {
+        let k = self.n_components();
+        let mut resp = Matrix::zeros(data.rows(), k);
+        let rows_per_chunk = p3gm_parallel::default_chunk_len(data.rows());
+        p3gm_parallel::par_chunks_mut(
+            resp.as_mut_slice(),
+            rows_per_chunk * k,
+            |chunk_index, resp_chunk| {
+                let base = chunk_index * rows_per_chunk;
+                for (local, resp_row) in resp_chunk.chunks_mut(k).enumerate() {
+                    resp_row.copy_from_slice(&self.responsibilities(data.row(base + local)));
+                }
+            },
+        );
+        resp
+    }
+
     /// Draws one sample from the mixture.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
         let k = sampling::categorical(rng, &self.weights);
-        sampling::multivariate_normal(rng, &self.means[k], &self.factors[k])
+        sampling::multivariate_normal(rng, self.means.row(k), &self.factors[k])
     }
 
     /// Draws one sample from a specific component.
     pub fn sample_component<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<f64> {
-        sampling::multivariate_normal(rng, &self.means[k], &self.factors[k])
+        sampling::multivariate_normal(rng, self.means.row(k), &self.factors[k])
     }
 
     /// Draws `n` samples from the mixture as rows of a matrix.
     pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Matrix {
-        let rows: Vec<Vec<f64>> = (0..n).map(|_| self.sample(rng)).collect();
-        Matrix::from_rows(&rows).expect("samples have equal dimension")
+        let mut out = Matrix::zeros(n, self.dim());
+        for i in 0..n {
+            out.row_mut(i).copy_from_slice(&self.sample(rng));
+        }
+        out
     }
 
     /// KL divergence `KL( N(mu, diag(exp(logvar))) || component k )` with
@@ -207,7 +249,7 @@ impl Gmm {
         for (i, &v) in var.iter().enumerate() {
             trace += inv.get(i, i) * v;
         }
-        let diff = vector::sub(mu, &self.means[k]);
+        let diff = vector::sub(mu, self.means.row(k));
         let inv_diff = inv.matvec(&diff).expect("dimension checked");
         let maha = vector::dot(&diff, &inv_diff);
         let sum_logvar: f64 = logvar.iter().sum();
@@ -266,10 +308,14 @@ mod tests {
         StdRng::seed_from_u64(13)
     }
 
+    fn means_of(rows: &[Vec<f64>]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
     fn two_component_gmm() -> Gmm {
         Gmm::new(
             vec![0.3, 0.7],
-            vec![vec![-2.0, 0.0], vec![2.0, 1.0]],
+            means_of(&[vec![-2.0, 0.0], vec![2.0, 1.0]]),
             vec![
                 Matrix::from_rows(&[vec![1.0, 0.2], vec![0.2, 0.5]]).unwrap(),
                 Matrix::from_rows(&[vec![0.5, 0.0], vec![0.0, 1.5]]).unwrap(),
@@ -280,16 +326,21 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        assert!(Gmm::new(vec![], vec![], vec![]).is_err());
-        assert!(Gmm::new(vec![1.0], vec![vec![0.0]], vec![]).is_err());
-        assert!(Gmm::new(vec![1.0], vec![vec![0.0, 0.0]], vec![Matrix::identity(3)]).is_err());
-        assert!(Gmm::new(vec![0.0], vec![vec![0.0]], vec![Matrix::identity(1)]).is_err());
-        assert!(Gmm::isotropic(vec![1.0], vec![vec![0.0]], 0.0).is_err());
+        assert!(Gmm::new(vec![], Matrix::zeros(0, 0), vec![]).is_err());
+        assert!(Gmm::new(vec![1.0], means_of(&[vec![0.0]]), vec![]).is_err());
+        assert!(Gmm::new(
+            vec![1.0],
+            means_of(&[vec![0.0, 0.0]]),
+            vec![Matrix::identity(3)]
+        )
+        .is_err());
+        assert!(Gmm::new(vec![0.0], means_of(&[vec![0.0]]), vec![Matrix::identity(1)]).is_err());
+        assert!(Gmm::isotropic(vec![1.0], means_of(&[vec![0.0]]), 0.0).is_err());
     }
 
     #[test]
     fn weights_are_normalized() {
-        let gmm = Gmm::isotropic(vec![2.0, 6.0], vec![vec![0.0], vec![1.0]], 1.0).unwrap();
+        let gmm = Gmm::isotropic(vec![2.0, 6.0], means_of(&[vec![0.0], vec![1.0]]), 1.0).unwrap();
         assert!((gmm.weights()[0] - 0.25).abs() < 1e-12);
         assert!((gmm.weights()[1] - 0.75).abs() < 1e-12);
         assert_eq!(gmm.n_components(), 2);
@@ -298,7 +349,7 @@ mod tests {
 
     #[test]
     fn single_gaussian_density_matches_closed_form() {
-        let gmm = Gmm::isotropic(vec![1.0], vec![vec![0.0, 0.0]], 1.0).unwrap();
+        let gmm = Gmm::isotropic(vec![1.0], means_of(&[vec![0.0, 0.0]]), 1.0).unwrap();
         // Standard normal at origin: log p = -log(2π).
         let expected = -(2.0 * std::f64::consts::PI).ln();
         assert!((gmm.log_density(&[0.0, 0.0]) - expected).abs() < 1e-10);
@@ -344,7 +395,7 @@ mod tests {
         let mut r = rng();
         let gmm = two_component_gmm();
         let data = gmm.sample_n(&mut r, 500);
-        let wrong = Gmm::isotropic(vec![1.0], vec![vec![10.0, 10.0]], 1.0).unwrap();
+        let wrong = Gmm::isotropic(vec![1.0], means_of(&[vec![10.0, 10.0]]), 1.0).unwrap();
         assert!(gmm.mean_log_likelihood(&data) > wrong.mean_log_likelihood(&data));
         assert_eq!(wrong.mean_log_likelihood(&Matrix::zeros(0, 2)), 0.0);
     }
@@ -352,7 +403,7 @@ mod tests {
     #[test]
     fn kl_to_component_zero_when_equal() {
         // Component 0: isotropic unit variance at origin; q identical.
-        let gmm = Gmm::isotropic(vec![1.0], vec![vec![0.0, 0.0]], 1.0).unwrap();
+        let gmm = Gmm::isotropic(vec![1.0], means_of(&[vec![0.0, 0.0]]), 1.0).unwrap();
         let (v, gm, gl) = gmm.kl_diag_to_component(0, &[0.0, 0.0], &[0.0, 0.0]);
         assert!(v.abs() < 1e-10);
         assert!(gm.iter().all(|g| g.abs() < 1e-10));
@@ -364,7 +415,7 @@ mod tests {
         // Against the diagonal-vs-diagonal closed form in p3gm-nn::loss.
         let gmm = Gmm::new(
             vec![1.0],
-            vec![vec![1.0, -0.5]],
+            means_of(&[vec![1.0, -0.5]]),
             vec![Matrix::from_diagonal(&[2.0, 0.7])],
         )
         .unwrap();
@@ -409,7 +460,7 @@ mod tests {
 
     #[test]
     fn kl_to_mixture_reduces_to_single_component() {
-        let gmm = Gmm::isotropic(vec![1.0], vec![vec![1.0, 2.0]], 0.5).unwrap();
+        let gmm = Gmm::isotropic(vec![1.0], means_of(&[vec![1.0, 2.0]]), 0.5).unwrap();
         let mu = [0.2, 0.9];
         let logvar = [-0.1, 0.4];
         let (single, gm_s, gl_s) = gmm.kl_diag_to_component(0, &mu, &logvar);
@@ -460,7 +511,7 @@ mod tests {
         // A covariance that is slightly indefinite (as DP-EM noise can
         // produce) should be accepted thanks to the jittered factorization.
         let cov = Matrix::from_rows(&[vec![1.0, 1.0005], vec![1.0005, 1.0]]).unwrap();
-        let gmm = Gmm::new(vec![1.0], vec![vec![0.0, 0.0]], vec![cov]);
+        let gmm = Gmm::new(vec![1.0], means_of(&[vec![0.0, 0.0]]), vec![cov]);
         assert!(gmm.is_ok());
     }
 }

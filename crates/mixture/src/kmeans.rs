@@ -31,8 +31,8 @@ impl Default for KMeansConfig {
 /// Result of a k-means run.
 #[derive(Debug, Clone)]
 pub struct KMeansResult {
-    /// Cluster centroids, one row per cluster.
-    pub centroids: Vec<Vec<f64>>,
+    /// Cluster centroids as a `k x d` matrix, one centroid per row.
+    pub centroids: Matrix,
     /// Assignment of every input row to a cluster index.
     pub assignments: Vec<usize>,
     /// Final within-cluster sum of squared distances.
@@ -57,13 +57,14 @@ pub fn kmeans<R: Rng + ?Sized>(
         assign(data, &centroids, &mut assignments);
         let (sums, counts) = cluster_sums(data, &assignments, config.k);
         let mut max_shift: f64 = 0.0;
-        for (c, centroid) in centroids.iter_mut().enumerate() {
-            if counts[c] == 0.0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0.0 {
                 continue; // keep the old centroid for empty clusters
             }
-            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c]).collect();
+            let new: Vec<f64> = sums.row(c).iter().map(|s| s / count).collect();
+            let centroid = centroids.row_mut(c);
             max_shift = max_shift.max(vector::distance(centroid, &new));
-            *centroid = new;
+            centroid.copy_from_slice(&new);
         }
         if max_shift < config.tolerance {
             break;
@@ -110,26 +111,20 @@ pub fn dp_kmeans<R: Rng + ?Sized>(
     // Initialize centroids privately: random points in the data bounding box
     // would be data-dependent, so use random points in [-radius, radius]^d
     // (data independent, costs no budget).
-    let mut centroids: Vec<Vec<f64>> = (0..config.k)
-        .map(|_| (0..d).map(|_| rng.gen_range(-radius..radius)).collect())
-        .collect();
+    let mut centroids = Matrix::from_fn(config.k, d, |_, _| rng.gen_range(-radius..radius));
     let mut assignments = vec![0usize; data.rows()];
 
     for _ in 0..iters {
         assign(data, &centroids, &mut assignments);
         let (sums, counts) = cluster_sums(data, &assignments, config.k);
-        for c in 0..config.k {
+        for (c, &count) in counts.iter().enumerate() {
             // Noisy count: sensitivity 1.
-            let noisy_count = (counts[c] + sampling::laplace(rng, 1.0 / eps_counts)).max(1.0);
+            let noisy_count = (count + sampling::laplace(rng, 1.0 / eps_counts)).max(1.0);
             // Noisy sums: L1 sensitivity of the per-coordinate sum is radius.
-            let noisy_sum: Vec<f64> = sums[c]
-                .iter()
-                .map(|&s| s + sampling::laplace(rng, d as f64 * radius / eps_sums))
-                .collect();
-            centroids[c] = noisy_sum
-                .iter()
-                .map(|&s| (s / noisy_count).clamp(-radius, radius))
-                .collect();
+            for (dst, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c).iter()) {
+                let noisy = s + sampling::laplace(rng, d as f64 * radius / eps_sums);
+                *dst = (noisy / noisy_count).clamp(-radius, radius);
+            }
         }
     }
     assign(data, &centroids, &mut assignments);
@@ -163,21 +158,25 @@ fn validate(data: &Matrix, config: &KMeansConfig) -> Result<()> {
 
 /// k-means++ seeding: the first centroid is uniform, each subsequent one is
 /// drawn with probability proportional to the squared distance to the
-/// nearest already-chosen centroid.
-fn kmeans_plus_plus_init<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, k: usize) -> Vec<Vec<f64>> {
+/// nearest already-chosen centroid. Returns a `k x d` centroid matrix.
+fn kmeans_plus_plus_init<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, k: usize) -> Matrix {
     let n = data.rows();
+    let d = data.cols();
     let first = rng.gen_range(0..n);
-    let mut centroids = vec![data.row(first).to_vec()];
+    let mut centroids = Matrix::zeros(k, d);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut chosen = 1;
     let mut dist2: Vec<f64> = data
         .row_iter()
-        .map(|row| vector::squared_distance(row, &centroids[0]))
+        .map(|row| vector::squared_distance(row, centroids.row(0)))
         .collect();
-    while centroids.len() < k {
+    while chosen < k {
         let idx = sampling::categorical(rng, &dist2);
-        centroids.push(data.row(idx).to_vec());
-        let newest = centroids.last().expect("just pushed");
+        centroids.row_mut(chosen).copy_from_slice(data.row(idx));
+        let newest = centroids.row(chosen).to_vec();
+        chosen += 1;
         for (d2, row) in dist2.iter_mut().zip(data.row_iter()) {
-            let nd = vector::squared_distance(row, newest);
+            let nd = vector::squared_distance(row, &newest);
             if nd < *d2 {
                 *d2 = nd;
             }
@@ -186,37 +185,69 @@ fn kmeans_plus_plus_init<R: Rng + ?Sized>(rng: &mut R, data: &Matrix, k: usize) 
     centroids
 }
 
-fn assign(data: &Matrix, centroids: &[Vec<f64>], assignments: &mut [usize]) {
-    for (a, row) in assignments.iter_mut().zip(data.row_iter()) {
-        let mut best = 0;
-        let mut best_d = f64::INFINITY;
-        for (c, centroid) in centroids.iter().enumerate() {
-            let d = vector::squared_distance(row, centroid);
-            if d < best_d {
-                best_d = d;
-                best = c;
+/// Nearest-centroid assignment, parallelized over row chunks of the
+/// assignment buffer (each row is independent, so the result is
+/// bit-identical for every thread count).
+fn assign(data: &Matrix, centroids: &Matrix, assignments: &mut [usize]) {
+    let rows_per_chunk = p3gm_parallel::default_chunk_len(assignments.len());
+    p3gm_parallel::par_chunks_mut(assignments, rows_per_chunk, |chunk_index, chunk| {
+        let base = chunk_index * rows_per_chunk;
+        for (local, a) in chunk.iter_mut().enumerate() {
+            let row = data.row(base + local);
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.row_iter().enumerate() {
+                let d = vector::squared_distance(row, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
             }
+            *a = best;
         }
-        *a = best;
-    }
+    });
 }
 
-fn cluster_sums(data: &Matrix, assignments: &[usize], k: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+/// Per-cluster coordinate sums (`k x d`) and member counts, accumulated
+/// over parallel row chunks with a deterministic in-order fold.
+fn cluster_sums(data: &Matrix, assignments: &[usize], k: usize) -> (Matrix, Vec<f64>) {
     let d = data.cols();
-    let mut sums = vec![vec![0.0; d]; k];
-    let mut counts = vec![0.0; k];
-    for (row, &a) in data.row_iter().zip(assignments.iter()) {
-        vector::axpy(1.0, row, &mut sums[a]);
-        counts[a] += 1.0;
-    }
-    (sums, counts)
+    p3gm_parallel::par_map_reduce(
+        data.rows(),
+        p3gm_parallel::default_chunk_len(data.rows()),
+        |range| {
+            let mut sums = Matrix::zeros(k, d);
+            let mut counts = vec![0.0; k];
+            for i in range {
+                let a = assignments[i];
+                vector::axpy(1.0, data.row(i), sums.row_mut(a));
+                counts[a] += 1.0;
+            }
+            (sums, counts)
+        },
+        |(mut sums_a, mut counts_a), (sums_b, counts_b)| {
+            sums_a.axpy(1.0, &sums_b).expect("partial shapes match");
+            for (a, &b) in counts_a.iter_mut().zip(counts_b.iter()) {
+                *a += b;
+            }
+            (sums_a, counts_a)
+        },
+    )
+    .unwrap_or_else(|| (Matrix::zeros(k, d), vec![0.0; k]))
 }
 
-fn compute_inertia(data: &Matrix, centroids: &[Vec<f64>], assignments: &[usize]) -> f64 {
-    data.row_iter()
-        .zip(assignments.iter())
-        .map(|(row, &a)| vector::squared_distance(row, &centroids[a]))
-        .sum()
+fn compute_inertia(data: &Matrix, centroids: &Matrix, assignments: &[usize]) -> f64 {
+    p3gm_parallel::par_map_reduce(
+        data.rows(),
+        p3gm_parallel::default_chunk_len(data.rows()),
+        |range| {
+            range
+                .map(|i| vector::squared_distance(data.row(i), centroids.row(assignments[i])))
+                .sum::<f64>()
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -261,7 +292,7 @@ mod tests {
         for c in &centers {
             let nearest = res
                 .centroids
-                .iter()
+                .row_iter()
                 .map(|f| vector::distance(f, c))
                 .fold(f64::INFINITY, f64::min);
             assert!(nearest < 0.5, "center {c:?} not recovered ({nearest})");
@@ -285,8 +316,8 @@ mod tests {
             },
         )
         .unwrap();
-        assert!((res.centroids[0][0] - 2.0).abs() < 1e-9);
-        assert!((res.centroids[0][1] - 2.0).abs() < 1e-9);
+        assert!((res.centroids.get(0, 0) - 2.0).abs() < 1e-9);
+        assert!((res.centroids.get(0, 1) - 2.0).abs() < 1e-9);
     }
 
     #[test]
@@ -356,7 +387,7 @@ mod tests {
         for c in &centers {
             let nearest = res
                 .centroids
-                .iter()
+                .row_iter()
                 .map(|f| vector::distance(f, c))
                 .fold(f64::INFINITY, f64::min);
             assert!(nearest < 1.0, "center {c:?} not recovered ({nearest})");
@@ -381,7 +412,7 @@ mod tests {
             loose.inertia
         );
         // Centroids stay inside the clipping box.
-        for c in &tight.centroids {
+        for c in tight.centroids.row_iter() {
             assert!(c.iter().all(|&x| x.abs() <= 10.0 + 1e-9));
         }
     }
@@ -391,12 +422,36 @@ mod tests {
         let mut r = rng();
         let (data, _) = blobs(&mut r, 30);
         let centroids = kmeans_plus_plus_init(&mut r, &data, 3);
-        assert_eq!(centroids.len(), 3);
+        assert_eq!(centroids.shape(), (3, 2));
         // With well separated blobs, k-means++ should pick three points that
         // are far apart with overwhelming probability.
-        let d01 = vector::distance(&centroids[0], &centroids[1]);
-        let d02 = vector::distance(&centroids[0], &centroids[2]);
-        let d12 = vector::distance(&centroids[1], &centroids[2]);
+        let d01 = vector::distance(centroids.row(0), centroids.row(1));
+        let d02 = vector::distance(centroids.row(0), centroids.row(2));
+        let d12 = vector::distance(centroids.row(1), centroids.row(2));
         assert!(d01 > 1.0 && d02 > 1.0 && d12 > 1.0, "{d01} {d02} {d12}");
+    }
+
+    #[test]
+    fn assignment_and_sums_bit_identical_across_thread_counts() {
+        let mut r = rng();
+        let (data, _) = blobs(&mut r, 50);
+        let centroids = kmeans_plus_plus_init(&mut r, &data, 3);
+        let reference = p3gm_parallel::with_threads(1, || {
+            let mut assignments = vec![0usize; data.rows()];
+            assign(&data, &centroids, &mut assignments);
+            let sums = cluster_sums(&data, &assignments, 3);
+            (assignments, sums)
+        });
+        for threads in [2, 4] {
+            let (assignments, (sums, counts)) = p3gm_parallel::with_threads(threads, || {
+                let mut assignments = vec![0usize; data.rows()];
+                assign(&data, &centroids, &mut assignments);
+                let sums = cluster_sums(&data, &assignments, 3);
+                (assignments, sums)
+            });
+            assert_eq!(assignments, reference.0);
+            assert_eq!(sums.as_slice(), reference.1 .0.as_slice());
+            assert_eq!(counts, reference.1 .1);
+        }
     }
 }

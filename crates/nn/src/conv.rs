@@ -10,6 +10,7 @@
 use crate::linear::Linear;
 use crate::loss::softmax_cross_entropy;
 use crate::optimizer::Optimizer;
+use p3gm_linalg::Matrix;
 use p3gm_privacy::sampling;
 use rand::Rng;
 
@@ -21,8 +22,8 @@ pub struct Conv2d {
     pub out_channels: usize,
     /// Kernel side length.
     pub kernel: usize,
-    /// Kernel weights, `[out_channels][kernel*kernel]`.
-    pub weights: Vec<Vec<f64>>,
+    /// Kernel weights: one `kernel²`-wide row per output channel.
+    pub weights: Matrix,
     /// Per-channel bias.
     pub bias: Vec<f64>,
 }
@@ -35,9 +36,12 @@ impl Conv2d {
         Conv2d {
             out_channels,
             kernel,
-            weights: (0..out_channels)
-                .map(|_| sampling::normal_vec(rng, kernel * kernel, std))
-                .collect(),
+            weights: Matrix::from_vec(
+                out_channels,
+                kernel * kernel,
+                sampling::normal_vec(rng, out_channels * kernel * kernel, std),
+            )
+            .expect("kernel buffer length matches shape"),
             bias: vec![0.0; out_channels],
         }
     }
@@ -48,14 +52,16 @@ impl Conv2d {
     }
 
     /// Forward pass: input is a `size x size` single-channel image
-    /// (row-major); output is `out_channels` maps of `out_size²` values.
-    pub fn forward(&self, input: &[f64], size: usize) -> Vec<Vec<f64>> {
+    /// (row-major); the output matrix holds one `out_size²`-wide feature map
+    /// per channel row.
+    pub fn forward(&self, input: &[f64], size: usize) -> Matrix {
         debug_assert_eq!(input.len(), size * size);
         let out = self.out_size(size);
-        let mut maps = vec![vec![0.0; out * out]; self.out_channels];
-        for (c, map) in maps.iter_mut().enumerate() {
-            let w = &self.weights[c];
+        let mut maps = Matrix::zeros(self.out_channels, out * out);
+        for c in 0..self.out_channels {
+            let w = self.weights.row(c);
             let b = self.bias[c];
+            let map = maps.row_mut(c);
             for oy in 0..out {
                 for ox in 0..out {
                     let mut acc = b;
@@ -75,18 +81,22 @@ impl Conv2d {
     }
 
     /// Backward pass: accumulates kernel/bias gradients given the gradient
-    /// of the loss with respect to the output maps.
+    /// of the loss with respect to the output maps (one map per row).
+    /// `grad_weights` is the flat row-major `out_channels x kernel²` kernel
+    /// gradient buffer (a sub-slice of the model's flat gradient).
     pub fn backward(
         &self,
         input: &[f64],
         size: usize,
-        grad_maps: &[Vec<f64>],
-        grad_weights: &mut [Vec<f64>],
+        grad_maps: &Matrix,
+        grad_weights: &mut [f64],
         grad_bias: &mut [f64],
     ) {
         let out = self.out_size(size);
+        let k2 = self.kernel * self.kernel;
         for c in 0..self.out_channels {
-            let gmap = &grad_maps[c];
+            let gmap = grad_maps.row(c);
+            let grad_w = &mut grad_weights[c * k2..(c + 1) * k2];
             for oy in 0..out {
                 for ox in 0..out {
                     let g = gmap[oy * out + ox];
@@ -96,8 +106,7 @@ impl Conv2d {
                     grad_bias[c] += g;
                     for ky in 0..self.kernel {
                         for kx in 0..self.kernel {
-                            grad_weights[c][ky * self.kernel + kx] +=
-                                g * input[(oy + ky) * size + ox + kx];
+                            grad_w[ky * self.kernel + kx] += g * input[(oy + ky) * size + ox + kx];
                         }
                     }
                 }
@@ -211,15 +220,13 @@ impl SimpleCnn {
         debug_assert_eq!(image.len(), self.image_size * self.image_size);
         let conv_maps = self.conv.forward(image, self.image_size);
         let conv_size = self.conv.out_size(self.image_size);
-        // ReLU then pool each map.
-        let mut relu_maps = Vec::with_capacity(conv_maps.len());
+        // ReLU then pool each map (one map per row of `conv_maps`).
         let mut pooled_flat = Vec::new();
-        let mut argmaxes = Vec::with_capacity(conv_maps.len());
-        for map in &conv_maps {
+        let mut argmaxes = Vec::with_capacity(conv_maps.rows());
+        for map in conv_maps.row_iter() {
             let relu: Vec<f64> = map.iter().map(|&v| v.max(0.0)).collect();
             let (pooled, argmax) = MaxPool2d::forward(&relu, conv_size);
             pooled_flat.extend_from_slice(&pooled);
-            relu_maps.push(relu);
             argmaxes.push(argmax);
         }
         let z1 = self.fc1.forward(&pooled_flat);
@@ -238,19 +245,20 @@ impl SimpleCnn {
     }
 
     /// Trains the classifier with plain mini-batch SGD/Adam on
-    /// softmax cross-entropy. `images` are flattened rows, `labels` the
-    /// integer classes. Returns the average loss of the final epoch.
+    /// softmax cross-entropy. `images` is a batch matrix (one flattened
+    /// image per row), `labels` the integer classes. Returns the average
+    /// loss of the final epoch.
     pub fn train<R: Rng + ?Sized, O: Optimizer>(
         &mut self,
         rng: &mut R,
-        images: &[Vec<f64>],
+        images: &Matrix,
         labels: &[usize],
         optimizer: &mut O,
         epochs: usize,
         batch_size: usize,
     ) -> f64 {
-        assert_eq!(images.len(), labels.len());
-        let n = images.len();
+        assert_eq!(images.rows(), labels.len());
+        let n = images.rows();
         let mut last_epoch_loss = 0.0;
         for _ in 0..epochs {
             let order = crate::dpsgd::sample_batch_indices(rng, n, n);
@@ -267,18 +275,36 @@ impl SimpleCnn {
         last_epoch_loss
     }
 
-    /// Average loss and gradient over a batch of example indices.
+    /// Average loss and gradient over a batch of example indices, with
+    /// per-example backward passes distributed over row chunks and the
+    /// partial gradients folded in chunk order (deterministic for every
+    /// thread count).
     fn batch_gradient(
         &self,
         indices: &[usize],
-        images: &[Vec<f64>],
+        images: &Matrix,
         labels: &[usize],
     ) -> (f64, Vec<f64>) {
-        let mut grads = vec![0.0; self.num_params()];
-        let mut total = 0.0;
-        for &i in indices {
-            total += self.example_backward(&images[i], labels[i], &mut grads);
-        }
+        // Chunks floored at 4 images: conv backward passes are heavy enough
+        // to amortize dispatch at that granularity, and small batches avoid
+        // allocating one P-length partial per example.
+        let (total, mut grads) = p3gm_parallel::par_map_reduce(
+            indices.len(),
+            p3gm_parallel::default_chunk_len(indices.len()).max(4),
+            |range| {
+                let mut grads = vec![0.0; self.num_params()];
+                let mut total = 0.0;
+                for &i in &indices[range] {
+                    total += self.example_backward(images.row(i), labels[i], &mut grads);
+                }
+                (total, grads)
+            },
+            |(loss_a, mut grads_a), (loss_b, grads_b)| {
+                p3gm_linalg::vector::axpy(1.0, &grads_b, &mut grads_a);
+                (loss_a + loss_b, grads_a)
+            },
+        )
+        .unwrap_or_else(|| (0.0, vec![0.0; self.num_params()]));
         let scale = 1.0 / indices.len().max(1) as f64;
         for g in &mut grads {
             *g *= scale;
@@ -324,32 +350,23 @@ impl SimpleCnn {
         let conv_size = self.conv.out_size(self.image_size);
         let pooled_size = MaxPool2d::out_size(conv_size);
         let per_map = pooled_size * pooled_size;
-        let mut grad_maps = Vec::with_capacity(self.conv.out_channels);
+        let mut grad_maps = Matrix::zeros(self.conv.out_channels, conv_size * conv_size);
         for c in 0..self.conv.out_channels {
             let slice = &grad_pooled_flat[c * per_map..(c + 1) * per_map];
-            let mut grad_map =
-                MaxPool2d::backward(slice, &cache.argmaxes[c], conv_size * conv_size);
-            for (g, &z) in grad_map.iter_mut().zip(cache.conv_maps[c].iter()) {
-                if z <= 0.0 {
-                    *g = 0.0;
-                }
+            let grad_map = MaxPool2d::backward(slice, &cache.argmaxes[c], conv_size * conv_size);
+            let dst = grad_maps.row_mut(c);
+            for ((d, g), &z) in dst
+                .iter_mut()
+                .zip(grad_map.iter())
+                .zip(cache.conv_maps.row(c).iter())
+            {
+                *d = if z <= 0.0 { 0.0 } else { *g };
             }
-            grad_maps.push(grad_map);
         }
 
         // Conv backward (kernel gradients only; input gradient not needed).
-        let k2 = self.conv.kernel * self.conv.kernel;
-        let mut conv_w_grads: Vec<Vec<f64>> = conv_w_flat.chunks(k2).map(|c| c.to_vec()).collect();
-        self.conv.backward(
-            image,
-            self.image_size,
-            &grad_maps,
-            &mut conv_w_grads,
-            conv_b,
-        );
-        for (dst, src) in conv_w_flat.chunks_mut(k2).zip(conv_w_grads.iter()) {
-            dst.copy_from_slice(src);
-        }
+        self.conv
+            .backward(image, self.image_size, &grad_maps, conv_w_flat, conv_b);
         loss
     }
 
@@ -364,9 +381,7 @@ impl SimpleCnn {
     /// Flat parameter vector (conv kernels, conv bias, fc1, fc2).
     pub fn params(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.num_params());
-        for w in &self.conv.weights {
-            out.extend_from_slice(w);
-        }
+        out.extend_from_slice(self.conv.weights.as_slice());
         out.extend_from_slice(&self.conv.bias);
         let mut buf = vec![0.0; self.fc1.num_params()];
         self.fc1.write_params(&mut buf);
@@ -381,12 +396,13 @@ impl SimpleCnn {
     /// [`SimpleCnn::params`].
     pub fn set_params(&mut self, params: &[f64]) {
         assert_eq!(params.len(), self.num_params());
-        let k2 = self.conv.kernel * self.conv.kernel;
+        let w_len = self.conv.out_channels * self.conv.kernel * self.conv.kernel;
         let mut offset = 0;
-        for w in &mut self.conv.weights {
-            w.copy_from_slice(&params[offset..offset + k2]);
-            offset += k2;
-        }
+        self.conv
+            .weights
+            .as_mut_slice()
+            .copy_from_slice(&params[offset..offset + w_len]);
+        offset += w_len;
         self.conv
             .bias
             .copy_from_slice(&params[offset..offset + self.conv.out_channels]);
@@ -401,7 +417,7 @@ impl SimpleCnn {
 
 #[derive(Debug, Clone)]
 struct CnnCache {
-    conv_maps: Vec<Vec<f64>>,
+    conv_maps: Matrix,
     argmaxes: Vec<Vec<usize>>,
     pooled_flat: Vec<f64>,
     z1: Vec<f64>,
@@ -422,12 +438,13 @@ mod tests {
     #[test]
     fn conv_forward_known_kernel() {
         let mut conv = Conv2d::new(&mut rng(), 1, 2);
-        conv.weights = vec![vec![1.0, 0.0, 0.0, 0.0]]; // picks top-left of each window
+        // picks top-left of each window
+        conv.weights = Matrix::from_rows(&[vec![1.0, 0.0, 0.0, 0.0]]).unwrap();
         conv.bias = vec![0.5];
         let input = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
         let maps = conv.forward(&input, 3);
-        assert_eq!(maps.len(), 1);
-        assert_eq!(maps[0], vec![1.5, 2.5, 4.5, 5.5]);
+        assert_eq!(maps.shape(), (1, 4));
+        assert_eq!(maps.row(0), &[1.5, 2.5, 4.5, 5.5]);
         assert_eq!(conv.out_size(3), 2);
     }
 
@@ -440,20 +457,20 @@ mod tests {
         let size = 4;
         let out = conv.out_size(size);
         // Loss: sum of all output values.
-        let loss_of = |c: &Conv2d| -> f64 { c.forward(&input, size).iter().flatten().sum() };
-        let grad_maps = vec![vec![1.0; out * out]; 2];
-        let mut gw = vec![vec![0.0; 4]; 2];
+        let loss_of = |c: &Conv2d| -> f64 { c.forward(&input, size).as_slice().iter().sum() };
+        let grad_maps = Matrix::filled(2, out * out, 1.0);
+        let mut gw = vec![0.0; 8];
         let mut gb = vec![0.0; 2];
         conv.backward(&input, size, &grad_maps, &mut gw, &mut gb);
         let h = 1e-6;
         for c in 0..2 {
             for k in 0..4 {
                 let mut plus = conv.clone();
-                plus.weights[c][k] += h;
+                plus.weights.set(c, k, plus.weights.get(c, k) + h);
                 let mut minus = conv.clone();
-                minus.weights[c][k] -= h;
+                minus.weights.set(c, k, minus.weights.get(c, k) - h);
                 let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * h);
-                assert!((numeric - gw[c][k]).abs() < 1e-4, "kernel {c},{k}");
+                assert!((numeric - gw[c * 4 + k]).abs() < 1e-4, "kernel {c},{k}");
             }
             let mut plus = conv.clone();
             plus.bias[c] += h;
@@ -504,7 +521,7 @@ mod tests {
     fn cnn_learns_to_separate_simple_patterns() {
         let mut r = rng();
         // Two classes: bright top half vs bright bottom half, 8x8 images.
-        let mut images = Vec::new();
+        let mut rows = Vec::new();
         let mut labels = Vec::new();
         for i in 0..60 {
             let mut img = vec![0.0; 64];
@@ -516,22 +533,23 @@ mod tests {
                     img[y * 8 + x] = if bright { 0.9 + noise } else { 0.1 - noise };
                 }
             }
-            images.push(img);
+            rows.push(img);
             labels.push(class);
         }
+        let images = Matrix::from_rows(&rows).unwrap();
         let mut cnn = SimpleCnn::new(&mut r, 8, 4, 16, 2);
         let mut opt = Adam::new(0.01);
         cnn.train(&mut r, &images, &labels, &mut opt, 12, 10);
         let correct = images
-            .iter()
+            .row_iter()
             .zip(labels.iter())
             .filter(|(img, &l)| cnn.predict(img) == l)
             .count();
         assert!(
-            correct as f64 / images.len() as f64 > 0.9,
+            correct as f64 / images.rows() as f64 > 0.9,
             "accuracy {}/{}",
             correct,
-            images.len()
+            images.rows()
         );
     }
 }

@@ -7,6 +7,7 @@
 //! the (steps, sampling-rate, noise) triple the accountant needs.
 
 use crate::optimizer::Optimizer;
+use p3gm_linalg::Matrix;
 use p3gm_privacy::mechanisms::privatize_gradient_sum;
 use p3gm_privacy::PrivacyError;
 use rand::seq::SliceRandom;
@@ -50,13 +51,14 @@ impl DpSgdConfig {
         (self.batch_size as f64 / n.max(1) as f64).min(1.0)
     }
 
-    /// Privatizes a batch of per-example gradients and applies one optimizer
-    /// step to `params`. Returns the privatized average gradient (useful for
-    /// logging gradient norms).
+    /// Privatizes a batch of per-example gradients (`B x P`, one flat
+    /// gradient per row — the layout [`crate::mlp::Mlp::per_example_gradients`]
+    /// produces) and applies one optimizer step to `params`. Returns the
+    /// privatized average gradient (useful for logging gradient norms).
     pub fn step<R: Rng + ?Sized, O: Optimizer + ?Sized>(
         &self,
         rng: &mut R,
-        per_example_grads: &[Vec<f64>],
+        per_example_grads: &Matrix,
         params: &mut [f64],
         optimizer: &mut O,
     ) -> Result<Vec<f64>, PrivacyError> {
@@ -142,7 +144,7 @@ mod tests {
         let mut params = vec![0.0, 0.0];
         let mut opt = Sgd::new(1.0);
         // Two identical unit-norm gradients → average is the gradient itself.
-        let grads = vec![vec![0.6, 0.8], vec![0.6, 0.8]];
+        let grads = Matrix::from_rows(&[vec![0.6, 0.8], vec![0.6, 0.8]]).unwrap();
         let noisy = cfg.step(&mut r, &grads, &mut params, &mut opt).unwrap();
         assert!((noisy[0] - 0.6).abs() < 1e-12);
         assert!((params[0] + 0.6).abs() < 1e-12);
@@ -159,7 +161,7 @@ mod tests {
         };
         let mut params = vec![0.0; 8];
         let mut opt = Sgd::new(0.1);
-        let grads = vec![vec![0.0; 8]; 4];
+        let grads = Matrix::zeros(4, 8);
         cfg.step(&mut r, &grads, &mut params, &mut opt).unwrap();
         // Pure noise: parameters moved away from zero.
         assert!(params.iter().any(|&p| p.abs() > 1e-6));

@@ -4,11 +4,16 @@
 //! DP-SGD needs the gradient of the loss with respect to **all** parameters
 //! of a model for **each individual example** (so it can clip per-example
 //! norms before aggregation).  The [`Mlp`] therefore exposes its parameters
-//! as one flat `Vec<f64>` and its backward pass produces a matching flat
-//! gradient, which `p3gm-privacy::privatize_gradient_sum` consumes directly.
+//! as one flat `Vec<f64>`, and its batch APIs ([`Mlp::forward_batch`],
+//! [`Mlp::per_example_gradients`]) operate on contiguous `Matrix` batches —
+//! one example per row — parallelized over row chunks with deterministic
+//! (thread-count-independent) results. The per-example gradient batch is a
+//! `B x P` matrix that `p3gm-privacy::privatize_gradient_sum` consumes
+//! directly.
 
 use crate::activation::Activation;
 use crate::linear::Linear;
+use p3gm_linalg::Matrix;
 use rand::Rng;
 
 /// A fully-connected feed-forward network.
@@ -208,6 +213,59 @@ impl Mlp {
         grads
     }
 
+    /// Batched forward pass: one input per row of `x`, one output per row of
+    /// the result.
+    ///
+    /// Rows are processed independently on parallel row chunks, so the
+    /// result is bit-identical for every thread count.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "forward_batch input width");
+        let out_dim = self.out_dim();
+        let mut out = Matrix::zeros(x.rows(), out_dim);
+        let rows_per_chunk = p3gm_parallel::default_chunk_len(x.rows());
+        p3gm_parallel::par_chunks_mut(
+            out.as_mut_slice(),
+            rows_per_chunk * out_dim.max(1),
+            |chunk_index, out_chunk| {
+                let base = chunk_index * rows_per_chunk;
+                for (local, out_row) in out_chunk.chunks_mut(out_dim.max(1)).enumerate() {
+                    out_row.copy_from_slice(&self.forward(x.row(base + local)));
+                }
+            },
+        );
+        out
+    }
+
+    /// Per-example parameter gradients for a batch: row `i` of the returned
+    /// `B x P` matrix is the flat gradient of example `i` given the loss
+    /// gradient `grad_outputs.row(i)` with respect to the network output.
+    ///
+    /// This is the DP-SGD hot kernel: each example's forward/backward pass
+    /// runs independently on parallel row chunks (bit-identical for every
+    /// thread count), and the resulting batch feeds straight into
+    /// `p3gm-privacy`'s clipped-sum aggregation.
+    pub fn per_example_gradients(&self, x: &Matrix, grad_outputs: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "per_example_gradients input");
+        assert_eq!(grad_outputs.cols(), self.out_dim());
+        assert_eq!(x.rows(), grad_outputs.rows(), "batch size mismatch");
+        let n_params = self.num_params();
+        let mut grads = Matrix::zeros(x.rows(), n_params);
+        let rows_per_chunk = p3gm_parallel::default_chunk_len(x.rows());
+        p3gm_parallel::par_chunks_mut(
+            grads.as_mut_slice(),
+            rows_per_chunk * n_params.max(1),
+            |chunk_index, grad_chunk| {
+                let base = chunk_index * rows_per_chunk;
+                for (local, grad_row) in grad_chunk.chunks_mut(n_params.max(1)).enumerate() {
+                    let i = base + local;
+                    let cache = self.forward_cached(x.row(i));
+                    self.backward(&cache, grad_outputs.row(i), grad_row);
+                }
+            },
+        );
+        grads
+    }
+
     /// Applies a gradient-descent style update `params -= lr * grad` (used
     /// by tests and by simple non-private training loops; real training uses
     /// the [`crate::optimizer`] module).
@@ -384,5 +442,45 @@ mod tests {
         let mut manual = vec![0.0; mlp.num_params()];
         mlp.backward(&cache, &g_out, &mut manual);
         assert_eq!(auto, manual);
+    }
+
+    #[test]
+    fn forward_batch_matches_row_forward() {
+        let mut r = rng();
+        let mlp = Mlp::new(&mut r, &[3, 7, 2], Activation::Relu, Activation::Sigmoid);
+        let x = Matrix::from_fn(9, 3, |i, j| ((i * 3 + j) as f64 * 0.77).sin());
+        let batch = mlp.forward_batch(&x);
+        assert_eq!(batch.shape(), (9, 2));
+        for (i, row) in x.row_iter().enumerate() {
+            assert_eq!(batch.row(i), mlp.forward(row).as_slice());
+        }
+    }
+
+    #[test]
+    fn per_example_gradients_match_example_gradient() {
+        let mut r = rng();
+        let mlp = Mlp::new(&mut r, &[3, 5, 2], Activation::Tanh, Activation::Identity);
+        let x = Matrix::from_fn(6, 3, |i, j| ((i + 2 * j) as f64 * 0.41).cos());
+        let gouts = Matrix::from_fn(6, 2, |i, j| ((i * 2 + j) as f64 * 0.19).sin());
+        let batch = mlp.per_example_gradients(&x, &gouts);
+        assert_eq!(batch.shape(), (6, mlp.num_params()));
+        for i in 0..6 {
+            let single = mlp.example_gradient(x.row(i), gouts.row(i));
+            assert_eq!(batch.row(i), single.as_slice(), "example {i}");
+        }
+    }
+
+    #[test]
+    fn per_example_gradients_bit_identical_across_thread_counts() {
+        let mut r = rng();
+        let mlp = Mlp::new(&mut r, &[4, 8, 3], Activation::Relu, Activation::Identity);
+        let x = Matrix::from_fn(33, 4, |i, j| ((i * 5 + j) as f64 * 0.13).sin());
+        let gouts = Matrix::from_fn(33, 3, |i, j| ((i + j) as f64 * 0.29).cos());
+        let reference = p3gm_parallel::with_threads(1, || mlp.per_example_gradients(&x, &gouts));
+        for threads in [2, 4] {
+            let batch =
+                p3gm_parallel::with_threads(threads, || mlp.per_example_gradients(&x, &gouts));
+            assert_eq!(batch.as_slice(), reference.as_slice());
+        }
     }
 }

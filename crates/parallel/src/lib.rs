@@ -1,0 +1,454 @@
+//! # p3gm-parallel
+//!
+//! Std-only, deterministic data parallelism for the P3GM workspace.
+//!
+//! The numeric hot paths of the reproduction (per-example DP-SGD gradients,
+//! the DP-EM E-step, PCA covariance accumulation, batched matrix products)
+//! are all embarrassingly parallel over rows of a contiguous
+//! `p3gm_linalg::Matrix` batch. This crate provides the minimal scoped
+//! thread-pool primitives those kernels need, with one hard guarantee:
+//!
+//! **Results are bit-identical regardless of the number of worker threads.**
+//!
+//! Determinism is achieved structurally, not by locking:
+//!
+//! * Work is split into *chunks* whose boundaries depend only on the problem
+//!   size (never on the thread count) — see [`chunk_count`].
+//! * Chunks are mapped independently; writes are to disjoint regions.
+//! * Reductions combine per-chunk partial results **sequentially, in chunk
+//!   order** on the calling thread, so floating-point accumulation order is
+//!   fixed. A run with one thread and a run with sixteen fold the exact same
+//!   partials in the exact same order.
+//!
+//! The worker count is resolved per call site by [`max_threads`]:
+//! a scoped [`with_threads`] override (used by benchmarks and the
+//! determinism test-suite) takes precedence, then the `P3GM_THREADS`
+//! environment variable, then [`std::thread::available_parallelism`].
+//! Parallelism does **not** nest: a kernel invoked from inside a worker
+//! thread runs serially on that worker, so one fan-out level never
+//! oversubscribes the machine and a pinned thread count is honored
+//! transitively.
+//!
+//! Everything is implemented with [`std::thread::scope`] — no unsafe code,
+//! no dependencies — so the workspace keeps building offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel kernels invoked from this thread
+/// will use.
+///
+/// Resolution order: a [`with_threads`] override on the calling thread, the
+/// `P3GM_THREADS` environment variable (a positive integer), then the
+/// machine's [`std::thread::available_parallelism`]. Always at least 1.
+pub fn max_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(value) = std::env::var("P3GM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the worker-thread count pinned to `n` on the calling
+/// thread (nested calls restore the previous override on exit, including on
+/// panic).
+///
+/// Used by the kernel benchmarks (`threads=1/2/4` sweeps) and the
+/// determinism property tests; library code normally relies on the ambient
+/// [`max_threads`] resolution.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let previous = THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Number of fixed-size chunks a problem of `n_items` splits into.
+///
+/// The boundaries depend only on `n_items` and `chunk_len` — never on the
+/// thread count — which is what makes chunked reductions deterministic.
+pub fn chunk_count(n_items: usize, chunk_len: usize) -> usize {
+    n_items.div_ceil(chunk_len.max(1))
+}
+
+/// The default chunk length for a problem of `n_items` work items.
+///
+/// Targets a fixed number of chunks (64) independent of the machine, so
+/// chunk boundaries — and therefore reduction order — are a pure function
+/// of the problem size. 64 chunks keep every realistic worker count busy
+/// while amortizing dispatch overhead.
+pub fn default_chunk_len(n_items: usize) -> usize {
+    n_items.div_ceil(64).max(1)
+}
+
+/// The index range covered by chunk `index` of a problem of `n_items` items
+/// split into `chunk_len`-sized chunks.
+pub fn chunk_range(n_items: usize, chunk_len: usize, index: usize) -> Range<usize> {
+    let chunk_len = chunk_len.max(1);
+    let start = index * chunk_len;
+    start..((start + chunk_len).min(n_items))
+}
+
+/// Runs a worker closure on a spawned thread with nested parallel kernels
+/// pinned to serial: worker threads are already the parallelism, so a
+/// kernel invoked *inside* one (e.g. a classifier's batched forward pass
+/// inside the suite fan-out) must not spawn its own workers on top —
+/// that would oversubscribe the machine and ignore a [`with_threads`] pin
+/// on the caller (the override is thread-local and would otherwise not be
+/// visible on the worker).
+fn run_pinned_serial<R>(f: impl FnOnce() -> R) -> R {
+    with_threads(1, f)
+}
+
+/// Runs the closures of `workers` concurrently and waits for all of them
+/// (the task-parallel primitive for irregular shapes, e.g. a handful of
+/// independent model fits). At most [`max_threads`] threads are spawned;
+/// excess closures are distributed round-robin and run in index order on
+/// their worker. Nested parallel kernels inside a worker run serially (see
+/// the crate docs), so the total thread count stays bounded by the
+/// configured limit.
+///
+/// With a single worker (or a single configured thread) the closures run
+/// inline on the calling thread, in order.
+pub fn scope<F: FnOnce() + Send>(workers: Vec<F>) {
+    let threads = max_threads().min(workers.len());
+    if threads <= 1 {
+        for w in workers {
+            w();
+        }
+        return;
+    }
+    let mut queues: Vec<Vec<F>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, w) in workers.into_iter().enumerate() {
+        queues[i % threads].push(w);
+    }
+    std::thread::scope(|s| {
+        for queue in queues {
+            s.spawn(move || {
+                run_pinned_serial(|| {
+                    for w in queue {
+                        w();
+                    }
+                })
+            });
+        }
+    });
+}
+
+/// Maps `f` over chunk indices `0..n_chunks` on up to [`max_threads`]
+/// workers and returns the results **in chunk order**.
+///
+/// `f` must depend only on its chunk index (and captured shared state);
+/// scheduling is dynamic (atomic work counter) but the output order is
+/// index-sorted, so the result is independent of the thread count. Nested
+/// parallel kernels invoked from inside `f` run serially on their worker.
+pub fn par_map_chunks<R: Send>(n_chunks: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = max_threads().min(n_chunks);
+    if threads <= 1 {
+        return (0..n_chunks).map(f).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    run_pinned_serial(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let index = counter.fetch_add(1, Ordering::Relaxed);
+                            if index >= n_chunks {
+                                break;
+                            }
+                            local.push((index, f(index)));
+                        }
+                        local
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("p3gm-parallel worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|(index, _)| *index);
+    tagged.into_iter().map(|(_, value)| value).collect()
+}
+
+/// Splits `data` into `chunk_len`-sized chunks, applies `f(chunk_index,
+/// chunk)` to each on up to [`max_threads`] workers, and returns the
+/// per-chunk results **in chunk order**.
+///
+/// This is the mutable workhorse: disjoint `&mut` chunks are handed to
+/// workers (so e.g. each worker fills its rows of a per-example gradient
+/// matrix) while the per-chunk return values carry side statistics (losses,
+/// partial sums) back for an in-order fold.
+pub fn par_chunks_mut_map<T: Send, R: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) -> R + Sync,
+) -> Vec<R> {
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = chunk_count(data.len(), chunk_len);
+    let threads = max_threads().min(n_chunks);
+    if threads <= 1 {
+        return data
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(index, chunk)| f(index, chunk))
+            .collect();
+    }
+    let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    run_pinned_serial(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let next = queue.lock().expect("p3gm-parallel queue poisoned").next();
+                            match next {
+                                Some((index, chunk)) => local.push((index, f(index, chunk))),
+                                None => break,
+                            }
+                        }
+                        local
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("p3gm-parallel worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|(index, _)| *index);
+    tagged.into_iter().map(|(_, value)| value).collect()
+}
+
+/// Like [`par_chunks_mut_map`] but discards the per-chunk results.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    par_chunks_mut_map(data, chunk_len, f);
+}
+
+/// Deterministic ordered map-reduce over the index range `0..n_items`.
+///
+/// The range is split into `chunk_len`-sized chunks (boundaries depend only
+/// on `n_items`), `map` produces one partial result per chunk in parallel,
+/// and `reduce` folds the partials **sequentially in chunk order** on the
+/// calling thread. Returns `None` for an empty range.
+///
+/// Because both the chunk boundaries and the fold order are fixed, the
+/// result is bit-identical for every thread count — including 1. To bound
+/// peak memory when the partials are large (e.g. per-chunk Gram matrices),
+/// chunks are processed in waves of a few per worker and each wave's
+/// partials are folded before the next wave is mapped; the wave size only
+/// groups identical partials under the same in-order fold, so it does not
+/// affect the result.
+pub fn par_map_reduce<R: Send>(
+    n_items: usize,
+    chunk_len: usize,
+    map: impl Fn(Range<usize>) -> R + Sync,
+    mut reduce: impl FnMut(R, R) -> R,
+) -> Option<R> {
+    if n_items == 0 {
+        return None;
+    }
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = chunk_count(n_items, chunk_len);
+    let wave = (max_threads() * 4).max(1);
+    let mut acc: Option<R> = None;
+    let mut start = 0;
+    while start < n_chunks {
+        let end = (start + wave).min(n_chunks);
+        let partials = par_map_chunks(end - start, |offset| {
+            map(chunk_range(n_items, chunk_len, start + offset))
+        });
+        for partial in partials {
+            acc = Some(match acc {
+                None => partial,
+                Some(folded) => reduce(folded, partial),
+            });
+        }
+        start = end;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_is_a_pure_function_of_the_problem_size() {
+        assert_eq!(chunk_count(10, 3), 4);
+        assert_eq!(chunk_count(0, 3), 0);
+        assert_eq!(chunk_range(10, 3, 0), 0..3);
+        assert_eq!(chunk_range(10, 3, 3), 9..10);
+        assert_eq!(default_chunk_len(0), 1);
+        assert_eq!(default_chunk_len(64), 1);
+        assert_eq!(default_chunk_len(6400), 100);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let ambient = max_threads();
+        with_threads(3, || {
+            assert_eq!(max_threads(), 3);
+            with_threads(1, || assert_eq!(max_threads(), 1));
+            assert_eq!(max_threads(), 3);
+        });
+        assert_eq!(max_threads(), ambient);
+    }
+
+    #[test]
+    fn par_map_chunks_preserves_chunk_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = with_threads(threads, || par_map_chunks(100, |i| i * i));
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_regions() {
+        for threads in [1, 2, 4] {
+            let mut data = vec![0usize; 103];
+            with_threads(threads, || {
+                par_chunks_mut(&mut data, 7, |index, chunk| {
+                    for (offset, value) in chunk.iter_mut().enumerate() {
+                        *value = index * 7 + offset;
+                    }
+                });
+            });
+            assert_eq!(data, (0..103).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_map_returns_ordered_side_results() {
+        let mut data = vec![1.0f64; 50];
+        let sums = with_threads(4, || {
+            par_chunks_mut_map(&mut data, 8, |_, chunk| {
+                for value in chunk.iter_mut() {
+                    *value *= 2.0;
+                }
+                chunk.len()
+            })
+        });
+        assert_eq!(sums, vec![8, 8, 8, 8, 8, 8, 2]);
+        assert!(data.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn par_map_reduce_is_bit_identical_across_thread_counts() {
+        // A floating-point sum whose value depends on accumulation order:
+        // identical bits across thread counts proves the order is fixed.
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 2654435761_usize) % 1000) as f64 * 1e-3 + 1e-12 * i as f64)
+            .collect();
+        let sum_with = |threads: usize| {
+            with_threads(threads, || {
+                par_map_reduce(
+                    values.len(),
+                    default_chunk_len(values.len()),
+                    |range| values[range].iter().sum::<f64>(),
+                    |a, b| a + b,
+                )
+                .unwrap()
+            })
+        };
+        let reference = sum_with(1);
+        for threads in [2, 3, 4, 16] {
+            assert_eq!(reference.to_bits(), sum_with(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn nested_kernels_run_serially_inside_workers() {
+        // A kernel invoked from inside a worker must see a pinned serial
+        // thread count, so fan-outs cannot oversubscribe and a caller's
+        // with_threads pin is honored transitively.
+        let nested_counts = with_threads(4, || par_map_chunks(8, |_| max_threads()));
+        assert!(nested_counts.iter().all(|&n| n == 1), "{nested_counts:?}");
+        // Inline execution (single thread) keeps the ambient setting.
+        let inline_counts = with_threads(1, || par_map_chunks(3, |_| max_threads()));
+        assert!(inline_counts.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn scope_caps_workers_and_pins_nested_kernels() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        let workers: Vec<_> = (0..6)
+            .map(|i| {
+                let seen = &seen;
+                move || {
+                    seen.lock().unwrap().push((i, max_threads()));
+                }
+            })
+            .collect();
+        with_threads(2, || scope(workers));
+        let mut results = seen.into_inner().unwrap();
+        results.sort_unstable();
+        assert_eq!(results.len(), 6);
+        assert!(results.iter().all(|&(_, threads)| threads == 1));
+    }
+
+    #[test]
+    fn par_map_reduce_empty_is_none() {
+        assert_eq!(
+            par_map_reduce(0, 4, |_| 0.0f64, |a, b| a + b).map(|v| v.to_bits()),
+            None
+        );
+    }
+
+    #[test]
+    fn scope_runs_every_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let hits = AtomicUsize::new(0);
+        let workers: Vec<_> = (0..5)
+            .map(|_| {
+                let hits = &hits;
+                move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        scope(workers);
+        assert_eq!(hits.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn env_override_is_read_when_no_scoped_override() {
+        // Can only be asserted when the variable is absent or the scoped
+        // override is active; the scoped override always wins.
+        with_threads(2, || assert_eq!(max_threads(), 2));
+        assert!(max_threads() >= 1);
+    }
+}

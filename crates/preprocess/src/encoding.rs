@@ -53,23 +53,27 @@ impl OneHotEncoder {
 
     /// Appends the one-hot encoding of each label to the corresponding row
     /// of `data` — this is how P3GM attaches labels so that sampled data
-    /// carries a label (paper §IV-E).
+    /// carries a label (paper §IV-E). The combined batch is filled directly
+    /// into one contiguous matrix.
     pub fn append_to_rows(&self, data: &Matrix, labels: &[usize]) -> Result<Matrix> {
         if data.rows() != labels.len() {
             return Err(PreprocessError::InvalidData {
                 msg: format!("{} rows but {} labels", data.rows(), labels.len()),
             });
         }
-        let rows: Vec<Vec<f64>> = data
-            .row_iter()
-            .zip(labels.iter())
-            .map(|(row, &label)| {
-                let mut r = row.to_vec();
-                r.extend(self.encode(label)?);
-                Ok(r)
-            })
-            .collect::<Result<_>>()?;
-        Matrix::from_rows(&rows).map_err(|e| PreprocessError::Numerical { msg: e.to_string() })
+        if let Some(&bad) = labels.iter().find(|&&l| l >= self.n_classes) {
+            return Err(PreprocessError::InvalidData {
+                msg: format!("label {bad} out of range for {} classes", self.n_classes),
+            });
+        }
+        let feature_cols = data.cols();
+        let mut out = Matrix::zeros(data.rows(), feature_cols + self.n_classes);
+        for (i, (row, &label)) in data.row_iter().zip(labels.iter()).enumerate() {
+            let dst = out.row_mut(i);
+            dst[..feature_cols].copy_from_slice(row);
+            dst[feature_cols + label] = 1.0;
+        }
+        Ok(out)
     }
 
     /// Splits rows produced by [`OneHotEncoder::append_to_rows`] back into
@@ -85,14 +89,12 @@ impl OneHotEncoder {
             });
         }
         let feature_cols = data.cols() - self.n_classes;
-        let mut feature_rows = Vec::with_capacity(data.rows());
+        let mut features = Matrix::zeros(data.rows(), feature_cols);
         let mut labels = Vec::with_capacity(data.rows());
-        for row in data.row_iter() {
-            feature_rows.push(row[..feature_cols].to_vec());
+        for (i, row) in data.row_iter().enumerate() {
+            features.row_mut(i).copy_from_slice(&row[..feature_cols]);
             labels.push(self.decode(&row[feature_cols..])?);
         }
-        let features = Matrix::from_rows(&feature_rows)
-            .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })?;
         Ok((features, labels))
     }
 }

@@ -94,13 +94,23 @@ impl Pca {
             .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })
     }
 
-    /// Projects every row of a data matrix.
+    /// Projects a whole batch: `Z = (X − µ) V`, computed as one centred
+    /// matrix product (blocked and parallelized in `p3gm-linalg`).
     pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
-        let rows: Vec<Vec<f64>> = data
-            .row_iter()
-            .map(|r| self.transform_row(r))
-            .collect::<Result<_>>()?;
-        Matrix::from_rows(&rows).map_err(|e| PreprocessError::Numerical { msg: e.to_string() })
+        if data.cols() != self.input_dim() {
+            return Err(PreprocessError::InvalidData {
+                msg: format!(
+                    "expected {} features, got {}",
+                    self.input_dim(),
+                    data.cols()
+                ),
+            });
+        }
+        let centered = stats::center(data, &self.mean)
+            .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })?;
+        centered
+            .matmul(&self.components)
+            .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })
     }
 
     /// Reconstructs a row from its projection: `x ≈ V z + µ`.
@@ -124,24 +134,43 @@ impl Pca {
         Ok(x)
     }
 
-    /// Reconstructs every row of a projected matrix.
+    /// Reconstructs a whole batch: `X̂ = Z Vᵀ + µ`, as one matrix product.
     pub fn inverse_transform(&self, data: &Matrix) -> Result<Matrix> {
-        let rows: Vec<Vec<f64>> = data
-            .row_iter()
-            .map(|r| self.inverse_transform_row(r))
-            .collect::<Result<_>>()?;
-        Matrix::from_rows(&rows).map_err(|e| PreprocessError::Numerical { msg: e.to_string() })
+        if data.cols() != self.n_components() {
+            return Err(PreprocessError::InvalidData {
+                msg: format!(
+                    "expected {} components, got {}",
+                    self.n_components(),
+                    data.cols()
+                ),
+            });
+        }
+        let mut out = data
+            .matmul(&self.components.transpose())
+            .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })?;
+        for i in 0..out.rows() {
+            p3gm_linalg::vector::axpy(1.0, &self.mean, out.row_mut(i));
+        }
+        Ok(out)
     }
 
     /// Mean squared reconstruction error over a dataset — the quantity the
-    /// Encoding Phase objective (paper Eq. (5)) minimizes.
+    /// Encoding Phase objective (paper Eq. (5)) minimizes. Computed on the
+    /// batched project/reconstruct path with a deterministic chunked sum.
     pub fn reconstruction_error(&self, data: &Matrix) -> Result<f64> {
-        let mut total = 0.0;
-        for row in data.row_iter() {
-            let z = self.transform_row(row)?;
-            let back = self.inverse_transform_row(&z)?;
-            total += p3gm_linalg::vector::squared_distance(row, &back);
-        }
+        let z = self.transform(data)?;
+        let back = self.inverse_transform(&z)?;
+        let total = p3gm_parallel::par_map_reduce(
+            data.rows(),
+            p3gm_parallel::default_chunk_len(data.rows()),
+            |range| {
+                range
+                    .map(|i| p3gm_linalg::vector::squared_distance(data.row(i), back.row(i)))
+                    .sum::<f64>()
+            },
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0);
         Ok(total / data.rows().max(1) as f64)
     }
 }

@@ -51,9 +51,22 @@ impl MinMaxScaler {
             .collect())
     }
 
-    /// Transforms every row of a matrix.
+    /// Transforms every row of a matrix (parallel over row chunks).
     pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
-        map_rows(data, |r| self.transform_row(r))
+        self.check_width(data.cols())?;
+        Ok(map_rows(data, |r, out| {
+            for ((o, &v), (&lo, &hi)) in out
+                .iter_mut()
+                .zip(r.iter())
+                .zip(self.mins.iter().zip(self.maxs.iter()))
+            {
+                *o = if hi > lo {
+                    ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+                } else {
+                    0.5
+                };
+            }
+        }))
     }
 
     /// Maps a `[0, 1]` row back to the original units.
@@ -71,9 +84,22 @@ impl MinMaxScaler {
             .collect())
     }
 
-    /// Inverse-transforms every row of a matrix.
+    /// Inverse-transforms every row of a matrix (parallel over row chunks).
     pub fn inverse_transform(&self, data: &Matrix) -> Result<Matrix> {
-        map_rows(data, |r| self.inverse_transform_row(r))
+        self.check_width(data.cols())?;
+        Ok(map_rows(data, |r, out| {
+            for ((o, &v), (&lo, &hi)) in out
+                .iter_mut()
+                .zip(r.iter())
+                .zip(self.mins.iter().zip(self.maxs.iter()))
+            {
+                *o = if hi > lo {
+                    lo + v.clamp(0.0, 1.0) * (hi - lo)
+                } else {
+                    lo
+                };
+            }
+        }))
     }
 
     fn check_width(&self, len: usize) -> Result<()> {
@@ -131,9 +157,26 @@ impl StandardScaler {
             .collect())
     }
 
-    /// Standardizes every row of a matrix.
+    /// Standardizes every row of a matrix (parallel over row chunks).
     pub fn transform(&self, data: &Matrix) -> Result<Matrix> {
-        map_rows(data, |r| self.transform_row(r))
+        if data.cols() != self.means.len() {
+            return Err(PreprocessError::InvalidData {
+                msg: format!(
+                    "expected {} features, got {}",
+                    self.means.len(),
+                    data.cols()
+                ),
+            });
+        }
+        Ok(map_rows(data, |r, out| {
+            for ((o, &v), (&m, &s)) in out
+                .iter_mut()
+                .zip(r.iter())
+                .zip(self.means.iter().zip(self.stds.iter()))
+            {
+                *o = (v - m) / s;
+            }
+        }))
     }
 
     /// Restores the original units of one row.
@@ -150,9 +193,25 @@ impl StandardScaler {
     }
 }
 
-fn map_rows(data: &Matrix, f: impl Fn(&[f64]) -> Result<Vec<f64>>) -> Result<Matrix> {
-    let rows: Vec<Vec<f64>> = data.row_iter().map(f).collect::<Result<_>>()?;
-    Matrix::from_rows(&rows).map_err(|e| PreprocessError::Numerical { msg: e.to_string() })
+/// Applies an infallible per-row kernel `f(input_row, output_row)` to every
+/// row, filling a fresh output matrix on parallel row chunks (callers
+/// validate widths up front). Rows are independent, so the result is
+/// bit-identical for every thread count.
+fn map_rows(data: &Matrix, f: impl Fn(&[f64], &mut [f64]) + Sync) -> Matrix {
+    let cols = data.cols();
+    let mut out = Matrix::zeros(data.rows(), cols);
+    let rows_per_chunk = p3gm_parallel::default_chunk_len(data.rows());
+    p3gm_parallel::par_chunks_mut(
+        out.as_mut_slice(),
+        rows_per_chunk * cols.max(1),
+        |chunk_index, out_chunk| {
+            let base = chunk_index * rows_per_chunk;
+            for (local, out_row) in out_chunk.chunks_mut(cols.max(1)).enumerate() {
+                f(data.row(base + local), out_row);
+            }
+        },
+    );
+    out
 }
 
 #[cfg(test)]

@@ -209,26 +209,60 @@ pub fn exponential_mechanism<R: Rng + ?Sized>(
     Ok(sampling::categorical(rng, &weights))
 }
 
+/// Clips every row of a per-example gradient batch (`B x P`, one gradient
+/// per row) to L2 norm at most `clip_norm` and sums the clipped rows.
+///
+/// Row chunks are clipped and summed in parallel; the per-chunk partial
+/// sums are folded in chunk order, so the result is bit-identical for every
+/// thread count. This is the noise-free core of DP-SGD's `ψ_C` aggregation,
+/// exposed separately so benchmarks and determinism tests can exercise it
+/// without consuming randomness.
+pub fn clip_and_sum_gradients(per_example: &Matrix, clip_norm: f64) -> Vec<f64> {
+    let dim = per_example.cols();
+    let chunk_len = p3gm_parallel::default_chunk_len(per_example.rows());
+    p3gm_parallel::par_map_reduce(
+        per_example.rows(),
+        chunk_len,
+        |range| {
+            let mut partial = vec![0.0; dim];
+            let mut clipped = vec![0.0; dim];
+            for i in range {
+                clipped.copy_from_slice(per_example.row(i));
+                vector::clip_norm(&mut clipped, clip_norm);
+                vector::axpy(1.0, &clipped, &mut partial);
+            }
+            partial
+        },
+        |mut a, b| {
+            vector::axpy(1.0, &b, &mut a);
+            a
+        },
+    )
+    .unwrap_or_else(|| vec![0.0; dim])
+}
+
 /// Privatizes a batch of per-example gradients as in DP-SGD (paper §II-D):
 ///
-/// 1. clip each gradient to L2 norm at most `clip_norm` (ψ_C),
-/// 2. sum the clipped gradients,
+/// 1. clip each gradient (row of the `B x P` batch) to L2 norm at most
+///    `clip_norm` (ψ_C),
+/// 2. sum the clipped gradients ([`clip_and_sum_gradients`], parallel and
+///    deterministic),
 /// 3. add `N(0, (σ C)² I)` noise to the sum,
 /// 4. divide by the *lot size* `batch_size`.
 ///
 /// Returns the privatized average gradient. `batch_size` may exceed
-/// `per_example.len()` (Poisson-style sampling can produce small lots); it
+/// `per_example.rows()` (Poisson-style sampling can produce small lots); it
 /// must be positive.
 pub fn privatize_gradient_sum<R: Rng + ?Sized>(
     rng: &mut R,
-    per_example: &[Vec<f64>],
+    per_example: &Matrix,
     clip_norm: f64,
     noise_multiplier: f64,
     batch_size: usize,
 ) -> Result<Vec<f64>> {
-    if per_example.is_empty() {
+    if per_example.rows() == 0 || per_example.cols() == 0 {
         return Err(PrivacyError::InvalidParameter {
-            msg: "privatize_gradient_sum needs at least one gradient".to_string(),
+            msg: "privatize_gradient_sum needs at least one non-empty gradient".to_string(),
         });
     }
     if clip_norm <= 0.0 || noise_multiplier < 0.0 || batch_size == 0 {
@@ -238,20 +272,8 @@ pub fn privatize_gradient_sum<R: Rng + ?Sized>(
             ),
         });
     }
-    let dim = per_example[0].len();
-    if per_example.iter().any(|g| g.len() != dim) {
-        return Err(PrivacyError::InvalidParameter {
-            msg: "per-example gradients have inconsistent lengths".to_string(),
-        });
-    }
 
-    let mut sum = vec![0.0; dim];
-    let mut clipped = vec![0.0; dim];
-    for g in per_example {
-        clipped.copy_from_slice(g);
-        vector::clip_norm(&mut clipped, clip_norm);
-        vector::axpy(1.0, &clipped, &mut sum);
-    }
+    let mut sum = clip_and_sum_gradients(per_example, clip_norm);
     let noise_std = noise_multiplier * clip_norm;
     if noise_std > 0.0 {
         for s in &mut sum {
@@ -378,7 +400,7 @@ mod tests {
     #[test]
     fn privatize_gradient_sum_no_noise_is_clipped_average() {
         let mut r = rng();
-        let grads = vec![vec![3.0, 4.0], vec![0.3, 0.4]];
+        let grads = Matrix::from_rows(&[vec![3.0, 4.0], vec![0.3, 0.4]]).unwrap();
         // clip_norm = 1: first gradient has norm 5 → scaled to (0.6, 0.8);
         // second has norm 0.5 → unchanged. Sum = (0.9, 1.2); / B=2 → (0.45, 0.6).
         let out = privatize_gradient_sum(&mut r, &grads, 1.0, 0.0, 2).unwrap();
@@ -389,7 +411,7 @@ mod tests {
     #[test]
     fn privatize_gradient_sum_noise_has_expected_scale() {
         let mut r = rng();
-        let grads = vec![vec![0.0; 4]; 8];
+        let grads = Matrix::zeros(8, 4);
         let clip = 2.0;
         let sigma = 1.5;
         let b = 8;
@@ -411,10 +433,20 @@ mod tests {
     #[test]
     fn privatize_gradient_sum_validates() {
         let mut r = rng();
-        assert!(privatize_gradient_sum(&mut r, &[], 1.0, 1.0, 1).is_err());
-        assert!(privatize_gradient_sum(&mut r, &[vec![1.0]], 0.0, 1.0, 1).is_err());
-        assert!(privatize_gradient_sum(&mut r, &[vec![1.0]], 1.0, -1.0, 1).is_err());
-        assert!(privatize_gradient_sum(&mut r, &[vec![1.0]], 1.0, 1.0, 0).is_err());
-        assert!(privatize_gradient_sum(&mut r, &[vec![1.0], vec![1.0, 2.0]], 1.0, 1.0, 2).is_err());
+        let one = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(privatize_gradient_sum(&mut r, &Matrix::zeros(0, 1), 1.0, 1.0, 1).is_err());
+        assert!(privatize_gradient_sum(&mut r, &one, 0.0, 1.0, 1).is_err());
+        assert!(privatize_gradient_sum(&mut r, &one, 1.0, -1.0, 1).is_err());
+        assert!(privatize_gradient_sum(&mut r, &one, 1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn clip_and_sum_is_bit_identical_across_thread_counts() {
+        let grads = Matrix::from_fn(150, 37, |i, j| ((i * 13 + j * 7) % 23) as f64 * 0.11 - 1.2);
+        let reference = p3gm_parallel::with_threads(1, || clip_and_sum_gradients(&grads, 0.9));
+        for threads in [2, 4, 8] {
+            let sum = p3gm_parallel::with_threads(threads, || clip_and_sum_gradients(&grads, 0.9));
+            assert_eq!(sum, reference);
+        }
     }
 }

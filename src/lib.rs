@@ -6,6 +6,8 @@
 //!
 //! This crate is a thin facade that re-exports the workspace:
 //!
+//! * [`parallel`] — deterministic std-only data parallelism (scoped thread
+//!   pool, ordered map-reduce, `P3GM_THREADS` override).
 //! * [`linalg`] — dense matrices, Jacobi eigendecomposition, Cholesky.
 //! * [`nn`] — MLP/CNN layers, per-example backprop, optimizers, DP-SGD.
 //! * [`privacy`] — DP mechanisms (Gaussian, Laplace, Wishart, exponential)
@@ -44,6 +46,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Deterministic data-parallel execution layer.
+pub use p3gm_parallel as parallel;
 
 /// Dense linear algebra substrate.
 pub use p3gm_linalg as linalg;

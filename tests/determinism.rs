@@ -1,0 +1,98 @@
+//! Property-based determinism tests for the `p3gm-parallel` execution
+//! layer: every parallel kernel must produce **bit-identical** output
+//! regardless of the worker-thread count (the serial `P3GM_THREADS=1` run
+//! is the reference). Exercised on arbitrary inputs for the three kernel
+//! families the pipeline spends its time in — matmul, the (DP-)EM
+//! responsibilities E-step, and the DP-SGD clipped gradient sum.
+
+use p3gm::linalg::Matrix;
+use p3gm::mixture::Gmm;
+use p3gm::nn::activation::Activation;
+use p3gm::nn::mlp::Mlp;
+use p3gm::parallel::with_threads;
+use p3gm::privacy::mechanisms::clip_and_sum_gradients;
+use proptest::prelude::*;
+
+/// Strategy: a data matrix with values in a bounded range.
+fn data_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |values| Matrix::from_vec(rows, cols, values).unwrap())
+}
+
+/// Asserts that every f64 of two equally-shaped matrices matches bitwise.
+fn assert_bits_equal(a: &Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice().iter()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_is_bit_identical_across_thread_counts(
+        a in data_matrix(37, 19),
+        b in data_matrix(19, 23),
+    ) {
+        let reference = with_threads(1, || a.matmul(&b).unwrap());
+        for threads in [2, 3, 4, 8] {
+            let out = with_threads(threads, || a.matmul(&b).unwrap());
+            assert_bits_equal(&out, &reference);
+        }
+    }
+
+    #[test]
+    fn em_responsibilities_are_bit_identical_across_thread_counts(
+        data in data_matrix(120, 3),
+        w in 0.1..0.9f64,
+    ) {
+        let means = Matrix::from_rows(&[
+            vec![-1.0, 0.0, 0.5],
+            vec![1.5, 0.5, -0.5],
+        ]).unwrap();
+        let gmm = Gmm::isotropic(vec![w, 1.0 - w], means, 0.7).unwrap();
+        let reference = with_threads(1, || gmm.responsibilities_batch(&data));
+        for threads in [2, 4] {
+            let resp = with_threads(threads, || gmm.responsibilities_batch(&data));
+            assert_bits_equal(&resp, &reference);
+        }
+        // The mean log-likelihood reduction is deterministic too.
+        let ll = with_threads(1, || gmm.mean_log_likelihood(&data));
+        for threads in [2, 4] {
+            let ll_t = with_threads(threads, || gmm.mean_log_likelihood(&data));
+            prop_assert_eq!(ll.to_bits(), ll_t.to_bits());
+        }
+    }
+
+    #[test]
+    fn clipped_gradient_sums_are_bit_identical_across_thread_counts(
+        grads in data_matrix(90, 31),
+        clip in 0.2..5.0f64,
+    ) {
+        let reference = with_threads(1, || clip_and_sum_gradients(&grads, clip));
+        for threads in [2, 3, 4] {
+            let sum = with_threads(threads, || clip_and_sum_gradients(&grads, clip));
+            prop_assert_eq!(sum.len(), reference.len());
+            for (x, y) in sum.iter().zip(reference.iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn per_example_gradient_batches_are_bit_identical_across_thread_counts(
+        x in data_matrix(40, 6),
+        seed in 0u64..1_000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&mut rng, &[6, 10, 4], Activation::Relu, Activation::Identity);
+        let gouts = Matrix::from_fn(40, 4, |i, j| ((i * 4 + j) as f64 * 0.1).sin());
+        let reference = with_threads(1, || mlp.per_example_gradients(&x, &gouts));
+        for threads in [2, 4] {
+            let batch = with_threads(threads, || mlp.per_example_gradients(&x, &gouts));
+            assert_bits_equal(&batch, &reference);
+        }
+    }
+}

@@ -28,8 +28,15 @@ fn facade_reexports_resolve() {
         p3gm::preprocess::scaler::MinMaxScaler::fit(&p3gm::linalg::Matrix::zeros(0, 0));
     assert!(scaler_err.is_err());
 
-    let gmm = p3gm::mixture::Gmm::isotropic(vec![1.0], vec![vec![0.0, 0.0]], 1.0).unwrap();
+    let gmm = p3gm::mixture::Gmm::isotropic(
+        vec![1.0],
+        p3gm::linalg::Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap(),
+        1.0,
+    )
+    .unwrap();
     assert_eq!(gmm.n_components(), 1);
+
+    assert!(p3gm::parallel::max_threads() >= 1);
 
     let data = p3gm::datasets::tabular::adult_like(&mut rng, 50);
     assert_eq!(data.n_samples(), 50);

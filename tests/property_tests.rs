@@ -189,7 +189,7 @@ proptest! {
     ) {
         let gmm = Gmm::isotropic(
             vec![w, 1.0 - w],
-            vec![vec![-1.0, 0.0], vec![1.5, 0.5]],
+            p3gm::linalg::Matrix::from_rows(&[vec![-1.0, 0.0], vec![1.5, 0.5]]).unwrap(),
             0.7,
         ).unwrap();
         let r = gmm.responsibilities(&[x, y]);
