@@ -153,6 +153,97 @@ impl PgmConfig {
         Ok(())
     }
 
+    /// Writes the configuration into a snapshot payload. The field order is
+    /// part of the `p3gm-store` wire format — append, never reorder.
+    pub(crate) fn encode_into(&self, enc: &mut p3gm_store::Encoder) {
+        enc.usize(self.latent_dim)
+            .usize(self.hidden_dim)
+            .usize(self.mog_components)
+            .usize(self.epochs)
+            .usize(self.batch_size)
+            .f64(self.learning_rate)
+            .f64(self.clip_norm)
+            .bool(self.private)
+            .f64(self.eps_p)
+            .f64(self.sigma_e)
+            .usize(self.em_iterations)
+            .f64(self.sigma_s)
+            .f64(self.delta);
+        match self.variance_mode {
+            VarianceMode::Learned => enc.u8(0).f64(0.0),
+            VarianceMode::Fixed(v) => enc.u8(1).f64(v),
+        };
+        enc.u8(match self.decoder_loss {
+            DecoderLoss::Bernoulli => 0,
+            DecoderLoss::Gaussian => 1,
+        });
+    }
+
+    /// Reads a configuration written by [`PgmConfig::encode_into`].
+    pub(crate) fn decode_from(dec: &mut p3gm_store::Decoder) -> p3gm_store::Result<Self> {
+        let latent_dim = dec.usize()?;
+        let hidden_dim = dec.usize()?;
+        let mog_components = dec.usize()?;
+        let epochs = dec.usize()?;
+        let batch_size = dec.usize()?;
+        let learning_rate = dec.f64()?;
+        let clip_norm = dec.f64()?;
+        let private = dec.bool()?;
+        let eps_p = dec.f64()?;
+        let sigma_e = dec.f64()?;
+        let em_iterations = dec.usize()?;
+        let sigma_s = dec.f64()?;
+        let delta = dec.f64()?;
+        let variance_mode = match (dec.u8()?, dec.f64()?) {
+            (0, _) => VarianceMode::Learned,
+            (1, v) => VarianceMode::Fixed(v),
+            (code, _) => {
+                return Err(p3gm_store::StoreError::Invalid {
+                    msg: format!("unknown variance-mode code {code}"),
+                })
+            }
+        };
+        let decoder_loss = match dec.u8()? {
+            0 => DecoderLoss::Bernoulli,
+            1 => DecoderLoss::Gaussian,
+            code => {
+                return Err(p3gm_store::StoreError::Invalid {
+                    msg: format!("unknown decoder-loss code {code}"),
+                })
+            }
+        };
+        // NaN passes every `<= 0.0` range check in `validate()` (all NaN
+        // comparisons are false), so finiteness must be enforced here or a
+        // crafted buffer would decode into a model that silently computes
+        // NaN.
+        let mut floats = vec![learning_rate, clip_norm, eps_p, sigma_e, sigma_s, delta];
+        if let VarianceMode::Fixed(v) = variance_mode {
+            floats.push(v);
+        }
+        if floats.iter().any(|v| !v.is_finite()) {
+            return Err(p3gm_store::StoreError::Invalid {
+                msg: "configuration floats must be finite".to_string(),
+            });
+        }
+        Ok(PgmConfig {
+            latent_dim,
+            hidden_dim,
+            mog_components,
+            epochs,
+            batch_size,
+            learning_rate,
+            clip_norm,
+            private,
+            eps_p,
+            sigma_e,
+            em_iterations,
+            sigma_s,
+            delta,
+            variance_mode,
+            decoder_loss,
+        })
+    }
+
     /// Number of DP-SGD steps `T_s` the Decoding Phase will take on a
     /// dataset of `n` rows.
     pub fn sgd_steps(&self, n: usize) -> usize {
@@ -334,6 +425,42 @@ mod tests {
         .validate(100, 20)
         .is_ok());
         assert!(base.validate(2, 20).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_non_finite_floats() {
+        // Round trip works for a sane config...
+        let good = PgmConfig::default().autoencoder_variant();
+        let mut enc = p3gm_store::Encoder::new(99);
+        good.encode_into(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = p3gm_store::Decoder::new(&bytes, 99).unwrap();
+        assert_eq!(PgmConfig::decode_from(&mut dec).unwrap(), good);
+        // ...but NaN fields (which pass validate()'s range checks because
+        // NaN comparisons are false) are rejected at decode time.
+        for bad in [
+            PgmConfig {
+                learning_rate: f64::NAN,
+                ..PgmConfig::default()
+            },
+            PgmConfig {
+                eps_p: f64::INFINITY,
+                ..PgmConfig::default()
+            },
+            PgmConfig {
+                variance_mode: VarianceMode::Fixed(f64::NAN),
+                ..PgmConfig::default()
+            },
+        ] {
+            let mut enc = p3gm_store::Encoder::new(99);
+            bad.encode_into(&mut enc);
+            let bytes = enc.finish();
+            let mut dec = p3gm_store::Decoder::new(&bytes, 99).unwrap();
+            assert!(matches!(
+                PgmConfig::decode_from(&mut dec),
+                Err(p3gm_store::StoreError::Invalid { .. })
+            ));
+        }
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! * [`synthesis`] — the label-aware data-synthesis protocol of §IV-E /
 //!   §VI (one-hot labels appended to the training rows, synthetic data
 //!   generated with the real label ratio).
+//! * [`snapshot`] — [`snapshot::SynthesisSnapshot`]: persist a trained
+//!   model (with its privacy stamp) to versioned bytes, load it once, and
+//!   serve concurrent seedable synthesis requests — sampling is
+//!   post-processing, so serving consumes no additional privacy budget.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,12 +35,14 @@ pub mod averaging;
 pub mod config;
 pub mod history;
 pub mod pgm;
+pub mod snapshot;
 pub mod synthesis;
 pub mod vae;
 
 pub use config::{DecoderLoss, PgmConfig, VaeConfig, VarianceMode};
 pub use history::{EpochStats, TrainingHistory};
 pub use pgm::PhasedGenerativeModel;
+pub use snapshot::{SampleRequest, SynthesisSnapshot};
 pub use synthesis::{synthesize_labelled, LabelledSynthesizer};
 pub use vae::Vae;
 

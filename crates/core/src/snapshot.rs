@@ -1,0 +1,416 @@
+//! Snapshot serving: load a persisted P3GM model once, serve synthesis
+//! forever.
+//!
+//! The paper's deployment story (§IV-E) is that the differentially private
+//! training cost is paid **once** and the released model is then sampled
+//! from arbitrarily often as post-processing — at zero additional privacy
+//! cost. [`SynthesisSnapshot`] is the unit that makes this operational: it
+//! bundles the trained [`PhasedGenerativeModel`], the optional
+//! [`LabelledSynthesizer`] needed to map generated rows back to
+//! original-unit features and labels, and the [`PrivacySpec`] stamp
+//! certified at save time, into one versioned byte buffer (see
+//! `p3gm-store` for the frame layout). The snapshot file is the unit a
+//! serving fleet shards, caches and replicates.
+//!
+//! Serving is **seedable and deterministic**:
+//!
+//! * [`SynthesisSnapshot::sample`] walks the exact code path of
+//!   [`GenerativeModel::sample`] with a seeded RNG, so `save → load →
+//!   sample(seed, n)` is bit-identical to sampling the never-persisted
+//!   model with the same seed.
+//! * [`SynthesisSnapshot::sample_parallel`] fans one large request out over
+//!   the `p3gm-parallel` pool with per-chunk derived seeds; chunk
+//!   boundaries depend only on `n`, so the output is bit-identical for
+//!   every worker count (though it is a different — equally valid — stream
+//!   than the serial path).
+//! * [`SynthesisSnapshot::serve`] runs a batch of independent seeded
+//!   requests concurrently, each producing exactly what a sequential
+//!   [`SynthesisSnapshot::sample`] call with the same seed would.
+
+use crate::pgm::PhasedGenerativeModel;
+use crate::synthesis::{synthesize_labelled, LabelledSynthesizer};
+use crate::{CoreError, GenerativeModel, Result};
+use p3gm_linalg::Matrix;
+use p3gm_privacy::rdp::PrivacySpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One seedable synthesis request: draw `n` rows from the stream
+/// identified by `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleRequest {
+    /// Seed of the request's sample stream (requests with distinct seeds
+    /// produce independent streams; the same seed always reproduces the
+    /// same rows).
+    pub seed: u64,
+    /// Number of rows to synthesize.
+    pub n: usize,
+}
+
+/// A loaded model snapshot serving concurrent, seedable synthesis
+/// requests.
+#[derive(Debug, Clone)]
+pub struct SynthesisSnapshot {
+    model: PhasedGenerativeModel,
+    synthesizer: Option<LabelledSynthesizer>,
+    stamp: Option<PrivacySpec>,
+}
+
+impl SynthesisSnapshot {
+    /// Captures a trained model into a snapshot, stamping it with the
+    /// (ε, δ)-DP guarantee of its training run (absent for the non-private
+    /// PGM).
+    pub fn capture(model: PhasedGenerativeModel) -> Self {
+        let stamp = model.training_privacy_spec();
+        SynthesisSnapshot {
+            model,
+            synthesizer: None,
+            stamp,
+        }
+    }
+
+    /// Attaches the labelled-synthesis transform so the snapshot can serve
+    /// original-unit `(features, labels)` rows, not just model-space rows.
+    pub fn with_synthesizer(mut self, synthesizer: LabelledSynthesizer) -> Self {
+        self.synthesizer = Some(synthesizer);
+        self
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &PhasedGenerativeModel {
+        &self.model
+    }
+
+    /// The attached labelled-synthesis transform, if any.
+    pub fn synthesizer(&self) -> Option<&LabelledSynthesizer> {
+        self.synthesizer.as_ref()
+    }
+
+    /// The (ε, δ)-DP guarantee stamped at capture time, if the model was
+    /// trained privately.
+    pub fn privacy_stamp(&self) -> Option<&PrivacySpec> {
+        self.stamp.as_ref()
+    }
+
+    /// Serializes the snapshot (model, optional synthesizer, optional
+    /// privacy stamp) into one framed `p3gm-store` buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::SYNTHESIS_SNAPSHOT);
+        enc.nested(&self.model.to_bytes());
+        match &self.synthesizer {
+            Some(s) => enc.bool(true).nested(&s.to_bytes()),
+            None => enc.bool(false),
+        };
+        match &self.stamp {
+            Some(spec) => enc.bool(true).nested(&spec.to_bytes()),
+            None => enc.bool(false),
+        };
+        enc.finish()
+    }
+
+    /// Deserializes a snapshot from a buffer produced by
+    /// [`SynthesisSnapshot::to_bytes`]. Malformed buffers (truncated,
+    /// bit-flipped, wrong version, inconsistent geometry) return a typed
+    /// [`p3gm_store::StoreError`]; this never panics.
+    ///
+    /// The privacy stamp is the user-facing DP certificate, so the stored
+    /// section is not trusted: the guarantee is fully derivable from the
+    /// persisted configuration and training-set size, and the loaded
+    /// snapshot's [`SynthesisSnapshot::privacy_stamp`] is always the value
+    /// **recomputed by this library's accountant**, superseding whatever
+    /// the stamp section contains. Editing the stamp bytes therefore
+    /// cannot misreport the guarantee, and snapshots written before an
+    /// accountant soundness fix (such as this release's floor→ceil moment
+    /// rounding) keep loading — with the corrected, current value.
+    pub fn from_bytes(bytes: &[u8]) -> p3gm_store::Result<Self> {
+        let mut dec = p3gm_store::Decoder::new(bytes, p3gm_store::tags::SYNTHESIS_SNAPSHOT)?;
+        let model = PhasedGenerativeModel::from_bytes(dec.nested()?)?;
+        let synthesizer = if dec.bool()? {
+            Some(LabelledSynthesizer::from_bytes(dec.nested()?)?)
+        } else {
+            None
+        };
+        // The stamp section is decoded (and so frame-validated) for format
+        // stability, but its value is superseded below.
+        let stored_stamp = if dec.bool()? {
+            Some(PrivacySpec::from_bytes(dec.nested()?)?)
+        } else {
+            None
+        };
+        dec.finish()?;
+        if let Some(s) = &synthesizer {
+            if s.prepared_width() != model.data_dim() {
+                return Err(p3gm_store::StoreError::Invalid {
+                    msg: format!(
+                        "synthesizer prepares {}-wide rows, model generates {}",
+                        s.prepared_width(),
+                        model.data_dim()
+                    ),
+                });
+            }
+        }
+        let _ = stored_stamp;
+        let stamp = model.training_privacy_spec();
+        Ok(SynthesisSnapshot {
+            model,
+            synthesizer,
+            stamp,
+        })
+    }
+
+    /// Draws `n` model-space rows from the stream identified by `seed`.
+    ///
+    /// This is exactly [`GenerativeModel::sample`] with a
+    /// `StdRng::seed_from_u64(seed)` generator, so the output is
+    /// bit-identical to sampling the in-memory model the snapshot was
+    /// captured from with the same seed — the round-trip guarantee the
+    /// persistence layer is tested against.
+    pub fn sample(&self, seed: u64, n: usize) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.model.sample(&mut rng, n)
+    }
+
+    /// Draws `n` model-space rows with the generation fanned out over the
+    /// `p3gm-parallel` pool.
+    ///
+    /// Rows are split into chunks whose boundaries depend only on `n`;
+    /// chunk `c` samples from a `StdRng` seeded with a SplitMix64-style
+    /// derivation of `(seed, c)`. The result is therefore bit-identical
+    /// for every worker count (and reproducible from `seed` alone), but is
+    /// a *different* stream than the serial [`SynthesisSnapshot::sample`]
+    /// path with the same seed.
+    pub fn sample_parallel(&self, seed: u64, n: usize) -> Matrix {
+        let d = self.model.data_dim();
+        let mut out = Matrix::zeros(n, d);
+        let rows_per_chunk = p3gm_parallel::default_chunk_len(n);
+        p3gm_parallel::par_chunks_mut(
+            out.as_mut_slice(),
+            rows_per_chunk * d.max(1),
+            |chunk_index, out_chunk| {
+                let mut rng = StdRng::seed_from_u64(derive_seed(seed, chunk_index as u64));
+                for out_row in out_chunk.chunks_mut(d.max(1)) {
+                    let z = self.model.prior().sample(&mut rng);
+                    out_row.copy_from_slice(&self.model.decode(&z));
+                }
+            },
+        );
+        out
+    }
+
+    /// Serves a batch of independent seeded requests concurrently on the
+    /// `p3gm-parallel` pool, returning the responses in request order.
+    ///
+    /// Each response is exactly what a sequential
+    /// [`SynthesisSnapshot::sample`] call with the request's seed would
+    /// produce, regardless of how many requests run at once or how many
+    /// worker threads the pool has.
+    pub fn serve(&self, requests: &[SampleRequest]) -> Vec<Matrix> {
+        p3gm_parallel::par_map_chunks(requests.len(), |i| {
+            self.sample(requests[i].seed, requests[i].n)
+        })
+    }
+
+    /// Serves one labelled-synthesis request: `target_counts[c]` rows of
+    /// every class `c`, in original feature units, drawn from the stream
+    /// identified by `seed`.
+    ///
+    /// Requires a synthesizer (attach one with
+    /// [`SynthesisSnapshot::with_synthesizer`]).
+    pub fn synthesize_labelled(
+        &self,
+        seed: u64,
+        target_counts: &[usize],
+    ) -> Result<(Matrix, Vec<usize>)> {
+        let synthesizer = self
+            .synthesizer
+            .as_ref()
+            .ok_or_else(|| CoreError::InvalidConfig {
+                msg: "snapshot has no labelled synthesizer attached".to_string(),
+            })?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        synthesize_labelled(&self.model, synthesizer, &mut rng, target_counts)
+    }
+}
+
+/// SplitMix64-style mixing of a base seed and a chunk index into the
+/// per-chunk RNG seed of [`SynthesisSnapshot::sample_parallel`].
+fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PgmConfig;
+    use crate::{DecoderLoss, VarianceMode};
+    use p3gm_privacy::sampling;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(202)
+    }
+
+    fn toy_labelled(rng: &mut StdRng, n: usize) -> (Matrix, Vec<usize>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let hot = i % 2 == 0;
+                (0..6)
+                    .map(|j| {
+                        let base = if (j < 3) == hot { 0.85 } else { 0.15 };
+                        (base + sampling::normal(rng, 0.0, 0.05)).clamp(0.0, 1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        let labels = (0..n).map(|i| i % 2).collect();
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    fn tiny_config(d: usize) -> PgmConfig {
+        PgmConfig {
+            latent_dim: 3.min(d),
+            hidden_dim: 12,
+            mog_components: 2,
+            epochs: 4,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            clip_norm: 1.0,
+            private: true,
+            eps_p: 0.5,
+            sigma_e: 50.0,
+            em_iterations: 3,
+            sigma_s: 1.0,
+            delta: 1e-5,
+            variance_mode: VarianceMode::Learned,
+            decoder_loss: DecoderLoss::Bernoulli,
+        }
+    }
+
+    fn trained_snapshot() -> (SynthesisSnapshot, PhasedGenerativeModel) {
+        let mut r = rng();
+        let (x, y) = toy_labelled(&mut r, 80);
+        let (synth, prepared) = LabelledSynthesizer::prepare(&x, &y, 2).unwrap();
+        let (model, _) =
+            PhasedGenerativeModel::fit(&mut r, &prepared, tiny_config(prepared.cols())).unwrap();
+        let snapshot = SynthesisSnapshot::capture(model.clone()).with_synthesizer(synth);
+        (snapshot, model)
+    }
+
+    #[test]
+    fn save_load_sample_is_bit_identical() {
+        let (snapshot, model) = trained_snapshot();
+        let bytes = snapshot.to_bytes();
+        let loaded = SynthesisSnapshot::from_bytes(&bytes).unwrap();
+        // The round-trip guarantee: the reloaded snapshot's seeded sample
+        // equals sampling the never-persisted model with the same RNG seed.
+        let mut direct_rng = StdRng::seed_from_u64(42);
+        let direct = model.sample(&mut direct_rng, 30);
+        let served = loaded.sample(42, 30);
+        assert_eq!(direct.as_slice(), served.as_slice());
+        // The stamp survives and matches the model's own accounting.
+        assert_eq!(
+            loaded.privacy_stamp().copied(),
+            model.training_privacy_spec()
+        );
+        assert!(loaded.synthesizer().is_some());
+    }
+
+    #[test]
+    fn serve_matches_sequential_sampling() {
+        let (snapshot, _) = trained_snapshot();
+        let requests: Vec<SampleRequest> = (0..7)
+            .map(|i| SampleRequest {
+                seed: 1000 + i,
+                n: 5 + i as usize,
+            })
+            .collect();
+        let concurrent = snapshot.serve(&requests);
+        assert_eq!(concurrent.len(), requests.len());
+        for (req, batch) in requests.iter().zip(concurrent.iter()) {
+            let sequential = snapshot.sample(req.seed, req.n);
+            assert_eq!(batch.as_slice(), sequential.as_slice(), "seed {}", req.seed);
+        }
+    }
+
+    #[test]
+    fn parallel_sampling_is_thread_count_invariant() {
+        let (snapshot, _) = trained_snapshot();
+        let reference = p3gm_parallel::with_threads(1, || snapshot.sample_parallel(9, 70));
+        for threads in [2, 4] {
+            let got = p3gm_parallel::with_threads(threads, || snapshot.sample_parallel(9, 70));
+            assert_eq!(got.as_slice(), reference.as_slice(), "{threads} threads");
+        }
+        assert_eq!(reference.shape(), (70, snapshot.model().data_dim()));
+        // Different seeds give different streams.
+        let other = snapshot.sample_parallel(10, 70);
+        assert_ne!(other.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn labelled_serving_round_trips_through_the_synthesizer() {
+        let (snapshot, _) = trained_snapshot();
+        let (features, labels) = snapshot.synthesize_labelled(5, &[6, 4]).unwrap();
+        assert_eq!(features.rows(), 10);
+        assert_eq!(labels.iter().filter(|&&l| l == 0).count(), 6);
+        assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 4);
+        // Deterministic per seed.
+        let (again, labels_again) = snapshot.synthesize_labelled(5, &[6, 4]).unwrap();
+        assert_eq!(features.as_slice(), again.as_slice());
+        assert_eq!(labels, labels_again);
+        // Without a synthesizer the request is a typed error.
+        let bare = SynthesisSnapshot::capture(snapshot.model().clone());
+        assert!(bare.synthesize_labelled(5, &[6, 4]).is_err());
+    }
+
+    #[test]
+    fn loaded_stamp_is_recomputed_superseding_the_stored_section() {
+        // The stamp is the user-facing DP certificate and is fully
+        // derivable from the persisted configuration, so the loader always
+        // recomputes it: a re-framed buffer claiming a smaller ε (or no
+        // stamp at all) loads, but reports the honest guarantee.
+        let (snapshot, model) = trained_snapshot();
+        let honest = model.training_privacy_spec().expect("private model");
+        let forged = SynthesisSnapshot {
+            model: model.clone(),
+            synthesizer: None,
+            stamp: Some(p3gm_privacy::rdp::PrivacySpec {
+                epsilon: honest.epsilon / 10.0,
+                ..honest
+            }),
+        };
+        let loaded = SynthesisSnapshot::from_bytes(&forged.to_bytes()).unwrap();
+        assert_eq!(loaded.privacy_stamp(), Some(&honest));
+        let stripped = SynthesisSnapshot {
+            model,
+            synthesizer: None,
+            stamp: None,
+        };
+        let loaded = SynthesisSnapshot::from_bytes(&stripped.to_bytes()).unwrap();
+        assert_eq!(loaded.privacy_stamp(), Some(&honest));
+        // The honest snapshot round-trips to the same certificate.
+        let loaded = SynthesisSnapshot::from_bytes(&snapshot.to_bytes()).unwrap();
+        assert_eq!(loaded.privacy_stamp(), Some(&honest));
+    }
+
+    #[test]
+    fn malformed_snapshot_buffers_are_typed_errors() {
+        let (snapshot, _) = trained_snapshot();
+        let bytes = snapshot.to_bytes();
+        for cut in (0..bytes.len()).step_by(11) {
+            assert!(
+                SynthesisSnapshot::from_bytes(&bytes[..cut]).is_err(),
+                "prefix {cut}"
+            );
+        }
+        let mut corrupted = bytes.clone();
+        corrupted[bytes.len() / 3] ^= 0x80;
+        assert!(SynthesisSnapshot::from_bytes(&corrupted).is_err());
+        // A bare model buffer is not a snapshot buffer.
+        assert!(matches!(
+            SynthesisSnapshot::from_bytes(&snapshot.model().to_bytes()),
+            Err(p3gm_store::StoreError::WrongTag { .. })
+        ));
+    }
+}

@@ -96,6 +96,48 @@ impl LabelledSynthesizer {
         self.encoder.n_classes()
     }
 
+    /// Serializes the synthesizer into a framed `p3gm-store` buffer
+    /// (label encoder, feature scaler, feature geometry and the public
+    /// feature weight).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::LABELLED_SYNTHESIZER);
+        enc.nested(&self.encoder.to_bytes());
+        enc.nested(&self.scaler.to_bytes());
+        enc.usize(self.n_features).f64(self.feature_weight);
+        enc.finish()
+    }
+
+    /// Deserializes a synthesizer from a buffer produced by
+    /// [`LabelledSynthesizer::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> p3gm_store::Result<Self> {
+        use p3gm_store::StoreError;
+        let mut dec = p3gm_store::Decoder::new(bytes, p3gm_store::tags::LABELLED_SYNTHESIZER)?;
+        let encoder = OneHotEncoder::from_bytes(dec.nested()?)?;
+        let scaler = MinMaxScaler::from_bytes(dec.nested()?)?;
+        let n_features = dec.usize()?;
+        let feature_weight = dec.f64()?;
+        dec.finish()?;
+        if scaler.mins().len() != n_features {
+            return Err(StoreError::Invalid {
+                msg: format!(
+                    "scaler covers {} features, synthesizer claims {n_features}",
+                    scaler.mins().len()
+                ),
+            });
+        }
+        if !(feature_weight.is_finite() && feature_weight > 0.0 && feature_weight <= 1.0) {
+            return Err(StoreError::Invalid {
+                msg: format!("feature weight must be in (0, 1], got {feature_weight}"),
+            });
+        }
+        Ok(LabelledSynthesizer {
+            encoder,
+            scaler,
+            n_features,
+            feature_weight,
+        })
+    }
+
     /// Splits generated rows back into original-unit features and labels.
     pub fn split(&self, generated: &Matrix) -> Result<(Matrix, Vec<usize>)> {
         let (weighted, labels) = self
@@ -263,6 +305,23 @@ mod tests {
         let (features, labels) = synth.split(&prepared).unwrap();
         assert_eq!(labels, y);
         assert!(features.approx_eq(&x, 1e-9));
+    }
+
+    #[test]
+    fn byte_round_trip_splits_bit_identically() {
+        let mut r = rng();
+        let (x, y) = toy_data(&mut r, 30);
+        let (synth, prepared) = LabelledSynthesizer::prepare(&x, &y, 3).unwrap();
+        let back = LabelledSynthesizer::from_bytes(&synth.to_bytes()).unwrap();
+        assert_eq!(back.prepared_width(), synth.prepared_width());
+        assert_eq!(back.n_classes(), synth.n_classes());
+        let (f1, l1) = synth.split(&prepared).unwrap();
+        let (f2, l2) = back.split(&prepared).unwrap();
+        assert_eq!(f1.as_slice(), f2.as_slice());
+        assert_eq!(l1, l2);
+        // Malformed buffers are typed errors.
+        let bytes = synth.to_bytes();
+        assert!(LabelledSynthesizer::from_bytes(&bytes[..bytes.len() - 1]).is_err());
     }
 
     #[test]

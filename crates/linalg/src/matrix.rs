@@ -586,6 +586,35 @@ impl Matrix {
                 .all(|(&a, &b)| (a - b).abs() <= tol)
     }
 
+    /// Serializes the matrix into a framed `p3gm-store` buffer (shape
+    /// followed by the row-major `f64` bit patterns; bit-exact round trip).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::MATRIX);
+        enc.usize(self.rows).usize(self.cols).f64_slice(&self.data);
+        enc.finish()
+    }
+
+    /// Deserializes a matrix from a buffer produced by [`Matrix::to_bytes`].
+    ///
+    /// Truncated, corrupted, wrong-tag and wrong-version buffers return a
+    /// typed [`p3gm_store::StoreError`]; this never panics.
+    pub fn from_bytes(bytes: &[u8]) -> p3gm_store::Result<Matrix> {
+        let mut dec = p3gm_store::Decoder::new(bytes, p3gm_store::tags::MATRIX)?;
+        let rows = dec.usize()?;
+        let cols = dec.usize()?;
+        let data = dec.f64_vec()?;
+        dec.finish()?;
+        match rows.checked_mul(cols) {
+            Some(n) if n == data.len() => Ok(Matrix { rows, cols, data }),
+            _ => Err(p3gm_store::StoreError::Invalid {
+                msg: format!(
+                    "matrix shape {rows}x{cols} inconsistent with {} stored values",
+                    data.len()
+                ),
+            }),
+        }
+    }
+
     /// Symmetrizes the matrix in place: `A <- (A + A^T)/2`.
     ///
     /// Used after adding (possibly asymmetric) noise to covariance matrices.
@@ -804,6 +833,40 @@ mod tests {
         assert!(a.axpy(1.0, &Matrix::zeros(1, 1)).is_err());
         assert_eq!(sample().column_sums(), vec![5.0, 7.0, 9.0]);
         assert_eq!(Matrix::zeros(0, 2).column_sums(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn byte_round_trip_is_bit_exact() {
+        let m = Matrix::from_fn(7, 5, |i, j| ((i * 5 + j) as f64 * 0.37).sin() * 1e-3);
+        let bytes = m.to_bytes();
+        let back = Matrix::from_bytes(&bytes).unwrap();
+        assert_eq!(back.shape(), m.shape());
+        assert_eq!(back.as_slice(), m.as_slice());
+        // Empty matrices round-trip too.
+        let empty = Matrix::zeros(0, 3);
+        assert_eq!(
+            Matrix::from_bytes(&empty.to_bytes()).unwrap().shape(),
+            (0, 3)
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption_and_truncation() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Matrix::from_bytes(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+        let mut corrupted = bytes.clone();
+        corrupted[bytes.len() / 2] ^= 0x10;
+        assert!(Matrix::from_bytes(&corrupted).is_err());
+        // A shape that disagrees with the stored data length is rejected
+        // even with a valid frame.
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::MATRIX);
+        enc.usize(2).usize(3).f64_slice(&[1.0; 5]);
+        assert!(matches!(
+            Matrix::from_bytes(&enc.finish()),
+            Err(p3gm_store::StoreError::Invalid { .. })
+        ));
     }
 
     #[test]

@@ -63,21 +63,7 @@ impl Gmm {
         }
         let weights: Vec<f64> = weights.iter().map(|w| w.max(0.0) / total).collect();
 
-        let mut factors = Vec::with_capacity(k);
-        let mut inverses = Vec::with_capacity(k);
-        let mut log_dets = Vec::with_capacity(k);
-        for cov in &covariances {
-            let chol =
-                Cholesky::new_with_jitter(cov, 1e-6, 12).map_err(|e| MixtureError::Numerical {
-                    msg: format!("covariance not positive definite: {e}"),
-                })?;
-            let inv = chol.inverse().map_err(|e| MixtureError::Numerical {
-                msg: format!("covariance inversion failed: {e}"),
-            })?;
-            log_dets.push(chol.log_determinant());
-            inverses.push(inv);
-            factors.push(chol);
-        }
+        let (factors, inverses, log_dets) = build_caches(&covariances)?;
         Ok(Gmm {
             weights,
             means,
@@ -262,6 +248,101 @@ impl Gmm {
         (value, grad_mu, grad_logvar)
     }
 
+    /// Serializes the mixture into a framed `p3gm-store` buffer (weights,
+    /// mean matrix, covariance matrices; bit-exact round trip).
+    ///
+    /// The Cholesky factors, inverses and log-determinants are *not*
+    /// persisted: [`Gmm::from_bytes`] rebuilds them deterministically from
+    /// the covariance bits, so the reconstructed caches match the originals
+    /// exactly and sampling from the reloaded mixture is bit-identical.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::GMM);
+        enc.f64_slice(&self.weights);
+        enc.nested(&self.means.to_bytes());
+        enc.usize(self.covariances.len());
+        for cov in &self.covariances {
+            enc.nested(&cov.to_bytes());
+        }
+        enc.finish()
+    }
+
+    /// Deserializes a mixture from a buffer produced by [`Gmm::to_bytes`].
+    ///
+    /// The stored weights are kept bit-for-bit (they were normalized at
+    /// construction time; re-normalizing here could flip their last bits
+    /// and break sample-stream reproducibility), but are still validated:
+    /// they must be finite, non-negative and sum to 1 within `1e-6`.
+    pub fn from_bytes(bytes: &[u8]) -> p3gm_store::Result<Gmm> {
+        use p3gm_store::StoreError;
+        let mut dec = p3gm_store::Decoder::new(bytes, p3gm_store::tags::GMM)?;
+        let weights = dec.f64_vec()?;
+        let means = Matrix::from_bytes(dec.nested()?)?;
+        let n_covs = dec.usize()?;
+        // Each nested covariance occupies at least its 8-byte length prefix
+        // plus the minimal frame; bounding the claimed count by the bytes
+        // actually present keeps a crafted buffer from triggering a huge
+        // up-front allocation.
+        let min_nested = 8 + p3gm_store::HEADER_LEN + p3gm_store::CHECKSUM_LEN;
+        if n_covs > dec.remaining() / min_nested {
+            return Err(StoreError::Truncated {
+                needed: n_covs.saturating_mul(min_nested),
+                available: dec.remaining(),
+            });
+        }
+        let mut covariances = Vec::with_capacity(n_covs);
+        for _ in 0..n_covs {
+            covariances.push(Matrix::from_bytes(dec.nested()?)?);
+        }
+        dec.finish()?;
+
+        let k = weights.len();
+        let d = means.cols();
+        if k == 0 || means.rows() != k || covariances.len() != k || d == 0 {
+            return Err(StoreError::Invalid {
+                msg: format!(
+                    "mixture shape mismatch: {k} weights, {} means, {} covariances",
+                    means.rows(),
+                    covariances.len()
+                ),
+            });
+        }
+        if covariances.iter().any(|c| c.shape() != (d, d)) {
+            return Err(StoreError::Invalid {
+                msg: "inconsistent component dimensions".to_string(),
+            });
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(StoreError::Invalid {
+                msg: "weights must be finite and non-negative".to_string(),
+            });
+        }
+        if means.as_slice().iter().any(|v| !v.is_finite())
+            || covariances
+                .iter()
+                .any(|c| c.as_slice().iter().any(|v| !v.is_finite()))
+        {
+            return Err(StoreError::Invalid {
+                msg: "means and covariances must be finite".to_string(),
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(StoreError::Invalid {
+                msg: format!("weights sum to {total}, expected 1"),
+            });
+        }
+        let (factors, inverses, log_dets) =
+            build_caches(&covariances).map_err(|e| StoreError::Invalid { msg: e.to_string() })?;
+        Ok(Gmm {
+            weights,
+            means,
+            covariances,
+            factors,
+            inverses,
+            log_dets,
+        })
+    }
+
     /// Variational (Hershey–Olsen) approximation of
     /// `KL( N(mu, diag(exp(logvar))) || mixture )`, with gradients.
     ///
@@ -296,6 +377,29 @@ impl Gmm {
         }
         (value, grad_mu, grad_logvar)
     }
+}
+
+/// Builds the per-component Cholesky factors, inverses and
+/// log-determinants a [`Gmm`] caches. Deterministic: identical covariance
+/// bits always yield identical caches (which is what makes persisted
+/// mixtures sample bit-identically after a reload).
+fn build_caches(covariances: &[Matrix]) -> Result<(Vec<Cholesky>, Vec<Matrix>, Vec<f64>)> {
+    let mut factors = Vec::with_capacity(covariances.len());
+    let mut inverses = Vec::with_capacity(covariances.len());
+    let mut log_dets = Vec::with_capacity(covariances.len());
+    for cov in covariances {
+        let chol =
+            Cholesky::new_with_jitter(cov, 1e-6, 12).map_err(|e| MixtureError::Numerical {
+                msg: format!("covariance not positive definite: {e}"),
+            })?;
+        let inv = chol.inverse().map_err(|e| MixtureError::Numerical {
+            msg: format!("covariance inversion failed: {e}"),
+        })?;
+        log_dets.push(chol.log_determinant());
+        inverses.push(inv);
+        factors.push(chol);
+    }
+    Ok((factors, inverses, log_dets))
 }
 
 #[cfg(test)]
@@ -504,6 +608,64 @@ mod tests {
         let (near, _, _) = gmm.kl_diag_to_mixture(&[2.0, 1.0], &[-1.0, -1.0]);
         let (far, _, _) = gmm.kl_diag_to_mixture(&[10.0, 10.0], &[-1.0, -1.0]);
         assert!(near < far);
+    }
+
+    #[test]
+    fn byte_round_trip_samples_bit_identically() {
+        let gmm = two_component_gmm();
+        let back = Gmm::from_bytes(&gmm.to_bytes()).unwrap();
+        assert_eq!(back.weights(), gmm.weights());
+        assert_eq!(back.means().as_slice(), gmm.means().as_slice());
+        for (a, b) in back.covariances().iter().zip(gmm.covariances().iter()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        // The rebuilt caches reproduce the exact sample stream.
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..50 {
+            assert_eq!(gmm.sample(&mut r1), back.sample(&mut r2));
+        }
+        // And densities match bitwise too.
+        assert_eq!(
+            gmm.log_density(&[0.3, -0.4]).to_bits(),
+            back.log_density(&[0.3, -0.4]).to_bits()
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_buffers() {
+        let gmm = two_component_gmm();
+        let bytes = gmm.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Gmm::from_bytes(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+        let mut corrupted = bytes.clone();
+        corrupted[bytes.len() / 3] ^= 0x20;
+        assert!(Gmm::from_bytes(&corrupted).is_err());
+        // Unnormalized weights are rejected even inside a valid frame.
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::GMM);
+        enc.f64_slice(&[2.0, 6.0]);
+        enc.nested(&gmm.means().to_bytes());
+        enc.usize(2);
+        for cov in gmm.covariances() {
+            enc.nested(&cov.to_bytes());
+        }
+        assert!(matches!(
+            Gmm::from_bytes(&enc.finish()),
+            Err(p3gm_store::StoreError::Invalid { .. })
+        ));
+        // Non-finite means are rejected: they would make every sample NaN.
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::GMM);
+        enc.f64_slice(gmm.weights());
+        enc.nested(&Matrix::filled(2, 2, f64::NAN).to_bytes());
+        enc.usize(2);
+        for cov in gmm.covariances() {
+            enc.nested(&cov.to_bytes());
+        }
+        assert!(matches!(
+            Gmm::from_bytes(&enc.finish()),
+            Err(p3gm_store::StoreError::Invalid { .. })
+        ));
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub mod kmeans;
 pub use dpem::{DpEmConfig, DpEmResult};
 pub use em::{EmConfig, EmResult};
 pub use gmm::Gmm;
-pub use kmeans::{dp_kmeans, kmeans, KMeansConfig, KMeansResult};
+// NOTE: the `kmeans` *function* is intentionally not re-exported at the
+// crate root — it would collide with the `kmeans` module in rustdoc's
+// output paths. Call it as `kmeans::kmeans`.
+pub use kmeans::{dp_kmeans, KMeansConfig, KMeansResult};
 
 /// Errors produced by mixture-model fitting.
 #[derive(Debug, Clone, PartialEq)]

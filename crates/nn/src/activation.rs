@@ -61,6 +61,30 @@ impl Activation {
         xs.iter().map(|&x| self.apply(x)).collect()
     }
 
+    /// The stable one-byte code identifying this activation in persisted
+    /// snapshots (part of the `p3gm-store` wire format — never renumber).
+    pub fn persist_code(self) -> u8 {
+        match self {
+            Activation::Identity => 0,
+            Activation::Relu => 1,
+            Activation::Sigmoid => 2,
+            Activation::Tanh => 3,
+            Activation::Softplus => 4,
+        }
+    }
+
+    /// Inverse of [`Activation::persist_code`]; `None` for unknown codes.
+    pub fn from_persist_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Activation::Identity,
+            1 => Activation::Relu,
+            2 => Activation::Sigmoid,
+            3 => Activation::Tanh,
+            4 => Activation::Softplus,
+            _ => return None,
+        })
+    }
+
     /// Multiplies `grad` element-wise by the derivative evaluated at the
     /// pre-activation values `pre`, in place. This is the backward pass of
     /// an element-wise activation.

@@ -113,6 +113,54 @@ impl Conv2d {
             }
         }
     }
+
+    /// Serializes the layer into a framed `p3gm-store` buffer (kernel
+    /// geometry, kernel matrix, biases; bit-exact round trip).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::CONV2D);
+        enc.usize(self.out_channels).usize(self.kernel);
+        enc.nested(&self.weights.to_bytes()).f64_slice(&self.bias);
+        enc.finish()
+    }
+
+    /// Deserializes a layer from a buffer produced by [`Conv2d::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> p3gm_store::Result<Conv2d> {
+        use p3gm_store::StoreError;
+        let mut dec = p3gm_store::Decoder::new(bytes, p3gm_store::tags::CONV2D)?;
+        let out_channels = dec.usize()?;
+        let kernel = dec.usize()?;
+        let weights = Matrix::from_bytes(dec.nested()?)?;
+        let bias = dec.f64_vec()?;
+        dec.finish()?;
+        let k2 = kernel
+            .checked_mul(kernel)
+            .ok_or_else(|| StoreError::Invalid {
+                msg: "kernel size overflows".to_string(),
+            })?;
+        if weights.shape() != (out_channels, k2) || bias.len() != out_channels {
+            return Err(StoreError::Invalid {
+                msg: format!(
+                    "conv buffers inconsistent with {out_channels} channels of {kernel}x{kernel} kernels"
+                ),
+            });
+        }
+        if weights
+            .as_slice()
+            .iter()
+            .chain(bias.iter())
+            .any(|v| !v.is_finite())
+        {
+            return Err(StoreError::Invalid {
+                msg: "conv layer contains non-finite parameters".to_string(),
+            });
+        }
+        Ok(Conv2d {
+            out_channels,
+            kernel,
+            weights,
+            bias,
+        })
+    }
 }
 
 /// 2×2 max-pooling with stride 2 (drops a trailing odd row/column).
@@ -433,6 +481,27 @@ mod tests {
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn conv_byte_round_trip_is_bit_exact() {
+        let conv = Conv2d::new(&mut rng(), 4, 3);
+        let back = Conv2d::from_bytes(&conv.to_bytes()).unwrap();
+        assert_eq!(back.out_channels, conv.out_channels);
+        assert_eq!(back.kernel, conv.kernel);
+        assert_eq!(back.weights.as_slice(), conv.weights.as_slice());
+        assert_eq!(back.bias, conv.bias);
+        let image: Vec<f64> = (0..36).map(|i| (i as f64 * 0.11).sin()).collect();
+        assert_eq!(
+            back.forward(&image, 6).as_slice(),
+            conv.forward(&image, 6).as_slice()
+        );
+        // Malformed buffers fail with typed errors.
+        let bytes = conv.to_bytes();
+        assert!(Conv2d::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        let mut corrupted = bytes.clone();
+        corrupted[40] ^= 0x08;
+        assert!(Conv2d::from_bytes(&corrupted).is_err());
     }
 
     #[test]

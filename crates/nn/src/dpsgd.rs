@@ -47,6 +47,10 @@ impl DpSgdConfig {
 
     /// The sampling probability `q = B / N` used by the privacy accountant
     /// for a dataset of `n` records.
+    ///
+    /// Clamped to `1.0` when `batch_size >= n` (a full-batch lot); the
+    /// accountant accepts that boundary and charges the plain
+    /// Gaussian-mechanism RDP curve for it.
     pub fn sampling_probability(&self, n: usize) -> f64 {
         (self.batch_size as f64 / n.max(1) as f64).min(1.0)
     }
@@ -131,6 +135,28 @@ mod tests {
         };
         assert!((cfg.sampling_probability(1000) - 0.1).abs() < 1e-12);
         assert_eq!(cfg.sampling_probability(50), 1.0);
+    }
+
+    #[test]
+    fn full_batch_configuration_is_accountable() {
+        // batch_size >= n clamps q to 1.0; the accountant must accept the
+        // clamped value instead of erroring after training already ran.
+        let cfg = DpSgdConfig {
+            batch_size: 100,
+            ..Default::default()
+        };
+        let q = cfg.sampling_probability(50);
+        assert_eq!(q, 1.0);
+        let mut acc = p3gm_privacy::RdpAccountant::default();
+        acc.add_dp_sgd(
+            10,
+            q,
+            cfg.noise_multiplier,
+            p3gm_privacy::rdp::DpSgdBound::PaperEq4,
+        )
+        .unwrap();
+        let spec = acc.to_dp(1e-5).unwrap();
+        assert!(spec.epsilon.is_finite() && spec.epsilon > 0.0);
     }
 
     #[test]

@@ -266,6 +266,85 @@ impl Mlp {
         grads
     }
 
+    /// Serializes the network into a framed `p3gm-store` buffer: the two
+    /// activation codes, then per layer its dimensions, weights and biases
+    /// as `f64` bit patterns (bit-exact round trip).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::MLP);
+        enc.u8(self.hidden_activation.persist_code())
+            .u8(self.output_activation.persist_code())
+            .usize(self.layers.len());
+        for layer in &self.layers {
+            enc.usize(layer.in_dim())
+                .usize(layer.out_dim())
+                .f64_slice(&layer.weights)
+                .f64_slice(&layer.bias);
+        }
+        enc.finish()
+    }
+
+    /// Deserializes a network from a buffer produced by [`Mlp::to_bytes`].
+    ///
+    /// Validates the layer chain (each layer's input width must match the
+    /// previous layer's output width) and every buffer length; malformed
+    /// input returns a typed [`p3gm_store::StoreError`], never panics.
+    pub fn from_bytes(bytes: &[u8]) -> p3gm_store::Result<Mlp> {
+        use p3gm_store::StoreError;
+        let mut dec = p3gm_store::Decoder::new(bytes, p3gm_store::tags::MLP)?;
+        let hidden_activation =
+            Activation::from_persist_code(dec.u8()?).ok_or_else(|| StoreError::Invalid {
+                msg: "unknown hidden-activation code".to_string(),
+            })?;
+        let output_activation =
+            Activation::from_persist_code(dec.u8()?).ok_or_else(|| StoreError::Invalid {
+                msg: "unknown output-activation code".to_string(),
+            })?;
+        let n_layers = dec.usize()?;
+        if n_layers == 0 {
+            return Err(StoreError::Invalid {
+                msg: "an MLP needs at least one layer".to_string(),
+            });
+        }
+        let mut layers = Vec::with_capacity(n_layers.min(1024));
+        let mut prev_out: Option<usize> = None;
+        for index in 0..n_layers {
+            let in_dim = dec.usize()?;
+            let out_dim = dec.usize()?;
+            let weights = dec.f64_vec()?;
+            let bias = dec.f64_vec()?;
+            if in_dim.checked_mul(out_dim) != Some(weights.len()) || bias.len() != out_dim {
+                return Err(StoreError::Invalid {
+                    msg: format!("layer {index} buffers inconsistent with {in_dim}->{out_dim}"),
+                });
+            }
+            if weights.iter().chain(bias.iter()).any(|v| !v.is_finite()) {
+                return Err(StoreError::Invalid {
+                    msg: format!("layer {index} contains non-finite parameters"),
+                });
+            }
+            if let Some(prev) = prev_out {
+                if prev != in_dim {
+                    return Err(StoreError::Invalid {
+                        msg: format!(
+                            "layer {index} input width {in_dim} does not chain onto {prev}"
+                        ),
+                    });
+                }
+            }
+            prev_out = Some(out_dim);
+            let mut layer = Linear::zeros(in_dim, out_dim);
+            layer.weights = weights;
+            layer.bias = bias;
+            layers.push(layer);
+        }
+        dec.finish()?;
+        Ok(Mlp {
+            layers,
+            hidden_activation,
+            output_activation,
+        })
+    }
+
     /// Applies a gradient-descent style update `params -= lr * grad` (used
     /// by tests and by simple non-private training loops; real training uses
     /// the [`crate::optimizer`] module).
@@ -468,6 +547,59 @@ mod tests {
             let single = mlp.example_gradient(x.row(i), gouts.row(i));
             assert_eq!(batch.row(i), single.as_slice(), "example {i}");
         }
+    }
+
+    #[test]
+    fn byte_round_trip_reproduces_forward_bitwise() {
+        let mut r = rng();
+        let mlp = Mlp::new(&mut r, &[4, 9, 3], Activation::Relu, Activation::Sigmoid);
+        let back = Mlp::from_bytes(&mlp.to_bytes()).unwrap();
+        assert_eq!(back.num_params(), mlp.num_params());
+        assert_eq!(back.params(), mlp.params());
+        let x = [0.3, -0.9, 0.1, 0.7];
+        assert_eq!(back.forward(&x), mlp.forward(&x));
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_buffers() {
+        let mut r = rng();
+        let mlp = Mlp::new(&mut r, &[3, 5, 2], Activation::Tanh, Activation::Identity);
+        let bytes = mlp.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Mlp::from_bytes(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+        let mut corrupted = bytes.clone();
+        corrupted[bytes.len() - 10] ^= 0x01;
+        assert!(Mlp::from_bytes(&corrupted).is_err());
+        // A broken layer chain (3->5 followed by 4->2) is rejected.
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::MLP);
+        enc.u8(1).u8(0).usize(2);
+        enc.usize(3)
+            .usize(5)
+            .f64_slice(&[0.0; 15])
+            .f64_slice(&[0.0; 5]);
+        enc.usize(4)
+            .usize(2)
+            .f64_slice(&[0.0; 8])
+            .f64_slice(&[0.0; 2]);
+        assert!(matches!(
+            Mlp::from_bytes(&enc.finish()),
+            Err(p3gm_store::StoreError::Invalid { .. })
+        ));
+        // Non-finite parameters inside a valid frame are rejected: they
+        // would otherwise make every forward pass silently emit NaN.
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::MLP);
+        enc.u8(1).u8(0).usize(1);
+        let mut weights = [0.0; 6];
+        weights[3] = f64::NAN;
+        enc.usize(3)
+            .usize(2)
+            .f64_slice(&weights)
+            .f64_slice(&[0.0; 2]);
+        assert!(matches!(
+            Mlp::from_bytes(&enc.finish()),
+            Err(p3gm_store::StoreError::Invalid { .. })
+        ));
     }
 
     #[test]

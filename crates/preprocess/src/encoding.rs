@@ -76,6 +76,27 @@ impl OneHotEncoder {
         Ok(out)
     }
 
+    /// Serializes the encoder into a framed `p3gm-store` buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::ONE_HOT_ENCODER);
+        enc.usize(self.n_classes);
+        enc.finish()
+    }
+
+    /// Deserializes an encoder from a buffer produced by
+    /// [`OneHotEncoder::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> p3gm_store::Result<OneHotEncoder> {
+        let mut dec = p3gm_store::Decoder::new(bytes, p3gm_store::tags::ONE_HOT_ENCODER)?;
+        let n_classes = dec.usize()?;
+        dec.finish()?;
+        if n_classes == 0 {
+            return Err(p3gm_store::StoreError::Invalid {
+                msg: "n_classes must be positive".to_string(),
+            });
+        }
+        Ok(OneHotEncoder { n_classes })
+    }
+
     /// Splits rows produced by [`OneHotEncoder::append_to_rows`] back into
     /// features and decoded labels.
     pub fn split_rows(&self, data: &Matrix) -> Result<(Matrix, Vec<usize>)> {
@@ -208,6 +229,20 @@ mod tests {
         // Errors.
         assert!(enc.append_to_rows(&data, &[0]).is_err());
         assert!(enc.split_rows(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn one_hot_byte_round_trip() {
+        let enc = OneHotEncoder::new(5).unwrap();
+        let back = OneHotEncoder::from_bytes(&enc.to_bytes()).unwrap();
+        assert_eq!(back, enc);
+        // Zero classes inside a valid frame is rejected.
+        let mut raw = p3gm_store::Encoder::new(p3gm_store::tags::ONE_HOT_ENCODER);
+        raw.usize(0);
+        assert!(matches!(
+            OneHotEncoder::from_bytes(&raw.finish()),
+            Err(p3gm_store::StoreError::Invalid { .. })
+        ));
     }
 
     #[test]

@@ -154,6 +154,60 @@ impl Pca {
         Ok(out)
     }
 
+    /// Serializes the fitted transform into a framed `p3gm-store` buffer
+    /// (mean, component matrix, eigenvalue spectrum; bit-exact round trip).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::PCA);
+        enc.f64_slice(&self.mean);
+        enc.nested(&self.components.to_bytes());
+        enc.f64_slice(&self.eigenvalues);
+        enc.finish()
+    }
+
+    /// Deserializes a transform from a buffer produced by [`Pca::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> p3gm_store::Result<Pca> {
+        use p3gm_store::StoreError;
+        let mut dec = p3gm_store::Decoder::new(bytes, p3gm_store::tags::PCA)?;
+        let mean = dec.f64_vec()?;
+        let components = Matrix::from_bytes(dec.nested()?)?;
+        let eigenvalues = dec.f64_vec()?;
+        dec.finish()?;
+        if components.cols() == 0 || mean.len() != components.rows() {
+            return Err(StoreError::Invalid {
+                msg: format!(
+                    "mean of length {} inconsistent with {}x{} component matrix",
+                    mean.len(),
+                    components.rows(),
+                    components.cols()
+                ),
+            });
+        }
+        if eigenvalues.len() < components.cols() {
+            return Err(StoreError::Invalid {
+                msg: format!(
+                    "{} eigenvalues cannot cover {} components",
+                    eigenvalues.len(),
+                    components.cols()
+                ),
+            });
+        }
+        if mean
+            .iter()
+            .chain(components.as_slice().iter())
+            .chain(eigenvalues.iter())
+            .any(|v| !v.is_finite())
+        {
+            return Err(StoreError::Invalid {
+                msg: "PCA mean, components and eigenvalues must be finite".to_string(),
+            });
+        }
+        Ok(Pca {
+            mean,
+            components,
+            eigenvalues,
+        })
+    }
+
     /// Mean squared reconstruction error over a dataset — the quantity the
     /// Encoding Phase objective (paper Eq. (5)) minimizes. Computed on the
     /// batched project/reconstruct path with a deterministic chunked sum.
@@ -243,6 +297,29 @@ impl DpPca {
     /// Number of output dimensions.
     pub fn n_components(&self) -> usize {
         self.inner.n_components()
+    }
+
+    /// Serializes the fitted DP-PCA into a framed `p3gm-store` buffer
+    /// (the inner transform plus the consumed budget ε).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::DP_PCA);
+        enc.nested(&self.inner.to_bytes());
+        enc.f64(self.epsilon);
+        enc.finish()
+    }
+
+    /// Deserializes a DP-PCA from a buffer produced by [`DpPca::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> p3gm_store::Result<DpPca> {
+        let mut dec = p3gm_store::Decoder::new(bytes, p3gm_store::tags::DP_PCA)?;
+        let inner = Pca::from_bytes(dec.nested()?)?;
+        let epsilon = dec.f64()?;
+        dec.finish()?;
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(p3gm_store::StoreError::Invalid {
+                msg: format!("DP-PCA epsilon must be positive and finite, got {epsilon}"),
+            });
+        }
+        Ok(DpPca { inner, epsilon })
     }
 }
 
@@ -354,6 +431,45 @@ mod tests {
         let col = z.col(0);
         let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
         assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_round_trip_transforms_bit_identically() {
+        let mut r = rng();
+        let data = line_data(&mut r, 200);
+        let pca = Pca::fit(&data, 2).unwrap();
+        let back = Pca::from_bytes(&pca.to_bytes()).unwrap();
+        assert_eq!(back.mean(), pca.mean());
+        assert_eq!(back.components().as_slice(), pca.components().as_slice());
+        assert_eq!(back.eigenvalues(), pca.eigenvalues());
+        assert_eq!(
+            back.transform(&data).unwrap().as_slice(),
+            pca.transform(&data).unwrap().as_slice()
+        );
+
+        let dp = DpPca::fit(&mut r, &data.scale(0.05), 2, 0.7).unwrap();
+        let dp_back = DpPca::from_bytes(&dp.to_bytes()).unwrap();
+        assert_eq!(dp_back.epsilon(), dp.epsilon());
+        assert_eq!(
+            dp_back.transform_row(data.row(0)).unwrap(),
+            dp.transform_row(data.row(0)).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_buffers() {
+        let mut r = rng();
+        let pca = Pca::fit(&line_data(&mut r, 50), 2).unwrap();
+        let bytes = pca.to_bytes();
+        assert!(Pca::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        let mut corrupted = bytes.clone();
+        corrupted[25] ^= 0x04;
+        assert!(Pca::from_bytes(&corrupted).is_err());
+        // A Pca buffer is not a DpPca buffer (wrong tag).
+        assert!(matches!(
+            DpPca::from_bytes(&bytes),
+            Err(p3gm_store::StoreError::WrongTag { .. })
+        ));
     }
 
     #[test]

@@ -110,6 +110,37 @@ impl MinMaxScaler {
         }
         Ok(())
     }
+
+    /// Serializes the fitted scaler into a framed `p3gm-store` buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::MIN_MAX_SCALER);
+        enc.f64_slice(&self.mins).f64_slice(&self.maxs);
+        enc.finish()
+    }
+
+    /// Deserializes a scaler from a buffer produced by
+    /// [`MinMaxScaler::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> p3gm_store::Result<MinMaxScaler> {
+        let mut dec = p3gm_store::Decoder::new(bytes, p3gm_store::tags::MIN_MAX_SCALER)?;
+        let mins = dec.f64_vec()?;
+        let maxs = dec.f64_vec()?;
+        dec.finish()?;
+        if mins.len() != maxs.len() || mins.is_empty() {
+            return Err(p3gm_store::StoreError::Invalid {
+                msg: format!(
+                    "min/max vectors of lengths {}/{} do not form a scaler",
+                    mins.len(),
+                    maxs.len()
+                ),
+            });
+        }
+        if mins.iter().chain(maxs.iter()).any(|v| !v.is_finite()) {
+            return Err(p3gm_store::StoreError::Invalid {
+                msg: "scaler bounds must be finite".to_string(),
+            });
+        }
+        Ok(MinMaxScaler { mins, maxs })
+    }
 }
 
 /// Standardizes every feature to zero mean and unit variance.
@@ -190,6 +221,42 @@ impl StandardScaler {
             .zip(self.means.iter().zip(self.stds.iter()))
             .map(|(&v, (&m, &s))| v * s + m)
             .collect())
+    }
+
+    /// Serializes the fitted scaler into a framed `p3gm-store` buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::STANDARD_SCALER);
+        enc.f64_slice(&self.means).f64_slice(&self.stds);
+        enc.finish()
+    }
+
+    /// Deserializes a scaler from a buffer produced by
+    /// [`StandardScaler::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> p3gm_store::Result<StandardScaler> {
+        let mut dec = p3gm_store::Decoder::new(bytes, p3gm_store::tags::STANDARD_SCALER)?;
+        let means = dec.f64_vec()?;
+        let stds = dec.f64_vec()?;
+        dec.finish()?;
+        if means.len() != stds.len() || means.is_empty() {
+            return Err(p3gm_store::StoreError::Invalid {
+                msg: format!(
+                    "mean/std vectors of lengths {}/{} do not form a scaler",
+                    means.len(),
+                    stds.len()
+                ),
+            });
+        }
+        if stds.iter().any(|&s| !s.is_finite() || s <= 0.0) {
+            return Err(p3gm_store::StoreError::Invalid {
+                msg: "standard deviations must be positive and finite".to_string(),
+            });
+        }
+        if means.iter().any(|v| !v.is_finite()) {
+            return Err(p3gm_store::StoreError::Invalid {
+                msg: "means must be finite".to_string(),
+            });
+        }
+        Ok(StandardScaler { means, stds })
     }
 }
 
@@ -292,6 +359,27 @@ mod tests {
         }
         assert!(scaler.transform_row(&[1.0]).is_err());
         assert!(scaler.inverse_transform_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn byte_round_trips_are_bit_exact() {
+        let minmax = MinMaxScaler::fit(&data()).unwrap();
+        let back = MinMaxScaler::from_bytes(&minmax.to_bytes()).unwrap();
+        assert_eq!(back.mins(), minmax.mins());
+        assert_eq!(back.maxs(), minmax.maxs());
+
+        let standard = StandardScaler::fit(&data()).unwrap();
+        let back = StandardScaler::from_bytes(&standard.to_bytes()).unwrap();
+        assert_eq!(back.means(), standard.means());
+        assert_eq!(back.stds(), standard.stds());
+
+        // Truncation and cross-type confusion are typed errors.
+        let bytes = minmax.to_bytes();
+        assert!(MinMaxScaler::from_bytes(&bytes[..10]).is_err());
+        assert!(matches!(
+            StandardScaler::from_bytes(&bytes),
+            Err(p3gm_store::StoreError::WrongTag { .. })
+        ));
     }
 
     #[test]

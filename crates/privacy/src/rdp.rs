@@ -47,6 +47,49 @@ pub struct PrivacySpec {
     pub optimal_order: f64,
 }
 
+impl PrivacySpec {
+    /// Serializes the guarantee into a framed `p3gm-store` buffer — the
+    /// stamp a persisted model snapshot carries so a serving process knows
+    /// the (ε, δ) certified for the release without re-running accounting.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = p3gm_store::Encoder::new(p3gm_store::tags::PRIVACY_SPEC);
+        enc.f64(self.epsilon)
+            .f64(self.delta)
+            .f64(self.optimal_order);
+        enc.finish()
+    }
+
+    /// Deserializes a guarantee from a buffer produced by
+    /// [`PrivacySpec::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> p3gm_store::Result<PrivacySpec> {
+        let mut dec = p3gm_store::Decoder::new(bytes, p3gm_store::tags::PRIVACY_SPEC)?;
+        let epsilon = dec.f64()?;
+        let delta = dec.f64()?;
+        let optimal_order = dec.f64()?;
+        dec.finish()?;
+        if !(epsilon.is_finite() && epsilon >= 0.0) {
+            return Err(p3gm_store::StoreError::Invalid {
+                msg: format!("epsilon must be finite and non-negative, got {epsilon}"),
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(p3gm_store::StoreError::Invalid {
+                msg: format!("delta must be in (0,1), got {delta}"),
+            });
+        }
+        if !optimal_order.is_finite() || optimal_order <= 1.0 {
+            return Err(p3gm_store::StoreError::Invalid {
+                msg: format!("RDP order must exceed 1, got {optimal_order}"),
+            });
+        }
+        Ok(PrivacySpec {
+            epsilon,
+            delta,
+            optimal_order,
+        })
+    }
+}
+
 /// Rényi-DP accountant over a fixed grid of orders.
 #[derive(Debug, Clone)]
 pub struct RdpAccountant {
@@ -137,6 +180,13 @@ impl RdpAccountant {
 
     /// Adds `steps` iterations of DP-SGD with sampling probability `q` and
     /// noise multiplier `sigma`, using the selected per-step bound.
+    ///
+    /// `q = 1` (a full-batch lot, which `DpSgdConfig::sampling_probability`
+    /// produces whenever `batch_size >= n`) is legal: without subsampling
+    /// each step is a plain Gaussian mechanism on the clipped gradient sum,
+    /// so its exact RDP curve `α/(2σ²)` is charged instead of a subsampling
+    /// bound (both Eq. (4) and the sampled-Gaussian expansion assume
+    /// `q < 1`).
     pub fn add_dp_sgd(
         &mut self,
         steps: usize,
@@ -144,9 +194,9 @@ impl RdpAccountant {
         sigma: f64,
         bound: DpSgdBound,
     ) -> Result<&mut Self> {
-        if !(0.0..1.0).contains(&q) || q == 0.0 {
+        if !(0.0..=1.0).contains(&q) || q == 0.0 {
             return Err(PrivacyError::InvalidParameter {
-                msg: format!("sampling probability must be in (0,1), got {q}"),
+                msg: format!("sampling probability must be in (0,1], got {q}"),
             });
         }
         if sigma <= 0.0 {
@@ -155,17 +205,31 @@ impl RdpAccountant {
             });
         }
         let t = steps as f64;
+        if q == 1.0 {
+            self.add_curve(|a| t * rdp_gaussian(a, 1.0, sigma));
+            return Ok(self);
+        }
         match bound {
             DpSgdBound::PaperEq4 => {
                 self.add_curve(|a| {
-                    // MA is defined for integer moments; use floor(α−1) ≥ 1.
-                    let lambda = (a - 1.0).floor().max(1.0) as u32;
+                    // MA is defined for integer moment orders λ; Theorem 3
+                    // certifies order α only when λ ≥ α − 1, so round UP.
+                    // λ is additionally floored at 2: the Eq. (4) expansion
+                    // evaluates to exactly 0 at λ = 1 (the leading term
+                    // carries λ(λ−1) and the t-loop is empty), which would
+                    // account DP-SGD as free at every order α ≤ 2 — and the
+                    // MA curve is nondecreasing in λ, so both roundings are
+                    // conservative.
+                    let lambda = (a - 1.0).ceil().max(2.0) as u32;
                     t * moments_to_rdp(ma_dp_sgd(lambda, q, sigma), a)
                 });
             }
             DpSgdBound::SampledGaussian => {
                 self.add_curve(|a| {
-                    let alpha_int = a.floor().max(2.0) as u32;
+                    // Same soundness argument: RDP is nondecreasing in the
+                    // order, so the integer-order value at ceil(α) upper
+                    // bounds the fractional order α.
+                    let alpha_int = a.ceil().max(2.0) as u32;
                     t * rdp_sampled_gaussian(alpha_int, q, sigma)
                 });
             }
@@ -344,6 +408,113 @@ mod tests {
             "epsilon {} not near 1",
             spec.epsilon
         );
+    }
+
+    #[test]
+    fn dp_sgd_is_never_free_at_low_orders() {
+        // Regression for the floor(α−1) soundness bug: at every order
+        // α < 3 the old accountant charged λ = 1, where the Eq. (4)
+        // expansion is exactly 0, so DP-SGD was accounted as free.
+        let low_orders = [1.25, 1.5, 1.75, 2.0, 2.25, 2.5];
+        let mut acc = RdpAccountant::new(&low_orders);
+        acc.add_dp_sgd(100, 0.01, 1.5, DpSgdBound::PaperEq4)
+            .unwrap();
+        for (&a, &e) in acc.orders().iter().zip(acc.rdp_epsilons().iter()) {
+            assert!(e > 0.0, "DP-SGD accounted as free at order {a}");
+        }
+    }
+
+    #[test]
+    fn epsilon_strictly_increases_with_steps_at_every_order() {
+        // Adding DP-SGD steps must never decrease (and in fact must
+        // strictly increase) the reported ε, at every tracked order —
+        // including the fractional α < 3 regime the floor bug zeroed out.
+        for &a in DEFAULT_ORDERS {
+            let mut base = RdpAccountant::new(&[a]);
+            base.add_dp_sgd(100, 0.02, 2.0, DpSgdBound::PaperEq4)
+                .unwrap();
+            let mut more = RdpAccountant::new(&[a]);
+            more.add_dp_sgd(200, 0.02, 2.0, DpSgdBound::PaperEq4)
+                .unwrap();
+            let e_base = base.to_dp(DELTA).unwrap().epsilon;
+            let e_more = more.to_dp(DELTA).unwrap().epsilon;
+            assert!(
+                e_more >= e_base,
+                "order {a}: ε decreased with steps ({e_base} -> {e_more})"
+            );
+            // While the per-step bound is finite (it saturates to +inf at
+            // very large orders), doubling the steps strictly increases ε.
+            if e_base.is_finite() {
+                assert!(
+                    e_more > e_base,
+                    "order {a}: ε did not grow with steps ({e_base} -> {e_more})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ceil_bound_is_pointwise_at_least_the_floor_bound() {
+        // ceil(α−1).max(2) ≥ floor(α−1).max(1) and the MA curve is
+        // nondecreasing in λ, so the fixed accountant can only report a
+        // larger (never smaller) per-order cost than the old one.
+        use crate::moments::ma_dp_sgd;
+        let (q, sigma) = (0.02, 1.5);
+        for &a in DEFAULT_ORDERS {
+            let floor_lambda = (a - 1.0).floor().max(1.0) as u32;
+            let ceil_lambda = (a - 1.0).ceil().max(2.0) as u32;
+            assert!(
+                ma_dp_sgd(ceil_lambda, q, sigma) >= ma_dp_sgd(floor_lambda, q, sigma),
+                "order {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_batch_q_one_is_accepted_as_plain_gaussian() {
+        // A legal full-batch configuration (batch_size >= n clamps q to 1)
+        // must account, not error — regression for the q = 1 rejection.
+        let mut acc = RdpAccountant::default();
+        acc.add_dp_sgd(10, 1.0, 2.0, DpSgdBound::PaperEq4).unwrap();
+        // Each step is the plain Gaussian mechanism: ε(α) = α/(2σ²).
+        for (&a, &e) in acc.orders().iter().zip(acc.rdp_epsilons().iter()) {
+            let expected = 10.0 * a / (2.0 * 2.0 * 2.0);
+            assert!((e - expected).abs() < 1e-12, "order {a}: {e} vs {expected}");
+        }
+        // Both bounds agree at q = 1 and the whole-pipeline helper works.
+        let mut sg = RdpAccountant::default();
+        sg.add_dp_sgd(10, 1.0, 2.0, DpSgdBound::SampledGaussian)
+            .unwrap();
+        assert_eq!(acc.rdp_epsilons(), sg.rdp_epsilons());
+        let spec = RdpAccountant::p3gm_total(0.1, 5, 10.0, 3, 10, 1.0, 2.0, DELTA).unwrap();
+        assert!(spec.epsilon.is_finite() && spec.epsilon > 0.0);
+        // Full batch costs at least as much as any subsampled lot of the
+        // same length and noise.
+        let sub = RdpAccountant::p3gm_total(0.1, 5, 10.0, 3, 10, 0.1, 2.0, DELTA).unwrap();
+        assert!(spec.epsilon >= sub.epsilon);
+    }
+
+    #[test]
+    fn privacy_spec_byte_round_trip() {
+        let mut acc = RdpAccountant::default();
+        acc.add_gaussian(1.0, 3.0).unwrap();
+        let spec = acc.to_dp(DELTA).unwrap();
+        let back = PrivacySpec::from_bytes(&spec.to_bytes()).unwrap();
+        assert_eq!(back, spec);
+        let bytes = spec.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(PrivacySpec::from_bytes(&bytes[..cut]).is_err());
+        }
+        // Semantic validation inside a valid frame.
+        let bad = PrivacySpec {
+            epsilon: 1.0,
+            delta: 2.0,
+            optimal_order: 4.0,
+        };
+        assert!(matches!(
+            PrivacySpec::from_bytes(&bad.to_bytes()),
+            Err(p3gm_store::StoreError::Invalid { .. })
+        ));
     }
 
     #[test]

@@ -37,10 +37,20 @@ pub fn normal_vec<R: Rng + ?Sized>(rng: &mut R, n: usize, std_dev: f64) -> Vec<f
 
 /// Draws one sample from the Laplace distribution with location 0 and the
 /// given scale, via inverse-CDF sampling.
+///
+/// The boundary draw `u = -0.5` (which `gen_range(-0.5..0.5)` produces
+/// with probability 2⁻⁵³ per call) would make `ln(1 − 2|u|) = ln 0 = −∞`
+/// and return an infinite sample, corrupting the release it noises — so it
+/// is rejected and redrawn. Every returned sample is finite.
 pub fn laplace<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
     // u uniform in (-0.5, 0.5); Laplace = -scale * sign(u) * ln(1 - 2|u|).
-    let u: f64 = rng.gen_range(-0.5..0.5);
-    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    loop {
+        let u: f64 = rng.gen_range(-0.5..0.5);
+        let tail = 1.0 - 2.0 * u.abs();
+        if tail > 0.0 {
+            return -scale * u.signum() * tail.ln();
+        }
+    }
 }
 
 /// Fills a vector with `n` i.i.d. Laplace(0, scale) samples.
@@ -153,6 +163,55 @@ mod tests {
         assert!(mean.abs() < 0.05, "mean {mean}");
         // Var of Laplace(0, b) is 2b².
         assert!((var - 2.0 * scale * scale).abs() < 0.3, "var {var}");
+    }
+
+    /// An RNG that emits a fixed prefix of raw bit patterns before falling
+    /// back to a seeded stream — used to force boundary draws.
+    struct ScriptedRng {
+        script: Vec<u64>,
+        next: usize,
+        fallback: StdRng,
+    }
+
+    impl rand::RngCore for ScriptedRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            if self.next < self.script.len() {
+                self.next += 1;
+                self.script[self.next - 1]
+            } else {
+                rand::RngCore::next_u64(&mut self.fallback)
+            }
+        }
+    }
+
+    #[test]
+    fn laplace_boundary_draw_is_rejected_not_infinite() {
+        // next_u64() == 0 maps to exactly u = -0.5 in gen_range(-0.5..0.5),
+        // the point where ln(1 - 2|u|) = -inf. The sampler must redraw.
+        let mut scripted = ScriptedRng {
+            script: vec![0, 0, 0],
+            next: 0,
+            fallback: rng(),
+        };
+        let sample = laplace(&mut scripted, 1.0);
+        assert!(sample.is_finite(), "boundary draw leaked {sample}");
+        // The scripted prefix was consumed: the sampler rejected all three
+        // boundary draws before producing the finite sample.
+        assert_eq!(scripted.next, 3);
+    }
+
+    #[test]
+    fn laplace_long_stream_is_always_finite() {
+        let mut r = rng();
+        for scale in [1e-3, 1.0, 50.0] {
+            for _ in 0..50_000 {
+                let v = laplace(&mut r, scale);
+                assert!(v.is_finite(), "non-finite Laplace sample {v}");
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!
 //! This crate is a thin facade that re-exports the workspace:
 //!
+//! * [`store`] — versioned binary snapshot codec for persisting trained
+//!   models (magic + version + tags + checksum, std-only, no serde).
 //! * [`parallel`] — deterministic std-only data parallelism (scoped thread
 //!   pool, ordered map-reduce, `P3GM_THREADS` override).
 //! * [`linalg`] — dense matrices, Jacobi eigendecomposition, Cholesky.
@@ -46,6 +48,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Versioned binary snapshot codec (model persistence).
+pub use p3gm_store as store;
 
 /// Deterministic data-parallel execution layer.
 pub use p3gm_parallel as parallel;
