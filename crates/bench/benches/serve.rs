@@ -1,0 +1,129 @@
+//! Requests-per-second benchmark for the `p3gm-server` HTTP synthesis
+//! service at 1/2/4 server worker threads.
+//!
+//! Setup trains one small P3GM model, writes its snapshot into a
+//! temporary model directory, and starts a fresh server per thread
+//! count. Each measured iteration is one full HTTP round trip over a
+//! real TCP socket: connect, `POST /models/bench/sample` (seed 42,
+//! n = 64), read the response. Before timing, the response body at every
+//! thread count is asserted **byte-identical** to the 1-thread body —
+//! the determinism guarantee the serving layer inherits from
+//! `p3gm-parallel`.
+//!
+//! The ledger runs in memory here (no per-request fsync), so the numbers
+//! measure the HTTP + synthesis path. The recorded baseline lives in
+//! `BENCH_serve.json` at the repository root together with the host's
+//! core count — thread sweeps only show wall-clock scaling on machines
+//! that actually have the cores.
+//!
+//! ```text
+//! cargo bench -p p3gm-bench --bench serve
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use p3gm_core::config::PgmConfig;
+use p3gm_core::pgm::PhasedGenerativeModel;
+use p3gm_core::snapshot::SynthesisSnapshot;
+use p3gm_core::synthesis::LabelledSynthesizer;
+use p3gm_datasets::tabular::adult_like;
+use p3gm_server::{start, ServerConfig, ServerHandle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+const SAMPLE_BODY: &str = r#"{"seed": 42, "n": 64}"#;
+
+fn one_request(addr: SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    write!(
+        stream,
+        "POST /models/bench/sample HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{SAMPLE_BODY}",
+        SAMPLE_BODY.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    raw.split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .expect("response body")
+}
+
+fn prepare_model_dir() -> PathBuf {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let dataset = adult_like(&mut rng, 400);
+    let (synth, prepared) =
+        LabelledSynthesizer::prepare(&dataset.features, &dataset.labels, dataset.n_classes)
+            .expect("prepare");
+    let config = PgmConfig {
+        latent_dim: 6,
+        hidden_dim: 24,
+        epochs: 2,
+        batch_size: 64,
+        ..PgmConfig::default()
+    };
+    let (model, _) = PhasedGenerativeModel::fit(&mut rng, &prepared, config).expect("train");
+    let snapshot = SynthesisSnapshot::capture(model).with_synthesizer(synth);
+    let dir = std::env::temp_dir().join(format!("p3gm_bench_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create model dir");
+    std::fs::write(dir.join("bench.snapshot"), snapshot.to_bytes()).expect("write snapshot");
+    dir
+}
+
+fn start_server(dir: &PathBuf, threads: usize) -> ServerHandle {
+    start(ServerConfig {
+        threads,
+        ledger_path: None,
+        ..ServerConfig::new(dir)
+    })
+    .expect("start server")
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let dir = prepare_model_dir();
+
+    // Determinism gate: the same (model, seed, n) must serve identical
+    // bytes at every server thread count.
+    let reference = {
+        let server = start_server(&dir, 1);
+        let body = one_request(server.addr());
+        server.shutdown();
+        body
+    };
+    for t in THREADS {
+        let server = start_server(&dir, t);
+        let body = one_request(server.addr());
+        assert_eq!(
+            body, reference,
+            "response bodies must be byte-identical at {t} server threads"
+        );
+        c.bench_function(&format!("serve/sample_n64/threads={t}"), |bench| {
+            let addr = server.addr();
+            bench.iter(|| black_box(one_request(addr).len()))
+        });
+        server.shutdown();
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = serve;
+    config = config();
+    targets = bench_serve
+}
+criterion_main!(serve);

@@ -166,6 +166,11 @@ impl SynthesisSnapshot {
     /// captured from with the same seed — the round-trip guarantee the
     /// persistence layer is tested against.
     pub fn sample(&self, seed: u64, n: usize) -> Matrix {
+        // n = 0 is a well-formed request for zero rows: return an empty
+        // matrix that still carries the model's output geometry.
+        if n == 0 {
+            return Matrix::zeros(0, self.model.data_dim());
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         self.model.sample(&mut rng, n)
     }
@@ -181,6 +186,9 @@ impl SynthesisSnapshot {
     /// path with the same seed.
     pub fn sample_parallel(&self, seed: u64, n: usize) -> Matrix {
         let d = self.model.data_dim();
+        if n == 0 {
+            return Matrix::zeros(0, d);
+        }
         let mut out = Matrix::zeros(n, d);
         let rows_per_chunk = p3gm_parallel::default_chunk_len(n);
         p3gm_parallel::par_chunks_mut(
@@ -205,6 +213,11 @@ impl SynthesisSnapshot {
     /// produce, regardless of how many requests run at once or how many
     /// worker threads the pool has.
     pub fn serve(&self, requests: &[SampleRequest]) -> Vec<Matrix> {
+        // An empty batch (or any n = 0 request inside one) is served as
+        // well-formed empty output, not an edge case for the pool.
+        if requests.is_empty() {
+            return Vec::new();
+        }
         p3gm_parallel::par_map_chunks(requests.len(), |i| {
             self.sample(requests[i].seed, requests[i].n)
         })
@@ -346,6 +359,29 @@ mod tests {
         // Different seeds give different streams.
         let other = snapshot.sample_parallel(10, 70);
         assert_ne!(other.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn zero_row_requests_yield_empty_matrices_with_model_geometry() {
+        let (snapshot, _) = trained_snapshot();
+        let d = snapshot.model().data_dim();
+        assert!(d > 0);
+        // Serial, parallel, and batch paths all return well-formed empty
+        // output carrying the model's output geometry.
+        assert_eq!(snapshot.sample(5, 0).shape(), (0, d));
+        assert_eq!(snapshot.sample_parallel(5, 0).shape(), (0, d));
+        assert_eq!(snapshot.serve(&[]), Vec::<Matrix>::new());
+        let served = snapshot.serve(&[
+            SampleRequest { seed: 1, n: 0 },
+            SampleRequest { seed: 2, n: 3 },
+            SampleRequest { seed: 3, n: 0 },
+        ]);
+        assert_eq!(served.len(), 3);
+        assert_eq!(served[0].shape(), (0, d));
+        assert_eq!(served[1].shape(), (3, d));
+        assert_eq!(served[2].shape(), (0, d));
+        // A zero-row request does not perturb its neighbors' streams.
+        assert_eq!(served[1].as_slice(), snapshot.sample(2, 3).as_slice());
     }
 
     #[test]

@@ -90,6 +90,14 @@ impl PrivacySpec {
     }
 }
 
+impl std::fmt::Display for PrivacySpec {
+    /// The human-facing certificate line, e.g. `(1.000, 1e-5)-DP` — the
+    /// form the serving layer stamps on every synthesis response.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.3}, {:e})-DP", self.epsilon, self.delta)
+    }
+}
+
 /// Rényi-DP accountant over a fixed grid of orders.
 #[derive(Debug, Clone)]
 pub struct RdpAccountant {
@@ -296,6 +304,16 @@ mod tests {
     use super::*;
 
     const DELTA: f64 = 1e-5;
+
+    #[test]
+    fn privacy_spec_display_is_the_certificate_line() {
+        let spec = PrivacySpec {
+            epsilon: 0.987654,
+            delta: 1e-5,
+            optimal_order: 8.0,
+        };
+        assert_eq!(spec.to_string(), "(0.988, 1e-5)-DP");
+    }
 
     #[test]
     fn empty_accountant_cost_is_conversion_overhead_only() {

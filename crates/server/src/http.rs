@@ -1,0 +1,625 @@
+//! Strict HTTP/1.1 request parsing and response writing over `std::io`.
+//!
+//! The parser mirrors the decoder-hardening discipline of `p3gm-store`:
+//! **no input, however malformed, can cause a panic** — every failure is
+//! a typed [`HttpError`] that maps to a 4xx/5xx status via
+//! [`HttpError::status`]. All reads are bounded by [`Limits`] (head size,
+//! header count, body size), every slice access is checked, and a crafted
+//! `Content-Length` cannot trigger an unbounded allocation because the
+//! body is read incrementally up to the configured cap.
+//!
+//! Scope is deliberately small: the two methods the service routes
+//! (`GET` / `POST`), `Content-Length` bodies only (a `Transfer-Encoding`
+//! header is rejected with 501 rather than mis-framed), one request per
+//! connection (`Connection: close` on every response). [`read_request`]
+//! is generic over [`Read`] so the proptest suite can drive it with
+//! arbitrary in-memory bytes — the same code path the TCP socket uses.
+
+use std::io::{Read, Write};
+
+/// Request methods the service understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`.
+    Get,
+    /// `POST`.
+    Post,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        })
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The request target exactly as sent (always starts with `/`).
+    pub target: String,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of the first header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Hard input limits enforced while reading a request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (before the blank line).
+    pub max_head_bytes: usize,
+    /// Maximum number of header fields.
+    pub max_headers: usize,
+    /// Maximum body bytes (`Content-Length` above this is rejected with
+    /// 413 before any body byte is read).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Typed request-parse failures. Each maps to a response status via
+/// [`HttpError::status`]; none of them is ever a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The connection closed (or an in-memory buffer ended) before a
+    /// complete request was read.
+    Incomplete,
+    /// The request line is not `METHOD SP TARGET SP VERSION`.
+    BadRequestLine,
+    /// The method is a valid token but not one the service supports.
+    UnsupportedMethod,
+    /// The HTTP version is not 1.0 or 1.1.
+    UnsupportedVersion,
+    /// A header line is malformed (missing colon, bad name token,
+    /// control bytes, obsolete line folding).
+    BadHeader,
+    /// Request line + headers exceed [`Limits::max_head_bytes`].
+    HeadTooLarge,
+    /// More header fields than [`Limits::max_headers`].
+    TooManyHeaders,
+    /// `Content-Length` is unparsable or two copies disagree.
+    BadContentLength,
+    /// `Content-Length` exceeds [`Limits::max_body_bytes`].
+    BodyTooLarge,
+    /// A `Transfer-Encoding` header was sent (chunked bodies are not
+    /// implemented; rejecting beats mis-framing).
+    UnsupportedTransferEncoding,
+    /// An I/O failure while reading (timeouts surface here).
+    Io(std::io::ErrorKind),
+}
+
+impl HttpError {
+    /// The response status this failure maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Incomplete
+            | HttpError::BadRequestLine
+            | HttpError::BadHeader
+            | HttpError::BadContentLength => 400,
+            HttpError::UnsupportedMethod => 405,
+            HttpError::UnsupportedVersion => 505,
+            HttpError::HeadTooLarge | HttpError::TooManyHeaders => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::UnsupportedTransferEncoding => 501,
+            HttpError::Io(kind) => match kind {
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => 408,
+                _ => 400,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Incomplete => write!(f, "connection closed before request completed"),
+            HttpError::BadRequestLine => write!(f, "malformed request line"),
+            HttpError::UnsupportedMethod => write!(f, "method not allowed"),
+            HttpError::UnsupportedVersion => write!(f, "unsupported HTTP version"),
+            HttpError::BadHeader => write!(f, "malformed header"),
+            HttpError::HeadTooLarge => write!(f, "request head too large"),
+            HttpError::TooManyHeaders => write!(f, "too many headers"),
+            HttpError::BadContentLength => write!(f, "invalid content-length"),
+            HttpError::BodyTooLarge => write!(f, "request body too large"),
+            HttpError::UnsupportedTransferEncoding => {
+                write!(f, "transfer-encoding not supported")
+            }
+            HttpError::Io(kind) => write!(f, "i/o failure reading request: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads and parses one request from `reader`, enforcing `limits`.
+///
+/// Generic over [`Read`] so arbitrary byte streams (the proptest sweep)
+/// exercise exactly the code path real sockets do. Returns a typed
+/// [`HttpError`] on any malformed, oversized, truncated or unsupported
+/// input — never panics.
+pub fn read_request<R: Read>(reader: &mut R, limits: &Limits) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut tmp = [0u8; 1024];
+    // Read until the blank line terminating the head, bounded by
+    // max_head_bytes (+3 so a terminator straddling the cap still parses).
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            if pos > limits.max_head_bytes {
+                return Err(HttpError::HeadTooLarge);
+            }
+            break pos;
+        }
+        if buf.len() > limits.max_head_bytes + 3 {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let n = reader.read(&mut tmp).map_err(|e| HttpError::Io(e.kind()))?;
+        if n == 0 {
+            return Err(HttpError::Incomplete);
+        }
+        buf.extend_from_slice(&tmp[..n]);
+    };
+    let (method, target, headers) = parse_head(&buf[..head_end], limits)?;
+
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+    let content_length = content_length(&headers)?;
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge);
+    }
+
+    // Whatever followed the head in the buffer is the body prefix; bytes
+    // beyond Content-Length (pipelining) are ignored — every response
+    // closes the connection.
+    let mut body: Vec<u8> = buf.get(head_end + 4..).unwrap_or(&[]).to_vec();
+    body.truncate(content_length);
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(tmp.len());
+        let n = reader
+            .read(&mut tmp[..want])
+            .map_err(|e| HttpError::Io(e.kind()))?;
+        if n == 0 {
+            return Err(HttpError::Incomplete);
+        }
+        body.extend_from_slice(&tmp[..n]);
+    }
+
+    Ok(Request {
+        method,
+        target,
+        headers,
+        body,
+    })
+}
+
+/// Index of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses the request line and header lines (everything before the blank
+/// line, CRLF separators).
+#[allow(clippy::type_complexity)]
+fn parse_head(
+    head: &[u8],
+    limits: &Limits,
+) -> Result<(Method, String, Vec<(String, String)>), HttpError> {
+    let mut lines = split_crlf(head);
+    let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+    let (method, target) = parse_request_line(request_line)?;
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooManyHeaders);
+        }
+        headers.push(parse_header_line(line)?);
+    }
+    Ok((method, target, headers))
+}
+
+/// Splits on `\r\n` exactly (a bare `\n` or stray `\r` stays inside the
+/// line and is rejected by the per-line charset checks).
+fn split_crlf(head: &[u8]) -> impl Iterator<Item = &[u8]> {
+    let mut rest = head;
+    std::iter::from_fn(move || {
+        if rest.is_empty() {
+            return None;
+        }
+        match rest.windows(2).position(|w| w == b"\r\n") {
+            Some(pos) => {
+                let line = &rest[..pos];
+                rest = rest.get(pos + 2..).unwrap_or(&[]);
+                Some(line)
+            }
+            None => {
+                let line = rest;
+                rest = &[];
+                Some(line)
+            }
+        }
+    })
+}
+
+fn parse_request_line(line: &[u8]) -> Result<(Method, String), HttpError> {
+    let mut parts = line.split(|&b| b == b' ');
+    let method = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let target = parts.next().ok_or(HttpError::BadRequestLine)?;
+    let version = parts.next().ok_or(HttpError::BadRequestLine)?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequestLine);
+    }
+
+    if method.is_empty() || !method.iter().all(|&b| is_token_byte(b)) {
+        return Err(HttpError::BadRequestLine);
+    }
+    let method = match method {
+        b"GET" => Method::Get,
+        b"POST" => Method::Post,
+        _ => return Err(HttpError::UnsupportedMethod),
+    };
+
+    if target.first() != Some(&b'/') || !target.iter().all(|&b| (0x21..=0x7E).contains(&b)) {
+        return Err(HttpError::BadRequestLine);
+    }
+    let target = String::from_utf8(target.to_vec()).map_err(|_| HttpError::BadRequestLine)?;
+
+    match version {
+        b"HTTP/1.1" | b"HTTP/1.0" => Ok((method, target)),
+        v if v.starts_with(b"HTTP/") => Err(HttpError::UnsupportedVersion),
+        _ => Err(HttpError::BadRequestLine),
+    }
+}
+
+fn parse_header_line(line: &[u8]) -> Result<(String, String), HttpError> {
+    // Obsolete line folding (continuation lines starting with SP/HTAB)
+    // is rejected outright, as RFC 7230 recommends for new parsers.
+    if matches!(line.first(), Some(b' ' | b'\t')) {
+        return Err(HttpError::BadHeader);
+    }
+    let colon = line
+        .iter()
+        .position(|&b| b == b':')
+        .ok_or(HttpError::BadHeader)?;
+    let name = &line[..colon];
+    if name.is_empty() || !name.iter().all(|&b| is_token_byte(b)) {
+        return Err(HttpError::BadHeader);
+    }
+    let value = trim_ows(line.get(colon + 1..).unwrap_or(&[]));
+    if !value
+        .iter()
+        .all(|&b| b == b'\t' || (0x20..=0x7E).contains(&b) || b >= 0x80)
+    {
+        return Err(HttpError::BadHeader);
+    }
+    let name = String::from_utf8_lossy(name).to_ascii_lowercase();
+    let value = String::from_utf8_lossy(value).into_owned();
+    Ok((name, value))
+}
+
+/// `tchar` from RFC 7230 §3.2.6.
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+fn trim_ows(mut bytes: &[u8]) -> &[u8] {
+    while matches!(bytes.first(), Some(b' ' | b'\t')) {
+        bytes = &bytes[1..];
+    }
+    while matches!(bytes.last(), Some(b' ' | b'\t')) {
+        bytes = &bytes[..bytes.len() - 1];
+    }
+    bytes
+}
+
+fn content_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
+    let mut length: Option<usize> = None;
+    for (name, value) in headers {
+        if name == "content-length" {
+            if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::BadContentLength);
+            }
+            let parsed: usize = value.parse().map_err(|_| HttpError::BadContentLength)?;
+            match length {
+                Some(existing) if existing != parsed => {
+                    return Err(HttpError::BadContentLength);
+                }
+                _ => length = Some(parsed),
+            }
+        }
+    }
+    Ok(length.unwrap_or(0))
+}
+
+/// One HTTP response, written with `Connection: close` and an exact
+/// `Content-Length`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Additional response headers (e.g. the privacy-budget trailers).
+    pub extra_headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from an already-serialized deterministic body.
+    pub fn json(status: u16, body: &crate::json::Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.to_string().into_bytes(),
+        }
+    }
+
+    /// A CSV response.
+    pub fn csv(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/csv",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Adds a response header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes the status line, headers and body to `writer`.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        for (name, value) in &self.extra_headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        writer.write_all(b"\r\n")?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// The canonical reason phrase for the status codes this service emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(bytes.to_vec()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_get_request() {
+        let req = parse(b"GET /models HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.target, "/models");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse(b"POST /models/m/sample HTTP/1.1\r\nContent-Length: 10\r\n\r\n{\"seed\":1}")
+                .unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.target, "/models/m/sample");
+        assert_eq!(req.body, b"{\"seed\":1}");
+        // Bytes past Content-Length are ignored (one request per
+        // connection, pipelining unsupported).
+        let req = parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nokEXTRA").unwrap();
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn header_names_are_lowercased_and_values_trimmed() {
+        let req = parse(b"GET / HTTP/1.1\r\nX-Thing:   spaced value  \r\n\r\n").unwrap();
+        assert_eq!(req.header("x-thing"), Some("spaced value"));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for bad in [
+            &b"\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"GET nopath HTTP/1.1\r\n\r\n",
+            b"GET /\x01 HTTP/1.1\r\n\r\n",
+            b"G@T / HTTP/1.1\r\n\r\n",
+            b"GET / FTP/1.1\r\n\r\n",
+        ] {
+            assert_eq!(parse(bad).unwrap_err().status(), 400, "{bad:?}");
+        }
+        assert_eq!(
+            parse(b"PUT / HTTP/1.1\r\n\r\n").unwrap_err(),
+            HttpError::UnsupportedMethod
+        );
+        assert_eq!(
+            parse(b"GET / HTTP/2.0\r\n\r\n").unwrap_err(),
+            HttpError::UnsupportedVersion
+        );
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        for bad in [
+            &b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"[..],
+            b"GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+            b"GET / HTTP/1.1\r\nBad Name: v\r\n\r\n",
+            b"GET / HTTP/1.1\r\nA: ok\r\n folded\r\n\r\n",
+            b"GET / HTTP/1.1\r\nA: bad\x01byte\r\n\r\n",
+        ] {
+            assert_eq!(parse(bad).unwrap_err(), HttpError::BadHeader, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn content_length_abuse_is_rejected() {
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err(),
+            HttpError::BadContentLength
+        );
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\nx")
+                .unwrap_err(),
+            HttpError::BadContentLength
+        );
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n").unwrap_err(),
+            HttpError::BadContentLength
+        );
+        // Over the body cap: rejected before reading any body byte.
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            Limits::default().max_body_bytes + 1
+        );
+        assert_eq!(parse(huge.as_bytes()).unwrap_err(), HttpError::BodyTooLarge);
+        // Duplicate but equal values are fine.
+        assert!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok").is_ok()
+        );
+    }
+
+    #[test]
+    fn truncated_requests_are_incomplete() {
+        for bad in [
+            &b""[..],
+            b"GET / HT",
+            b"GET / HTTP/1.1\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab",
+        ] {
+            assert_eq!(parse(bad).unwrap_err(), HttpError::Incomplete, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected() {
+        let limits = Limits {
+            max_head_bytes: 128,
+            ..Limits::default()
+        };
+        let big = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(256));
+        assert_eq!(
+            read_request(&mut Cursor::new(big.into_bytes()), &limits).unwrap_err(),
+            HttpError::HeadTooLarge
+        );
+        // A stream that never terminates its head is also cut off at the cap.
+        let endless = vec![b'A'; 4096];
+        assert_eq!(
+            read_request(&mut Cursor::new(endless), &limits).unwrap_err(),
+            HttpError::HeadTooLarge
+        );
+    }
+
+    #[test]
+    fn too_many_headers_are_rejected() {
+        let mut req = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..100 {
+            req.push_str(&format!("H{i}: v\r\n"));
+        }
+        req.push_str("\r\n");
+        assert_eq!(
+            parse(req.as_bytes()).unwrap_err(),
+            HttpError::TooManyHeaders
+        );
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected_not_misframed() {
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err(),
+            HttpError::UnsupportedTransferEncoding
+        );
+    }
+
+    #[test]
+    fn every_error_maps_to_a_4xx_or_5xx_status() {
+        for e in [
+            HttpError::Incomplete,
+            HttpError::BadRequestLine,
+            HttpError::UnsupportedMethod,
+            HttpError::UnsupportedVersion,
+            HttpError::BadHeader,
+            HttpError::HeadTooLarge,
+            HttpError::TooManyHeaders,
+            HttpError::BadContentLength,
+            HttpError::BodyTooLarge,
+            HttpError::UnsupportedTransferEncoding,
+            HttpError::Io(std::io::ErrorKind::TimedOut),
+            HttpError::Io(std::io::ErrorKind::ConnectionReset),
+        ] {
+            let status = e.status();
+            assert!((400..=599).contains(&status), "{e:?} -> {status}");
+            assert!(!e.to_string().is_empty());
+            assert_ne!(reason_phrase(status), "");
+        }
+    }
+
+    #[test]
+    fn responses_serialize_with_exact_framing() {
+        let resp = Response::json(200, &crate::json::Json::Bool(true))
+            .with_header("x-p3gm-privacy", "(1.0, 1e-5)-DP");
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 4\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("x-p3gm-privacy: (1.0, 1e-5)-DP\r\n"));
+        assert!(text.ends_with("\r\n\r\ntrue"));
+    }
+}

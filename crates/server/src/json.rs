@@ -1,0 +1,552 @@
+//! Minimal hand-rolled JSON value module: parse and serialize, no
+//! dependencies.
+//!
+//! The workspace builds offline with no serde, so the HTTP request layer
+//! carries its own JSON support, held to the same hardening discipline as
+//! the `p3gm-store` decoder: **parsing never panics on untrusted input**
+//! — every malformed document is a typed [`JsonError`] with the byte
+//! offset of the problem. The parser is strict JSON (RFC 8259) plus two
+//! deliberate extra rejections that keep request handling deterministic
+//! and unambiguous: duplicate object keys are errors, and numbers that
+//! overflow `f64` (e.g. `1e999`) are errors instead of silently becoming
+//! infinity.
+//!
+//! Serialization ([`Json`]'s `Display`) is compact and deterministic:
+//! object members print in insertion order, numbers print through Rust's
+//! shortest-round-trip `f64` formatting, and there is no whitespace — the
+//! same value always serializes to the same bytes, which is what lets the
+//! server promise byte-identical response bodies for identical requests.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the parser accepts. Deep enough for any real
+/// request body, shallow enough that recursion cannot exhaust the stack
+/// on crafted input.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+///
+/// Objects preserve insertion order (members are a `Vec`, not a map) so
+/// serialization is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Always finite: the parser rejects overflowing literals
+    /// and the serializer prints non-finite values as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order, with unique keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Looks up a key in an object value. Returns `None` for missing keys
+    /// and for non-object values.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer number that
+    /// `f64` represents exactly (at most 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= 9_007_199_254_740_992.0 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice of elements, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// The object members, if it is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members.as_slice()),
+            _ => None,
+        }
+    }
+}
+
+/// A typed JSON parse failure: what went wrong and the byte offset where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where the problem was detected.
+    pub pos: usize,
+    /// Description of the problem.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document. The entire input must be a single value
+/// surrounded by nothing but whitespace; anything else is a typed
+/// [`JsonError`] — never a panic.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> JsonError {
+        JsonError { pos: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &'static [u8], value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(literal) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.expect_literal(b"null", Json::Null),
+            Some(b't') => self.expect_literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal(b"false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // consume '{'
+        let mut members: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string object key"));
+            }
+            let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.err("duplicate object key"));
+            }
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // consume opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue; // unicode_escape consumed its digits
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("unescaped control character")),
+                Some(_) => {
+                    // Copy one full UTF-8 scalar (the input is a &str, so
+                    // multi-byte sequences are guaranteed well-formed).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    match s.chars().next() {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        None => return Err(self.err("unterminated string")),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (the `u` itself already
+    /// consumed), handling UTF-16 surrogate pairs. Leaves `pos` after the
+    /// last consumed digit.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: a `\uXXXX` low surrogate must follow.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let second = self.hex4()?;
+                if (0xDC00..0xE000).contains(&second) {
+                    let c = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"));
+                }
+            }
+            Err(self.err("unpaired surrogate in \\u escape"))
+        } else if (0xDC00..0xE000).contains(&first) {
+            Err(self.err("unpaired surrogate in \\u escape"))
+        } else {
+            char::from_u32(first).ok_or_else(|| self.err("invalid \\u escape"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one `0`, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        if !v.is_finite() {
+            return Err(self.err("number overflows f64"));
+        }
+        Ok(Json::Num(v))
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(true) => f.write_str("true"),
+            Json::Bool(false) => f.write_str("false"),
+            Json::Num(v) if v.is_finite() => write!(f, "{v}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    item.fmt(f)?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(members) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_str(":")?;
+                    value.fmt(f)?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(parse("-0.5e2").unwrap(), Json::Num(-50.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"seed": 7, "n": 3, "labels": [2, 1], "format": "csv"}"#).unwrap();
+        assert_eq!(v.get("seed").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("format").and_then(Json::as_str), Some("csv"));
+        assert_eq!(
+            v.get("labels").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = parse(r#""a\"b\\c\nd\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\"b\\c\ndA\u{e9}\u{1F600}");
+        // Serialize then reparse: identical value.
+        let text = v.to_string();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn serialization_is_deterministic_and_compact() {
+        let v = Json::Obj(vec![
+            ("b".into(), Json::Num(1.5)),
+            ("a".into(), Json::Arr(vec![Json::Null, Json::Bool(false)])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"b":1.5,"a":[null,false]}"#);
+        // Insertion order is preserved, so the same construction always
+        // yields the same bytes.
+        assert_eq!(v.to_string(), v.to_string());
+    }
+
+    #[test]
+    fn numbers_round_trip_bit_exactly() {
+        for v in [0.1, 1.0 / 3.0, 1e-308, 123_456_789.123_456, -2.5e17] {
+            let text = Json::Num(v).to_string();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn as_u64_requires_exact_nonnegative_integers() {
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
+        assert_eq!(parse("9007199254740992").unwrap().as_u64(), Some(1 << 53));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("1e300").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn malformed_documents_are_typed_errors() {
+        for bad in [
+            "",
+            "  ",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "tru",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "+1",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "\"ctrl \u{0001}\"",
+            "\"\\ud800\"",
+            "1 2",
+            "{\"a\":1,\"a\":2}",
+            "1e999",
+            "--1",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&deep_ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn error_display_mentions_position() {
+        let e = parse("[1, oops]").unwrap_err();
+        assert!(e.to_string().contains("byte"));
+        assert!(e.pos > 0);
+    }
+}

@@ -1,0 +1,830 @@
+//! # p3gm-server
+//!
+//! A std-only HTTP/1.1 synthesis service over [`std::net::TcpListener`]
+//! that serves `SynthesisSnapshot` files: the network-facing layer that
+//! turns P3GM's train-once/sample-forever deployment story into a
+//! multi-model service, with the (ε, δ) stamp attached to every response
+//! the way the paper attaches it to every release.
+//!
+//! Four pieces:
+//!
+//! * a **model registry** ([`registry`]) that loads named snapshots from
+//!   a directory, verifies them through `p3gm-store` typed errors, swaps
+//!   them atomically behind `Arc` handles, and hot-reloads changed files
+//!   without dropping in-flight requests;
+//! * a **request layer** — a hand-rolled JSON value module ([`json`]) and
+//!   a strict HTTP parser ([`http`]) that reject malformed input with 4xx
+//!   responses and never panic on untrusted bytes;
+//! * a **synthesis executor** that maps `POST /models/{name}/sample` onto
+//!   the deterministic `p3gm-parallel` pool, so a given (model, seed, n)
+//!   returns bit-identical JSON/CSV bodies regardless of concurrency;
+//! * a **privacy budget ledger** ([`ledger`]) tracking cumulative ε per
+//!   model, refusing requests with 429 once a configurable budget is
+//!   exhausted, persisted through the `p3gm-store` codec so restarts
+//!   cannot reset spent budget.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path                    | Purpose                                        |
+//! |--------|-------------------------|------------------------------------------------|
+//! | GET    | `/`                     | Service overview and endpoint list             |
+//! | GET    | `/healthz`              | Liveness + model count                         |
+//! | GET    | `/models`               | All models: geometry, privacy stamp, budget    |
+//! | GET    | `/models/{name}`        | One model's geometry, stamp and budget         |
+//! | POST   | `/models/{name}/sample` | Draw rows: `{"seed", "n", "labels"?, "format"?}` |
+//! | POST   | `/reload`               | Rescan the snapshot directory (hot reload)     |
+//!
+//! Sampling is deterministic per `(model, seed, n)`: the executor rides
+//! `SynthesisSnapshot::serve` on the `p3gm-parallel` pool, whose output
+//! is exactly the sequential `sample(seed, n)` stream, and response
+//! bodies are serialized deterministically — the same request always
+//! yields the same bytes, from any replica, under any concurrency. The
+//! varying budget state travels in `x-p3gm-epsilon-*` response headers,
+//! never in the body.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod json;
+pub mod ledger;
+pub mod registry;
+
+use http::{Limits, Method, Request, Response};
+use json::Json;
+use ledger::{BudgetLedger, LedgerError};
+use p3gm_core::snapshot::SampleRequest;
+use p3gm_linalg::Matrix;
+use p3gm_privacy::rdp::PrivacySpec;
+use registry::Registry;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Configuration of one [`start`]ed server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads accepting and serving connections.
+    pub threads: usize,
+    /// Directory of `*.snapshot` model files.
+    pub model_dir: PathBuf,
+    /// Where the budget ledger persists. `None` keeps it in memory
+    /// (spent budget then resets on restart — only for ephemeral use).
+    pub ledger_path: Option<PathBuf>,
+    /// Per-model cumulative ε ceiling; `None` disables enforcement.
+    pub budget_epsilon: Option<f64>,
+    /// Upper bound on rows per sampling request.
+    pub max_rows: usize,
+    /// HTTP input limits.
+    pub limits: Limits,
+    /// Socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl ServerConfig {
+    /// A config serving `model_dir` on an ephemeral localhost port with
+    /// two workers, a durable ledger at `model_dir/ledger.p3gm`, and no
+    /// budget ceiling.
+    pub fn new(model_dir: impl Into<PathBuf>) -> ServerConfig {
+        let model_dir = model_dir.into();
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            ledger_path: Some(model_dir.join("ledger.p3gm")),
+            model_dir,
+            budget_epsilon: None,
+            max_rows: 100_000,
+            limits: Limits::default(),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Why a server failed to start (or a ledger operation failed).
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding, listing the model directory, or another I/O failure.
+    Io(std::io::Error),
+    /// The persisted ledger failed to open.
+    Ledger(LedgerError),
+    /// The configuration is unusable.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "server i/o failure: {e}"),
+            ServerError::Ledger(e) => write!(f, "budget ledger failure: {e}"),
+            ServerError::InvalidConfig(msg) => write!(f, "invalid server config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<LedgerError> for ServerError {
+    fn from(e: LedgerError) -> Self {
+        ServerError::Ledger(e)
+    }
+}
+
+/// Shared state every worker thread serves from.
+struct Service {
+    registry: Registry,
+    ledger: Mutex<BudgetLedger>,
+    max_rows: usize,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] detaches the workers (they keep serving
+/// until the process exits).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    service: Arc<Service>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Rescans the model directory (the programmatic equivalent of
+    /// `POST /reload`).
+    pub fn reload(&self) -> std::io::Result<registry::ReloadReport> {
+        self.service.registry.reload()
+    }
+
+    /// Number of models currently serving.
+    pub fn model_count(&self) -> usize {
+        self.service.registry.len()
+    }
+
+    /// Stops accepting, wakes every worker, and joins them. In-flight
+    /// requests finish before their worker exits.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Each connect wakes one blocked accept; keep nudging until every
+        // worker has observed the flag and exited (a real client racing in
+        // could consume a wake-up, so this loops rather than counting).
+        while self.workers.iter().any(|w| !w.is_finished()) {
+            let _ = TcpStream::connect(self.addr);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Starts a server: opens the registry and ledger, binds the listener,
+/// and spawns the worker threads.
+pub fn start(config: ServerConfig) -> Result<ServerHandle, ServerError> {
+    if config.threads == 0 {
+        return Err(ServerError::InvalidConfig(
+            "threads must be at least 1".to_string(),
+        ));
+    }
+    if let Some(budget) = config.budget_epsilon {
+        if !(budget.is_finite() && budget >= 0.0) {
+            return Err(ServerError::InvalidConfig(format!(
+                "budget_epsilon must be finite and non-negative, got {budget}"
+            )));
+        }
+    }
+    let (registry, _report) = Registry::open(&config.model_dir)?;
+    let ledger = match &config.ledger_path {
+        Some(path) => BudgetLedger::open(path, config.budget_epsilon)?,
+        None => BudgetLedger::in_memory(config.budget_epsilon),
+    };
+    let service = Arc::new(Service {
+        registry,
+        ledger: Mutex::new(ledger),
+        max_rows: config.max_rows,
+    });
+
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::with_capacity(config.threads);
+    for _ in 0..config.threads {
+        let listener = listener.try_clone()?;
+        let stop = Arc::clone(&stop);
+        let service = Arc::clone(&service);
+        let limits = config.limits;
+        let io_timeout = config.io_timeout;
+        workers.push(std::thread::spawn(move || {
+            worker_loop(&listener, &stop, &service, &limits, io_timeout);
+        }));
+    }
+    Ok(ServerHandle {
+        addr,
+        stop,
+        workers,
+        service,
+    })
+}
+
+fn worker_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    service: &Service,
+    limits: &Limits,
+    io_timeout: Duration,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept failures (e.g. fd exhaustion under a
+                // connection flood) must not busy-spin a core.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(io_timeout));
+        let _ = stream.set_write_timeout(Some(io_timeout));
+        serve_connection(stream, service, limits);
+    }
+}
+
+/// Reads one request, routes it, writes one response, closes. Any
+/// failure on the way in becomes the matching 4xx/5xx; a worker never
+/// dies on a bad connection.
+fn serve_connection(mut stream: TcpStream, service: &Service, limits: &Limits) {
+    let parsed = http::read_request(&mut stream, limits);
+    let response = match &parsed {
+        Ok(request) => route(service, request),
+        Err(e) => error_response(e.status(), &e.to_string()),
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    if parsed.is_err() {
+        // The request was rejected mid-send (oversized head, huge
+        // Content-Length, …): briefly drain what the client is still
+        // writing so closing does not RST the socket and discard the
+        // error response before the client reads it. Bounded in both
+        // bytes and time so a hostile client cannot pin the worker.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let mut scratch = [0u8; 4096];
+        for _ in 0..64 {
+            match std::io::Read::read(&mut stream, &mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+}
+
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(
+        status,
+        &Json::Obj(vec![("error".to_string(), Json::str(message))]),
+    )
+}
+
+/// Dispatches one parsed request to its handler.
+fn route(service: &Service, request: &Request) -> Response {
+    let segments: Vec<&str> = request
+        .target
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match (request.method, segments.as_slice()) {
+        (Method::Get, []) => overview(),
+        (Method::Get, ["healthz"]) => Response::json(
+            200,
+            &Json::Obj(vec![
+                ("status".to_string(), Json::str("ok")),
+                (
+                    "models".to_string(),
+                    Json::Num(service.registry.len() as f64),
+                ),
+            ]),
+        ),
+        (Method::Get, ["models"]) => list_models(service),
+        (Method::Get, ["models", name]) => model_detail(service, name),
+        (Method::Post, ["models", name, "sample"]) => sample(service, name, &request.body),
+        (Method::Post, ["reload"]) => reload(service),
+        // Known paths with the wrong method are 405, unknown paths 404.
+        (_, [] | ["healthz"] | ["models"] | ["models", _] | ["reload"])
+        | (Method::Get, ["models", _, "sample"]) => {
+            error_response(405, "method not allowed for this path")
+        }
+        _ => error_response(404, "no such endpoint"),
+    }
+}
+
+fn overview() -> Response {
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("service".to_string(), Json::str("p3gm-server")),
+            (
+                "endpoints".to_string(),
+                Json::Arr(
+                    [
+                        "GET /",
+                        "GET /healthz",
+                        "GET /models",
+                        "GET /models/{name}",
+                        "POST /models/{name}/sample",
+                        "POST /reload",
+                    ]
+                    .iter()
+                    .map(|e| Json::str(*e))
+                    .collect(),
+                ),
+            ),
+        ]),
+    )
+}
+
+/// The stamp formatted for the constant `x-p3gm-privacy` header.
+fn stamp_header(stamp: Option<&PrivacySpec>) -> String {
+    match stamp {
+        Some(spec) => spec.to_string(),
+        None => "non-private".to_string(),
+    }
+}
+
+fn stamp_json(stamp: Option<&PrivacySpec>) -> Json {
+    match stamp {
+        Some(spec) => Json::Obj(vec![
+            ("epsilon".to_string(), Json::Num(spec.epsilon)),
+            ("delta".to_string(), Json::Num(spec.delta)),
+            ("optimal_order".to_string(), Json::Num(spec.optimal_order)),
+        ]),
+        None => Json::Null,
+    }
+}
+
+fn model_json(service: &Service, model: &registry::LoadedModel) -> Json {
+    let snapshot = model.snapshot();
+    let ledger = service
+        .ledger
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let entry = ledger.entry(model.name());
+    let budget = Json::Obj(vec![
+        ("spent_epsilon".to_string(), Json::Num(entry.spent_epsilon)),
+        (
+            "budget_epsilon".to_string(),
+            ledger.budget_epsilon().map_or(Json::Null, Json::Num),
+        ),
+        (
+            "remaining_epsilon".to_string(),
+            ledger.remaining(model.name()).map_or(Json::Null, Json::Num),
+        ),
+    ]);
+    Json::Obj(vec![
+        ("name".to_string(), Json::str(model.name())),
+        (
+            "data_dim".to_string(),
+            Json::Num(snapshot.model().data_dim() as f64),
+        ),
+        (
+            "latent_dim".to_string(),
+            Json::Num(snapshot.model().config().latent_dim as f64),
+        ),
+        (
+            "n_classes".to_string(),
+            snapshot
+                .synthesizer()
+                .map_or(Json::Null, |s| Json::Num(s.n_classes() as f64)),
+        ),
+        ("privacy".to_string(), stamp_json(snapshot.privacy_stamp())),
+        ("budget".to_string(), budget),
+    ])
+}
+
+fn list_models(service: &Service) -> Response {
+    let models = service
+        .registry
+        .all()
+        .iter()
+        .map(|model| model_json(service, model))
+        .collect();
+    Response::json(
+        200,
+        &Json::Obj(vec![("models".to_string(), Json::Arr(models))]),
+    )
+}
+
+fn model_detail(service: &Service, name: &str) -> Response {
+    match service.registry.get(name) {
+        Some(model) => Response::json(200, &model_json(service, &model)),
+        None => error_response(404, "no such model"),
+    }
+}
+
+fn reload(service: &Service) -> Response {
+    match service.registry.reload() {
+        Ok(report) => {
+            let names = |items: &[String]| Json::Arr(items.iter().map(Json::str).collect());
+            Response::json(
+                200,
+                &Json::Obj(vec![
+                    ("loaded".to_string(), names(&report.loaded)),
+                    ("unchanged".to_string(), names(&report.unchanged)),
+                    ("removed".to_string(), names(&report.removed)),
+                    (
+                        "failed".to_string(),
+                        Json::Arr(
+                            report
+                                .failed
+                                .iter()
+                                .map(|(name, reason)| {
+                                    Json::Obj(vec![
+                                        ("name".to_string(), Json::str(name)),
+                                        ("reason".to_string(), Json::str(reason)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            )
+        }
+        Err(e) => error_response(500, &format!("reload failed: {e}")),
+    }
+}
+
+/// The parsed, validated body of one sampling request.
+#[derive(Debug)]
+struct SampleSpec {
+    seed: u64,
+    n: usize,
+    labels: Option<Vec<usize>>,
+    csv: bool,
+}
+
+/// Validates the JSON body of `POST /models/{name}/sample`. Strict:
+/// unknown fields are rejected so a typo'd request fails loudly instead
+/// of silently sampling defaults.
+fn parse_sample_spec(body: &[u8], max_rows: usize) -> Result<SampleSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        return Err("a JSON body is required: {\"seed\": <int>, \"n\": <int>}".to_string());
+    }
+    let value = json::parse(text).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let members = value.as_obj().ok_or("body must be a JSON object")?;
+    for (key, _) in members {
+        if !matches!(key.as_str(), "seed" | "n" | "labels" | "format") {
+            return Err(format!("unknown field {key:?}"));
+        }
+    }
+
+    let seed = value
+        .get("seed")
+        .ok_or("missing required field \"seed\"")?
+        .as_u64()
+        .ok_or("\"seed\" must be an integer in [0, 2^53]")?;
+
+    // Per-class counts are attacker-controlled: accumulate with checked
+    // arithmetic against the row cap, so a crafted array can neither
+    // overflow the sum nor smuggle huge counts past the limit.
+    let labels: Option<(Vec<usize>, usize)> = match value.get("labels") {
+        None => None,
+        Some(Json::Arr(items)) => {
+            let mut counts = Vec::with_capacity(items.len());
+            let mut total: usize = 0;
+            for item in items {
+                let c = item
+                    .as_u64()
+                    .ok_or("\"labels\" entries must be non-negative integers")?;
+                let c = usize::try_from(c)
+                    .map_err(|_| "\"labels\" entry does not fit in usize".to_string())?;
+                total = total
+                    .checked_add(c)
+                    .filter(|&t| t <= max_rows)
+                    .ok_or_else(|| {
+                        format!("\"labels\" counts sum past the per-request limit ({max_rows})")
+                    })?;
+                counts.push(c);
+            }
+            if total == 0 {
+                return Err("\"labels\" must request at least one row".to_string());
+            }
+            Some((counts, total))
+        }
+        Some(_) => return Err("\"labels\" must be an array of per-class counts".to_string()),
+    };
+
+    let n = match (value.get("n"), &labels) {
+        (Some(v), _) => {
+            let n = v.as_u64().ok_or("\"n\" must be an integer in [0, 2^53]")?;
+            usize::try_from(n).map_err(|_| "\"n\" does not fit in usize".to_string())?
+        }
+        (None, Some((_, total))) => *total,
+        (None, None) => return Err("missing required field \"n\"".to_string()),
+    };
+    if let Some((_, total)) = &labels {
+        if *total != n {
+            return Err(format!(
+                "\"n\" ({n}) must equal the sum of \"labels\" ({total})"
+            ));
+        }
+    }
+    if n > max_rows {
+        return Err(format!(
+            "n ({n}) exceeds the per-request limit ({max_rows})"
+        ));
+    }
+
+    let csv = match value.get("format") {
+        None => false,
+        Some(v) => match v.as_str() {
+            Some("json") => false,
+            Some("csv") => true,
+            _ => return Err("\"format\" must be \"json\" or \"csv\"".to_string()),
+        },
+    };
+
+    Ok(SampleSpec {
+        seed,
+        n,
+        labels: labels.map(|(counts, _)| counts),
+        csv,
+    })
+}
+
+/// The synthesis executor: charges the ledger, draws the rows on the
+/// deterministic `p3gm-parallel` pool, and serializes a deterministic
+/// body.
+fn sample(service: &Service, name: &str, body: &[u8]) -> Response {
+    let Some(model) = service.registry.get(name) else {
+        return error_response(404, "no such model");
+    };
+    let spec = match parse_sample_spec(body, service.max_rows) {
+        Ok(spec) => spec,
+        Err(msg) => return error_response(400, &msg),
+    };
+    let snapshot = model.snapshot();
+    let stamp = snapshot.privacy_stamp().copied();
+
+    // Validate everything a 400 can reject BEFORE charging: a request
+    // that cannot possibly be served must never burn budget.
+    if let Some(counts) = &spec.labels {
+        match snapshot.synthesizer() {
+            None => {
+                return error_response(400, "model has no labelled synthesizer attached");
+            }
+            Some(s) if counts.len() != s.n_classes() => {
+                return error_response(
+                    400,
+                    &format!(
+                        "expected {} class counts in \"labels\", got {}",
+                        s.n_classes(),
+                        counts.len()
+                    ),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+
+    // Charge the budget before any synthesis work: a refused request
+    // must not cost compute, and a served request must be durably
+    // recorded first (crash-safety favors over-counting).
+    let (epsilon, delta) = stamp.map_or((0.0, 0.0), |s| (s.epsilon, s.delta));
+    let charged = {
+        let mut ledger = service
+            .ledger
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        ledger.charge(name, epsilon, delta)
+    };
+    let entry = match charged {
+        Ok(entry) => entry,
+        Err(LedgerError::Exhausted {
+            spent,
+            budget,
+            remaining,
+        }) => {
+            return Response::json(
+                429,
+                &Json::Obj(vec![
+                    (
+                        "error".to_string(),
+                        Json::str("privacy budget exhausted for this model"),
+                    ),
+                    ("model".to_string(), Json::str(name)),
+                    ("spent_epsilon".to_string(), Json::Num(spent)),
+                    ("budget_epsilon".to_string(), Json::Num(budget)),
+                    ("remaining_epsilon".to_string(), Json::Num(remaining)),
+                ]),
+            )
+        }
+        Err(e) => return error_response(500, &format!("budget ledger failure: {e}")),
+    };
+
+    let response = match &spec.labels {
+        None => {
+            // Rides the p3gm-parallel pool; the response is exactly the
+            // sequential sample(seed, n) stream, independent of pool
+            // concurrency and worker count.
+            let mut batches = snapshot.serve(&[SampleRequest {
+                seed: spec.seed,
+                n: spec.n,
+            }]);
+            let rows = batches
+                .pop()
+                .unwrap_or_else(|| Matrix::zeros(0, snapshot.model().data_dim()));
+            render_rows(name, &spec, &rows, None)
+        }
+        Some(counts) => match snapshot.synthesize_labelled(spec.seed, counts) {
+            Ok((rows, labels)) => render_rows(name, &spec, &rows, Some(&labels)),
+            // Client-rejectable conditions were all checked before the
+            // charge; anything left is an internal failure.
+            Err(e) => return error_response(500, &format!("labelled synthesis failed: {e}")),
+        },
+    };
+
+    let remaining = {
+        let ledger = service
+            .ledger
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        ledger.remaining(name)
+    };
+    response
+        .with_header("x-p3gm-privacy", stamp_header(stamp.as_ref()))
+        .with_header("x-p3gm-epsilon-spent", entry.spent_epsilon.to_string())
+        .with_header(
+            "x-p3gm-epsilon-remaining",
+            remaining.map_or("unlimited".to_string(), |r| r.to_string()),
+        )
+}
+
+/// Serializes sampled rows deterministically. JSON and CSV both print
+/// values through Rust's shortest-round-trip `f64` formatting, so equal
+/// samples are equal bytes and parsing a value back yields the identical
+/// bit pattern.
+fn render_rows(name: &str, spec: &SampleSpec, rows: &Matrix, labels: Option<&[usize]>) -> Response {
+    if spec.csv {
+        let mut out = String::new();
+        for (i, row) in rows.row_iter().enumerate() {
+            let mut first = true;
+            for v in row {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&v.to_string());
+            }
+            if let Some(labels) = labels {
+                if !first {
+                    out.push(',');
+                }
+                out.push_str(&labels.get(i).copied().unwrap_or(0).to_string());
+            }
+            out.push('\n');
+        }
+        Response::csv(out)
+    } else {
+        let mut members = vec![
+            ("model".to_string(), Json::str(name)),
+            ("seed".to_string(), Json::Num(spec.seed as f64)),
+            ("n".to_string(), Json::Num(rows.rows() as f64)),
+            (
+                "rows".to_string(),
+                Json::Arr(
+                    rows.row_iter()
+                        .map(|row| Json::Arr(row.iter().map(|&v| Json::Num(v)).collect()))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(labels) = labels {
+            members.push((
+                "labels".to_string(),
+                Json::Arr(labels.iter().map(|&l| Json::Num(l as f64)).collect()),
+            ));
+        }
+        Response::json(200, &Json::Obj(members))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_spec_validation() {
+        let ok = parse_sample_spec(br#"{"seed": 7, "n": 10}"#, 100).unwrap();
+        assert_eq!((ok.seed, ok.n, ok.csv), (7, 10, false));
+        assert!(ok.labels.is_none());
+
+        let labelled = parse_sample_spec(br#"{"seed": 1, "labels": [6, 4]}"#, 100).unwrap();
+        assert_eq!(labelled.n, 10);
+        assert_eq!(labelled.labels, Some(vec![6, 4]));
+
+        let csv = parse_sample_spec(br#"{"seed": 1, "n": 2, "format": "csv"}"#, 100).unwrap();
+        assert!(csv.csv);
+
+        for bad in [
+            &br#""#[..],
+            br#"not json"#,
+            br#"[1]"#,
+            br#"{"n": 10}"#,
+            br#"{"seed": -1, "n": 10}"#,
+            br#"{"seed": 1.5, "n": 10}"#,
+            br#"{"seed": 1}"#,
+            br#"{"seed": 1, "n": 101}"#,
+            br#"{"seed": 1, "n": 9, "labels": [6, 4]}"#,
+            br#"{"seed": 1, "labels": "six"}"#,
+            br#"{"seed": 1, "labels": [1.5]}"#,
+            br#"{"seed": 1, "labels": [0, 0]}"#,
+            br#"{"seed": 1, "labels": [90, 90]}"#,
+            br#"{"seed": 1, "n": 2, "format": "xml"}"#,
+            br#"{"seed": 1, "n": 2, "typo": true}"#,
+        ] {
+            assert!(parse_sample_spec(bad, 100).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn seed_at_the_exact_f64_integer_limit_is_accepted() {
+        let spec = parse_sample_spec(br#"{"seed": 9007199254740992, "n": 1}"#, 10).unwrap();
+        assert_eq!(spec.seed, 1 << 53);
+    }
+
+    #[test]
+    fn label_counts_cannot_overflow_the_row_cap() {
+        // Many maximal counts: the checked accumulation must reject at the
+        // cap instead of overflowing usize (a panic in debug builds, a
+        // wrapped sum bypassing max_rows in release).
+        let mut body = String::from(r#"{"seed": 1, "labels": ["#);
+        for i in 0..64 {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str("9007199254740992");
+        }
+        body.push_str("]}");
+        let err = parse_sample_spec(body.as_bytes(), 100).unwrap_err();
+        assert!(err.contains("per-request limit"), "{err}");
+    }
+
+    #[test]
+    fn csv_rendering_is_deterministic() {
+        let rows = Matrix::from_rows(&[vec![0.5, 1.0 / 3.0], vec![-1.25, 2.0]]).unwrap();
+        let spec = SampleSpec {
+            seed: 1,
+            n: 2,
+            labels: None,
+            csv: true,
+        };
+        let a = render_rows("m", &spec, &rows, None);
+        let b = render_rows("m", &spec, &rows, None);
+        assert_eq!(a.body, b.body);
+        let text = String::from_utf8(a.body).unwrap();
+        assert_eq!(text, format!("0.5,{}\n-1.25,2\n", 1.0 / 3.0));
+        // With labels appended as the last column.
+        let labelled = render_rows("m", &spec, &rows, Some(&[1, 0]));
+        let text = String::from_utf8(labelled.body).unwrap();
+        assert!(text.ends_with(",0\n"));
+        assert!(text.contains("0.5,"));
+    }
+
+    #[test]
+    fn json_rendering_round_trips_row_values_bit_exactly() {
+        let rows = Matrix::from_rows(&[vec![0.1, 1.0 / 3.0, -2.5e-7]]).unwrap();
+        let spec = SampleSpec {
+            seed: 9,
+            n: 1,
+            labels: None,
+            csv: false,
+        };
+        let resp = render_rows("m", &spec, &rows, None);
+        let body = String::from_utf8(resp.body).unwrap();
+        let parsed = json::parse(&body).unwrap();
+        let row = parsed.get("rows").unwrap().as_arr().unwrap()[0]
+            .as_arr()
+            .unwrap();
+        for (got, want) in row.iter().zip(rows.row(0)) {
+            assert_eq!(got.as_f64().unwrap().to_bits(), want.to_bits());
+        }
+        assert_eq!(parsed.get("seed").unwrap().as_u64(), Some(9));
+    }
+}

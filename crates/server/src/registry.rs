@@ -1,0 +1,324 @@
+//! Model registry: named snapshots loaded from a directory, swapped
+//! atomically, hot-reloadable.
+//!
+//! A registry watches one directory of `*.snapshot` files (the buffers
+//! written by `SynthesisSnapshot::to_bytes`). Each file's stem is the
+//! model's name — restricted to `[A-Za-z0-9._-]` so names embed directly
+//! in request paths with no escaping. Loading verifies every buffer
+//! through the `p3gm-store` typed-error decoding path, so a truncated or
+//! corrupt file can never become a serving model.
+//!
+//! Loaded models live behind `Arc` handles in an `RwLock`ed map:
+//! [`Registry::get`] clones the `Arc` out under a brief read lock, so a
+//! [`Registry::reload`] that swaps or drops an entry never invalidates a
+//! request already executing against the old model — in-flight requests
+//! finish on the snapshot they started with, and the old model is freed
+//! when the last of them completes.
+//!
+//! Reload is incremental: files whose `(length, mtime)` fingerprint is
+//! unchanged keep their existing entry (no re-decode of multi-megabyte
+//! weight buffers), new and changed files are decoded fresh, entries
+//! whose file disappeared are dropped, and a file that fails to decode
+//! **keeps the previous entry serving** (a half-written upload must not
+//! take down a live model) while the failure is reported in the
+//! [`ReloadReport`].
+
+use p3gm_core::snapshot::SynthesisSnapshot;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// File extension a registry directory entry must carry to be considered
+/// a model snapshot.
+pub const SNAPSHOT_EXTENSION: &str = "snapshot";
+
+/// One loaded, serving model.
+#[derive(Debug)]
+pub struct LoadedModel {
+    name: String,
+    snapshot: SynthesisSnapshot,
+    fingerprint: Fingerprint,
+}
+
+impl LoadedModel {
+    /// The model's name (the snapshot file's stem).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The decoded snapshot.
+    pub fn snapshot(&self) -> &SynthesisSnapshot {
+        &self.snapshot
+    }
+}
+
+/// The change-detection fingerprint of a snapshot file: byte length and
+/// modification time (nanoseconds since the epoch; 0 when the filesystem
+/// does not report one).
+type Fingerprint = (u64, u128);
+
+/// What one [`Registry::reload`] (or the initial scan) did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReloadReport {
+    /// Models (re)loaded from new or changed files.
+    pub loaded: Vec<String>,
+    /// Models whose files were unchanged (entry kept, no re-decode).
+    pub unchanged: Vec<String>,
+    /// Models dropped because their file disappeared.
+    pub removed: Vec<String>,
+    /// Files that could not be loaded, with the reason. The previous
+    /// entry (if any) keeps serving.
+    pub failed: Vec<(String, String)>,
+}
+
+/// A directory of named snapshots served behind atomically-swappable
+/// `Arc` handles.
+#[derive(Debug)]
+pub struct Registry {
+    dir: PathBuf,
+    models: RwLock<BTreeMap<String, Arc<LoadedModel>>>,
+    /// Serializes [`Registry::reload`] runs: decoding happens outside the
+    /// `models` lock, so without this two concurrent reloads could
+    /// interleave scan/decode/swap and re-insert a model whose file a
+    /// faster reload already saw deleted.
+    reload_lock: Mutex<()>,
+}
+
+impl Registry {
+    /// Opens a registry over `dir` and performs the initial scan.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<(Registry, ReloadReport)> {
+        let registry = Registry {
+            dir: dir.into(),
+            models: RwLock::new(BTreeMap::new()),
+            reload_lock: Mutex::new(()),
+        };
+        let report = registry.reload()?;
+        Ok((registry, report))
+    }
+
+    /// The directory being served.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The handle for a named model, if loaded. The returned `Arc` keeps
+    /// the model alive across concurrent reloads.
+    pub fn get(&self, name: &str) -> Option<Arc<LoadedModel>> {
+        self.models
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// Handles for every loaded model, sorted by name.
+    pub fn all(&self) -> Vec<Arc<LoadedModel>> {
+        self.models
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of loaded models.
+    pub fn len(&self) -> usize {
+        self.models
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no models are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rescans the directory and atomically applies the changes.
+    ///
+    /// Decoding happens **outside** the write lock: requests keep being
+    /// served from the current map while new buffers validate, and the
+    /// final swap is a brief lock that moves `Arc`s, not model weights.
+    /// Returns what changed; `Err` only when the directory itself cannot
+    /// be listed.
+    pub fn reload(&self) -> std::io::Result<ReloadReport> {
+        let _serialized = self
+            .reload_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut report = ReloadReport::default();
+        let mut seen: Vec<(String, Fingerprint, PathBuf)> = Vec::new();
+
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = match entry {
+                Ok(entry) => entry,
+                Err(e) => {
+                    report
+                        .failed
+                        .push(("<dir entry>".to_string(), e.to_string()));
+                    continue;
+                }
+            };
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(SNAPSHOT_EXTENSION) {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                report.failed.push((
+                    path.display().to_string(),
+                    "non-UTF-8 file name".to_string(),
+                ));
+                continue;
+            };
+            if !is_valid_model_name(stem) {
+                report.failed.push((
+                    stem.to_string(),
+                    "model names may only contain [A-Za-z0-9._-]".to_string(),
+                ));
+                continue;
+            }
+            match fingerprint(&path) {
+                Ok(fp) => seen.push((stem.to_string(), fp, path)),
+                Err(e) => report.failed.push((stem.to_string(), e.to_string())),
+            }
+        }
+
+        // Decode new/changed files without holding any lock.
+        let current: BTreeMap<String, Fingerprint> = {
+            let models = self
+                .models
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            models
+                .iter()
+                .map(|(name, model)| (name.clone(), model.fingerprint))
+                .collect()
+        };
+        let mut fresh: Vec<Arc<LoadedModel>> = Vec::new();
+        for (name, fp, path) in &seen {
+            if current.get(name) == Some(fp) {
+                report.unchanged.push(name.clone());
+                continue;
+            }
+            match load_model(name, *fp, path) {
+                Ok(model) => {
+                    fresh.push(Arc::new(model));
+                    report.loaded.push(name.clone());
+                }
+                Err(reason) => report.failed.push((name.clone(), reason)),
+            }
+        }
+
+        // Atomic swap: drop vanished entries, insert fresh ones. Entries
+        // whose file failed to decode are intentionally left as-is.
+        let keep: std::collections::BTreeSet<&str> = seen
+            .iter()
+            .map(|(name, _, _)| name.as_str())
+            .chain(report.failed.iter().map(|(name, _)| name.as_str()))
+            .collect();
+        let mut models = self
+            .models
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let vanished: Vec<String> = models
+            .keys()
+            .filter(|name| !keep.contains(name.as_str()))
+            .cloned()
+            .collect();
+        for name in vanished {
+            models.remove(&name);
+            report.removed.push(name);
+        }
+        for model in fresh {
+            models.insert(model.name.clone(), model);
+        }
+        Ok(report)
+    }
+}
+
+/// Whether `name` is a servable model name (safe to embed in a request
+/// path verbatim).
+pub fn is_valid_model_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+fn fingerprint(path: &Path) -> std::io::Result<Fingerprint> {
+    let meta = std::fs::metadata(path)?;
+    let mtime = meta
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    Ok((meta.len(), mtime))
+}
+
+fn load_model(name: &str, fingerprint: Fingerprint, path: &Path) -> Result<LoadedModel, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read failed: {e}"))?;
+    let snapshot = SynthesisSnapshot::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    Ok(LoadedModel {
+        name: name.to_string(),
+        snapshot,
+        fingerprint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_name_validation() {
+        assert!(is_valid_model_name("adult-v3"));
+        assert!(is_valid_model_name("m_1.2"));
+        assert!(!is_valid_model_name(""));
+        assert!(!is_valid_model_name("has space"));
+        assert!(!is_valid_model_name("path/traversal"));
+        assert!(!is_valid_model_name("q?uery"));
+        assert!(!is_valid_model_name(&"x".repeat(129)));
+    }
+
+    #[test]
+    fn empty_directory_is_an_empty_registry() {
+        let dir = std::env::temp_dir().join(format!("p3gm_registry_empty_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let (registry, report) = Registry::open(&dir).unwrap();
+        assert!(registry.is_empty());
+        assert!(registry.get("anything").is_none());
+        assert_eq!(report, ReloadReport::default());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_io_error() {
+        let dir = std::env::temp_dir().join("p3gm_registry_does_not_exist_xyz");
+        assert!(Registry::open(&dir).is_err());
+    }
+
+    #[test]
+    fn corrupt_snapshot_files_are_reported_not_served() {
+        let dir =
+            std::env::temp_dir().join(format!("p3gm_registry_corrupt_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        std::fs::write(
+            dir.join("broken.snapshot"),
+            b"this is long enough to frame-check but is not a p3gm snapshot",
+        )
+        .unwrap();
+        std::fs::write(dir.join("ignored.txt"), b"not even the extension").unwrap();
+        std::fs::write(dir.join("bad name.snapshot"), b"x").unwrap();
+        let (registry, report) = Registry::open(&dir).unwrap();
+        assert!(registry.is_empty());
+        assert_eq!(report.failed.len(), 2, "{report:?}");
+        assert!(report
+            .failed
+            .iter()
+            .any(|(name, reason)| name == "broken" && reason.contains("magic")));
+        assert!(report.failed.iter().any(|(name, _)| name == "bad name"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -103,6 +103,8 @@ pub mod tags {
     pub const LABELLED_SYNTHESIZER: u32 = 12;
     /// `p3gm_core::snapshot::SynthesisSnapshot`.
     pub const SYNTHESIS_SNAPSHOT: u32 = 13;
+    /// `p3gm_server::ledger::BudgetLedger`.
+    pub const BUDGET_LEDGER: u32 = 14;
 }
 
 /// Errors produced while decoding a snapshot buffer.
@@ -291,6 +293,13 @@ impl Encoder {
         self
     }
 
+    /// Writes a length-prefixed UTF-8 string (byte length, then the bytes).
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
     /// Patches the payload length and appends the CRC-32, returning the
     /// finished buffer.
     pub fn finish(mut self) -> Vec<u8> {
@@ -454,6 +463,19 @@ impl<'a> Decoder<'a> {
     pub fn nested(&mut self) -> Result<&'a [u8]> {
         let len = self.usize()?;
         self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string written by [`Encoder::str`].
+    /// Invalid UTF-8 is a typed [`StoreError::Invalid`]; the length is
+    /// bounds-checked against the remaining payload before any allocation.
+    pub fn string(&mut self) -> Result<String> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|e| StoreError::Invalid {
+                msg: format!("invalid UTF-8 in string field: {e}"),
+            })
     }
 
     /// Number of unread payload bytes.
@@ -622,6 +644,39 @@ mod tests {
         let bytes = enc.finish();
         let mut dec = Decoder::new(&bytes, 1).unwrap();
         assert!(dec.f64_vec().is_err());
+    }
+
+    #[test]
+    fn string_round_trip_and_invalid_utf8() {
+        let mut enc = Encoder::new(tags::BUDGET_LEDGER);
+        enc.str("adult-v3").str("").str("ε δ 日本語");
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes, tags::BUDGET_LEDGER).unwrap();
+        assert_eq!(dec.string().unwrap(), "adult-v3");
+        assert_eq!(dec.string().unwrap(), "");
+        assert_eq!(dec.string().unwrap(), "ε δ 日本語");
+        dec.finish().unwrap();
+
+        // A length-prefixed byte run that is not UTF-8 is a typed error.
+        let mut enc = Encoder::new(tags::BUDGET_LEDGER);
+        enc.usize(2).u8(0xFF).u8(0xFE);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes, tags::BUDGET_LEDGER).unwrap();
+        assert!(matches!(
+            dec.string().unwrap_err(),
+            StoreError::Invalid { .. }
+        ));
+
+        // A crafted length larger than the payload is Truncated, checked
+        // before any allocation.
+        let mut enc = Encoder::new(tags::BUDGET_LEDGER);
+        enc.u64(u64::MAX);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes, tags::BUDGET_LEDGER).unwrap();
+        assert!(matches!(
+            dec.string().unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Serve over HTTP: train P3GM once, write the snapshot to a model
+//! directory, start `p3gm-server` on an ephemeral port, and drive it
+//! with a plain `std::net::TcpStream` client — list the models, sample
+//! twice with the same seed (byte-identical bodies), exhaust the privacy
+//! budget (HTTP 429), then shut down gracefully.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example serve_http
+//! ```
+//!
+//! The example is self-terminating (CI runs it).
+
+use p3gm::core::config::PgmConfig;
+use p3gm::core::pgm::PhasedGenerativeModel;
+use p3gm::core::snapshot::SynthesisSnapshot;
+use p3gm::core::synthesis::LabelledSynthesizer;
+use p3gm::datasets::tabular::adult_like;
+use p3gm::server::{start, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Sends one HTTP/1.1 request and returns `(status, body)` — the whole
+/// client fits in a dozen lines of std.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn main() {
+    // 1. Train once — the only step that costs privacy budget.
+    let mut rng = StdRng::seed_from_u64(11);
+    let dataset = adult_like(&mut rng, 600);
+    let (synthesizer, prepared) =
+        LabelledSynthesizer::prepare(&dataset.features, &dataset.labels, dataset.n_classes)
+            .expect("prepare training data");
+    let config = PgmConfig {
+        latent_dim: 6,
+        hidden_dim: 32,
+        epochs: 2,
+        batch_size: 64,
+        ..PgmConfig::default()
+    };
+    let (model, _) = PhasedGenerativeModel::fit(&mut rng, &prepared, config).expect("train P3GM");
+    let snapshot = SynthesisSnapshot::capture(model).with_synthesizer(synthesizer);
+    let stamp = *snapshot.privacy_stamp().expect("private training stamps");
+    println!("trained: certified {stamp}");
+
+    // 2. The model directory is the server's unit of deployment: one
+    //    snapshot file per model, plus the durable budget ledger.
+    let dir = std::env::temp_dir().join(format!("p3gm_serve_http_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create model dir");
+    std::fs::write(dir.join("adult-demo.snapshot"), snapshot.to_bytes()).expect("write snapshot");
+
+    // 3. Start the server with a budget that allows two releases: each
+    //    sampling response is charged the model's stamped ε, so the third
+    //    request must be refused with 429.
+    let server = start(ServerConfig {
+        budget_epsilon: Some(2.5 * stamp.epsilon),
+        ..ServerConfig::new(&dir)
+    })
+    .expect("start server");
+    let addr = server.addr();
+    println!("serving {} model(s) on http://{addr}", server.model_count());
+
+    // 4. List the models.
+    let (status, body) = request(addr, "GET", "/models", "");
+    assert_eq!(status, 200);
+    println!("GET /models -> {body}");
+
+    // 5. Sample twice with the same seed: the bodies must be
+    //    byte-identical — synthesis is deterministic per (model, seed, n)
+    //    and the serializer is deterministic too.
+    let sample_body = r#"{"seed": 42, "n": 20}"#;
+    let (status_a, body_a) = request(addr, "POST", "/models/adult-demo/sample", sample_body);
+    let (status_b, body_b) = request(addr, "POST", "/models/adult-demo/sample", sample_body);
+    assert_eq!((status_a, status_b), (200, 200));
+    assert_eq!(
+        body_a, body_b,
+        "same (model, seed, n) must serve identical bytes"
+    );
+    println!(
+        "sampled 20 rows twice with seed 42: bodies byte-identical ({} bytes)",
+        body_a.len()
+    );
+
+    // 6. The budget is now spent (2 × ε against a 2.5 × ε budget): the
+    //    third request is refused with 429 and the remaining budget.
+    let (status, body) = request(addr, "POST", "/models/adult-demo/sample", sample_body);
+    assert_eq!(status, 429, "third release must exhaust the budget: {body}");
+    println!("third request refused: {body}");
+
+    // 7. Graceful shutdown: stop accepting, finish in-flight work, join.
+    server.shutdown();
+    println!("server shut down cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+}

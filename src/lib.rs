@@ -8,6 +8,9 @@
 //!
 //! * [`store`] — versioned binary snapshot codec for persisting trained
 //!   models (magic + version + tags + checksum, std-only, no serde).
+//! * [`server`] — std-only HTTP synthesis service serving snapshot files
+//!   (model registry with hot reload, privacy budget ledger, strict
+//!   request parsing).
 //! * [`parallel`] — deterministic std-only data parallelism (scoped thread
 //!   pool, ordered map-reduce, `P3GM_THREADS` override).
 //! * [`linalg`] — dense matrices, Jacobi eigendecomposition, Cholesky.
@@ -51,6 +54,9 @@
 
 /// Versioned binary snapshot codec (model persistence).
 pub use p3gm_store as store;
+
+/// HTTP synthesis service (model registry, hot reload, budget ledger).
+pub use p3gm_server as server;
 
 /// Deterministic data-parallel execution layer.
 pub use p3gm_parallel as parallel;

@@ -1,0 +1,625 @@
+//! Integration tests for the `p3gm-server` HTTP surface: end-to-end
+//! sampling over a real TCP socket is bit-identical to the in-process
+//! snapshot, malformed/hostile input gets typed 4xx/5xx responses with
+//! zero panics, hot reload swaps models without dropping the service,
+//! and the privacy budget ledger survives a server restart.
+
+use p3gm::core::config::PgmConfig;
+use p3gm::core::pgm::PhasedGenerativeModel;
+use p3gm::core::snapshot::SynthesisSnapshot;
+use p3gm::core::synthesis::LabelledSynthesizer;
+use p3gm::core::{DecoderLoss, VarianceMode};
+use p3gm::linalg::Matrix;
+use p3gm::privacy::sampling;
+use p3gm::server::http::{read_request, HttpError, Limits};
+use p3gm::server::{json, start, ServerConfig, ServerHandle};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Cursor, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Trains the shared test model once (the expensive fixture).
+fn trained_snapshot() -> &'static SynthesisSnapshot {
+    static SNAPSHOT: OnceLock<SynthesisSnapshot> = OnceLock::new();
+    SNAPSHOT.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(404);
+        let rows: Vec<Vec<f64>> = (0..90)
+            .map(|i| {
+                let hot = i % 2 == 0;
+                (0..6)
+                    .map(|j| {
+                        let base = if (j < 3) == hot { 0.85 } else { 0.15 };
+                        (base + sampling::normal(&mut rng, 0.0, 0.05)).clamp(0.0, 1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        let labels: Vec<usize> = (0..90).map(|i| i % 2).collect();
+        let features = Matrix::from_rows(&rows).unwrap();
+        let (synth, prepared) = LabelledSynthesizer::prepare(&features, &labels, 2).unwrap();
+        let config = PgmConfig {
+            latent_dim: 3,
+            hidden_dim: 12,
+            mog_components: 2,
+            epochs: 3,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            clip_norm: 1.0,
+            private: true,
+            eps_p: 0.5,
+            sigma_e: 50.0,
+            em_iterations: 3,
+            sigma_s: 1.0,
+            delta: 1e-5,
+            variance_mode: VarianceMode::Learned,
+            decoder_loss: DecoderLoss::Bernoulli,
+        };
+        let (model, _) = PhasedGenerativeModel::fit(&mut rng, &prepared, config).unwrap();
+        SynthesisSnapshot::capture(model).with_synthesizer(synth)
+    })
+}
+
+/// A fresh model directory containing the shared snapshot under `name`.
+fn model_dir(test: &str, names: &[&str]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("p3gm_server_it_{test}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for name in names {
+        std::fs::write(
+            dir.join(format!("{name}.snapshot")),
+            trained_snapshot().to_bytes(),
+        )
+        .unwrap();
+    }
+    dir
+}
+
+fn start_server(dir: &PathBuf, threads: usize, budget: Option<f64>) -> ServerHandle {
+    start(ServerConfig {
+        threads,
+        budget_epsilon: budget,
+        ..ServerConfig::new(dir)
+    })
+    .unwrap()
+}
+
+/// Minimal HTTP client: one request, returns (status, headers, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    read_response(stream)
+}
+
+/// Writes raw bytes (possibly malformed on purpose) and reads the
+/// response.
+fn raw_request(addr: SocketAddr, bytes: &[u8]) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Ignore write errors: the server may legitimately reject and close
+    // before the full (hostile) request is sent.
+    let _ = stream.write_all(bytes);
+    read_response(stream)
+}
+
+fn read_response(mut stream: TcpStream) -> (u16, String, String) {
+    // Best-effort read: a server rejecting a partially-sent request may
+    // reset the connection after its response; keep whatever arrived.
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let raw = String::from_utf8(raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    (status, head.to_string(), body.to_string())
+}
+
+#[test]
+fn http_sampling_is_bit_identical_to_in_process_under_concurrency() {
+    let dir = model_dir("concurrency", &["m"]);
+    let server = start_server(&dir, 4, None);
+    let addr = server.addr();
+
+    // 4 concurrent clients, same (model, seed, n).
+    let bodies: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(move || {
+                    let (status, _, body) =
+                        request(addr, "POST", "/models/m/sample", r#"{"seed": 42, "n": 25}"#);
+                    assert_eq!(status, 200, "{body}");
+                    body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for body in &bodies[1..] {
+        assert_eq!(body, &bodies[0], "concurrent responses must be identical");
+    }
+
+    // The served rows are bit-identical to the in-process snapshot.
+    let expected = trained_snapshot().sample(42, 25);
+    let parsed = json::parse(&bodies[0]).unwrap();
+    let rows = parsed.get("rows").unwrap().as_arr().unwrap();
+    assert_eq!(rows.len(), 25);
+    for (i, row) in rows.iter().enumerate() {
+        let row = row.as_arr().unwrap();
+        assert_eq!(row.len(), expected.cols());
+        for (j, v) in row.iter().enumerate() {
+            assert_eq!(
+                v.as_f64().unwrap().to_bits(),
+                expected.get(i, j).to_bits(),
+                "row {i} col {j}"
+            );
+        }
+    }
+
+    // The stamp headers ride along and are constant.
+    let (_, head, _) = request(addr, "POST", "/models/m/sample", r#"{"seed": 42, "n": 25}"#);
+    assert!(head.contains("x-p3gm-privacy: ("), "{head}");
+    assert!(head.contains("x-p3gm-epsilon-spent: "), "{head}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn discovery_endpoints_report_geometry_and_stamp() {
+    let dir = model_dir("discovery", &["m"]);
+    let server = start_server(&dir, 2, None);
+    let addr = server.addr();
+
+    let (status, _, body) = request(addr, "GET", "/", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("p3gm-server"));
+
+    let (status, _, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"models\":1"));
+
+    let snapshot = trained_snapshot();
+    let stamp = snapshot.privacy_stamp().unwrap();
+    let (status, _, body) = request(addr, "GET", "/models/m", "");
+    assert_eq!(status, 200);
+    let parsed = json::parse(&body).unwrap();
+    assert_eq!(
+        parsed.get("data_dim").unwrap().as_u64(),
+        Some(snapshot.model().data_dim() as u64)
+    );
+    assert_eq!(parsed.get("n_classes").unwrap().as_u64(), Some(2));
+    let privacy = parsed.get("privacy").unwrap();
+    assert_eq!(
+        privacy.get("epsilon").unwrap().as_f64().unwrap().to_bits(),
+        stamp.epsilon.to_bits(),
+        "the reported ε is the recomputed stamp, bit-exact"
+    );
+
+    let (status, _, _) = request(addr, "GET", "/models/absent", "");
+    assert_eq!(status, 404);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_requests_get_typed_4xx_and_the_server_survives() {
+    let dir = model_dir("malformed", &["m"]);
+    let server = start_server(&dir, 2, None);
+    let addr = server.addr();
+
+    // (raw bytes, expected status)
+    let cases: Vec<(Vec<u8>, u16)> = vec![
+        (b"GARBAGE\r\n\r\n".to_vec(), 400),
+        (b"GET / HTTP/1.1 extra words\r\n\r\n".to_vec(), 400),
+        (b"PUT /models HTTP/1.1\r\n\r\n".to_vec(), 405),
+        (b"GET /models HTTP/2.0\r\n\r\n".to_vec(), 505),
+        (b"DELETE /models/m HTTP/1.1\r\n\r\n".to_vec(), 405),
+        (b"GET /nope HTTP/1.1\r\n\r\n".to_vec(), 404),
+        (b"GET /models/m/sample HTTP/1.1\r\n\r\n".to_vec(), 405),
+        (b"POST /models HTTP/1.1\r\n\r\n".to_vec(), 405),
+        (
+            b"POST /models/m/sample HTTP/1.1\r\nContent-Length: 7\r\n\r\nnotjson".to_vec(),
+            400,
+        ),
+        (
+            b"POST /models/m/sample HTTP/1.1\r\nContent-Length: 0\r\n\r\n".to_vec(),
+            400,
+        ),
+        (
+            b"POST /models/m/sample HTTP/1.1\r\nContent-Length: 14\r\n\r\n{\"seed\":\"x\"}..".to_vec(),
+            400,
+        ),
+        (
+            b"POST /models/absent/sample HTTP/1.1\r\nContent-Length: 20\r\n\r\n{\"seed\": 1, \"n\": 10}".to_vec(),
+            404,
+        ),
+        (
+            b"POST /models/m/sample HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+            501,
+        ),
+        (
+            b"POST /models/m/sample HTTP/1.1\r\nContent-Length: zzz\r\n\r\n".to_vec(),
+            400,
+        ),
+        (
+            format!(
+                "GET /models HTTP/1.1\r\nX-Huge: {}\r\n\r\n",
+                "h".repeat(64 * 1024)
+            )
+            .into_bytes(),
+            431,
+        ),
+        (
+            format!(
+                "POST /models/m/sample HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                16 * 1024 * 1024
+            )
+            .into_bytes(),
+            413,
+        ),
+    ];
+    for (bytes, expected) in cases {
+        let shown = String::from_utf8_lossy(&bytes[..bytes.len().min(60)]).into_owned();
+        let (status, _, body) = raw_request(addr, &bytes);
+        assert_eq!(status, expected, "{shown:?} -> {body}");
+        assert!(body.contains("error") || expected < 400, "{shown:?}");
+    }
+
+    // Over-limit n and bad fields through the well-formed client path.
+    let (status, _, _) = request(
+        addr,
+        "POST",
+        "/models/m/sample",
+        r#"{"seed": 1, "n": 999999999}"#,
+    );
+    assert_eq!(status, 400);
+    let (status, _, _) = request(
+        addr,
+        "POST",
+        "/models/m/sample",
+        r#"{"seed": 1, "n": 5, "labels": [9, 9]}"#,
+    );
+    assert_eq!(status, 400);
+
+    // After all that abuse the server still serves.
+    let (status, _, _) = request(addr, "POST", "/models/m/sample", r#"{"seed": 3, "n": 2}"#);
+    assert_eq!(status, 200);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_row_requests_and_csv_format_are_served() {
+    let dir = model_dir("formats", &["m"]);
+    let server = start_server(&dir, 2, None);
+    let addr = server.addr();
+
+    let (status, _, body) = request(addr, "POST", "/models/m/sample", r#"{"seed": 1, "n": 0}"#);
+    assert_eq!(status, 200);
+    let parsed = json::parse(&body).unwrap();
+    assert_eq!(parsed.get("n").unwrap().as_u64(), Some(0));
+    assert_eq!(parsed.get("rows").unwrap().as_arr().unwrap().len(), 0);
+
+    let csv_req = r#"{"seed": 7, "n": 4, "format": "csv"}"#;
+    let (status, head, body_a) = request(addr, "POST", "/models/m/sample", csv_req);
+    assert_eq!(status, 200);
+    assert!(head.contains("text/csv"));
+    let (_, _, body_b) = request(addr, "POST", "/models/m/sample", csv_req);
+    assert_eq!(body_a, body_b, "CSV bodies are deterministic too");
+    assert_eq!(body_a.lines().count(), 4);
+    // Every CSV value parses back to the exact in-process sample bits.
+    let expected = trained_snapshot().sample(7, 4);
+    for (i, line) in body_a.lines().enumerate() {
+        for (j, field) in line.split(',').enumerate() {
+            let v: f64 = field.parse().unwrap();
+            assert_eq!(v.to_bits(), expected.get(i, j).to_bits());
+        }
+    }
+
+    // Labelled synthesis over HTTP: per-class counts, labels in the body.
+    let (status, _, body) = request(
+        addr,
+        "POST",
+        "/models/m/sample",
+        r#"{"seed": 5, "labels": [3, 2]}"#,
+    );
+    assert_eq!(status, 200);
+    let parsed = json::parse(&body).unwrap();
+    let labels = parsed.get("labels").unwrap().as_arr().unwrap();
+    assert_eq!(labels.len(), 5);
+    let ones = labels.iter().filter(|l| l.as_u64() == Some(1)).count();
+    assert_eq!(ones, 2);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_exhaustion_is_429_and_survives_restart() {
+    let dir = model_dir("budget", &["m"]);
+    let stamp = trained_snapshot().privacy_stamp().copied().unwrap();
+    let budget = Some(1.5 * stamp.epsilon);
+
+    let server = start_server(&dir, 2, budget);
+    let addr = server.addr();
+    let body = r#"{"seed": 9, "n": 3}"#;
+    let (status, head, _) = request(addr, "POST", "/models/m/sample", body);
+    assert_eq!(status, 200);
+    assert!(head.contains("x-p3gm-epsilon-remaining: "), "{head}");
+    // A request that can only be answered 400 (wrong class count for a
+    // 2-class model) must not burn budget: it is rejected before the
+    // charge, so the next valid request still gets the remaining ε.
+    let (status, _, _) = request(
+        addr,
+        "POST",
+        "/models/m/sample",
+        r#"{"seed": 9, "labels": [1, 1, 1]}"#,
+    );
+    assert_eq!(status, 400);
+    let (_, _, detail) = request(addr, "GET", "/models/m", "");
+    let spent_after_400 = json::parse(&detail)
+        .unwrap()
+        .get("budget")
+        .unwrap()
+        .get("spent_epsilon")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert_eq!(
+        spent_after_400.to_bits(),
+        stamp.epsilon.to_bits(),
+        "a 400-rejected request must not change the spent budget"
+    );
+    let (status, _, refusal) = request(addr, "POST", "/models/m/sample", body);
+    assert_eq!(status, 429, "{refusal}");
+    let parsed = json::parse(&refusal).unwrap();
+    assert_eq!(
+        parsed
+            .get("spent_epsilon")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .to_bits(),
+        stamp.epsilon.to_bits()
+    );
+    assert!(parsed.get("remaining_epsilon").unwrap().as_f64().unwrap() >= 0.0);
+    server.shutdown();
+
+    // Restart on the same directory: the ledger file (p3gm-store codec)
+    // still holds the spend, so the very first request is refused.
+    let server = start_server(&dir, 2, budget);
+    let (status, _, _) = request(server.addr(), "POST", "/models/m/sample", body);
+    assert_eq!(status, 429, "restart must not reset spent budget");
+    // Read-only endpoints still work and report the persisted spend.
+    let (status, _, body) = request(server.addr(), "GET", "/models/m", "");
+    assert_eq!(status, 200);
+    let parsed = json::parse(&body).unwrap();
+    let spent = parsed
+        .get("budget")
+        .unwrap()
+        .get("spent_epsilon")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert_eq!(spent.to_bits(), stamp.epsilon.to_bits());
+    server.shutdown();
+
+    // A corrupt ledger file refuses to open (typed error), never resets.
+    let ledger_path = dir.join("ledger.p3gm");
+    let mut bytes = std::fs::read(&ledger_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&ledger_path, &bytes).unwrap();
+    assert!(start(ServerConfig {
+        budget_epsilon: budget,
+        ..ServerConfig::new(&dir)
+    })
+    .is_err());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hot_reload_swaps_adds_and_removes_models_without_downtime() {
+    let dir = model_dir("reload", &["a"]);
+    // Start with a *bare* variant of "a" (no synthesizer): detail shows
+    // n_classes null.
+    let bare = SynthesisSnapshot::capture(trained_snapshot().model().clone());
+    std::fs::write(dir.join("a.snapshot"), bare.to_bytes()).unwrap();
+
+    let server = start_server(&dir, 2, None);
+    let addr = server.addr();
+    let (_, _, body) = request(addr, "GET", "/models/a", "");
+    assert_eq!(
+        json::parse(&body).unwrap().get("n_classes"),
+        Some(&json::Json::Null)
+    );
+    let (_, _, body) = request(addr, "GET", "/models", "");
+    let listed = json::parse(&body).unwrap();
+    assert_eq!(listed.get("models").unwrap().as_arr().unwrap().len(), 1);
+
+    // Change "a" (now with synthesizer), add "b", add a corrupt "c".
+    std::fs::write(dir.join("a.snapshot"), trained_snapshot().to_bytes()).unwrap();
+    std::fs::write(dir.join("b.snapshot"), trained_snapshot().to_bytes()).unwrap();
+    std::fs::write(
+        dir.join("c.snapshot"),
+        b"this is long enough to frame-check but is not a p3gm snapshot",
+    )
+    .unwrap();
+
+    let (status, _, body) = request(addr, "POST", "/reload", "");
+    assert_eq!(status, 200);
+    let report = json::parse(&body).unwrap();
+    let loaded = report.get("loaded").unwrap().as_arr().unwrap();
+    assert!(
+        loaded.iter().any(|v| v.as_str() == Some("a"))
+            && loaded.iter().any(|v| v.as_str() == Some("b")),
+        "{body}"
+    );
+    assert_eq!(report.get("failed").unwrap().as_arr().unwrap().len(), 1);
+
+    // The swapped "a" now has the synthesizer; "b" serves; "c" does not.
+    let (_, _, body) = request(addr, "GET", "/models/a", "");
+    assert_eq!(
+        json::parse(&body)
+            .unwrap()
+            .get("n_classes")
+            .unwrap()
+            .as_u64(),
+        Some(2)
+    );
+    let (status, _, _) = request(addr, "POST", "/models/b/sample", r#"{"seed": 1, "n": 2}"#);
+    assert_eq!(status, 200);
+    let (status, _, _) = request(addr, "GET", "/models/c", "");
+    assert_eq!(status, 404);
+
+    // Remove "b": a reload drops it; "a" is untouched (unchanged file).
+    std::fs::remove_file(dir.join("b.snapshot")).unwrap();
+    let (_, _, body) = request(addr, "POST", "/reload", "");
+    let report = json::parse(&body).unwrap();
+    let removed = report.get("removed").unwrap().as_arr().unwrap();
+    assert!(removed.iter().any(|v| v.as_str() == Some("b")), "{body}");
+    let unchanged = report.get("unchanged").unwrap().as_arr().unwrap();
+    assert!(unchanged.iter().any(|v| v.as_str() == Some("a")), "{body}");
+    let (status, _, _) = request(addr, "GET", "/models/b", "");
+    assert_eq!(status, 404);
+    let (status, _, _) = request(addr, "POST", "/models/a/sample", r#"{"seed": 1, "n": 2}"#);
+    assert_eq!(status, 200);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary bytes into the request parser: never a panic, always
+    /// either a parsed request or a typed error mapping to 4xx/5xx.
+    #[test]
+    fn request_parser_never_panics_on_arbitrary_bytes(
+        len in 0usize..384,
+        pool in proptest::collection::vec(0u32..256, 384)
+    ) {
+        let bytes: Vec<u8> = pool.iter().take(len).map(|&b| b as u8).collect();
+        let limits = Limits::default();
+        match read_request(&mut Cursor::new(bytes), &limits) {
+            Ok(req) => prop_assert!(req.target.starts_with('/')),
+            Err(e) => {
+                let status = e.status();
+                prop_assert!((400..=599).contains(&status), "{e:?} -> {status}");
+            }
+        }
+    }
+
+    /// Structured-ish garbage: an almost-valid head with fuzzed method,
+    /// target and header bytes exercises the deeper parser branches.
+    #[test]
+    fn request_parser_never_panics_on_fuzzed_heads(
+        method_pool in proptest::collection::vec(0u32..256, 6),
+        target_pool in proptest::collection::vec(0u32..256, 12),
+        header_pool in proptest::collection::vec(0u32..256, 24),
+        content_length in 0u32..64
+    ) {
+        let method: Vec<u8> = method_pool.iter().map(|&b| b as u8).collect();
+        let target: Vec<u8> = target_pool.iter().map(|&b| b as u8).collect();
+        let header: Vec<u8> = header_pool.iter().map(|&b| b as u8).collect();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&method);
+        bytes.push(b' ');
+        bytes.extend_from_slice(&target);
+        bytes.extend_from_slice(b" HTTP/1.1\r\n");
+        bytes.extend_from_slice(&header);
+        bytes.extend_from_slice(b"\r\n");
+        bytes.extend_from_slice(format!("Content-Length: {content_length}\r\n\r\n").as_bytes());
+        bytes.extend_from_slice(&vec![b'x'; content_length as usize]);
+        match read_request(&mut Cursor::new(bytes), &Limits::default()) {
+            Ok(req) => prop_assert_eq!(req.body.len(), content_length as usize),
+            Err(e) => prop_assert!((400..=599).contains(&e.status())),
+        }
+    }
+
+    /// Arbitrary bytes into the JSON parser (the request-body path):
+    /// never a panic, and parse-serialize-parse is a fixed point.
+    #[test]
+    fn json_parser_never_panics_and_reserialization_is_stable(
+        len in 0usize..128,
+        pool in proptest::collection::vec(0u32..256, 128)
+    ) {
+        let bytes: Vec<u8> = pool.iter().take(len).map(|&b| b as u8).collect();
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            if let Ok(value) = json::parse(text) {
+                let once = value.to_string();
+                let twice = json::parse(&once).unwrap().to_string();
+                prop_assert_eq!(once, twice);
+            }
+        }
+    }
+
+    /// Valid-JSON fuzz: structured documents with arbitrary numbers and
+    /// strings always round-trip value-identically.
+    #[test]
+    fn json_round_trips_structured_documents(
+        seed_v in 0.0f64..9e15,
+        n in 0u32..1000,
+        name_pool in proptest::collection::vec(0u32..256, 8)
+    ) {
+        let name: String = name_pool
+            .iter()
+            .filter_map(|&c| char::from_u32(c))
+            .collect();
+        let doc = json::Json::Obj(vec![
+            ("seed".to_string(), json::Json::Num(seed_v.trunc())),
+            ("n".to_string(), json::Json::Num(f64::from(n))),
+            ("name".to_string(), json::Json::Str(name)),
+        ]);
+        let text = doc.to_string();
+        let back = json::parse(&text).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    /// HttpError::status is total over the error space reachable from
+    /// sockets (every variant yields a 4xx/5xx with a reason phrase).
+    #[test]
+    fn http_errors_always_map_to_responses(pick in 0usize..11) {
+        let errors = [
+            HttpError::Incomplete,
+            HttpError::BadRequestLine,
+            HttpError::UnsupportedMethod,
+            HttpError::UnsupportedVersion,
+            HttpError::BadHeader,
+            HttpError::HeadTooLarge,
+            HttpError::TooManyHeaders,
+            HttpError::BadContentLength,
+            HttpError::BodyTooLarge,
+            HttpError::UnsupportedTransferEncoding,
+            HttpError::Io(std::io::ErrorKind::TimedOut),
+        ];
+        let e = &errors[pick];
+        prop_assert!((400..=599).contains(&e.status()));
+        prop_assert!(!e.to_string().is_empty());
+    }
+}
