@@ -1,14 +1,27 @@
-//! Requests-per-second benchmark for the `p3gm-server` HTTP synthesis
-//! service at 1/2/4 server worker threads.
+//! Throughput and latency benchmarks for the `p3gm-server` HTTP
+//! synthesis service at 1/2/4 server worker threads, in three client
+//! modes:
+//!
+//! * **connect-per-request** — one TCP connect + request + framed
+//!   response per iteration (the pre-keep-alive baseline);
+//! * **keep-alive** — one persistent connection reused for every
+//!   iteration (measures the request path without connect/teardown);
+//! * **multi-connection keep-alive** — 4 concurrent client threads, each
+//!   on its own persistent connection, hammering a large-`n` streamed
+//!   CSV download; reported as aggregate requests/sec (printed, and
+//!   recorded in `BENCH_serve.json`).
+//!
+//! A separate pass measures **first-byte latency** for the large-`n`
+//! streamed response — the number chunked Transfer-Encoding exists to
+//! shrink: the server flushes the head and first rows while the rest of
+//! the batch is still being generated.
 //!
 //! Setup trains one small P3GM model, writes its snapshot into a
 //! temporary model directory, and starts a fresh server per thread
-//! count. Each measured iteration is one full HTTP round trip over a
-//! real TCP socket: connect, `POST /models/bench/sample` (seed 42,
-//! n = 64), read the response. Before timing, the response body at every
-//! thread count is asserted **byte-identical** to the 1-thread body —
-//! the determinism guarantee the serving layer inherits from
-//! `p3gm-parallel`.
+//! count. Before timing, the de-chunked response body at every thread
+//! count is asserted **byte-identical** to the 1-thread body — the
+//! determinism guarantee the serving layer inherits from the core
+//! canonical sample stream.
 //!
 //! The ledger runs in memory here (no per-request fsync), so the numbers
 //! measure the HTTP + synthesis path. The recorded baseline lives in
@@ -26,34 +39,67 @@ use p3gm_core::pgm::PhasedGenerativeModel;
 use p3gm_core::snapshot::SynthesisSnapshot;
 use p3gm_core::synthesis::LabelledSynthesizer;
 use p3gm_datasets::tabular::adult_like;
+use p3gm_server::http::{ClientResponse, ResponseReader};
 use p3gm_server::{start, ServerConfig, ServerHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const THREADS: [usize; 3] = [1, 2, 4];
 const SAMPLE_BODY: &str = r#"{"seed": 42, "n": 64}"#;
+const LARGE_BODY: &str = r#"{"seed": 42, "n": 4096, "format": "csv"}"#;
+const CLIENT_CONNECTIONS: usize = 4;
 
-fn one_request(addr: SocketAddr) -> String {
+/// One-write request send (a multi-write `write!` would interact with
+/// Nagle + delayed ACK on reused connections, stalling ~40 ms).
+fn send_sample(stream: &mut TcpStream, body: &str) {
+    let request = format!(
+        "POST /models/bench/sample HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+}
+
+/// One request on a fresh connection, framed read, connection dropped.
+fn one_shot(addr: SocketAddr, body: &str) -> ClientResponse {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .expect("timeout");
-    write!(
-        stream,
-        "POST /models/bench/sample HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{SAMPLE_BODY}",
-        SAMPLE_BODY.len()
-    )
-    .expect("send request");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read response");
-    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
-    raw.split_once("\r\n\r\n")
-        .map(|(_, body)| body.to_string())
-        .expect("response body")
+    send_sample(&mut stream, body);
+    let response = ResponseReader::new(stream)
+        .next_response()
+        .expect("read response");
+    assert_eq!(response.status, 200, "bench request must succeed");
+    response
+}
+
+/// A persistent keep-alive connection issuing framed requests.
+struct KeepAliveClient {
+    stream: TcpStream,
+    reader: ResponseReader<TcpStream>,
+}
+
+impl KeepAliveClient {
+    fn connect(addr: SocketAddr) -> KeepAliveClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = ResponseReader::new(stream.try_clone().expect("clone stream"));
+        KeepAliveClient { stream, reader }
+    }
+
+    fn request(&mut self, body: &str) -> ClientResponse {
+        send_sample(&mut self.stream, body);
+        let response = self.reader.next_response().expect("read response");
+        assert_eq!(response.status, 200, "bench request must succeed");
+        response
+    }
 }
 
 fn prepare_model_dir() -> PathBuf {
@@ -81,33 +127,108 @@ fn start_server(dir: &PathBuf, threads: usize) -> ServerHandle {
     start(ServerConfig {
         threads,
         ledger_path: None,
+        // The bench hammers one connection far past the production
+        // default; the cap is a DoS bound, not a correctness one.
+        max_requests_per_connection: usize::MAX,
         ..ServerConfig::new(dir)
     })
     .expect("start server")
+}
+
+/// Aggregate requests/sec over `CLIENT_CONNECTIONS` concurrent
+/// keep-alive connections each issuing `per_conn` requests.
+fn multi_connection_rps(addr: SocketAddr, body: &str, per_conn: usize) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENT_CONNECTIONS)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = KeepAliveClient::connect(addr);
+                    for _ in 0..per_conn {
+                        black_box(client.request(body).body.len());
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("client thread");
+        }
+    });
+    (CLIENT_CONNECTIONS * per_conn) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Mean milliseconds from request written to first response byte read,
+/// over `iters` fresh connections (Connection: close, raw reads).
+fn first_byte_latency_ms(addr: SocketAddr, body: &str, iters: usize) -> f64 {
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        let request = format!(
+            "POST /models/bench/sample HTTP/1.1\r\nHost: b\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).expect("send request");
+        let t0 = Instant::now();
+        let mut probe = [0u8; 1];
+        let got = stream.read(&mut probe).expect("first byte");
+        assert_eq!(got, 1);
+        total += t0.elapsed();
+        // Drain the rest so the server finishes cleanly.
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+    }
+    total.as_secs_f64() * 1000.0 / iters as f64
 }
 
 fn bench_serve(c: &mut Criterion) {
     let dir = prepare_model_dir();
 
     // Determinism gate: the same (model, seed, n) must serve identical
-    // bytes at every server thread count.
+    // de-chunked bytes at every server thread count, from fresh and
+    // reused connections alike.
     let reference = {
         let server = start_server(&dir, 1);
-        let body = one_request(server.addr());
+        let body = one_shot(server.addr(), SAMPLE_BODY).body;
         server.shutdown();
         body
     };
     for t in THREADS {
         let server = start_server(&dir, t);
-        let body = one_request(server.addr());
+        let addr = server.addr();
         assert_eq!(
-            body, reference,
+            one_shot(addr, SAMPLE_BODY).body,
+            reference,
             "response bodies must be byte-identical at {t} server threads"
         );
-        c.bench_function(&format!("serve/sample_n64/threads={t}"), |bench| {
-            let addr = server.addr();
-            bench.iter(|| black_box(one_request(addr).len()))
+        let mut gate = KeepAliveClient::connect(addr);
+        assert_eq!(
+            gate.request(SAMPLE_BODY).body,
+            reference,
+            "keep-alive responses must equal fresh-connection responses"
+        );
+        drop(gate);
+
+        c.bench_function(
+            &format!("serve/connect_per_request_n64/threads={t}"),
+            |bench| bench.iter(|| black_box(one_shot(addr, SAMPLE_BODY).body.len())),
+        );
+        let mut client = KeepAliveClient::connect(addr);
+        c.bench_function(&format!("serve/keepalive_n64/threads={t}"), |bench| {
+            bench.iter(|| black_box(client.request(SAMPLE_BODY).body.len()))
         });
+        drop(client);
+
+        let rps = multi_connection_rps(addr, LARGE_BODY, 24);
+        let fbl = first_byte_latency_ms(addr, LARGE_BODY, 20);
+        println!(
+            "serve/multiconn_stream_n4096/threads={t}: {rps:.0} req/s aggregate \
+             over {CLIENT_CONNECTIONS} keep-alive connections; \
+             first-byte latency {fbl:.3} ms (chunked CSV, 4096 rows)"
+        );
+
         server.shutdown();
     }
 

@@ -12,28 +12,49 @@
 //! `p3gm-store` for the frame layout). The snapshot file is the unit a
 //! serving fleet shards, caches and replicates.
 //!
-//! Serving is **seedable and deterministic**:
+//! Serving is **seedable, deterministic, and streamable**. Every sampling
+//! entry point draws from one canonical stream: row `r` of stream `seed`
+//! belongs to *seed block* `b = r / `[`SEED_BLOCK_ROWS`], and the rows of
+//! block `b` are drawn sequentially from a `StdRng` seeded with a
+//! SplitMix64-style derivation of `(seed, b)`. The stream is therefore a
+//! pure function of `(seed, row index)` — independent of the request size
+//! `n`, of how the rows are chunked for delivery, and of the worker-thread
+//! count:
 //!
-//! * [`SynthesisSnapshot::sample`] walks the exact code path of
-//!   [`GenerativeModel::sample`] with a seeded RNG, so `save → load →
-//!   sample(seed, n)` is bit-identical to sampling the never-persisted
-//!   model with the same seed.
-//! * [`SynthesisSnapshot::sample_parallel`] fans one large request out over
-//!   the `p3gm-parallel` pool with per-chunk derived seeds; chunk
-//!   boundaries depend only on `n`, so the output is bit-identical for
-//!   every worker count (though it is a different — equally valid — stream
-//!   than the serial path).
+//! * [`SynthesisSnapshot::sample_chunks`] is the chunked iterator API the
+//!   other paths consume: it yields the stream as `Matrix` row blocks of a
+//!   caller-chosen size, generating each block only when the consumer asks
+//!   for it, so peak memory is bounded by the chunk size, not `n`.
+//! * [`SynthesisSnapshot::sample`] concatenates the chunks into one
+//!   `n`-row matrix; `save → load → sample(seed, n)` is bit-identical to
+//!   sampling the in-memory snapshot with the same seed.
+//! * [`SynthesisSnapshot::sample_parallel`] fills the same rows with the
+//!   seed blocks fanned out over the `p3gm-parallel` pool — bit-identical
+//!   to [`SynthesisSnapshot::sample`] for every worker count.
 //! * [`SynthesisSnapshot::serve`] runs a batch of independent seeded
 //!   requests concurrently, each producing exactly what a sequential
 //!   [`SynthesisSnapshot::sample`] call with the same seed would.
+//!
+//! Because the stream does not depend on `n`, `sample(seed, n1)` is a
+//! row-prefix of `sample(seed, n2)` whenever `n1 <= n2` — a paginated
+//! client re-requesting a longer prefix sees the rows it already holds.
 
 use crate::pgm::PhasedGenerativeModel;
 use crate::synthesis::{synthesize_labelled, LabelledSynthesizer};
-use crate::{CoreError, GenerativeModel, Result};
+use crate::{CoreError, Result};
 use p3gm_linalg::Matrix;
 use p3gm_privacy::rdp::PrivacySpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Rows per RNG seed block of the canonical sample stream.
+///
+/// Row `r` is drawn from the block-`r / SEED_BLOCK_ROWS` generator, so any
+/// chunking of the stream whose boundaries are multiples of this constant
+/// regenerates nothing; other chunk sizes merely re-derive (cheap) prior
+/// draws for at most `SEED_BLOCK_ROWS - 1` leading rows per chunk. The
+/// value is a constant of the format: changing it changes every stream.
+pub const SEED_BLOCK_ROWS: usize = 64;
 
 /// One seedable synthesis request: draw `n` rows from the stream
 /// identified by `seed`.
@@ -158,48 +179,105 @@ impl SynthesisSnapshot {
         })
     }
 
+    /// Draws rows `[start, start + rows)` of the canonical stream
+    /// identified by `seed`, without materializing anything before
+    /// `start`.
+    ///
+    /// This is the random-access primitive every sampling path consumes:
+    /// the result depends only on `(seed, start, rows)` — requesting the
+    /// same row range in any larger or smaller batch yields the same
+    /// bytes. A `start` that is not a multiple of [`SEED_BLOCK_ROWS`]
+    /// re-derives the prior draws of the partial leading block (decoding —
+    /// the expensive step — is never repeated).
+    pub fn sample_rows(&self, seed: u64, start: usize, rows: usize) -> Matrix {
+        let d = self.model.data_dim();
+        let mut out = Matrix::zeros(rows, d);
+        self.fill_rows(seed, start, out.as_mut_slice());
+        out
+    }
+
+    /// Fills `out` (a `rows * data_dim` slice) with stream rows
+    /// `[start, start + rows)`.
+    fn fill_rows(&self, seed: u64, start: usize, out: &mut [f64]) {
+        let d = self.model.data_dim().max(1);
+        let rows = out.len() / d;
+        let mut row = start;
+        let end = start + rows;
+        while row < end {
+            let block = row / SEED_BLOCK_ROWS;
+            let block_start = block * SEED_BLOCK_ROWS;
+            let block_end = block_start + SEED_BLOCK_ROWS;
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, block as u64));
+            // Burn the prior draws of rows before `row` in this block so
+            // an unaligned start continues the exact block stream.
+            for _ in block_start..row {
+                let _ = self.model.prior().sample(&mut rng);
+            }
+            for r in row..end.min(block_end) {
+                let z = self.model.prior().sample(&mut rng);
+                let offset = (r - start) * d;
+                out[offset..offset + d].copy_from_slice(&self.model.decode(&z));
+            }
+            row = block_end;
+        }
+    }
+
+    /// The chunked iterator over the first `n` rows of stream `seed`:
+    /// yields `Matrix` row blocks of `chunk_rows` rows (the last block may
+    /// be shorter), generating each block lazily when the consumer asks
+    /// for it.
+    ///
+    /// Concatenating the chunks is bit-identical to
+    /// [`SynthesisSnapshot::sample`]`(seed, n)` for **every** chunk size —
+    /// the stream is a pure function of the row index, so the chunking is
+    /// pure delivery framing. Peak memory is one chunk, not `n` rows,
+    /// which is what lets a server stream million-row responses. A
+    /// `chunk_rows` of 0 is clamped to 1; multiples of
+    /// [`SEED_BLOCK_ROWS`] avoid all re-derivation.
+    pub fn sample_chunks(&self, seed: u64, n: usize, chunk_rows: usize) -> SampleChunks<'_> {
+        SampleChunks {
+            snapshot: self,
+            seed,
+            n,
+            chunk_rows: chunk_rows.max(1),
+            next_row: 0,
+        }
+    }
+
     /// Draws `n` model-space rows from the stream identified by `seed`.
     ///
-    /// This is exactly [`GenerativeModel::sample`] with a
-    /// `StdRng::seed_from_u64(seed)` generator, so the output is
-    /// bit-identical to sampling the in-memory model the snapshot was
-    /// captured from with the same seed — the round-trip guarantee the
-    /// persistence layer is tested against.
+    /// Implemented as the one-chunk consumption of
+    /// [`SynthesisSnapshot::sample_chunks`], so the output is bit-identical
+    /// to any chunked delivery of the same request — and `save → load →
+    /// sample(seed, n)` is bit-identical to sampling the in-memory
+    /// snapshot with the same seed (the round-trip guarantee the
+    /// persistence layer is tested against).
     pub fn sample(&self, seed: u64, n: usize) -> Matrix {
         // n = 0 is a well-formed request for zero rows: return an empty
         // matrix that still carries the model's output geometry.
-        if n == 0 {
-            return Matrix::zeros(0, self.model.data_dim());
+        match self.sample_chunks(seed, n, n.max(1)).next() {
+            Some(rows) => rows,
+            None => Matrix::zeros(0, self.model.data_dim()),
         }
-        let mut rng = StdRng::seed_from_u64(seed);
-        self.model.sample(&mut rng, n)
     }
 
     /// Draws `n` model-space rows with the generation fanned out over the
     /// `p3gm-parallel` pool.
     ///
-    /// Rows are split into chunks whose boundaries depend only on `n`;
-    /// chunk `c` samples from a `StdRng` seeded with a SplitMix64-style
-    /// derivation of `(seed, c)`. The result is therefore bit-identical
-    /// for every worker count (and reproducible from `seed` alone), but is
-    /// a *different* stream than the serial [`SynthesisSnapshot::sample`]
-    /// path with the same seed.
+    /// Each parallel task fills exactly one [`SEED_BLOCK_ROWS`]-aligned
+    /// block of the canonical stream, so the result is bit-identical to
+    /// [`SynthesisSnapshot::sample`]`(seed, n)` for every worker count.
     pub fn sample_parallel(&self, seed: u64, n: usize) -> Matrix {
         let d = self.model.data_dim();
         if n == 0 {
             return Matrix::zeros(0, d);
         }
         let mut out = Matrix::zeros(n, d);
-        let rows_per_chunk = p3gm_parallel::default_chunk_len(n);
         p3gm_parallel::par_chunks_mut(
             out.as_mut_slice(),
-            rows_per_chunk * d.max(1),
-            |chunk_index, out_chunk| {
-                let mut rng = StdRng::seed_from_u64(derive_seed(seed, chunk_index as u64));
-                for out_row in out_chunk.chunks_mut(d.max(1)) {
-                    let z = self.model.prior().sample(&mut rng);
-                    out_row.copy_from_slice(&self.model.decode(&z));
-                }
+            SEED_BLOCK_ROWS * d.max(1),
+            |block, out_chunk| {
+                self.fill_rows(seed, block * SEED_BLOCK_ROWS, out_chunk);
             },
         );
         out
@@ -245,8 +323,48 @@ impl SynthesisSnapshot {
     }
 }
 
-/// SplitMix64-style mixing of a base seed and a chunk index into the
-/// per-chunk RNG seed of [`SynthesisSnapshot::sample_parallel`].
+/// The lazy chunk iterator returned by
+/// [`SynthesisSnapshot::sample_chunks`]: each `next()` materializes the
+/// next `chunk_rows`-row block of the canonical stream.
+#[derive(Debug)]
+pub struct SampleChunks<'a> {
+    snapshot: &'a SynthesisSnapshot,
+    seed: u64,
+    n: usize,
+    chunk_rows: usize,
+    next_row: usize,
+}
+
+impl SampleChunks<'_> {
+    /// The stream row index the next yielded chunk starts at.
+    pub fn next_row(&self) -> usize {
+        self.next_row
+    }
+}
+
+impl Iterator for SampleChunks<'_> {
+    type Item = Matrix;
+
+    fn next(&mut self) -> Option<Matrix> {
+        if self.next_row >= self.n {
+            return None;
+        }
+        let rows = self.chunk_rows.min(self.n - self.next_row);
+        let chunk = self.snapshot.sample_rows(self.seed, self.next_row, rows);
+        self.next_row += rows;
+        Some(chunk)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.n - self.next_row).div_ceil(self.chunk_rows);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for SampleChunks<'_> {}
+
+/// SplitMix64-style mixing of a base seed and a seed-block index into the
+/// per-block RNG seed of the canonical sample stream.
 fn derive_seed(seed: u64, index: u64) -> u64 {
     let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -317,9 +435,8 @@ mod tests {
         let bytes = snapshot.to_bytes();
         let loaded = SynthesisSnapshot::from_bytes(&bytes).unwrap();
         // The round-trip guarantee: the reloaded snapshot's seeded sample
-        // equals sampling the never-persisted model with the same RNG seed.
-        let mut direct_rng = StdRng::seed_from_u64(42);
-        let direct = model.sample(&mut direct_rng, 30);
+        // equals the never-persisted snapshot's stream with the same seed.
+        let direct = snapshot.sample(42, 30);
         let served = loaded.sample(42, 30);
         assert_eq!(direct.as_slice(), served.as_slice());
         // The stamp survives and matches the model's own accounting.
@@ -328,6 +445,64 @@ mod tests {
             model.training_privacy_spec()
         );
         assert!(loaded.synthesizer().is_some());
+    }
+
+    #[test]
+    fn chunked_sampling_is_invariant_to_chunk_size() {
+        let (snapshot, _) = trained_snapshot();
+        let d = snapshot.model().data_dim();
+        let n = 150; // spans multiple seed blocks with a partial tail
+        let reference = snapshot.sample(33, n);
+        assert_eq!(reference.shape(), (n, d));
+        for chunk_rows in [1, 3, 17, SEED_BLOCK_ROWS, 100, n, n + 50] {
+            let mut rebuilt: Vec<f64> = Vec::with_capacity(n * d);
+            let mut chunks = 0;
+            for chunk in snapshot.sample_chunks(33, n, chunk_rows) {
+                assert!(chunk.rows() <= chunk_rows.max(1));
+                assert_eq!(chunk.cols(), d);
+                rebuilt.extend_from_slice(chunk.as_slice());
+                chunks += 1;
+            }
+            assert_eq!(chunks, n.div_ceil(chunk_rows.max(1)));
+            assert_eq!(
+                rebuilt.as_slice(),
+                reference.as_slice(),
+                "chunk_rows {chunk_rows}"
+            );
+        }
+        // chunk_rows = 0 is clamped, not a panic or an empty stream.
+        let clamped: usize = snapshot.sample_chunks(33, 5, 0).map(|c| c.rows()).sum();
+        assert_eq!(clamped, 5);
+        // Random access matches the stream at unaligned offsets too.
+        let mid = snapshot.sample_rows(33, 70, 25);
+        assert_eq!(
+            mid.as_slice(),
+            &reference.as_slice()[70 * d..95 * d],
+            "sample_rows must agree with the stream at unaligned starts"
+        );
+    }
+
+    #[test]
+    fn sampling_is_prefix_stable_in_n() {
+        // The stream does not depend on the request size: a shorter
+        // request is a row-prefix of a longer one.
+        let (snapshot, _) = trained_snapshot();
+        let d = snapshot.model().data_dim();
+        let long = snapshot.sample(7, 200);
+        for n in [1, 63, 64, 65, 130] {
+            let short = snapshot.sample(7, n);
+            assert_eq!(short.as_slice(), &long.as_slice()[..n * d], "n {n}");
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_sampling_are_bit_identical() {
+        let (snapshot, _) = trained_snapshot();
+        for n in [1, 64, 150] {
+            let serial = snapshot.sample(11, n);
+            let parallel = snapshot.sample_parallel(11, n);
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "n {n}");
+        }
     }
 
     #[test]

@@ -9,11 +9,23 @@
 //! body is read incrementally up to the configured cap.
 //!
 //! Scope is deliberately small: the two methods the service routes
-//! (`GET` / `POST`), `Content-Length` bodies only (a `Transfer-Encoding`
-//! header is rejected with 501 rather than mis-framed), one request per
-//! connection (`Connection: close` on every response). [`read_request`]
-//! is generic over [`Read`] so the proptest suite can drive it with
-//! arbitrary in-memory bytes — the same code path the TCP socket uses.
+//! (`GET` / `POST`) and `Content-Length` request bodies only (a request
+//! `Transfer-Encoding` header is rejected with 501 rather than
+//! mis-framed). Connections are persistent: [`RequestReader`] reads a
+//! *sequence* of requests from one stream, carrying bytes that arrive
+//! past one request's body over to the next (HTTP/1.1 keep-alive and
+//! pipelining), and [`Request::keep_alive`] implements the `Connection`
+//! header semantics of RFC 7230 §6.3. Responses are either fully
+//! buffered with an exact `Content-Length` or streamed with RFC 7230
+//! §4.1 chunked `Transfer-Encoding` ([`ResponseBody`]).
+//!
+//! [`read_request`] and [`RequestReader`] are generic over [`Read`] so
+//! the proptest suite can drive them with arbitrary in-memory bytes —
+//! the same code path the TCP socket uses. [`ResponseReader`] is the
+//! matching minimal *client* (used by the benches, examples and
+//! integration tests): it parses one response per call, de-chunking
+//! streamed bodies, without reading past the response's end — which is
+//! what lets a client reuse a keep-alive connection.
 
 use std::io::{Read, Write};
 
@@ -35,6 +47,17 @@ impl std::fmt::Display for Method {
     }
 }
 
+/// The HTTP protocol versions the service accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0`: connections close by default, chunked responses are
+    /// not available (bodies are buffered with a `Content-Length`).
+    Http10,
+    /// `HTTP/1.1`: connections persist by default, responses may stream
+    /// with chunked `Transfer-Encoding`.
+    Http11,
+}
+
 /// One parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -42,6 +65,8 @@ pub struct Request {
     pub method: Method,
     /// The request target exactly as sent (always starts with `/`).
     pub target: String,
+    /// The protocol version of the request line.
+    pub version: Version,
     /// Header `(name, value)` pairs; names are lowercased.
     pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length` was sent).
@@ -55,6 +80,31 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether this request asks for the connection to stay open after
+    /// the response (RFC 7230 §6.3): HTTP/1.1 defaults to keep-alive
+    /// unless a `Connection` header lists `close`; HTTP/1.0 defaults to
+    /// close unless one lists `keep-alive` (and none lists `close`).
+    pub fn keep_alive(&self) -> bool {
+        let mut close = false;
+        let mut keep = false;
+        for (name, value) in &self.headers {
+            if name == "connection" {
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        close = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        keep = true;
+                    }
+                }
+            }
+        }
+        match self.version {
+            Version::Http11 => !close,
+            Version::Http10 => keep && !close,
+        }
     }
 }
 
@@ -104,10 +154,12 @@ pub enum HttpError {
     BadContentLength,
     /// `Content-Length` exceeds [`Limits::max_body_bytes`].
     BodyTooLarge,
-    /// A `Transfer-Encoding` header was sent (chunked bodies are not
-    /// implemented; rejecting beats mis-framing).
+    /// A `Transfer-Encoding` header was sent (chunked request bodies are
+    /// not implemented; rejecting beats mis-framing).
     UnsupportedTransferEncoding,
-    /// An I/O failure while reading (timeouts surface here).
+    /// An I/O failure while reading (timeouts surface here: `TimedOut` /
+    /// `WouldBlock` map to 408, so a stalled or slow-trickling client
+    /// gets a typed Request Timeout, not a pinned worker).
     Io(std::io::ErrorKind),
 }
 
@@ -147,72 +199,132 @@ impl std::fmt::Display for HttpError {
             HttpError::UnsupportedTransferEncoding => {
                 write!(f, "transfer-encoding not supported")
             }
-            HttpError::Io(kind) => write!(f, "i/o failure reading request: {kind:?}"),
+            HttpError::Io(kind) => match kind {
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                    write!(f, "timed out reading request")
+                }
+                _ => write!(f, "i/o failure reading request: {kind:?}"),
+            },
         }
     }
 }
 
 impl std::error::Error for HttpError {}
 
-/// Reads and parses one request from `reader`, enforcing `limits`.
+/// Reads a sequence of requests from one connection, enforcing `limits`
+/// per request and carrying bytes that arrive past one request's body
+/// over to the next (keep-alive and pipelining).
 ///
 /// Generic over [`Read`] so arbitrary byte streams (the proptest sweep)
-/// exercise exactly the code path real sockets do. Returns a typed
-/// [`HttpError`] on any malformed, oversized, truncated or unsupported
-/// input — never panics.
-pub fn read_request<R: Read>(reader: &mut R, limits: &Limits) -> Result<Request, HttpError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(512);
-    let mut tmp = [0u8; 1024];
-    // Read until the blank line terminating the head, bounded by
-    // max_head_bytes (+3 so a terminator straddling the cap still parses).
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            if pos > limits.max_head_bytes {
+/// exercise exactly the code path real sockets do.
+#[derive(Debug)]
+pub struct RequestReader<R> {
+    reader: R,
+    carry: Vec<u8>,
+}
+
+impl<R> RequestReader<R> {
+    /// Wraps `reader`.
+    pub fn new(reader: R) -> Self {
+        RequestReader {
+            reader,
+            carry: Vec::new(),
+        }
+    }
+
+    /// Whether bytes of a (possibly pipelined) next request are already
+    /// buffered — if so, the next [`RequestReader::next_request`] makes
+    /// progress without touching the underlying reader.
+    pub fn has_buffered(&self) -> bool {
+        !self.carry.is_empty()
+    }
+
+    /// The wrapped reader (for e.g. re-arming a read deadline between
+    /// requests).
+    pub fn reader_mut(&mut self) -> &mut R {
+        &mut self.reader
+    }
+}
+
+impl<R: Read> RequestReader<R> {
+    /// Reads and parses the next request on the connection. Returns a
+    /// typed [`HttpError`] on any malformed, oversized, truncated or
+    /// unsupported input — never panics. After an error the carried
+    /// buffer is unreliable (framing is lost); the connection must be
+    /// closed.
+    pub fn next_request(&mut self, limits: &Limits) -> Result<Request, HttpError> {
+        let mut tmp = [0u8; 1024];
+        // Read until the blank line terminating the head, bounded by
+        // max_head_bytes (+3 so a terminator straddling the cap parses).
+        let head_end = loop {
+            // RFC 7230 §3.5 robustness: ignore empty line(s) received
+            // prior to the request line (e.g. a client that terminates
+            // each request frame with an extra CRLF).
+            while self.carry.starts_with(b"\r\n") {
+                self.carry.drain(..2);
+            }
+            if let Some(pos) = find_head_end(&self.carry) {
+                if pos > limits.max_head_bytes {
+                    return Err(HttpError::HeadTooLarge);
+                }
+                break pos;
+            }
+            if self.carry.len() > limits.max_head_bytes + 3 {
                 return Err(HttpError::HeadTooLarge);
             }
-            break pos;
-        }
-        if buf.len() > limits.max_head_bytes + 3 {
-            return Err(HttpError::HeadTooLarge);
-        }
-        let n = reader.read(&mut tmp).map_err(|e| HttpError::Io(e.kind()))?;
-        if n == 0 {
-            return Err(HttpError::Incomplete);
-        }
-        buf.extend_from_slice(&tmp[..n]);
-    };
-    let (method, target, headers) = parse_head(&buf[..head_end], limits)?;
+            let n = self
+                .reader
+                .read(&mut tmp)
+                .map_err(|e| HttpError::Io(e.kind()))?;
+            if n == 0 {
+                return Err(HttpError::Incomplete);
+            }
+            self.carry.extend_from_slice(&tmp[..n]);
+        };
+        let (method, target, version, headers) = parse_head(&self.carry[..head_end], limits)?;
 
-    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
-        return Err(HttpError::UnsupportedTransferEncoding);
-    }
-    let content_length = content_length(&headers)?;
-    if content_length > limits.max_body_bytes {
-        return Err(HttpError::BodyTooLarge);
-    }
-
-    // Whatever followed the head in the buffer is the body prefix; bytes
-    // beyond Content-Length (pipelining) are ignored — every response
-    // closes the connection.
-    let mut body: Vec<u8> = buf.get(head_end + 4..).unwrap_or(&[]).to_vec();
-    body.truncate(content_length);
-    while body.len() < content_length {
-        let want = (content_length - body.len()).min(tmp.len());
-        let n = reader
-            .read(&mut tmp[..want])
-            .map_err(|e| HttpError::Io(e.kind()))?;
-        if n == 0 {
-            return Err(HttpError::Incomplete);
+        if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+            return Err(HttpError::UnsupportedTransferEncoding);
         }
-        body.extend_from_slice(&tmp[..n]);
-    }
+        let content_length = content_length(&headers)?;
+        if content_length > limits.max_body_bytes {
+            return Err(HttpError::BodyTooLarge);
+        }
 
-    Ok(Request {
-        method,
-        target,
-        headers,
-        body,
-    })
+        // Read exactly Content-Length body bytes past the head; anything
+        // after them stays in the carry buffer as the next request.
+        let body_start = head_end + 4;
+        let frame_end = body_start + content_length;
+        while self.carry.len() < frame_end {
+            let want = (frame_end - self.carry.len()).min(tmp.len());
+            let n = self
+                .reader
+                .read(&mut tmp[..want])
+                .map_err(|e| HttpError::Io(e.kind()))?;
+            if n == 0 {
+                return Err(HttpError::Incomplete);
+            }
+            self.carry.extend_from_slice(&tmp[..n]);
+        }
+        let rest = self.carry.split_off(frame_end);
+        let frame = std::mem::replace(&mut self.carry, rest);
+        let body = frame.get(body_start..).unwrap_or(&[]).to_vec();
+
+        Ok(Request {
+            method,
+            target,
+            version,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Reads and parses one request from `reader`, enforcing `limits`. The
+/// one-shot convenience over [`RequestReader`]; bytes past the request's
+/// body are discarded.
+pub fn read_request<R: Read>(reader: &mut R, limits: &Limits) -> Result<Request, HttpError> {
+    RequestReader::new(reader).next_request(limits)
 }
 
 /// Index of the `\r\n\r\n` head terminator, if present.
@@ -226,10 +338,10 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 fn parse_head(
     head: &[u8],
     limits: &Limits,
-) -> Result<(Method, String, Vec<(String, String)>), HttpError> {
+) -> Result<(Method, String, Version, Vec<(String, String)>), HttpError> {
     let mut lines = split_crlf(head);
     let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
-    let (method, target) = parse_request_line(request_line)?;
+    let (method, target, version) = parse_request_line(request_line)?;
 
     let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
@@ -238,7 +350,7 @@ fn parse_head(
         }
         headers.push(parse_header_line(line)?);
     }
-    Ok((method, target, headers))
+    Ok((method, target, version, headers))
 }
 
 /// Splits on `\r\n` exactly (a bare `\n` or stray `\r` stays inside the
@@ -264,7 +376,7 @@ fn split_crlf(head: &[u8]) -> impl Iterator<Item = &[u8]> {
     })
 }
 
-fn parse_request_line(line: &[u8]) -> Result<(Method, String), HttpError> {
+fn parse_request_line(line: &[u8]) -> Result<(Method, String, Version), HttpError> {
     let mut parts = line.split(|&b| b == b' ');
     let method = parts.next().ok_or(HttpError::BadRequestLine)?;
     let target = parts.next().ok_or(HttpError::BadRequestLine)?;
@@ -288,7 +400,8 @@ fn parse_request_line(line: &[u8]) -> Result<(Method, String), HttpError> {
     let target = String::from_utf8(target.to_vec()).map_err(|_| HttpError::BadRequestLine)?;
 
     match version {
-        b"HTTP/1.1" | b"HTTP/1.0" => Ok((method, target)),
+        b"HTTP/1.1" => Ok((method, target, Version::Http11)),
+        b"HTTP/1.0" => Ok((method, target, Version::Http10)),
         v if v.starts_with(b"HTTP/") => Err(HttpError::UnsupportedVersion),
         _ => Err(HttpError::BadRequestLine),
     }
@@ -354,9 +467,36 @@ fn content_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
     Ok(length.unwrap_or(0))
 }
 
-/// One HTTP response, written with `Connection: close` and an exact
-/// `Content-Length`.
-#[derive(Debug, Clone)]
+/// A pull-based producer of response body chunks: each call yields the
+/// next block of bytes, `None` when the body is complete.
+pub type ChunkSource = Box<dyn FnMut() -> Option<Vec<u8>> + Send>;
+
+/// How a response body is framed on the wire.
+pub enum ResponseBody {
+    /// The whole body up front: written with an exact `Content-Length`.
+    Buffered(Vec<u8>),
+    /// A lazily-produced body: written with RFC 7230 §4.1 chunked
+    /// `Transfer-Encoding`, one wire chunk per yielded block, flushed as
+    /// produced so the first byte leaves before the last row is
+    /// generated. Empty blocks are skipped (a zero-length wire chunk
+    /// would terminate the body early).
+    Chunked(ChunkSource),
+}
+
+impl std::fmt::Debug for ResponseBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResponseBody::Buffered(bytes) => f.debug_tuple("Buffered").field(&bytes.len()).finish(),
+            ResponseBody::Chunked(_) => f.debug_tuple("Chunked").field(&"..").finish(),
+        }
+    }
+}
+
+/// One HTTP response. Buffered bodies are written with an exact
+/// `Content-Length`; chunked bodies stream with `Transfer-Encoding:
+/// chunked`. The `Connection` header is decided at write time by the
+/// connection state machine ([`Response::write_to`]'s `keep_alive`).
+#[derive(Debug)]
 pub struct Response {
     /// Status code.
     pub status: u16,
@@ -365,7 +505,7 @@ pub struct Response {
     /// Additional response headers (e.g. the privacy-budget trailers).
     pub extra_headers: Vec<(String, String)>,
     /// The response body.
-    pub body: Vec<u8>,
+    pub body: ResponseBody,
 }
 
 impl Response {
@@ -375,7 +515,7 @@ impl Response {
             status,
             content_type: "application/json",
             extra_headers: Vec::new(),
-            body: body.to_string().into_bytes(),
+            body: ResponseBody::Buffered(body.to_string().into_bytes()),
         }
     }
 
@@ -385,7 +525,18 @@ impl Response {
             status: 200,
             content_type: "text/csv",
             extra_headers: Vec::new(),
-            body: body.into_bytes(),
+            body: ResponseBody::Buffered(body.into_bytes()),
+        }
+    }
+
+    /// A 200 response streaming `source`'s blocks with chunked
+    /// `Transfer-Encoding`.
+    pub fn chunked(content_type: &'static str, source: ChunkSource) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            extra_headers: Vec::new(),
+            body: ResponseBody::Chunked(source),
         }
     }
 
@@ -395,21 +546,81 @@ impl Response {
         self
     }
 
+    /// Drains a chunked body into a buffered one (for HTTP/1.0 clients,
+    /// which cannot parse chunked `Transfer-Encoding`). Buffered bodies
+    /// are returned unchanged.
+    pub fn into_buffered(mut self) -> Response {
+        self.body = ResponseBody::Buffered(self.drain_body_bytes());
+        self
+    }
+
+    /// The complete body bytes, draining a chunked source if necessary
+    /// (test and HTTP/1.0 convenience — streaming callers use
+    /// [`Response::write_to`]).
+    pub fn into_body_bytes(mut self) -> Vec<u8> {
+        self.drain_body_bytes()
+    }
+
+    fn drain_body_bytes(&mut self) -> Vec<u8> {
+        match &mut self.body {
+            ResponseBody::Buffered(bytes) => std::mem::take(bytes),
+            ResponseBody::Chunked(source) => {
+                let mut out = Vec::new();
+                while let Some(block) = source() {
+                    out.extend_from_slice(&block);
+                }
+                out
+            }
+        }
+    }
+
     /// Serializes the status line, headers and body to `writer`.
-    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+    ///
+    /// `keep_alive` decides the `Connection` header: `keep-alive` when the
+    /// connection will serve another request, `close` when it won't. A
+    /// chunked body is framed per RFC 7230 §4.1 (hex size line, chunk
+    /// data, terminating `0\r\n\r\n`) and flushed block by block, so a
+    /// client sees the first rows while later ones are still being
+    /// generated; any write failure aborts the stream (the framing is
+    /// unrecoverable mid-body, so the caller must close the connection).
+    pub fn write_to<W: Write>(&mut self, writer: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n",
             self.status,
             reason_phrase(self.status),
             self.content_type,
-            self.body.len()
         )?;
+        match &self.body {
+            ResponseBody::Buffered(bytes) => {
+                write!(writer, "Content-Length: {}\r\n", bytes.len())?;
+            }
+            ResponseBody::Chunked(_) => {
+                write!(writer, "Transfer-Encoding: chunked\r\n")?;
+            }
+        }
+        write!(writer, "Connection: {connection}\r\n")?;
         for (name, value) in &self.extra_headers {
             write!(writer, "{name}: {value}\r\n")?;
         }
         writer.write_all(b"\r\n")?;
-        writer.write_all(&self.body)?;
+        match &mut self.body {
+            ResponseBody::Buffered(bytes) => writer.write_all(bytes)?,
+            ResponseBody::Chunked(source) => {
+                writer.flush()?;
+                while let Some(block) = source() {
+                    if block.is_empty() {
+                        continue;
+                    }
+                    write!(writer, "{:x}\r\n", block.len())?;
+                    writer.write_all(&block)?;
+                    writer.write_all(b"\r\n")?;
+                    writer.flush()?;
+                }
+                writer.write_all(b"0\r\n\r\n")?;
+            }
+        }
         writer.flush()
     }
 }
@@ -432,6 +643,197 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
+/// Upper bound on a response body the minimal client ([`ResponseReader`])
+/// will buffer — the client-side analogue of [`Limits::max_body_bytes`],
+/// sized for the largest sampling response the server can emit
+/// (`max_rows` rows) with headroom. A `Content-Length` or accumulated
+/// chunk total past this is a malformed-response error, so a hostile or
+/// buggy server cannot drive unbounded allocation.
+pub const MAX_CLIENT_BODY_BYTES: usize = 256 * 1024 * 1024;
+
+/// One response as seen by the minimal client ([`ResponseReader`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The de-framed body: de-chunked when the response streamed, exact
+    /// `Content-Length` bytes when it was buffered.
+    pub body: Vec<u8>,
+    /// Whether the body arrived with chunked `Transfer-Encoding`.
+    pub chunked: bool,
+}
+
+impl ClientResponse {
+    /// The value of the first header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The minimal framed-response client used by the benches, examples and
+/// integration tests: parses one response per call — status line,
+/// headers, then a `Content-Length` or chunked body — without reading a
+/// byte past the response's end, so the same keep-alive connection can
+/// carry the next request. Malformed responses are
+/// [`std::io::ErrorKind::InvalidData`] errors, never panics.
+#[derive(Debug)]
+pub struct ResponseReader<R> {
+    reader: R,
+    carry: Vec<u8>,
+}
+
+impl<R: Read> ResponseReader<R> {
+    /// Wraps `reader`.
+    pub fn new(reader: R) -> Self {
+        ResponseReader {
+            reader,
+            carry: Vec::new(),
+        }
+    }
+
+    /// Reads and parses the next response on the connection. Bodies are
+    /// bounded by [`MAX_CLIENT_BODY_BYTES`] — like the request parser,
+    /// the client never lets the peer drive unbounded allocation.
+    pub fn next_response(&mut self) -> std::io::Result<ClientResponse> {
+        let head_end = self.fill_until_terminator()?;
+        let head: Vec<u8> = self.carry.drain(..head_end + 4).take(head_end).collect();
+        let mut lines = split_crlf(&head);
+        let status_line = lines.next().ok_or_else(bad_response)?;
+        let status: u16 = std::str::from_utf8(status_line)
+            .ok()
+            .filter(|l| l.starts_with("HTTP/1."))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(bad_response)?;
+        let mut headers = Vec::new();
+        for line in lines {
+            headers.push(parse_header_line(line).map_err(|_| bad_response())?);
+        }
+
+        let chunked = headers.iter().any(|(n, v)| {
+            n == "transfer-encoding"
+                && v.split(',')
+                    .any(|t| t.trim().eq_ignore_ascii_case("chunked"))
+        });
+        let body = if chunked {
+            self.read_chunked_body()?
+        } else {
+            let length = content_length(&headers).map_err(|_| bad_response())?;
+            if length > MAX_CLIENT_BODY_BYTES {
+                return Err(bad_response());
+            }
+            self.fill_to(length)?;
+            self.carry.drain(..length).collect()
+        };
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+            chunked,
+        })
+    }
+
+    /// Reads until the carry buffer holds a `\r\n\r\n`; returns its
+    /// index.
+    fn fill_until_terminator(&mut self) -> std::io::Result<usize> {
+        let mut tmp = [0u8; 1024];
+        loop {
+            if let Some(pos) = find_head_end(&self.carry) {
+                return Ok(pos);
+            }
+            if self.carry.len() > 1024 * 1024 {
+                return Err(bad_response());
+            }
+            let n = self.reader.read(&mut tmp)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            self.carry.extend_from_slice(&tmp[..n]);
+        }
+    }
+
+    /// Reads until the carry buffer holds at least `len` bytes.
+    fn fill_to(&mut self, len: usize) -> std::io::Result<()> {
+        let mut tmp = [0u8; 4096];
+        while self.carry.len() < len {
+            let want = (len - self.carry.len()).min(tmp.len());
+            let n = self.reader.read(&mut tmp[..want])?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            self.carry.extend_from_slice(&tmp[..n]);
+        }
+        Ok(())
+    }
+
+    /// Reads the next CRLF-terminated line from the carry buffer.
+    fn read_line(&mut self) -> std::io::Result<Vec<u8>> {
+        let mut tmp = [0u8; 256];
+        loop {
+            if let Some(pos) = self.carry.windows(2).position(|w| w == b"\r\n") {
+                let line: Vec<u8> = self.carry.drain(..pos + 2).take(pos).collect();
+                return Ok(line);
+            }
+            if self.carry.len() > 16 * 1024 {
+                return Err(bad_response());
+            }
+            let n = self.reader.read(&mut tmp)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-chunk",
+                ));
+            }
+            self.carry.extend_from_slice(&tmp[..n]);
+        }
+    }
+
+    /// De-chunks an RFC 7230 §4.1 body: hex size lines, chunk data, a
+    /// zero-size terminator (chunk extensions and trailers rejected —
+    /// this server never emits them). The accumulated body is bounded
+    /// by [`MAX_CLIENT_BODY_BYTES`].
+    fn read_chunked_body(&mut self) -> std::io::Result<Vec<u8>> {
+        let mut body = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let text = std::str::from_utf8(&line).map_err(|_| bad_response())?;
+            let size = usize::from_str_radix(text.trim(), 16).map_err(|_| bad_response())?;
+            if size > MAX_CLIENT_BODY_BYTES.saturating_sub(body.len()) {
+                return Err(bad_response());
+            }
+            if size == 0 {
+                // The terminating CRLF after the zero chunk.
+                let end = self.read_line()?;
+                if !end.is_empty() {
+                    return Err(bad_response());
+                }
+                return Ok(body);
+            }
+            self.fill_to(size + 2)?;
+            body.extend(self.carry.drain(..size));
+            let crlf: Vec<u8> = self.carry.drain(..2).collect();
+            if crlf != b"\r\n" {
+                return Err(bad_response());
+            }
+        }
+    }
+}
+
+fn bad_response() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed http response")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +848,7 @@ mod tests {
         let req = parse(b"GET /models HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
         assert_eq!(req.method, Method::Get);
         assert_eq!(req.target, "/models");
+        assert_eq!(req.version, Version::Http11);
         assert_eq!(req.header("host"), Some("localhost"));
         assert!(req.body.is_empty());
     }
@@ -458,10 +861,88 @@ mod tests {
         assert_eq!(req.method, Method::Post);
         assert_eq!(req.target, "/models/m/sample");
         assert_eq!(req.body, b"{\"seed\":1}");
-        // Bytes past Content-Length are ignored (one request per
-        // connection, pipelining unsupported).
+        // The one-shot helper ignores bytes past Content-Length.
         let req = parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nokEXTRA").unwrap();
         assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn empty_lines_before_a_request_line_are_ignored() {
+        // RFC 7230 §3.5: a stray CRLF before the request line (e.g. a
+        // client terminating each frame with an extra CRLF) must not
+        // poison the next keep-alive request.
+        let req = parse(b"\r\nGET /models HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.target, "/models");
+        let bytes =
+            b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nok\r\n\r\nGET /b HTTP/1.1\r\n\r\n"
+                .to_vec();
+        let mut reader = RequestReader::new(Cursor::new(bytes));
+        assert_eq!(
+            reader.next_request(&Limits::default()).unwrap().target,
+            "/a"
+        );
+        assert_eq!(
+            reader.next_request(&Limits::default()).unwrap().target,
+            "/b"
+        );
+    }
+
+    #[test]
+    fn client_reader_refuses_unbounded_bodies() {
+        // A Content-Length past the client cap is rejected before any
+        // body byte is buffered.
+        let wire = format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n",
+            MAX_CLIENT_BODY_BYTES + 1
+        );
+        let err = ResponseReader::new(Cursor::new(wire.into_bytes()))
+            .next_response()
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // So is a chunk-size line claiming an absurd chunk.
+        let wire =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nffffffffffffff\r\n".to_vec();
+        let err = ResponseReader::new(Cursor::new(wire))
+            .next_response()
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn request_reader_carries_pipelined_requests_across_calls() {
+        let bytes =
+            b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nokGET /b HTTP/1.1\r\n\r\n".to_vec();
+        let mut reader = RequestReader::new(Cursor::new(bytes));
+        let first = reader.next_request(&Limits::default()).unwrap();
+        assert_eq!(
+            (first.target.as_str(), first.body.as_slice()),
+            ("/a", &b"ok"[..])
+        );
+        assert!(reader.has_buffered(), "second request should be buffered");
+        let second = reader.next_request(&Limits::default()).unwrap();
+        assert_eq!(second.target, "/b");
+        assert_eq!(second.method, Method::Get);
+        assert!(!reader.has_buffered());
+        assert_eq!(
+            reader.next_request(&Limits::default()).unwrap_err(),
+            HttpError::Incomplete
+        );
+    }
+
+    #[test]
+    fn keep_alive_follows_rfc_7230_connection_semantics() {
+        let ka = |raw: &[u8]| parse(raw).unwrap().keep_alive();
+        // HTTP/1.1 defaults to keep-alive; `close` opts out.
+        assert!(ka(b"GET / HTTP/1.1\r\n\r\n"));
+        assert!(!ka(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!ka(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n"));
+        assert!(!ka(
+            b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n"
+        ));
+        // HTTP/1.0 defaults to close; `keep-alive` opts in.
+        assert!(!ka(b"GET / HTTP/1.0\r\n\r\n"));
+        assert!(ka(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+        assert!(ka(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"));
     }
 
     #[test]
@@ -607,19 +1088,96 @@ mod tests {
             assert!(!e.to_string().is_empty());
             assert_ne!(reason_phrase(status), "");
         }
+        // The request-timeout path is a typed 408.
+        assert_eq!(HttpError::Io(std::io::ErrorKind::TimedOut).status(), 408);
+        assert_eq!(HttpError::Io(std::io::ErrorKind::WouldBlock).status(), 408);
     }
 
     #[test]
-    fn responses_serialize_with_exact_framing() {
-        let resp = Response::json(200, &crate::json::Json::Bool(true))
+    fn buffered_responses_serialize_with_exact_framing() {
+        let mut resp = Response::json(200, &crate::json::Json::Bool(true))
             .with_header("x-p3gm-privacy", "(1.0, 1e-5)-DP");
         let mut out = Vec::new();
-        resp.write_to(&mut out).unwrap();
+        resp.write_to(&mut out, false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 4\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("x-p3gm-privacy: (1.0, 1e-5)-DP\r\n"));
         assert!(text.ends_with("\r\n\r\ntrue"));
+        // Keep-alive flips only the Connection header.
+        let mut resp = Response::json(200, &crate::json::Json::Bool(true));
+        let mut out = Vec::new();
+        resp.write_to(&mut out, true).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn chunked_responses_frame_blocks_and_terminate() {
+        let blocks = vec![b"hello ".to_vec(), Vec::new(), b"world".to_vec()];
+        let mut iter = blocks.into_iter();
+        let mut resp = Response::chunked("text/csv", Box::new(move || iter.next()));
+        let mut out = Vec::new();
+        resp.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Content-Length"));
+        // 6-byte and 5-byte chunks; the empty block is skipped, not a
+        // premature terminator.
+        assert!(
+            text.ends_with("6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn client_reader_parses_buffered_and_chunked_responses() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Type: text/csv\r\nTransfer-Encoding: chunked\r\n\
+            Connection: keep-alive\r\n\r\n6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n\
+            HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\nConnection: close\r\n\r\nno";
+        let mut client = ResponseReader::new(Cursor::new(wire.to_vec()));
+        let first = client.next_response().unwrap();
+        assert_eq!(first.status, 200);
+        assert!(first.chunked);
+        assert_eq!(first.body, b"hello world");
+        assert_eq!(first.header("connection"), Some("keep-alive"));
+        // The reader stopped exactly at the first response's end: the
+        // second response on the same stream parses cleanly.
+        let second = client.next_response().unwrap();
+        assert_eq!(second.status, 404);
+        assert!(!second.chunked);
+        assert_eq!(second.body, b"no");
+        assert!(client.next_response().is_err());
+    }
+
+    #[test]
+    fn client_reader_round_trips_a_written_chunked_response() {
+        let payload: Vec<u8> = (0u32..2048).map(|i| (i % 251) as u8).collect();
+        let mut blocks = payload
+            .chunks(97)
+            .map(<[u8]>::to_vec)
+            .collect::<Vec<_>>()
+            .into_iter();
+        let mut resp =
+            Response::chunked("application/octet-stream", Box::new(move || blocks.next()));
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, false).unwrap();
+        let parsed = ResponseReader::new(Cursor::new(wire))
+            .next_response()
+            .unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body, payload);
+    }
+
+    #[test]
+    fn into_buffered_drains_a_chunked_body() {
+        let mut blocks = vec![b"ab".to_vec(), b"cd".to_vec()].into_iter();
+        let resp = Response::chunked("text/csv", Box::new(move || blocks.next()));
+        let resp = resp.into_buffered();
+        assert!(matches!(&resp.body, ResponseBody::Buffered(b) if b == b"abcd"));
+        assert_eq!(resp.into_body_bytes(), b"abcd");
     }
 }

@@ -14,14 +14,25 @@
 //!   without dropping in-flight requests;
 //! * a **request layer** — a hand-rolled JSON value module ([`json`]) and
 //!   a strict HTTP parser ([`http`]) that reject malformed input with 4xx
-//!   responses and never panic on untrusted bytes;
-//! * a **synthesis executor** that maps `POST /models/{name}/sample` onto
-//!   the deterministic `p3gm-parallel` pool, so a given (model, seed, n)
-//!   returns bit-identical JSON/CSV bodies regardless of concurrency;
+//!   responses and never panic on untrusted bytes; connections are
+//!   persistent (HTTP/1.1 keep-alive with `Connection` header semantics,
+//!   a bounded number of requests per connection, an idle timeout between
+//!   requests, and an absolute per-request read deadline so a stalled or
+//!   byte-trickling client gets a typed 408 instead of pinning a worker);
+//! * a **streaming synthesis executor**: `POST /models/{name}/sample`
+//!   generates rows through the core chunked sampler
+//!   (`SynthesisSnapshot::sample_chunks`) and streams them as RFC 7230
+//!   chunked `Transfer-Encoding`, so first-byte latency and peak memory
+//!   are bounded by the chunk size, not `n` — while the de-chunked body
+//!   stays byte-identical per (model, seed, n) to the buffered body an
+//!   HTTP/1.0 client receives and to in-process `sample(seed, n)`;
 //! * a **privacy budget ledger** ([`ledger`]) tracking cumulative ε per
 //!   model, refusing requests with 429 once a configurable budget is
 //!   exhausted, persisted through the `p3gm-store` codec so restarts
-//!   cannot reset spent budget.
+//!   cannot reset spent budget. Each streamed response is charged exactly
+//!   once, before its first chunk — a client aborting mid-stream has
+//!   still spent the release's ε (the rows it already received are a
+//!   release), never more.
 //!
 //! ## Endpoints
 //!
@@ -34,13 +45,12 @@
 //! | POST   | `/models/{name}/sample` | Draw rows: `{"seed", "n", "labels"?, "format"?}` |
 //! | POST   | `/reload`               | Rescan the snapshot directory (hot reload)     |
 //!
-//! Sampling is deterministic per `(model, seed, n)`: the executor rides
-//! `SynthesisSnapshot::serve` on the `p3gm-parallel` pool, whose output
-//! is exactly the sequential `sample(seed, n)` stream, and response
-//! bodies are serialized deterministically — the same request always
-//! yields the same bytes, from any replica, under any concurrency. The
-//! varying budget state travels in `x-p3gm-epsilon-*` response headers,
-//! never in the body.
+//! Sampling is deterministic per `(model, seed, n)`: every delivery path
+//! consumes the core's canonical per-seed-block sample stream, and the
+//! serializers are deterministic — the same request always yields the
+//! same de-framed bytes, from any replica, under any concurrency, chunk
+//! framing or thread count. The varying budget state travels in
+//! `x-p3gm-epsilon-*` response headers, never in the body.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,18 +60,29 @@ pub mod json;
 pub mod ledger;
 pub mod registry;
 
-use http::{Limits, Method, Request, Response};
+use http::{Limits, Method, Request, RequestReader, Response, ResponseBody};
 use json::Json;
 use ledger::{BudgetLedger, LedgerError};
-use p3gm_core::snapshot::SampleRequest;
 use p3gm_linalg::Matrix;
 use p3gm_privacy::rdp::PrivacySpec;
-use registry::Registry;
+use registry::{LoadedModel, Registry};
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Rows per streamed response chunk. A multiple of the core stream's
+/// [`p3gm_core::snapshot::SEED_BLOCK_ROWS`], so chunk boundaries align
+/// with seed blocks and streaming regenerates nothing; peak memory per
+/// in-flight response is one chunk of rows, never the full batch.
+const STREAM_CHUNK_ROWS: usize = 512;
+
+/// How often a worker waiting for a connection's next request re-checks
+/// the stop flag (graceful shutdown drains idle keep-alive connections
+/// within this granularity).
+const IDLE_POLL: Duration = Duration::from_millis(50);
 
 /// Configuration of one [`start`]ed server.
 #[derive(Debug, Clone)]
@@ -81,8 +102,22 @@ pub struct ServerConfig {
     pub max_rows: usize,
     /// HTTP input limits.
     pub limits: Limits,
-    /// Socket read/write timeout.
+    /// Socket write timeout (one stalled write may block up to this
+    /// long; a streamed response aborts on the first timed-out chunk).
     pub io_timeout: Duration,
+    /// Total time a client gets to deliver one complete request once its
+    /// first byte has arrived. This is an absolute deadline enforced
+    /// across reads, so a client trickling one byte per second cannot
+    /// hold a worker — it gets a typed 408 when the deadline passes.
+    pub request_read_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// (and a fresh connection before its first byte) before the server
+    /// closes it.
+    pub keep_alive_timeout: Duration,
+    /// Requests served per connection before the server closes it
+    /// (`Connection: close` on the final response). Bounds how long one
+    /// client can pin a worker thread.
+    pub max_requests_per_connection: usize,
 }
 
 impl ServerConfig {
@@ -100,6 +135,9 @@ impl ServerConfig {
             max_rows: 100_000,
             limits: Limits::default(),
             io_timeout: Duration::from_secs(10),
+            request_read_timeout: Duration::from_secs(10),
+            keep_alive_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 100,
         }
     }
 }
@@ -144,6 +182,16 @@ struct Service {
     registry: Registry,
     ledger: Mutex<BudgetLedger>,
     max_rows: usize,
+}
+
+/// The per-connection pacing knobs, split out of [`ServerConfig`] so the
+/// connection state machine takes one small copy.
+#[derive(Debug, Clone, Copy)]
+struct ConnConfig {
+    io_timeout: Duration,
+    request_read_timeout: Duration,
+    keep_alive_timeout: Duration,
+    max_requests_per_connection: usize,
 }
 
 /// A running server. Dropping the handle without calling
@@ -220,14 +268,19 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, ServerError> {
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let mut workers = Vec::with_capacity(config.threads);
+    let conn_config = ConnConfig {
+        io_timeout: config.io_timeout,
+        request_read_timeout: config.request_read_timeout,
+        keep_alive_timeout: config.keep_alive_timeout,
+        max_requests_per_connection: config.max_requests_per_connection.max(1),
+    };
     for _ in 0..config.threads {
         let listener = listener.try_clone()?;
         let stop = Arc::clone(&stop);
         let service = Arc::clone(&service);
         let limits = config.limits;
-        let io_timeout = config.io_timeout;
         workers.push(std::thread::spawn(move || {
-            worker_loop(&listener, &stop, &service, &limits, io_timeout);
+            worker_loop(&listener, &stop, &service, &limits, conn_config);
         }));
     }
     Ok(ServerHandle {
@@ -243,7 +296,7 @@ fn worker_loop(
     stop: &AtomicBool,
     service: &Service,
     limits: &Limits,
-    io_timeout: Duration,
+    conn: ConnConfig,
 ) {
     loop {
         let stream = match listener.accept() {
@@ -261,35 +314,186 @@ fn worker_loop(
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let _ = stream.set_read_timeout(Some(io_timeout));
-        let _ = stream.set_write_timeout(Some(io_timeout));
-        serve_connection(stream, service, limits);
+        serve_connection(stream, service, limits, conn, stop);
     }
 }
 
-/// Reads one request, routes it, writes one response, closes. Any
-/// failure on the way in becomes the matching 4xx/5xx; a worker never
-/// dies on a bad connection.
-fn serve_connection(mut stream: TcpStream, service: &Service, limits: &Limits) {
-    let parsed = http::read_request(&mut stream, limits);
-    let response = match &parsed {
-        Ok(request) => route(service, request),
-        Err(e) => error_response(e.status(), &e.to_string()),
+/// Why the idle wait for a connection's next request ended.
+enum IdleOutcome {
+    /// Request bytes are available (buffered or on the socket).
+    Ready,
+    /// The peer closed, the idle timeout passed, the server is shutting
+    /// down, or the socket failed — close without a response.
+    Close,
+}
+
+/// Waits for the first byte of the next request: polls the socket in
+/// [`IDLE_POLL`] slices so the stop flag is observed promptly (this is
+/// what lets a graceful shutdown drain idle keep-alive connections
+/// instead of waiting out their full idle timeout).
+fn wait_for_request(
+    stream: &TcpStream,
+    buffered: bool,
+    conn: ConnConfig,
+    stop: &AtomicBool,
+) -> IdleOutcome {
+    if buffered {
+        // A pipelined request is already in the parse buffer.
+        return IdleOutcome::Ready;
+    }
+    let idle_deadline = Instant::now() + conn.keep_alive_timeout;
+    let mut probe = [0u8; 1];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return IdleOutcome::Close;
+        }
+        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+        match stream.peek(&mut probe) {
+            Ok(0) => return IdleOutcome::Close,
+            Ok(_) => return IdleOutcome::Ready,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= idle_deadline {
+                    return IdleOutcome::Close;
+                }
+            }
+            Err(_) => return IdleOutcome::Close,
+        }
+    }
+}
+
+/// A [`Read`] over a `TcpStream` that enforces an absolute per-request
+/// deadline across however many reads the request takes: the remaining
+/// budget shrinks with every read, so a client trickling bytes cannot
+/// reset the clock — once the deadline passes every read fails with
+/// `TimedOut`, which the parser maps to a typed 408.
+struct TimedStream {
+    stream: TcpStream,
+    deadline: Option<Instant>,
+}
+
+impl TimedStream {
+    fn arm(&mut self, timeout: Duration) {
+        self.deadline = Some(Instant::now() + timeout);
+    }
+}
+
+impl Read for TimedStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = match self.deadline {
+            Some(deadline) => deadline
+                .checked_duration_since(Instant::now())
+                .filter(|r| !r.is_zero())
+                .ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::TimedOut, "request read deadline")
+                })?,
+            None => Duration::from_secs(3600),
+        };
+        self.stream.set_read_timeout(Some(remaining))?;
+        match self.stream.read(buf) {
+            // Normalize the platform's timeout kind so the deadline is
+            // one typed condition.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "request read deadline",
+                ))
+            }
+            other => other,
+        }
+    }
+}
+
+/// The per-connection state machine: serves a sequence of requests over
+/// one TCP connection with HTTP/1.1 keep-alive.
+///
+/// States, per iteration: **idle** (wait for the next request's first
+/// byte, bounded by the keep-alive timeout, stop-flag aware) → **read**
+/// (parse one request under an absolute deadline — a stalled or
+/// trickling client gets a typed 408) → **respond** (route, then stream
+/// or buffer the response with the right `Connection` header) → back to
+/// idle, until the client asks to close, the requests-per-connection
+/// bound is hit, a parse or write fails, or the server shuts down. Any
+/// parse failure becomes the matching 4xx/5xx and closes (framing is
+/// unreliable after an error); a worker never dies on a bad connection.
+fn serve_connection(
+    stream: TcpStream,
+    service: &Service,
+    limits: &Limits,
+    conn: ConnConfig,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_write_timeout(Some(conn.io_timeout));
+    // Chunked responses are flushed block by block; without TCP_NODELAY
+    // the small framing writes sit in Nagle's buffer waiting for delayed
+    // ACKs, turning every keep-alive round trip into ~40-80 ms of idle.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
     };
-    let _ = response.write_to(&mut stream);
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    if parsed.is_err() {
-        // The request was rejected mid-send (oversized head, huge
-        // Content-Length, …): briefly drain what the client is still
-        // writing so closing does not RST the socket and discard the
-        // error response before the client reads it. Bounded in both
-        // bytes and time so a hostile client cannot pin the worker.
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-        let mut scratch = [0u8; 4096];
-        for _ in 0..64 {
-            match std::io::Read::read(&mut stream, &mut scratch) {
-                Ok(0) | Err(_) => break,
-                Ok(_) => {}
+    let mut reader = RequestReader::new(TimedStream {
+        stream: read_half,
+        deadline: None,
+    });
+    let mut write_half = stream;
+    let mut served = 0usize;
+    // An idle wait ending in `Close` (peer gone, idle timeout, or
+    // shutdown) exits silently — no request is in flight, so no
+    // response is owed.
+    while let IdleOutcome::Ready = wait_for_request(&write_half, reader.has_buffered(), conn, stop)
+    {
+        reader.reader_mut().arm(conn.request_read_timeout);
+        let parsed = reader.next_request(limits);
+        match parsed {
+            Ok(request) => {
+                served += 1;
+                let keep = request.keep_alive()
+                    && served < conn.max_requests_per_connection
+                    && !stop.load(Ordering::SeqCst);
+                let mut response = route(service, &request);
+                if request.version == http::Version::Http10 {
+                    // HTTP/1.0 clients cannot parse chunked framing: the
+                    // documented fallback buffers the stream.
+                    response = response.into_buffered();
+                }
+                if response.write_to(&mut write_half, keep).is_err() {
+                    // A failed or aborted write (including mid-stream)
+                    // leaves the wire framing unrecoverable.
+                    break;
+                }
+                if !keep {
+                    let _ = write_half.shutdown(std::net::Shutdown::Write);
+                    break;
+                }
+            }
+            Err(e) => {
+                let mut response = error_response(e.status(), &e.to_string());
+                let _ = response.write_to(&mut write_half, false);
+                let _ = write_half.shutdown(std::net::Shutdown::Write);
+                // The request was rejected mid-send (oversized head, huge
+                // Content-Length, …): briefly drain what the client is
+                // still writing so closing does not RST the socket and
+                // discard the error response before the client reads it.
+                // Bounded in both bytes and time so a hostile client
+                // cannot pin the worker.
+                let _ = write_half.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut scratch = [0u8; 4096];
+                for _ in 0..64 {
+                    match write_half.read(&mut scratch) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
+                break;
             }
         }
     }
@@ -568,9 +772,13 @@ fn parse_sample_spec(body: &[u8], max_rows: usize) -> Result<SampleSpec, String>
     })
 }
 
-/// The synthesis executor: charges the ledger, draws the rows on the
-/// deterministic `p3gm-parallel` pool, and serializes a deterministic
-/// body.
+/// The synthesis executor: charges the ledger exactly once, then either
+/// streams the rows as chunked `Transfer-Encoding` (plain sampling — the
+/// rows are generated chunk by chunk as the socket drains, so first-byte
+/// latency and peak memory are bounded by the chunk size, not `n`) or
+/// serializes a buffered body (labelled synthesis). De-chunking a
+/// streamed body yields exactly the bytes the buffered serializer would
+/// have produced.
 fn sample(service: &Service, name: &str, body: &[u8]) -> Response {
     let Some(model) = service.registry.get(name) else {
         return error_response(404, "no such model");
@@ -639,19 +847,7 @@ fn sample(service: &Service, name: &str, body: &[u8]) -> Response {
     };
 
     let response = match &spec.labels {
-        None => {
-            // Rides the p3gm-parallel pool; the response is exactly the
-            // sequential sample(seed, n) stream, independent of pool
-            // concurrency and worker count.
-            let mut batches = snapshot.serve(&[SampleRequest {
-                seed: spec.seed,
-                n: spec.n,
-            }]);
-            let rows = batches
-                .pop()
-                .unwrap_or_else(|| Matrix::zeros(0, snapshot.model().data_dim()));
-            render_rows(name, &spec, &rows, None)
-        }
+        None => stream_rows(model.clone(), name, &spec),
         Some(counts) => match snapshot.synthesize_labelled(spec.seed, counts) {
             Ok((rows, labels)) => render_rows(name, &spec, &rows, Some(&labels)),
             // Client-rejectable conditions were all checked before the
@@ -676,52 +872,148 @@ fn sample(service: &Service, name: &str, body: &[u8]) -> Response {
         )
 }
 
-/// Serializes sampled rows deterministically. JSON and CSV both print
-/// values through Rust's shortest-round-trip `f64` formatting, so equal
-/// samples are equal bytes and parsing a value back yields the identical
-/// bit pattern.
+/// One row as a compact JSON array, through the same shortest-round-trip
+/// `f64` formatting as [`Json`]'s serializer — the streamed body must be
+/// byte-identical to what the buffered serializer would produce.
+fn json_row(out: &mut String, row: &[f64]) {
+    out.push('[');
+    let mut first = true;
+    for &v in row {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&Json::Num(v).to_string());
+    }
+    out.push(']');
+}
+
+/// One row as a CSV line (newline included), optionally with the label
+/// appended as the last column.
+fn csv_row(out: &mut String, row: &[f64], label: Option<usize>) {
+    let mut first = true;
+    for v in row {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&v.to_string());
+    }
+    if let Some(label) = label {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&label.to_string());
+    }
+    out.push('\n');
+}
+
+/// The JSON body prefix up to (and including) the opening `[` of the
+/// rows array — shared by the streamed and buffered serializers.
+fn json_body_prefix(name: &str, seed: u64, n: usize) -> String {
+    format!(
+        "{{\"model\":{},\"seed\":{},\"n\":{},\"rows\":[",
+        Json::str(name),
+        Json::Num(seed as f64),
+        Json::Num(n as f64),
+    )
+}
+
+/// A chunked streaming response for a plain (unlabelled) sampling
+/// request: each chunk serializes up to [`STREAM_CHUNK_ROWS`] rows that
+/// are generated — via the core chunked sampler — only when the previous
+/// chunk has been handed to the socket. The `Arc` keeps the model alive
+/// for the stream's whole lifetime, so a hot reload mid-stream never
+/// yanks the snapshot out from under the response.
+fn stream_rows(model: Arc<LoadedModel>, name: &str, spec: &SampleSpec) -> Response {
+    let content_type = if spec.csv {
+        "text/csv"
+    } else {
+        "application/json"
+    };
+    let (seed, n, csv) = (spec.seed, spec.n, spec.csv);
+    let prefix = if csv {
+        String::new()
+    } else {
+        json_body_prefix(name, seed, n)
+    };
+    // Stream state: Some(prefix) until the prefix chunk is emitted, then
+    // row chunks tracked by `next_row`, then the suffix, then None.
+    let mut prefix = Some(prefix);
+    let mut next_row = 0usize;
+    let mut suffix_pending = !csv;
+    let source = move || {
+        if let Some(p) = prefix.take() {
+            return Some(p.into_bytes());
+        }
+        if next_row < n {
+            let rows = STREAM_CHUNK_ROWS.min(n - next_row);
+            let chunk = model.snapshot().sample_rows(seed, next_row, rows);
+            let mut out = String::new();
+            for (i, row) in chunk.row_iter().enumerate() {
+                if csv {
+                    csv_row(&mut out, row, None);
+                } else {
+                    if next_row + i > 0 {
+                        out.push(',');
+                    }
+                    json_row(&mut out, row);
+                }
+            }
+            next_row += rows;
+            return Some(out.into_bytes());
+        }
+        if suffix_pending {
+            suffix_pending = false;
+            return Some(b"]}".to_vec());
+        }
+        None
+    };
+    Response::chunked(content_type, Box::new(source))
+}
+
+/// Serializes sampled rows deterministically into a buffered body. JSON
+/// and CSV both print values through Rust's shortest-round-trip `f64`
+/// formatting, so equal samples are equal bytes and parsing a value back
+/// yields the identical bit pattern. De-chunking a streamed response
+/// yields exactly these bytes for the same rows.
 fn render_rows(name: &str, spec: &SampleSpec, rows: &Matrix, labels: Option<&[usize]>) -> Response {
     if spec.csv {
         let mut out = String::new();
         for (i, row) in rows.row_iter().enumerate() {
-            let mut first = true;
-            for v in row {
-                if !first {
-                    out.push(',');
-                }
-                first = false;
-                out.push_str(&v.to_string());
-            }
-            if let Some(labels) = labels {
-                if !first {
-                    out.push(',');
-                }
-                out.push_str(&labels.get(i).copied().unwrap_or(0).to_string());
-            }
-            out.push('\n');
+            csv_row(
+                &mut out,
+                row,
+                labels.map(|l| l.get(i).copied().unwrap_or(0)),
+            );
         }
         Response::csv(out)
     } else {
-        let mut members = vec![
-            ("model".to_string(), Json::str(name)),
-            ("seed".to_string(), Json::Num(spec.seed as f64)),
-            ("n".to_string(), Json::Num(rows.rows() as f64)),
-            (
-                "rows".to_string(),
-                Json::Arr(
-                    rows.row_iter()
-                        .map(|row| Json::Arr(row.iter().map(|&v| Json::Num(v)).collect()))
-                        .collect(),
-                ),
-            ),
-        ];
-        if let Some(labels) = labels {
-            members.push((
-                "labels".to_string(),
-                Json::Arr(labels.iter().map(|&l| Json::Num(l as f64)).collect()),
-            ));
+        let mut out = json_body_prefix(name, spec.seed, rows.rows());
+        for (i, row) in rows.row_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_row(&mut out, row);
         }
-        Response::json(200, &Json::Obj(members))
+        out.push(']');
+        if let Some(labels) = labels {
+            out.push_str(",\"labels\":[");
+            for (i, &l) in labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&Json::Num(l as f64).to_string());
+            }
+            out.push(']');
+        }
+        out.push('}');
+        Response {
+            status: 200,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: ResponseBody::Buffered(out.into_bytes()),
+        }
     }
 }
 
@@ -795,14 +1087,14 @@ mod tests {
             labels: None,
             csv: true,
         };
-        let a = render_rows("m", &spec, &rows, None);
-        let b = render_rows("m", &spec, &rows, None);
-        assert_eq!(a.body, b.body);
-        let text = String::from_utf8(a.body).unwrap();
+        let a = render_rows("m", &spec, &rows, None).into_body_bytes();
+        let b = render_rows("m", &spec, &rows, None).into_body_bytes();
+        assert_eq!(a, b);
+        let text = String::from_utf8(a).unwrap();
         assert_eq!(text, format!("0.5,{}\n-1.25,2\n", 1.0 / 3.0));
         // With labels appended as the last column.
-        let labelled = render_rows("m", &spec, &rows, Some(&[1, 0]));
-        let text = String::from_utf8(labelled.body).unwrap();
+        let labelled = render_rows("m", &spec, &rows, Some(&[1, 0])).into_body_bytes();
+        let text = String::from_utf8(labelled).unwrap();
         assert!(text.ends_with(",0\n"));
         assert!(text.contains("0.5,"));
     }
@@ -817,7 +1109,7 @@ mod tests {
             csv: false,
         };
         let resp = render_rows("m", &spec, &rows, None);
-        let body = String::from_utf8(resp.body).unwrap();
+        let body = String::from_utf8(resp.into_body_bytes()).unwrap();
         let parsed = json::parse(&body).unwrap();
         let row = parsed.get("rows").unwrap().as_arr().unwrap()[0]
             .as_arr()
@@ -826,5 +1118,38 @@ mod tests {
             assert_eq!(got.as_f64().unwrap().to_bits(), want.to_bits());
         }
         assert_eq!(parsed.get("seed").unwrap().as_u64(), Some(9));
+    }
+
+    #[test]
+    fn hand_rolled_json_body_matches_the_json_serializer() {
+        // The streamed/buffered sample body is assembled by hand (so it
+        // can stream); it must stay byte-identical to serializing the
+        // equivalent Json value tree.
+        let rows = Matrix::from_rows(&[vec![0.1, -2.5e-7], vec![1.0 / 3.0, 4.0]]).unwrap();
+        let spec = SampleSpec {
+            seed: 42,
+            n: 2,
+            labels: None,
+            csv: false,
+        };
+        let body = render_rows("na\"me", &spec, &rows, Some(&[1, 0])).into_body_bytes();
+        let tree = Json::Obj(vec![
+            ("model".to_string(), Json::str("na\"me")),
+            ("seed".to_string(), Json::Num(42.0)),
+            ("n".to_string(), Json::Num(2.0)),
+            (
+                "rows".to_string(),
+                Json::Arr(
+                    rows.row_iter()
+                        .map(|row| Json::Arr(row.iter().map(|&v| Json::Num(v)).collect()))
+                        .collect(),
+                ),
+            ),
+            (
+                "labels".to_string(),
+                Json::Arr(vec![Json::Num(1.0), Json::Num(0.0)]),
+            ),
+        ]);
+        assert_eq!(String::from_utf8(body).unwrap(), tree.to_string());
     }
 }

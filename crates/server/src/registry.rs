@@ -13,7 +13,12 @@
 //! [`Registry::reload`] that swaps or drops an entry never invalidates a
 //! request already executing against the old model — in-flight requests
 //! finish on the snapshot they started with, and the old model is freed
-//! when the last of them completes.
+//! when the last of them completes. This includes **streamed** sampling
+//! responses: the chunked body generator owns its `Arc<LoadedModel>` for
+//! the whole lifetime of the response, so a model swapped or removed
+//! mid-stream keeps serving that stream's remaining chunks from the
+//! version the request started on (its memory is reclaimed when the
+//! stream ends).
 //!
 //! Reload is incremental: files whose `(length, mtime)` fingerprint is
 //! unchanged keep their existing entry (no re-decode of multi-megabyte

@@ -12,7 +12,6 @@ use p3gm::core::config::PgmConfig;
 use p3gm::core::pgm::PhasedGenerativeModel;
 use p3gm::core::snapshot::{SampleRequest, SynthesisSnapshot};
 use p3gm::core::synthesis::LabelledSynthesizer;
-use p3gm::core::GenerativeModel;
 use p3gm::datasets::tabular::adult_like;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -75,12 +74,21 @@ fn main() {
     }
 
     // 5. The round-trip guarantee: sampling the loaded snapshot with a
-    //    fixed seed is bit-identical to sampling the model that never left
-    //    memory.
-    let mut direct_rng = StdRng::seed_from_u64(42);
-    let direct = model.sample(&mut direct_rng, 100);
+    //    fixed seed is bit-identical to the canonical stream of the
+    //    snapshot that never left memory — serially, chunk by chunk, or
+    //    in parallel (every path consumes the same chunked sampler).
+    let direct = snapshot.sample(42, 100);
     let served = loaded.sample(42, 100);
     assert_eq!(direct.as_slice(), served.as_slice());
+    let chunked: Vec<f64> = loaded
+        .sample_chunks(42, 100, 24)
+        .flat_map(|chunk| chunk.as_slice().to_vec())
+        .collect();
+    assert_eq!(direct.as_slice(), chunked.as_slice());
+    assert_eq!(
+        direct.as_slice(),
+        loaded.sample_parallel(42, 100).as_slice()
+    );
     println!("round trip verified: save -> load -> sample is bit-identical");
 
     // 6. Labelled serving: original-unit features with the requested label

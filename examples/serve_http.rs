@@ -1,8 +1,10 @@
 //! Serve over HTTP: train P3GM once, write the snapshot to a model
 //! directory, start `p3gm-server` on an ephemeral port, and drive it
-//! with a plain `std::net::TcpStream` client — list the models, sample
-//! twice with the same seed (byte-identical bodies), exhaust the privacy
-//! budget (HTTP 429), then shut down gracefully.
+//! with a plain `std::net::TcpStream` client — list the models, reuse
+//! one keep-alive connection for two sampling requests (byte-identical
+//! to the same requests on separate connections), download a large
+//! batch as a chunked CSV stream, exhaust the privacy budget (HTTP
+//! 429), then shut down gracefully.
 //!
 //! Run with:
 //! ```text
@@ -16,38 +18,41 @@ use p3gm::core::pgm::PhasedGenerativeModel;
 use p3gm::core::snapshot::SynthesisSnapshot;
 use p3gm::core::synthesis::LabelledSynthesizer;
 use p3gm::datasets::tabular::adult_like;
+use p3gm::server::http::ResponseReader;
 use p3gm::server::{start, ServerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Sends one HTTP/1.1 request and returns `(status, body)` — the whole
-/// client fits in a dozen lines of std.
+/// Writes one HTTP/1.1 request onto an (open, possibly reused) stream
+/// in a single `write_all` (multiple small writes on a reused connection
+/// would stall on Nagle + delayed ACK).
+fn send(stream: &mut TcpStream, method: &str, path: &str, body: &str) {
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+}
+
+/// One request on a fresh connection; returns `(status, body)`. The
+/// framed reader de-chunks streamed bodies and stops at the response's
+/// end — the whole client fits in a dozen lines of std + `p3gm::server::http`.
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .expect("timeout");
-    write!(
-        stream,
-        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
+    send(&mut stream, method, path, body);
+    let response = ResponseReader::new(stream)
+        .next_response()
+        .expect("read response");
+    (
+        response.status,
+        String::from_utf8(response.body).expect("utf-8 body"),
     )
-    .expect("write request");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read response");
-    let status: u16 = raw
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status code");
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    (status, body)
 }
 
 fn main() {
@@ -75,11 +80,11 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("create model dir");
     std::fs::write(dir.join("adult-demo.snapshot"), snapshot.to_bytes()).expect("write snapshot");
 
-    // 3. Start the server with a budget that allows two releases: each
-    //    sampling response is charged the model's stamped ε, so the third
+    // 3. Start the server with a budget that allows five releases: each
+    //    sampling response is charged the model's stamped ε, so the sixth
     //    request must be refused with 429.
     let server = start(ServerConfig {
-        budget_epsilon: Some(2.5 * stamp.epsilon),
+        budget_epsilon: Some(5.5 * stamp.epsilon),
         ..ServerConfig::new(&dir)
     })
     .expect("start server");
@@ -91,29 +96,70 @@ fn main() {
     assert_eq!(status, 200);
     println!("GET /models -> {body}");
 
-    // 5. Sample twice with the same seed: the bodies must be
-    //    byte-identical — synthesis is deterministic per (model, seed, n)
-    //    and the serializer is deterministic too.
-    let sample_body = r#"{"seed": 42, "n": 20}"#;
-    let (status_a, body_a) = request(addr, "POST", "/models/adult-demo/sample", sample_body);
-    let (status_b, body_b) = request(addr, "POST", "/models/adult-demo/sample", sample_body);
-    assert_eq!((status_a, status_b), (200, 200));
+    // 5. Keep-alive: two sampling requests ride ONE connection, and each
+    //    body is byte-identical to the same request on its own fresh
+    //    connection — synthesis is deterministic per (model, seed, n)
+    //    and the connection reuse is pure transport.
+    let body_a = r#"{"seed": 42, "n": 20}"#;
+    let body_b = r#"{"seed": 43, "n": 10}"#;
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut reader = ResponseReader::new(stream.try_clone().expect("clone"));
+    send(&mut stream, "POST", "/models/adult-demo/sample", body_a);
+    let first = reader.next_response().expect("first keep-alive response");
+    send(&mut stream, "POST", "/models/adult-demo/sample", body_b);
+    let second = reader.next_response().expect("second keep-alive response");
+    assert_eq!((first.status, second.status), (200, 200));
     assert_eq!(
-        body_a, body_b,
-        "same (model, seed, n) must serve identical bytes"
+        first.header("connection"),
+        Some("keep-alive"),
+        "the server must keep the HTTP/1.1 connection open"
     );
+    drop(stream);
+    let (_, fresh_a) = request(addr, "POST", "/models/adult-demo/sample", body_a);
+    let (_, fresh_b) = request(addr, "POST", "/models/adult-demo/sample", body_b);
+    assert_eq!(String::from_utf8(first.body).expect("utf-8"), fresh_a);
+    assert_eq!(String::from_utf8(second.body).expect("utf-8"), fresh_b);
+    println!("keep-alive verified: 2 requests on one connection, bodies byte-identical to fresh connections");
+
+    // 6. Streamed large-batch download: 10k rows of CSV arrive as
+    //    chunked Transfer-Encoding — the server generates and flushes
+    //    them chunk by chunk, so the first byte lands long before the
+    //    last row exists anywhere in memory.
+    let t0 = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    send(
+        &mut stream,
+        "POST",
+        "/models/adult-demo/sample",
+        r#"{"seed": 7, "n": 10000, "format": "csv"}"#,
+    );
+    let streamed = ResponseReader::new(stream)
+        .next_response()
+        .expect("streamed response");
+    assert_eq!(streamed.status, 200);
+    assert!(streamed.chunked, "large batches stream as chunked CSV");
+    let csv = String::from_utf8(streamed.body).expect("utf-8 csv");
+    assert_eq!(csv.lines().count(), 10_000);
     println!(
-        "sampled 20 rows twice with seed 42: bodies byte-identical ({} bytes)",
-        body_a.len()
+        "streamed 10000 CSV rows ({} bytes, chunked) in {:?}",
+        csv.len(),
+        t0.elapsed()
     );
 
-    // 6. The budget is now spent (2 × ε against a 2.5 × ε budget): the
-    //    third request is refused with 429 and the remaining budget.
-    let (status, body) = request(addr, "POST", "/models/adult-demo/sample", sample_body);
-    assert_eq!(status, 429, "third release must exhaust the budget: {body}");
-    println!("third request refused: {body}");
+    // 7. The budget is now spent (5 × ε against a 5.5 × ε budget): the
+    //    next request is refused with 429 and the remaining budget.
+    let (status, body) = request(addr, "POST", "/models/adult-demo/sample", body_a);
+    assert_eq!(status, 429, "sixth release must exhaust the budget: {body}");
+    println!("sixth request refused: {body}");
 
-    // 7. Graceful shutdown: stop accepting, finish in-flight work, join.
+    // 8. Graceful shutdown: stop accepting, drain idle keep-alive
+    //    connections, finish in-flight work, join.
     server.shutdown();
     println!("server shut down cleanly");
     let _ = std::fs::remove_dir_all(&dir);

@@ -3,8 +3,13 @@
 //! regardless of the worker-thread count (the serial `P3GM_THREADS=1` run
 //! is the reference). Exercised on arbitrary inputs for the three kernel
 //! families the pipeline spends its time in — matmul, the (DP-)EM
-//! responsibilities E-step, and the DP-SGD clipped gradient sum.
+//! responsibilities E-step, and the DP-SGD clipped gradient sum — plus
+//! the snapshot sampling pipeline, whose canonical stream must be
+//! invariant to delivery chunking, request size and thread count alike.
 
+use p3gm::core::config::PgmConfig;
+use p3gm::core::pgm::PhasedGenerativeModel;
+use p3gm::core::snapshot::SynthesisSnapshot;
 use p3gm::linalg::Matrix;
 use p3gm::mixture::Gmm;
 use p3gm::nn::activation::Activation;
@@ -12,6 +17,30 @@ use p3gm::nn::mlp::Mlp;
 use p3gm::parallel::with_threads;
 use p3gm::privacy::mechanisms::clip_and_sum_gradients;
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A tiny trained snapshot, fitted once (the sampling-path fixture).
+fn snapshot_fixture() -> &'static SynthesisSnapshot {
+    static SNAPSHOT: OnceLock<SynthesisSnapshot> = OnceLock::new();
+    SNAPSHOT.get_or_init(|| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let data = Matrix::from_fn(48, 5, |i, j| {
+            0.5 + 0.4 * (((i * 5 + j) as f64) * 0.37).sin()
+        });
+        let config = PgmConfig {
+            latent_dim: 2,
+            hidden_dim: 8,
+            mog_components: 2,
+            epochs: 1,
+            batch_size: 16,
+            em_iterations: 2,
+            ..PgmConfig::default()
+        };
+        let (model, _) = PhasedGenerativeModel::fit(&mut rng, &data, config).unwrap();
+        SynthesisSnapshot::capture(model)
+    })
+}
 
 /// Strategy: a data matrix with values in a bounded range.
 fn data_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -93,6 +122,42 @@ proptest! {
         for threads in [2, 4] {
             let batch = with_threads(threads, || mlp.per_example_gradients(&x, &gouts));
             assert_bits_equal(&batch, &reference);
+        }
+    }
+
+    /// The snapshot's canonical sample stream: for any (seed, n, chunk
+    /// size), the chunked iterator's concatenation, the serial sample,
+    /// and the parallel sample are all bit-identical at every thread
+    /// count — and a shorter request is a row-prefix of a longer one.
+    #[test]
+    fn snapshot_sampling_is_chunk_and_thread_invariant(
+        seed in 0u64..1_000_000,
+        n in 1usize..220,
+        chunk_rows in 1usize..140,
+    ) {
+        let snapshot = snapshot_fixture();
+        let reference = with_threads(1, || snapshot.sample(seed, n));
+        let mut chunked: Vec<f64> = Vec::with_capacity(reference.as_slice().len());
+        for chunk in snapshot.sample_chunks(seed, n, chunk_rows) {
+            chunked.extend_from_slice(chunk.as_slice());
+        }
+        prop_assert_eq!(chunked.len(), reference.as_slice().len());
+        for (x, y) in chunked.iter().zip(reference.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for threads in [1, 2, 4] {
+            let parallel = with_threads(threads, || snapshot.sample_parallel(seed, n));
+            assert_bits_equal(&parallel, &reference);
+        }
+        // Prefix stability: the stream does not depend on n.
+        let shorter = snapshot.sample(seed, n / 2);
+        let d = reference.cols();
+        for (x, y) in shorter
+            .as_slice()
+            .iter()
+            .zip(&reference.as_slice()[..(n / 2) * d])
+        {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 }

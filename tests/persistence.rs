@@ -7,7 +7,7 @@ use p3gm::core::config::PgmConfig;
 use p3gm::core::pgm::PhasedGenerativeModel;
 use p3gm::core::snapshot::SynthesisSnapshot;
 use p3gm::core::synthesis::LabelledSynthesizer;
-use p3gm::core::{DecoderLoss, GenerativeModel, VarianceMode};
+use p3gm::core::{DecoderLoss, VarianceMode};
 use p3gm::linalg::Matrix;
 use p3gm::mixture::Gmm;
 use p3gm::nn::activation::Activation;
@@ -207,10 +207,19 @@ fn saved_model_reproduces_in_memory_samples_bit_for_bit() {
     let (snapshot, model) = trained_snapshot();
     let loaded = SynthesisSnapshot::from_bytes(&snapshot.to_bytes()).unwrap();
     for seed in [0u64, 1, 42, u64::MAX] {
-        let mut direct_rng = StdRng::seed_from_u64(seed);
-        let direct = model.sample(&mut direct_rng, 25);
+        // The never-persisted snapshot's canonical stream is the
+        // reference; the loaded snapshot must reproduce it bit for bit —
+        // serially, chunked, and in parallel.
+        let direct = snapshot.sample(seed, 25);
         let served = loaded.sample(seed, 25);
         assert_eq!(direct.as_slice(), served.as_slice(), "seed {seed}");
+        let parallel = loaded.sample_parallel(seed, 25);
+        assert_eq!(direct.as_slice(), parallel.as_slice(), "seed {seed}");
+        let chunked: Vec<f64> = loaded
+            .sample_chunks(seed, 25, 7)
+            .flat_map(|chunk| chunk.as_slice().to_vec())
+            .collect();
+        assert_eq!(direct.as_slice(), chunked.as_slice(), "seed {seed}");
     }
     // The privacy stamp and synthesizer survive the round trip.
     assert_eq!(

@@ -1,8 +1,13 @@
 //! Integration tests for the `p3gm-server` HTTP surface: end-to-end
 //! sampling over a real TCP socket is bit-identical to the in-process
-//! snapshot, malformed/hostile input gets typed 4xx/5xx responses with
-//! zero panics, hot reload swaps models without dropping the service,
-//! and the privacy budget ledger survives a server restart.
+//! snapshot (whether streamed with chunked Transfer-Encoding or
+//! buffered), keep-alive connections serve multiple requests with the
+//! same bytes as fresh connections, stalled clients get typed 408s
+//! instead of pinning workers, malformed/hostile input gets typed
+//! 4xx/5xx responses with zero panics, hot reload swaps models without
+//! dropping the service, and the privacy budget ledger charges exactly
+//! once per streamed response — even when the client aborts mid-stream —
+//! and survives a server restart.
 
 use p3gm::core::config::PgmConfig;
 use p3gm::core::pgm::PhasedGenerativeModel;
@@ -11,7 +16,9 @@ use p3gm::core::synthesis::LabelledSynthesizer;
 use p3gm::core::{DecoderLoss, VarianceMode};
 use p3gm::linalg::Matrix;
 use p3gm::privacy::sampling;
-use p3gm::server::http::{read_request, HttpError, Limits};
+use p3gm::server::http::{
+    read_request, HttpError, Limits, Method, RequestReader, Response, ResponseReader,
+};
 use p3gm::server::{json, start, ServerConfig, ServerHandle};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -87,53 +94,58 @@ fn start_server(dir: &PathBuf, threads: usize, budget: Option<f64>) -> ServerHan
     .unwrap()
 }
 
-/// Minimal HTTP client: one request, returns (status, headers, body).
-fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
-    let mut stream = TcpStream::connect(addr).unwrap();
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
-    write!(
-        stream,
-        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    )
-    .unwrap();
-    read_response(stream)
+    stream.set_nodelay(true).unwrap();
+    stream
 }
 
-/// Writes raw bytes (possibly malformed on purpose) and reads the
-/// response.
+/// One-write request send (multiple small writes on a reused connection
+/// would stall on Nagle + delayed ACK).
+fn write_request(stream: &mut TcpStream, method: &str, path: &str, body: &str) {
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+}
+
+/// Minimal framed HTTP client: one fresh connection, one request,
+/// de-chunks a streamed body; returns (status, head text, body text).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = connect(addr);
+    write_request(&mut stream, method, path, body);
+    let response = ResponseReader::new(stream).next_response().unwrap();
+    unpack(response)
+}
+
+fn unpack(response: p3gm::server::http::ClientResponse) -> (u16, String, String) {
+    let head: String = response
+        .headers
+        .iter()
+        .map(|(n, v)| format!("{n}: {v}\r\n"))
+        .collect();
+    (
+        response.status,
+        head,
+        String::from_utf8(response.body).unwrap(),
+    )
+}
+
+/// Writes raw bytes (possibly malformed on purpose) and reads one framed
+/// response (status 0 when the server closed without answering).
 fn raw_request(addr: SocketAddr, bytes: &[u8]) -> (u16, String, String) {
-    let mut stream = TcpStream::connect(addr).unwrap();
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .unwrap();
+    let mut stream = connect(addr);
     // Ignore write errors: the server may legitimately reject and close
     // before the full (hostile) request is sent.
     let _ = stream.write_all(bytes);
-    read_response(stream)
-}
-
-fn read_response(mut stream: TcpStream) -> (u16, String, String) {
-    // Best-effort read: a server rejecting a partially-sent request may
-    // reset the connection after its response; keep whatever arrived.
-    let mut raw = Vec::new();
-    let mut chunk = [0u8; 4096];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => raw.extend_from_slice(&chunk[..n]),
-        }
+    match ResponseReader::new(stream).next_response() {
+        Ok(response) => unpack(response),
+        Err(_) => (0, String::new(), String::new()),
     }
-    let raw = String::from_utf8(raw).unwrap();
-    let status: u16 = raw
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
-    (status, head.to_string(), body.to_string())
 }
 
 #[test]
@@ -181,6 +193,298 @@ fn http_sampling_is_bit_identical_to_in_process_under_concurrency() {
     let (_, head, _) = request(addr, "POST", "/models/m/sample", r#"{"seed": 42, "n": 25}"#);
     assert!(head.contains("x-p3gm-privacy: ("), "{head}");
     assert!(head.contains("x-p3gm-epsilon-spent: "), "{head}");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests_with_fresh_connection_bytes() {
+    let dir = model_dir("keepalive", &["m"]);
+    let server = start_server(&dir, 2, None);
+    let addr = server.addr();
+
+    // Two sampling requests and a discovery request ride one connection.
+    let mut stream = connect(addr);
+    write_request(
+        &mut stream,
+        "POST",
+        "/models/m/sample",
+        r#"{"seed": 5, "n": 30}"#,
+    );
+    let mut client = ResponseReader::new(stream.try_clone().unwrap());
+    let first = client.next_response().unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+    assert!(first.chunked, "HTTP/1.1 sampling responses stream");
+    write_request(
+        &mut stream,
+        "POST",
+        "/models/m/sample",
+        r#"{"seed": 6, "n": 10}"#,
+    );
+    let second = client.next_response().unwrap();
+    assert_eq!(second.status, 200);
+    write_request(&mut stream, "GET", "/healthz", "");
+    let third = client.next_response().unwrap();
+    assert_eq!(third.status, 200);
+
+    // Byte-identical to the same requests on fresh connections.
+    let (_, _, fresh_first) = request(addr, "POST", "/models/m/sample", r#"{"seed": 5, "n": 30}"#);
+    let (_, _, fresh_second) = request(addr, "POST", "/models/m/sample", r#"{"seed": 6, "n": 10}"#);
+    assert_eq!(String::from_utf8(first.body).unwrap(), fresh_first);
+    assert_eq!(String::from_utf8(second.body).unwrap(), fresh_second);
+
+    // An explicit Connection: close is honored.
+    let mut stream = connect(addr);
+    write!(
+        stream,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut client = ResponseReader::new(stream.try_clone().unwrap());
+    let resp = client.next_response().unwrap();
+    assert_eq!(resp.header("connection"), Some("close"));
+    // The server closed: the next read sees EOF.
+    let mut probe = [0u8; 1];
+    assert_eq!(stream.read(&mut probe).unwrap_or(0), 0);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn requests_per_connection_are_bounded() {
+    let dir = model_dir("reqcap", &["m"]);
+    let server = start(ServerConfig {
+        max_requests_per_connection: 2,
+        ..ServerConfig::new(&dir)
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let mut stream = connect(addr);
+    let mut client = ResponseReader::new(stream.try_clone().unwrap());
+    write_request(&mut stream, "GET", "/healthz", "");
+    let first = client.next_response().unwrap();
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+    write_request(&mut stream, "GET", "/healthz", "");
+    let second = client.next_response().unwrap();
+    assert_eq!(
+        second.header("connection"),
+        Some("close"),
+        "the final allowed request must announce the close"
+    );
+    let mut probe = [0u8; 1];
+    assert_eq!(stream.read(&mut probe).unwrap_or(0), 0);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stalled_and_trickling_clients_get_a_typed_408() {
+    let dir = model_dir("slowloris", &["m"]);
+    let server = start(ServerConfig {
+        request_read_timeout: Duration::from_millis(300),
+        keep_alive_timeout: Duration::from_secs(5),
+        ..ServerConfig::new(&dir)
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // A partial request line followed by silence: the read deadline
+    // expires and the worker answers 408 instead of blocking forever.
+    let mut stream = connect(addr);
+    stream.write_all(b"GET /mod").unwrap();
+    let resp = ResponseReader::new(stream).next_response().unwrap();
+    assert_eq!(resp.status, 408);
+    assert_eq!(resp.header("connection"), Some("close"));
+
+    // Trickling one byte at a time does not reset the deadline.
+    let mut stream = connect(addr);
+    let head = b"GET /healthz HTTP/1.1\r\n";
+    let start_t = std::time::Instant::now();
+    for &b in head.iter() {
+        if stream.write_all(&[b]).is_err() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        if start_t.elapsed() > Duration::from_secs(2) {
+            break;
+        }
+    }
+    let resp = ResponseReader::new(stream).next_response().unwrap();
+    assert_eq!(resp.status, 408, "trickled head must hit the deadline");
+
+    // The server still serves normal requests afterwards.
+    let (status, _, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn idle_connections_are_closed_silently() {
+    let dir = model_dir("idle", &["m"]);
+    let server = start(ServerConfig {
+        keep_alive_timeout: Duration::from_millis(200),
+        ..ServerConfig::new(&dir)
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // A connection that never sends a byte is dropped without a
+    // response once the idle window passes.
+    let mut stream = connect(addr);
+    let mut probe = [0u8; 1];
+    assert_eq!(
+        stream.read(&mut probe).unwrap_or(0),
+        0,
+        "idle connection must see EOF, not a response"
+    );
+
+    // A keep-alive connection idles out after its response too.
+    let mut stream = connect(addr);
+    write_request(&mut stream, "GET", "/healthz", "");
+    let mut client = ResponseReader::new(stream.try_clone().unwrap());
+    assert_eq!(client.next_response().unwrap().status, 200);
+    assert_eq!(stream.read(&mut probe).unwrap_or(0), 0);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn streamed_bodies_are_chunked_bounded_and_byte_identical_to_buffered() {
+    let dir = model_dir("stream", &["m"]);
+    let server = start_server(&dir, 2, None);
+    let addr = server.addr();
+    let n = 3000usize;
+    let sample_body = format!("{{\"seed\": 8, \"n\": {n}, \"format\": \"csv\"}}");
+
+    // Read the raw wire bytes so the chunk framing itself is visible.
+    let mut stream = connect(addr);
+    write!(
+        stream,
+        "POST /models/m/sample HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{sample_body}",
+        sample_body.len()
+    )
+    .unwrap();
+    let mut wire = Vec::new();
+    stream.read_to_end(&mut wire).unwrap();
+    let head_end = wire.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
+    let head = String::from_utf8_lossy(&wire[..head_end]).to_string();
+    assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+    assert!(!head.contains("Content-Length"), "{head}");
+
+    // De-chunk by hand, recording every chunk size: the response must
+    // arrive in many bounded chunks, never one full-body buffer.
+    let mut rest = &wire[head_end + 4..];
+    let mut body = Vec::new();
+    let mut sizes = Vec::new();
+    loop {
+        let line_end = rest.windows(2).position(|w| w == b"\r\n").unwrap();
+        let size =
+            usize::from_str_radix(std::str::from_utf8(&rest[..line_end]).unwrap().trim(), 16)
+                .unwrap();
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            break;
+        }
+        sizes.push(size);
+        body.extend_from_slice(&rest[..size]);
+        assert_eq!(&rest[size..size + 2], b"\r\n");
+        rest = &rest[size + 2..];
+    }
+    assert!(
+        sizes.len() >= n / 512,
+        "{n} rows must stream in >= {} chunks, got {}",
+        n / 512,
+        sizes.len()
+    );
+    let max_chunk = sizes.iter().max().unwrap();
+    assert!(
+        *max_chunk < body.len() / 2,
+        "no chunk may approach the full body ({max_chunk} of {})",
+        body.len()
+    );
+
+    // The de-chunked stream equals the buffered HTTP/1.0 body…
+    let mut stream = connect(addr);
+    write!(
+        stream,
+        "POST /models/m/sample HTTP/1.0\r\nHost: t\r\nContent-Length: {}\r\n\r\n{sample_body}",
+        sample_body.len()
+    )
+    .unwrap();
+    let buffered = ResponseReader::new(stream).next_response().unwrap();
+    assert_eq!(buffered.status, 200);
+    assert!(!buffered.chunked, "HTTP/1.0 must get a buffered body");
+    assert_eq!(buffered.body, body);
+
+    // …and both equal the in-process sample stream, value for value.
+    let expected = trained_snapshot().sample(8, n);
+    let text = String::from_utf8(body).unwrap();
+    assert_eq!(text.lines().count(), n);
+    for (i, line) in text.lines().enumerate().step_by(97) {
+        for (j, field) in line.split(',').enumerate() {
+            let v: f64 = field.parse().unwrap();
+            assert_eq!(v.to_bits(), expected.get(i, j).to_bits(), "row {i}");
+        }
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_stream_abort_charges_the_ledger_exactly_once() {
+    let dir = model_dir("abort", &["m"]);
+    let stamp = trained_snapshot().privacy_stamp().copied().unwrap();
+    let server = start_server(&dir, 2, Some(100.0 * stamp.epsilon));
+    let addr = server.addr();
+
+    // Request a big streamed batch, read a token amount, then slam the
+    // connection shut mid-stream.
+    let body = r#"{"seed": 3, "n": 80000, "format": "csv"}"#;
+    let mut stream = connect(addr);
+    write_request(&mut stream, "POST", "/models/m/sample", body);
+    let mut first = [0u8; 256];
+    let got = stream.read(&mut first).unwrap();
+    assert!(got > 0, "the stream must start before the abort");
+    assert!(
+        String::from_utf8_lossy(&first[..got]).starts_with("HTTP/1.1 200"),
+        "the charge precedes the first chunk"
+    );
+    drop(stream);
+
+    // The aborted release still cost exactly one ε — no more (the
+    // abort must not re-charge) and no less (rows were released).
+    let spent = |addr| {
+        let (_, _, detail) = request(addr, "GET", "/models/m", "");
+        json::parse(&detail)
+            .unwrap()
+            .get("budget")
+            .unwrap()
+            .get("spent_epsilon")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+    };
+    // Give the worker a moment to hit the broken pipe and finish.
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(
+        spent(addr).to_bits(),
+        stamp.epsilon.to_bits(),
+        "mid-stream abort must leave exactly one charge"
+    );
+
+    // The worker survived the abort and a full request charges again.
+    let (status, _, _) = request(addr, "POST", "/models/m/sample", r#"{"seed": 3, "n": 5}"#);
+    assert_eq!(status, 200);
+    assert_eq!(spent(addr).to_bits(), (2.0 * stamp.epsilon).to_bits());
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
@@ -560,6 +864,89 @@ proptest! {
             Ok(req) => prop_assert_eq!(req.body.len(), content_length as usize),
             Err(e) => prop_assert!((400..=599).contains(&e.status())),
         }
+    }
+
+    /// Keep-alive sequences: one valid request followed by arbitrary
+    /// bytes. The reader must answer the valid prefix exactly (method,
+    /// target, body intact) and then never panic on the junk — every
+    /// subsequent call is another parsed request or a typed error.
+    #[test]
+    fn request_reader_answers_the_valid_prefix_then_survives_junk(
+        body_len in 0usize..48,
+        junk_len in 0usize..128,
+        junk_pool in proptest::collection::vec(0u32..256, 128),
+        target_tail in 0u32..100_000
+    ) {
+        let target = format!("/models/m{target_tail}");
+        let body: Vec<u8> = (0..body_len).map(|i| (i % 251) as u8).collect();
+        let mut bytes = format!(
+            "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {body_len}\r\n\r\n"
+        )
+        .into_bytes();
+        bytes.extend_from_slice(&body);
+        bytes.extend(junk_pool.iter().take(junk_len).map(|&b| b as u8));
+
+        let mut reader = RequestReader::new(Cursor::new(bytes));
+        let limits = Limits::default();
+        let first = reader.next_request(&limits).unwrap();
+        prop_assert_eq!(first.method, Method::Post);
+        prop_assert_eq!(first.target, target);
+        prop_assert_eq!(first.body, body);
+        // The junk after the valid prefix: parsed or typed-rejected,
+        // never a panic, and the sequence terminates.
+        for _ in 0..8 {
+            match reader.next_request(&limits) {
+                Ok(req) => prop_assert!(req.target.starts_with('/')),
+                Err(e) => {
+                    prop_assert!((400..=599).contains(&e.status()));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The chunked-encoding writer round-trips any payload under any
+    /// chunk split: encode with `ResponseBody::Chunked`, de-chunk with
+    /// the client reader, recover the exact bytes.
+    #[test]
+    fn chunked_writer_roundtrips_arbitrary_splits(
+        payload_len in 0usize..512,
+        payload_pool in proptest::collection::vec(0u32..256, 512),
+        splits in proptest::collection::vec(1usize..96, 8),
+        keep_alive_pick in 0u32..2
+    ) {
+        let keep_alive = keep_alive_pick == 1;
+        let payload: Vec<u8> = payload_pool
+            .iter()
+            .take(payload_len)
+            .map(|&b| b as u8)
+            .collect();
+        // Carve the payload into blocks at the arbitrary split sizes
+        // (cycling); empty blocks legal — the writer must skip them.
+        let mut blocks: Vec<Vec<u8>> = Vec::new();
+        let mut rest = payload.as_slice();
+        let mut i = 0;
+        while !rest.is_empty() {
+            let take = splits[i % splits.len()].min(rest.len());
+            blocks.push(rest[..take].to_vec());
+            rest = &rest[take..];
+            i += 1;
+            if i % 3 == 0 {
+                blocks.push(Vec::new());
+            }
+        }
+        let mut iter = blocks.into_iter();
+        let mut resp = Response::chunked("application/octet-stream", Box::new(move || iter.next()));
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, keep_alive).unwrap();
+        let parsed = ResponseReader::new(Cursor::new(wire)).next_response().unwrap();
+        prop_assert_eq!(parsed.status, 200);
+        prop_assert!(parsed.chunked);
+        prop_assert_eq!(parsed.body, payload);
+        prop_assert_eq!(
+            parsed.header("connection"),
+            Some(if keep_alive { "keep-alive" } else { "close" })
+        );
     }
 
     /// Arbitrary bytes into the JSON parser (the request-body path):
