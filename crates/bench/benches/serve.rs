@@ -124,14 +124,15 @@ fn prepare_model_dir() -> PathBuf {
 }
 
 fn start_server(dir: &PathBuf, threads: usize) -> ServerHandle {
-    start(ServerConfig {
-        threads,
-        ledger_path: None,
-        // The bench hammers one connection far past the production
-        // default; the cap is a DoS bound, not a correctness one.
-        max_requests_per_connection: usize::MAX,
-        ..ServerConfig::new(dir)
-    })
+    start(
+        ServerConfig::builder(dir)
+            .threads(threads)
+            .ledger_path(None)
+            // The bench hammers one connection far past the production
+            // default; the cap is a DoS bound, not a correctness one.
+            .max_requests_per_connection(usize::MAX)
+            .build(),
+    )
     .expect("start server")
 }
 

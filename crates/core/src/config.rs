@@ -255,6 +255,33 @@ impl PgmConfig {
     pub fn sampling_probability(&self, n: usize) -> f64 {
         (self.batch_size as f64 / n.max(1) as f64).min(1.0)
     }
+
+    /// The (ε, δ)-DP guarantee of running this configuration on `n`
+    /// training rows (paper Theorem 4), or `None` for a non-private
+    /// configuration.
+    ///
+    /// The guarantee is a pure function of the configuration and `n` —
+    /// no trained weights are involved — which is what lets a snapshot
+    /// *header* peek recompute the honest stamp without decoding any
+    /// weight payload. `PhasedGenerativeModel::privacy_spec` delegates
+    /// here, so the header-reported and full-decode-reported stamps are
+    /// the same accountant run by construction.
+    pub fn privacy_spec(&self, n: usize) -> Option<p3gm_privacy::rdp::PrivacySpec> {
+        if !self.private {
+            return None;
+        }
+        p3gm_privacy::rdp::RdpAccountant::p3gm_total(
+            self.eps_p,
+            self.em_iterations,
+            self.sigma_e,
+            self.mog_components,
+            self.sgd_steps(n),
+            self.sampling_probability(n),
+            self.sigma_s,
+            self.delta,
+        )
+        .ok()
+    }
 }
 
 /// Configuration of the (DP-)VAE baselines.

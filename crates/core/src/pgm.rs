@@ -30,7 +30,7 @@ use p3gm_nn::loss::{bce_with_logits, sse};
 use p3gm_nn::mlp::Mlp;
 use p3gm_nn::optimizer::{Adam, Optimizer};
 use p3gm_preprocess::pca::{DpPca, Pca};
-use p3gm_privacy::rdp::{PrivacySpec, RdpAccountant};
+use p3gm_privacy::rdp::PrivacySpec;
 use p3gm_privacy::sampling;
 use rand::Rng;
 
@@ -471,20 +471,7 @@ impl PhasedGenerativeModel {
     /// The guarantee covers DP-PCA, `em_iterations` DP-EM steps and the
     /// number of DP-SGD steps the configuration takes on `n` rows.
     pub fn privacy_spec(&self, n: usize) -> Option<PrivacySpec> {
-        if !self.config.private {
-            return None;
-        }
-        RdpAccountant::p3gm_total(
-            self.config.eps_p,
-            self.config.em_iterations,
-            self.config.sigma_e,
-            self.config.mog_components,
-            self.config.sgd_steps(n),
-            self.config.sampling_probability(n),
-            self.config.sigma_s,
-            self.config.delta,
-        )
-        .ok()
+        self.config.privacy_spec(n)
     }
 
     /// Convenience: the privacy guarantee for the dataset the model was
@@ -825,6 +812,7 @@ impl GenerativeModel for PhasedGenerativeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p3gm_privacy::rdp::RdpAccountant;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -39,6 +39,7 @@
 //! row-prefix of `sample(seed, n2)` whenever `n1 <= n2` — a paginated
 //! client re-requesting a longer prefix sees the rows it already holds.
 
+use crate::config::PgmConfig;
 use crate::pgm::PhasedGenerativeModel;
 use crate::synthesis::{synthesize_labelled, LabelledSynthesizer};
 use crate::{CoreError, Result};
@@ -46,6 +47,8 @@ use p3gm_linalg::Matrix;
 use p3gm_privacy::rdp::PrivacySpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::io::{Read as _, Seek as _, SeekFrom};
+use std::path::Path;
 
 /// Rows per RNG seed block of the canonical sample stream.
 ///
@@ -320,6 +323,283 @@ impl SynthesisSnapshot {
             })?;
         let mut rng = StdRng::seed_from_u64(seed);
         synthesize_labelled(&self.model, synthesizer, &mut rng, target_counts)
+    }
+}
+
+/// The metadata of a persisted snapshot, decoded from the **leading
+/// frames** of the buffer without touching any weight payload.
+///
+/// A `SynthesisSnapshot` buffer opens with the model's configuration and
+/// dataset geometry (see `PhasedGenerativeModel::to_bytes` — the weight
+/// buffers come after), and the (ε, δ) stamp is recomputed from the
+/// configuration anyway ([`PgmConfig::privacy_spec`]), so everything a
+/// registry listing or a `GET /models` response needs is available from
+/// a few hundred leading bytes:
+///
+/// * [`SnapshotHeader::peek`] reads it from an in-memory buffer (or any
+///   prefix long enough to cover the leading frames),
+/// * [`SnapshotHeader::peek_file`] reads it from a file with two bounded
+///   reads and one seek — O(1) I/O per snapshot regardless of weight
+///   size, which is what lets a registry scan thousands of tenant
+///   snapshots without decoding a single weight payload.
+///
+/// The peek path deliberately skips the trailing CRC (reading it would
+/// mean reading the whole file): a header can therefore look healthy
+/// while the weight payload is corrupt. The full, checksummed
+/// [`SynthesisSnapshot::from_bytes`] decode remains the integrity
+/// authority and runs on first model use; the peeked fields themselves
+/// are semantically validated (config ranges, finite floats, geometry)
+/// exactly as the full decode validates them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotHeader {
+    /// The persisted training configuration (hyper-parameters and DP
+    /// knobs; the stamp below is recomputed from it).
+    pub config: PgmConfig,
+    /// Dimensionality of the generated rows.
+    pub data_dim: usize,
+    /// Decoding-Phase epochs the model had trained when saved.
+    pub trained_epochs: usize,
+    /// Number of training rows (the accountant's `n`).
+    pub n_train: usize,
+    /// Number of classes of the attached labelled synthesizer, `None`
+    /// when the snapshot has no synthesizer.
+    pub n_classes: Option<usize>,
+    /// The (ε, δ)-DP stamp **recomputed** from the persisted
+    /// configuration — the same accountant run the full decode reports,
+    /// never a stored value.
+    pub stamp: Option<PrivacySpec>,
+    /// Total byte length of the framed snapshot buffer this header was
+    /// peeked from (what the outer frame claims; [`Self::peek_file`]
+    /// verifies the file length matches it).
+    pub framed_len: u64,
+}
+
+impl SnapshotHeader {
+    /// Decodes the header from a snapshot buffer (or any prefix of one
+    /// that covers the leading frames and the synthesizer section).
+    /// Never panics on untrusted bytes; every failure is a typed
+    /// [`p3gm_store::StoreError`].
+    pub fn peek(bytes: &[u8]) -> p3gm_store::Result<SnapshotHeader> {
+        let (mut header, synth_off) = Self::peek_leading(bytes)?;
+        if bytes.len() < synth_off {
+            return Err(p3gm_store::StoreError::Truncated {
+                needed: synth_off,
+                available: bytes.len(),
+            });
+        }
+        header.n_classes = peek_synth_classes(&bytes[synth_off..])?;
+        Ok(header)
+    }
+
+    /// Decodes the header from a snapshot file without reading the
+    /// weight payload: one bounded read of the file's head (config +
+    /// geometry), one seek past the model frame, and one bounded read of
+    /// the synthesizer section. Also verifies that the file's byte
+    /// length matches what the outer frame claims, so a truncated or
+    /// concatenated upload is caught at scan time. I/O failures are
+    /// reported as [`p3gm_store::StoreError::Invalid`].
+    pub fn peek_file(path: &Path) -> p3gm_store::Result<SnapshotHeader> {
+        // Enough for the outer header, the model frame header, the
+        // configuration and the geometry fields, with generous slack for
+        // format growth; tiny snapshots fit entirely.
+        const PREFIX_READ: u64 = 4096;
+        // Flag byte + nested length + the one-hot encoder's framed
+        // buffer: the synthesizer section's leading fields.
+        const TAIL_READ: u64 = 256;
+        let io_err = |e: std::io::Error| p3gm_store::StoreError::Invalid {
+            msg: format!("read failed: {e}"),
+        };
+        let mut file = std::fs::File::open(path).map_err(io_err)?;
+        let file_len = file.metadata().map_err(io_err)?.len();
+        let mut prefix = Vec::with_capacity(PREFIX_READ.min(file_len) as usize);
+        std::io::Read::take(&mut file, PREFIX_READ)
+            .read_to_end(&mut prefix)
+            .map_err(io_err)?;
+        let (mut header, synth_off) = Self::peek_leading(&prefix)?;
+        if file_len < header.framed_len {
+            return Err(p3gm_store::StoreError::Truncated {
+                needed: header.framed_len as usize,
+                available: file_len as usize,
+            });
+        }
+        if file_len > header.framed_len {
+            return Err(p3gm_store::StoreError::TrailingBytes {
+                count: (file_len - header.framed_len) as usize,
+            });
+        }
+        header.n_classes = if (prefix.len() as u64) == file_len {
+            // The whole file fit in the head read: parse in place.
+            if prefix.len() < synth_off {
+                return Err(p3gm_store::StoreError::Truncated {
+                    needed: synth_off,
+                    available: prefix.len(),
+                });
+            }
+            peek_synth_classes(&prefix[synth_off..])?
+        } else {
+            file.seek(SeekFrom::Start(synth_off as u64))
+                .map_err(io_err)?;
+            let mut tail = Vec::with_capacity(TAIL_READ as usize);
+            std::io::Read::take(&mut file, TAIL_READ)
+                .read_to_end(&mut tail)
+                .map_err(io_err)?;
+            peek_synth_classes(&tail)?
+        };
+        Ok(header)
+    }
+
+    /// Approximate resident (decoded, in-RAM) footprint of this model in
+    /// bytes, estimated from the header geometry alone: the projection
+    /// matrix, the `k`-component mixture prior (means, covariances and
+    /// cached factorizations), and the two `data → hidden → latent` /
+    /// `latent → hidden → data` MLPs, all as `f64`s, plus allocator
+    /// slack. A deliberate *estimate* — the registry uses it to meter an
+    /// LRU budget, where being within a small constant factor is enough.
+    pub fn approx_resident_bytes(&self) -> u64 {
+        let d = self.data_dim as u64;
+        let l = self.config.latent_dim as u64;
+        let h = self.config.hidden_dim as u64;
+        let k = self.config.mog_components as u64;
+        let projection = d.saturating_mul(l).saturating_add(d).saturating_add(l);
+        let prior = k.saturating_mul(
+            l.saturating_mul(l)
+                .saturating_mul(2)
+                .saturating_add(l)
+                .saturating_add(4),
+        );
+        let mlp_in = d
+            .saturating_mul(h)
+            .saturating_add(h.saturating_mul(l))
+            .saturating_add(h)
+            .saturating_add(l);
+        let mlp_out = l
+            .saturating_mul(h)
+            .saturating_add(h.saturating_mul(d))
+            .saturating_add(h)
+            .saturating_add(d);
+        let params = projection
+            .saturating_add(prior)
+            .saturating_add(mlp_in)
+            .saturating_add(mlp_out);
+        // 8 bytes per f64, ×1.25 for Vec/cache overhead, + a fixed floor.
+        params.saturating_mul(10).saturating_add(4096)
+    }
+
+    /// Parses the outer frame and the model's leading payload fields
+    /// (config + geometry), returning the partially-filled header (no
+    /// `n_classes` yet) and the byte offset of the synthesizer flag.
+    fn peek_leading(bytes: &[u8]) -> p3gm_store::Result<(SnapshotHeader, usize)> {
+        use p3gm_store::StoreError;
+        let outer = p3gm_store::peek_frame(bytes)?;
+        if outer.tag != p3gm_store::tags::SYNTHESIS_SNAPSHOT {
+            return Err(StoreError::WrongTag {
+                expected: p3gm_store::tags::SYNTHESIS_SNAPSHOT,
+                found: outer.tag,
+            });
+        }
+        let framed_len = outer.framed_len().ok_or_else(|| StoreError::Invalid {
+            msg: "claimed payload length overflows".to_string(),
+        })? as u64;
+        let model_off = p3gm_store::HEADER_LEN + 8;
+        let model_len: usize = read_u64_at(bytes, p3gm_store::HEADER_LEN)?
+            .try_into()
+            .map_err(|_| StoreError::Invalid {
+                msg: "nested model length does not fit in usize".to_string(),
+            })?;
+        if bytes.len() < model_off {
+            return Err(StoreError::Truncated {
+                needed: model_off,
+                available: bytes.len(),
+            });
+        }
+        let mut dec =
+            p3gm_store::Decoder::over_prefix(&bytes[model_off..], p3gm_store::tags::PGM_MODEL)?;
+        let config = PgmConfig::decode_from(&mut dec)?;
+        let data_dim = dec.usize()?;
+        let input_scale = dec.f64()?;
+        let trained_epochs = dec.usize()?;
+        let n_train = dec.usize()?;
+        // The same semantic gates the full decode applies to these
+        // fields, so header-vs-full-decode verdicts agree on them.
+        config
+            .validate(n_train, data_dim)
+            .map_err(|e| StoreError::Invalid { msg: e.to_string() })?;
+        if !(input_scale.is_finite() && input_scale > 0.0) {
+            return Err(StoreError::Invalid {
+                msg: format!("input scale must be positive and finite, got {input_scale}"),
+            });
+        }
+        let stamp = config.privacy_spec(n_train);
+        let synth_off = model_off
+            .checked_add(model_len)
+            .ok_or_else(|| StoreError::Invalid {
+                msg: "nested model length overflows".to_string(),
+            })?;
+        Ok((
+            SnapshotHeader {
+                config,
+                data_dim,
+                trained_epochs,
+                n_train,
+                n_classes: None,
+                stamp,
+                framed_len,
+            },
+            synth_off,
+        ))
+    }
+}
+
+/// Reads a little-endian `u64` at `off`, typed-erroring on a short
+/// buffer.
+fn read_u64_at(bytes: &[u8], off: usize) -> p3gm_store::Result<u64> {
+    let end = off
+        .checked_add(8)
+        .ok_or_else(|| p3gm_store::StoreError::Invalid {
+            msg: "offset overflows".to_string(),
+        })?;
+    if bytes.len() < end {
+        return Err(p3gm_store::StoreError::Truncated {
+            needed: end,
+            available: bytes.len(),
+        });
+    }
+    Ok(u64::from_le_bytes(
+        bytes[off..end].try_into().expect("8 bytes"),
+    ))
+}
+
+/// Parses the synthesizer section (starting at its presence flag):
+/// `None` for a bare snapshot, otherwise the class count read from the
+/// synthesizer's leading one-hot-encoder frame (a tiny, fully
+/// CRC-checked decode).
+fn peek_synth_classes(bytes: &[u8]) -> p3gm_store::Result<Option<usize>> {
+    use p3gm_store::StoreError;
+    let flag = *bytes.first().ok_or(StoreError::Truncated {
+        needed: 1,
+        available: 0,
+    })?;
+    match flag {
+        0 => Ok(None),
+        1 => {
+            let synth_off = 1 + 8;
+            let _synth_len = read_u64_at(bytes, 1)?;
+            if bytes.len() < synth_off {
+                return Err(StoreError::Truncated {
+                    needed: synth_off,
+                    available: bytes.len(),
+                });
+            }
+            let mut dec = p3gm_store::Decoder::over_prefix(
+                &bytes[synth_off..],
+                p3gm_store::tags::LABELLED_SYNTHESIZER,
+            )?;
+            let encoder = p3gm_preprocess::encoding::OneHotEncoder::from_bytes(dec.nested()?)?;
+            Ok(Some(encoder.n_classes()))
+        }
+        other => Err(StoreError::Invalid {
+            msg: format!("invalid synthesizer flag byte {other}"),
+        }),
     }
 }
 
@@ -603,6 +883,82 @@ mod tests {
         // The honest snapshot round-trips to the same certificate.
         let loaded = SynthesisSnapshot::from_bytes(&snapshot.to_bytes()).unwrap();
         assert_eq!(loaded.privacy_stamp(), Some(&honest));
+    }
+
+    #[test]
+    fn header_peek_agrees_with_full_decode() {
+        let (snapshot, model) = trained_snapshot();
+        let bytes = snapshot.to_bytes();
+        let header = SnapshotHeader::peek(&bytes).unwrap();
+        let full = SynthesisSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(header.config, *full.model().config());
+        assert_eq!(header.data_dim, full.model().data_dim());
+        assert_eq!(header.trained_epochs, full.model().trained_epochs());
+        assert_eq!(header.n_classes, full.synthesizer().map(|s| s.n_classes()));
+        assert_eq!(header.stamp.as_ref(), full.privacy_stamp());
+        assert_eq!(header.framed_len, bytes.len() as u64);
+        assert!(header.approx_resident_bytes() > 4096);
+
+        // A bare snapshot (no synthesizer) peeks n_classes = None.
+        let bare = SynthesisSnapshot::capture(model);
+        let bare_header = SnapshotHeader::peek(&bare.to_bytes()).unwrap();
+        assert_eq!(bare_header.n_classes, None);
+        assert_eq!(bare_header.config, header.config);
+
+        // Every prefix either peeks identically or fails typed — never
+        // a panic, never a divergent value.
+        for cut in (0..bytes.len()).step_by(13) {
+            if let Ok(peeked) = SnapshotHeader::peek(&bytes[..cut]) {
+                assert_eq!(peeked, header, "prefix {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn header_peek_file_matches_in_memory_peek_and_checks_length() {
+        let (snapshot, _) = trained_snapshot();
+        let bytes = snapshot.to_bytes();
+        let dir = std::env::temp_dir().join(format!("p3gm_peek_file_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("m.snapshot");
+        std::fs::write(&path, &bytes).unwrap();
+        let from_file = SnapshotHeader::peek_file(&path).unwrap();
+        assert_eq!(from_file, SnapshotHeader::peek(&bytes).unwrap());
+
+        // A truncated file is caught by the length check alone.
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(
+            SnapshotHeader::peek_file(&path),
+            Err(p3gm_store::StoreError::Truncated { .. })
+        ));
+        // Appended junk likewise.
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(b"xx");
+        std::fs::write(&path, &padded).unwrap();
+        assert!(matches!(
+            SnapshotHeader::peek_file(&path),
+            Err(p3gm_store::StoreError::TrailingBytes { count: 2 })
+        ));
+        // A missing file is a typed error, not a panic.
+        assert!(SnapshotHeader::peek_file(&dir.join("absent.snapshot")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_peek_skips_weight_corruption_but_full_decode_catches_it() {
+        // The design trade-off, stated as a test: a bit flip in the
+        // weight payload leaves the header peek untouched (it never
+        // reads those bytes) while the checksummed full decode rejects
+        // the buffer. The registry relies on exactly this split — cheap
+        // listing off headers, integrity enforced at first load.
+        let (snapshot, _) = trained_snapshot();
+        let bytes = snapshot.to_bytes();
+        let header = SnapshotHeader::peek(&bytes).unwrap();
+        let mut corrupt = bytes.clone();
+        let mid = bytes.len() / 2; // deep inside the weight payload
+        corrupt[mid] ^= 0x01;
+        assert_eq!(SnapshotHeader::peek(&corrupt).unwrap(), header);
+        assert!(SynthesisSnapshot::from_bytes(&corrupt).is_err());
     }
 
     #[test]

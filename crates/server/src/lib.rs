@@ -8,10 +8,13 @@
 //!
 //! Four pieces:
 //!
-//! * a **model registry** ([`registry`]) that loads named snapshots from
-//!   a directory, verifies them through `p3gm-store` typed errors, swaps
-//!   them atomically behind `Arc` handles, and hot-reloads changed files
-//!   without dropping in-flight requests;
+//! * a **model registry** ([`registry`]) that registers named snapshots
+//!   from a directory by peeking their headers (geometry + privacy stamp,
+//!   no weight payload), decodes weights lazily on first request through
+//!   `p3gm-store` typed errors with single-flight de-duplication, evicts
+//!   least-recently-used models under a resident-bytes budget, swaps
+//!   entries atomically behind `Arc` handles, and hot-reloads changed
+//!   files without dropping in-flight requests;
 //! * a **request layer** — a hand-rolled JSON value module ([`json`]) and
 //!   a strict HTTP parser ([`http`]) that reject malformed input with 4xx
 //!   responses and never panic on untrusted bytes; connections are
@@ -42,8 +45,14 @@
 //! | GET    | `/healthz`              | Liveness + model count                         |
 //! | GET    | `/models`               | All models: geometry, privacy stamp, budget    |
 //! | GET    | `/models/{name}`        | One model's geometry, stamp and budget         |
+//! | GET    | `/stats`                | Registry residency and eviction counters       |
 //! | POST   | `/models/{name}/sample` | Draw rows: `{"seed", "n", "labels"?, "format"?}` |
 //! | POST   | `/reload`               | Rescan the snapshot directory (hot reload)     |
+//!
+//! Model listings and details are served from **peeked snapshot
+//! headers**; weight payloads decode lazily on a model's first sampling
+//! request and are evicted least-recently-used under the configured
+//! [`ServerConfig::max_resident_bytes`] ceiling (see [`registry`]).
 //!
 //! Sampling is deterministic per `(model, seed, n)`: every delivery path
 //! consumes the core's canonical per-seed-block sample stream, and the
@@ -65,7 +74,7 @@ use json::Json;
 use ledger::{BudgetLedger, LedgerError};
 use p3gm_linalg::Matrix;
 use p3gm_privacy::rdp::PrivacySpec;
-use registry::{LoadedModel, Registry};
+use registry::{LoadedModel, Registry, RegistryConfig, RegistryError};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -85,7 +94,13 @@ const STREAM_CHUNK_ROWS: usize = 512;
 const IDLE_POLL: Duration = Duration::from_millis(50);
 
 /// Configuration of one [`start`]ed server.
+///
+/// Construct through [`ServerConfig::builder`] — the struct is
+/// `#[non_exhaustive]`, so struct-literal construction (including
+/// `..Default`-style update syntax) no longer compiles outside this
+/// crate, and new knobs can be added without breaking callers.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
@@ -118,27 +133,148 @@ pub struct ServerConfig {
     /// (`Connection: close` on the final response). Bounds how long one
     /// client can pin a worker thread.
     pub max_requests_per_connection: usize,
+    /// Soft ceiling on estimated resident model-weight bytes; past it,
+    /// least-recently-used models are evicted back to header-only
+    /// entries. `None` keeps every loaded model resident.
+    pub max_resident_bytes: Option<u64>,
+    /// How long a request waits for another request's in-flight decode
+    /// of the same model before failing with 503.
+    pub load_wait: Duration,
 }
 
 impl ServerConfig {
-    /// A config serving `model_dir` on an ephemeral localhost port with
-    /// two workers, a durable ledger at `model_dir/ledger.p3gm`, and no
-    /// budget ceiling.
-    pub fn new(model_dir: impl Into<PathBuf>) -> ServerConfig {
+    /// Starts building a config serving `model_dir`. The builder's
+    /// defaults: ephemeral localhost port, two workers, a durable ledger
+    /// at `model_dir/ledger.p3gm`, no budget ceiling, no residency
+    /// ceiling.
+    pub fn builder(model_dir: impl Into<PathBuf>) -> ServerConfigBuilder {
         let model_dir = model_dir.into();
-        ServerConfig {
-            addr: "127.0.0.1:0".to_string(),
-            threads: 2,
-            ledger_path: Some(model_dir.join("ledger.p3gm")),
-            model_dir,
-            budget_epsilon: None,
-            max_rows: 100_000,
-            limits: Limits::default(),
-            io_timeout: Duration::from_secs(10),
-            request_read_timeout: Duration::from_secs(10),
-            keep_alive_timeout: Duration::from_secs(5),
-            max_requests_per_connection: 100,
+        ServerConfigBuilder {
+            config: ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                threads: 2,
+                ledger_path: Some(model_dir.join("ledger.p3gm")),
+                model_dir,
+                budget_epsilon: None,
+                max_rows: 100_000,
+                limits: Limits::default(),
+                io_timeout: Duration::from_secs(10),
+                request_read_timeout: Duration::from_secs(10),
+                keep_alive_timeout: Duration::from_secs(5),
+                max_requests_per_connection: 100,
+                max_resident_bytes: None,
+                load_wait: Duration::from_secs(30),
+            },
         }
+    }
+
+    /// A config serving `model_dir` with every builder default.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ServerConfig::builder(model_dir)...build(); the struct is \
+                non_exhaustive, so struct-literal updates over new() no \
+                longer compile"
+    )]
+    pub fn new(model_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig::builder(model_dir).build()
+    }
+}
+
+/// Builder for [`ServerConfig`]; obtained from [`ServerConfig::builder`].
+///
+/// Every setter takes and returns the builder by value, so a config
+/// reads as one chain:
+///
+/// ```ignore
+/// let config = ServerConfig::builder("models/")
+///     .threads(4)
+///     .budget_epsilon(Some(10.0))
+///     .max_resident_bytes(Some(256 << 20))
+///     .build();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Worker threads accepting and serving connections.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Where the budget ledger persists; `None` keeps it in memory.
+    pub fn ledger_path(mut self, path: Option<PathBuf>) -> Self {
+        self.config.ledger_path = path;
+        self
+    }
+
+    /// Per-model cumulative ε ceiling; `None` disables enforcement.
+    pub fn budget_epsilon(mut self, budget: Option<f64>) -> Self {
+        self.config.budget_epsilon = budget;
+        self
+    }
+
+    /// Upper bound on rows per sampling request.
+    pub fn max_rows(mut self, max_rows: usize) -> Self {
+        self.config.max_rows = max_rows;
+        self
+    }
+
+    /// HTTP input limits.
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.config.limits = limits;
+        self
+    }
+
+    /// Socket write timeout.
+    pub fn io_timeout(mut self, timeout: Duration) -> Self {
+        self.config.io_timeout = timeout;
+        self
+    }
+
+    /// Absolute deadline for reading one complete request.
+    pub fn request_read_timeout(mut self, timeout: Duration) -> Self {
+        self.config.request_read_timeout = timeout;
+        self
+    }
+
+    /// Idle time allowed between keep-alive requests.
+    pub fn keep_alive_timeout(mut self, timeout: Duration) -> Self {
+        self.config.keep_alive_timeout = timeout;
+        self
+    }
+
+    /// Requests served per connection before the server closes it.
+    pub fn max_requests_per_connection(mut self, max: usize) -> Self {
+        self.config.max_requests_per_connection = max;
+        self
+    }
+
+    /// Soft ceiling on estimated resident model-weight bytes (see
+    /// [`registry::RegistryConfig::max_resident_bytes`]).
+    pub fn max_resident_bytes(mut self, ceiling: Option<u64>) -> Self {
+        self.config.max_resident_bytes = ceiling;
+        self
+    }
+
+    /// How long a request waits on another request's in-flight decode of
+    /// the same model before failing with 503.
+    pub fn load_wait(mut self, wait: Duration) -> Self {
+        self.config.load_wait = wait;
+        self
+    }
+
+    /// Finishes the chain.
+    pub fn build(self) -> ServerConfig {
+        self.config
     }
 }
 
@@ -216,9 +352,16 @@ impl ServerHandle {
         self.service.registry.reload()
     }
 
-    /// Number of models currently serving.
+    /// Number of models currently registered (headers; weights load
+    /// lazily on first request).
     pub fn model_count(&self) -> usize {
         self.service.registry.len()
+    }
+
+    /// The registry's residency counters (the programmatic equivalent of
+    /// `GET /stats`).
+    pub fn registry_stats(&self) -> registry::RegistryStats {
+        self.service.registry.stats()
     }
 
     /// Stops accepting, wakes every worker, and joins them. In-flight
@@ -253,7 +396,13 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, ServerError> {
             )));
         }
     }
-    let (registry, _report) = Registry::open(&config.model_dir)?;
+    let (registry, _report) = Registry::open_with(
+        &config.model_dir,
+        RegistryConfig {
+            max_resident_bytes: config.max_resident_bytes,
+            load_wait: config.load_wait,
+        },
+    )?;
     let ledger = match &config.ledger_path {
         Some(path) => BudgetLedger::open(path, config.budget_epsilon)?,
         None => BudgetLedger::in_memory(config.budget_epsilon),
@@ -527,10 +676,11 @@ fn route(service: &Service, request: &Request) -> Response {
         ),
         (Method::Get, ["models"]) => list_models(service),
         (Method::Get, ["models", name]) => model_detail(service, name),
+        (Method::Get, ["stats"]) => stats(service),
         (Method::Post, ["models", name, "sample"]) => sample(service, name, &request.body),
         (Method::Post, ["reload"]) => reload(service),
         // Known paths with the wrong method are 405, unknown paths 404.
-        (_, [] | ["healthz"] | ["models"] | ["models", _] | ["reload"])
+        (_, [] | ["healthz"] | ["models"] | ["models", _] | ["stats"] | ["reload"])
         | (Method::Get, ["models", _, "sample"]) => {
             error_response(405, "method not allowed for this path")
         }
@@ -551,6 +701,7 @@ fn overview() -> Response {
                         "GET /healthz",
                         "GET /models",
                         "GET /models/{name}",
+                        "GET /stats",
                         "POST /models/{name}/sample",
                         "POST /reload",
                     ]
@@ -582,13 +733,15 @@ fn stamp_json(stamp: Option<&PrivacySpec>) -> Json {
     }
 }
 
-fn model_json(service: &Service, model: &registry::LoadedModel) -> Json {
-    let snapshot = model.snapshot();
+/// One model's listing entry, assembled **entirely from its peeked
+/// header** — geometry, stamp and budget state require no weight decode,
+/// so `GET /models` over a thousand tenants touches no payload bytes.
+fn model_json(service: &Service, header: &registry::ModelHeader) -> Json {
     let ledger = service
         .ledger
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
-    let entry = ledger.entry(model.name());
+    let entry = ledger.entry(header.name());
     let budget = Json::Obj(vec![
         ("spent_epsilon".to_string(), Json::Num(entry.spent_epsilon)),
         (
@@ -597,26 +750,29 @@ fn model_json(service: &Service, model: &registry::LoadedModel) -> Json {
         ),
         (
             "remaining_epsilon".to_string(),
-            ledger.remaining(model.name()).map_or(Json::Null, Json::Num),
+            ledger
+                .remaining(header.name())
+                .map_or(Json::Null, Json::Num),
         ),
     ]);
     Json::Obj(vec![
-        ("name".to_string(), Json::str(model.name())),
-        (
-            "data_dim".to_string(),
-            Json::Num(snapshot.model().data_dim() as f64),
-        ),
+        ("name".to_string(), Json::str(header.name())),
+        ("data_dim".to_string(), Json::Num(header.data_dim() as f64)),
         (
             "latent_dim".to_string(),
-            Json::Num(snapshot.model().config().latent_dim as f64),
+            Json::Num(header.latent_dim() as f64),
         ),
         (
             "n_classes".to_string(),
-            snapshot
-                .synthesizer()
-                .map_or(Json::Null, |s| Json::Num(s.n_classes() as f64)),
+            header
+                .n_classes()
+                .map_or(Json::Null, |n| Json::Num(n as f64)),
         ),
-        ("privacy".to_string(), stamp_json(snapshot.privacy_stamp())),
+        ("privacy".to_string(), stamp_json(header.stamp())),
+        (
+            "resident".to_string(),
+            Json::Bool(service.registry.is_resident(header.name())),
+        ),
         ("budget".to_string(), budget),
     ])
 }
@@ -624,9 +780,9 @@ fn model_json(service: &Service, model: &registry::LoadedModel) -> Json {
 fn list_models(service: &Service) -> Response {
     let models = service
         .registry
-        .all()
+        .list_headers()
         .iter()
-        .map(|model| model_json(service, model))
+        .map(|header| model_json(service, header))
         .collect();
     Response::json(
         200,
@@ -635,10 +791,29 @@ fn list_models(service: &Service) -> Response {
 }
 
 fn model_detail(service: &Service, name: &str) -> Response {
-    match service.registry.get(name) {
-        Some(model) => Response::json(200, &model_json(service, &model)),
+    match service.registry.header(name) {
+        Some(header) => Response::json(200, &model_json(service, &header)),
         None => error_response(404, "no such model"),
     }
+}
+
+fn stats(service: &Service) -> Response {
+    let s = service.registry.stats();
+    let num = |v: u64| Json::Num(v as f64);
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("models".to_string(), num(s.models)),
+            ("resident_models".to_string(), num(s.resident_models)),
+            ("resident_bytes".to_string(), num(s.resident_bytes)),
+            ("max_resident_bytes".to_string(), num(s.max_resident_bytes)),
+            ("loads".to_string(), num(s.loads)),
+            ("evictions".to_string(), num(s.evictions)),
+            ("hits".to_string(), num(s.hits)),
+            ("misses".to_string(), num(s.misses)),
+            ("load_failures".to_string(), num(s.load_failures)),
+        ]),
+    )
 }
 
 fn reload(service: &Service) -> Response {
@@ -780,8 +955,17 @@ fn parse_sample_spec(body: &[u8], max_rows: usize) -> Result<SampleSpec, String>
 /// streamed body yields exactly the bytes the buffered serializer would
 /// have produced.
 fn sample(service: &Service, name: &str, body: &[u8]) -> Response {
-    let Some(model) = service.registry.get(name) else {
-        return error_response(404, "no such model");
+    // First touch of a cold model decodes it here (single-flight with
+    // any concurrent request); the typed failure surface maps to HTTP:
+    // unknown name → 404, corrupt snapshot or decode-wait timeout → 503
+    // (the file may be repaired and reloaded; the request can be
+    // retried).
+    let model = match service.registry.get(name) {
+        Ok(model) => model,
+        Err(RegistryError::NotFound) => return error_response(404, "no such model"),
+        Err(e @ (RegistryError::DecodeFailed(_) | RegistryError::LoadTimeout)) => {
+            return error_response(503, &e.to_string())
+        }
     };
     let spec = match parse_sample_spec(body, service.max_rows) {
         Ok(spec) => spec,

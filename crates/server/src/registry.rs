@@ -1,48 +1,122 @@
-//! Model registry: named snapshots loaded from a directory, swapped
-//! atomically, hot-reloadable.
+//! Model registry: named snapshots served lazily from a directory under
+//! a resident-memory budget, swapped atomically, hot-reloadable.
 //!
 //! A registry watches one directory of `*.snapshot` files (the buffers
 //! written by `SynthesisSnapshot::to_bytes`). Each file's stem is the
 //! model's name — restricted to `[A-Za-z0-9._-]` so names embed directly
-//! in request paths with no escaping. Loading verifies every buffer
-//! through the `p3gm-store` typed-error decoding path, so a truncated or
-//! corrupt file can never become a serving model.
+//! in request paths with no escaping.
 //!
-//! Loaded models live behind `Arc` handles in an `RwLock`ed map:
-//! [`Registry::get`] clones the `Arc` out under a brief read lock, so a
-//! [`Registry::reload`] that swaps or drops an entry never invalidates a
-//! request already executing against the old model — in-flight requests
-//! finish on the snapshot they started with, and the old model is freed
-//! when the last of them completes. This includes **streamed** sampling
-//! responses: the chunked body generator owns its `Arc<LoadedModel>` for
-//! the whole lifetime of the response, so a model swapped or removed
-//! mid-stream keeps serving that stream's remaining chunks from the
-//! version the request started on (its memory is reclaimed when the
-//! stream ends).
+//! ## Cheap metadata, lazy weights
+//!
+//! Scanning (open and every [`Registry::reload`]) never decodes weight
+//! payloads: each file is *peeked* through
+//! [`SnapshotHeader::peek_file`], which reads only the leading frames —
+//! geometry, the recomputed (ε, δ) stamp, the synthesizer's class count
+//! — plus the `(length, mtime)` fingerprint. A directory of a thousand
+//! tenants registers in a thousand small reads; listings
+//! ([`Registry::list_headers`]) are served entirely from these headers.
+//!
+//! Weights decode on first [`Registry::get`] — **single-flight**: N
+//! concurrent first requests block on one decode (bounded by the
+//! configured [`RegistryConfig::load_wait`]), never duplicate it. The
+//! decode runs the full checksummed `p3gm-store` path, so corruption the
+//! header peek cannot see (the CRC trails the weights) still fails
+//! typed on first touch, is cached as [`RegistryError::DecodeFailed`]
+//! until the file changes, and un-poisons itself when a repaired file
+//! (new fingerprint) is reloaded.
+//!
+//! ## Residency budget
+//!
+//! An optional [`RegistryConfig::max_resident_bytes`] bounds decoded
+//! weights: when a load pushes estimated residency (from header
+//! geometry, see [`ModelHeader::approx_resident_bytes`]) past the
+//! budget, least-recently-used models are evicted back to `Unloaded`.
+//! Eviction only drops the registry's own `Arc<LoadedModel>`; requests
+//! already holding a handle — including **streamed** sampling responses,
+//! whose chunked body generator owns its `Arc` for the whole response —
+//! keep sampling the evicted model until the last handle drops, so
+//! eviction (like reload) can never yank a model mid-chunk. A later
+//! `get` simply decodes the file again.
 //!
 //! Reload is incremental: files whose `(length, mtime)` fingerprint is
-//! unchanged keep their existing entry (no re-decode of multi-megabyte
-//! weight buffers), new and changed files are decoded fresh, entries
-//! whose file disappeared are dropped, and a file that fails to decode
-//! **keeps the previous entry serving** (a half-written upload must not
-//! take down a live model) while the failure is reported in the
-//! [`ReloadReport`].
+//! unchanged keep their existing entry (loaded weights stay resident),
+//! new and changed files are re-peeked, entries whose file disappeared
+//! are dropped, and a file that fails the header peek **keeps the
+//! previous entry serving** (a half-written upload must not take down a
+//! live model) while the failure is reported in the [`ReloadReport`].
 
-use p3gm_core::snapshot::SynthesisSnapshot;
+use p3gm_core::snapshot::{SnapshotHeader, SynthesisSnapshot};
+use p3gm_privacy::rdp::PrivacySpec;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
 
 /// File extension a registry directory entry must carry to be considered
 /// a model snapshot.
 pub const SNAPSHOT_EXTENSION: &str = "snapshot";
+
+/// Tuning knobs for a [`Registry`].
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Soft ceiling on the estimated bytes of decoded model weights kept
+    /// resident. `None` disables eviction (every model loaded stays
+    /// until its file changes or disappears). The estimate comes from
+    /// header geometry, so actual RSS tracks but does not equal it; the
+    /// ceiling is enforced after each load by evicting least-recently-
+    /// used models — except the one just loaded, which always serves.
+    pub max_resident_bytes: Option<u64>,
+    /// How long a [`Registry::get`] waits for another request's
+    /// in-flight decode of the same model before giving up with
+    /// [`RegistryError::LoadTimeout`].
+    pub load_wait: Duration,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            max_resident_bytes: None,
+            load_wait: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Why [`Registry::get`] could not produce a serving model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No snapshot by that name is registered.
+    NotFound,
+    /// The snapshot file failed its full checksummed decode on first
+    /// touch. Cached until the file's fingerprint changes (repair +
+    /// reload un-poisons the entry).
+    DecodeFailed(String),
+    /// Another request's decode of this model did not finish within
+    /// [`RegistryConfig::load_wait`].
+    LoadTimeout,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::NotFound => write!(f, "no such model"),
+            RegistryError::DecodeFailed(reason) => {
+                write!(f, "model snapshot failed to decode: {reason}")
+            }
+            RegistryError::LoadTimeout => {
+                write!(f, "timed out waiting for the model to finish loading")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
 
 /// One loaded, serving model.
 #[derive(Debug)]
 pub struct LoadedModel {
     name: String,
     snapshot: SynthesisSnapshot,
-    fingerprint: Fingerprint,
 }
 
 impl LoadedModel {
@@ -62,40 +136,163 @@ impl LoadedModel {
 /// does not report one).
 type Fingerprint = (u64, u128);
 
+/// Everything the registry knows about a model without decoding its
+/// weights: identity, file fingerprint, and the peeked snapshot header.
+#[derive(Debug)]
+pub struct ModelHeader {
+    name: String,
+    path: PathBuf,
+    fingerprint: Fingerprint,
+    header: SnapshotHeader,
+}
+
+impl ModelHeader {
+    /// The model's name (the snapshot file's stem).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dimensionality of the generated rows.
+    pub fn data_dim(&self) -> usize {
+        self.header.data_dim
+    }
+
+    /// The model's latent dimensionality.
+    pub fn latent_dim(&self) -> usize {
+        self.header.config.latent_dim
+    }
+
+    /// Classes of the attached labelled synthesizer, `None` when the
+    /// snapshot carries none.
+    pub fn n_classes(&self) -> Option<usize> {
+        self.header.n_classes
+    }
+
+    /// The (ε, δ)-DP stamp recomputed from the persisted configuration —
+    /// identical to what the full decode reports.
+    pub fn stamp(&self) -> Option<&PrivacySpec> {
+        self.header.stamp.as_ref()
+    }
+
+    /// Estimated bytes this model occupies once decoded, from header
+    /// geometry — the cost the residency budget charges for it.
+    pub fn approx_resident_bytes(&self) -> u64 {
+        self.header.approx_resident_bytes()
+    }
+}
+
+/// Residency state of one registered model.
+#[derive(Debug)]
+enum LoadState {
+    /// Header known, weights not resident.
+    Unloaded,
+    /// A request is decoding the file right now; others wait on the
+    /// entry's condvar.
+    Loading,
+    /// Weights resident; `cost` is what the budget was charged.
+    Loaded { model: Arc<LoadedModel>, cost: u64 },
+    /// The full decode failed; cached until the file changes.
+    Failed { reason: String },
+}
+
+/// One registered model: immutable header plus mutable residency state.
+#[derive(Debug)]
+struct ModelEntry {
+    header: Arc<ModelHeader>,
+    state: Mutex<LoadState>,
+    loaded_cond: Condvar,
+    /// Logical timestamp of the last `get`, from the registry clock —
+    /// the LRU ordering key.
+    last_used: AtomicU64,
+}
+
 /// What one [`Registry::reload`] (or the initial scan) did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReloadReport {
-    /// Models (re)loaded from new or changed files.
+    /// Models registered from new or changed files (header peeked;
+    /// weights decode lazily on first request).
     pub loaded: Vec<String>,
-    /// Models whose files were unchanged (entry kept, no re-decode).
+    /// Models whose files were unchanged (entry kept; resident weights
+    /// stay resident).
     pub unchanged: Vec<String>,
     /// Models dropped because their file disappeared.
     pub removed: Vec<String>,
-    /// Files that could not be loaded, with the reason. The previous
+    /// Files that could not be registered, with the reason. The previous
     /// entry (if any) keeps serving.
     pub failed: Vec<(String, String)>,
 }
 
-/// A directory of named snapshots served behind atomically-swappable
-/// `Arc` handles.
+/// A point-in-time snapshot of the registry's residency counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Registered models (headers).
+    pub models: u64,
+    /// Models whose weights are currently resident.
+    pub resident_models: u64,
+    /// Estimated bytes of resident weights (sum of per-model costs).
+    pub resident_bytes: u64,
+    /// The configured ceiling, 0 when eviction is disabled.
+    pub max_resident_bytes: u64,
+    /// Full weight decodes performed (initial loads and re-loads after
+    /// eviction).
+    pub loads: u64,
+    /// Models evicted back to `Unloaded` by the budget.
+    pub evictions: u64,
+    /// `get` calls served from already-resident weights.
+    pub hits: u64,
+    /// `get` calls that had to decode (or wait on a decode).
+    pub misses: u64,
+    /// Full decodes that failed.
+    pub load_failures: u64,
+}
+
+/// A directory of named snapshots: headers eagerly peeked, weights
+/// lazily decoded behind atomically-swappable `Arc` handles.
 #[derive(Debug)]
 pub struct Registry {
     dir: PathBuf,
-    models: RwLock<BTreeMap<String, Arc<LoadedModel>>>,
-    /// Serializes [`Registry::reload`] runs: decoding happens outside the
-    /// `models` lock, so without this two concurrent reloads could
-    /// interleave scan/decode/swap and re-insert a model whose file a
+    config: RegistryConfig,
+    entries: RwLock<BTreeMap<String, Arc<ModelEntry>>>,
+    /// Serializes [`Registry::reload`] runs: peeking happens outside the
+    /// `entries` lock, so without this two concurrent reloads could
+    /// interleave scan/peek/swap and re-insert a model whose file a
     /// faster reload already saw deleted.
     reload_lock: Mutex<()>,
+    /// Monotonic logical clock stamping `last_used` on every `get`.
+    clock: AtomicU64,
+    resident_bytes: AtomicU64,
+    loads: AtomicU64,
+    evictions: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    load_failures: AtomicU64,
 }
 
 impl Registry {
-    /// Opens a registry over `dir` and performs the initial scan.
+    /// Opens a registry over `dir` with default tuning and performs the
+    /// initial header scan (no weight payload is decoded).
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<(Registry, ReloadReport)> {
+        Registry::open_with(dir, RegistryConfig::default())
+    }
+
+    /// Opens a registry over `dir` with explicit tuning and performs the
+    /// initial header scan (no weight payload is decoded).
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        config: RegistryConfig,
+    ) -> std::io::Result<(Registry, ReloadReport)> {
         let registry = Registry {
             dir: dir.into(),
-            models: RwLock::new(BTreeMap::new()),
+            config,
+            entries: RwLock::new(BTreeMap::new()),
             reload_lock: Mutex::new(()),
+            clock: AtomicU64::new(0),
+            resident_bytes: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            load_failures: AtomicU64::new(0),
         };
         let report = registry.reload()?;
         Ok((registry, report))
@@ -106,46 +303,239 @@ impl Registry {
         &self.dir
     }
 
-    /// The handle for a named model, if loaded. The returned `Arc` keeps
-    /// the model alive across concurrent reloads.
-    pub fn get(&self, name: &str) -> Option<Arc<LoadedModel>> {
-        self.models
+    /// A serving handle for a named model, decoding the snapshot on
+    /// first touch (single-flight: concurrent first requests share one
+    /// decode). The returned `Arc` keeps the model alive across
+    /// concurrent reloads **and evictions** — the registry dropping its
+    /// reference never invalidates a handle already serving a request.
+    pub fn get(&self, name: &str) -> Result<Arc<LoadedModel>, RegistryError> {
+        let entry = {
+            let entries = self
+                .entries
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            entries.get(name).cloned().ok_or(RegistryError::NotFound)?
+        };
+        entry.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+
+        let mut state = entry
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            match &*state {
+                LoadState::Loaded { model, .. } => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(model));
+                }
+                LoadState::Failed { reason } => {
+                    return Err(RegistryError::DecodeFailed(reason.clone()));
+                }
+                LoadState::Loading => {
+                    let (next, wait) = entry
+                        .loaded_cond
+                        .wait_timeout(state, self.config.load_wait)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    state = next;
+                    if wait.timed_out() && matches!(&*state, LoadState::Loading) {
+                        return Err(RegistryError::LoadTimeout);
+                    }
+                }
+                LoadState::Unloaded => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    *state = LoadState::Loading;
+                    drop(state);
+                    // Decode outside the entry lock so waiters can block
+                    // on the condvar and the registry stays responsive.
+                    let decoded = load_model(&entry.header);
+                    let mut state = entry
+                        .state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let result = match decoded {
+                        Ok(model) => {
+                            let model = Arc::new(model);
+                            let cost = entry.header.approx_resident_bytes();
+                            self.loads.fetch_add(1, Ordering::Relaxed);
+                            self.resident_bytes.fetch_add(cost, Ordering::Relaxed);
+                            *state = LoadState::Loaded {
+                                model: Arc::clone(&model),
+                                cost,
+                            };
+                            Ok(model)
+                        }
+                        Err(reason) => {
+                            self.load_failures.fetch_add(1, Ordering::Relaxed);
+                            *state = LoadState::Failed {
+                                reason: reason.clone(),
+                            };
+                            Err(RegistryError::DecodeFailed(reason))
+                        }
+                    };
+                    entry.loaded_cond.notify_all();
+                    drop(state);
+                    if result.is_ok() {
+                        self.enforce_budget(name);
+                    }
+                    return result;
+                }
+            }
+        }
+    }
+
+    /// Evicts least-recently-used resident models until estimated
+    /// residency fits the budget. `protect` (the model just loaded) is
+    /// never evicted — the budget is soft by exactly one model, so a
+    /// `get` can always serve.
+    fn enforce_budget(&self, protect: &str) {
+        let Some(budget) = self.config.max_resident_bytes else {
+            return;
+        };
+        while self.resident_bytes.load(Ordering::Relaxed) > budget {
+            let victim = {
+                let entries = self
+                    .entries
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                entries
+                    .iter()
+                    .filter(|(name, _)| name.as_str() != protect)
+                    .filter(|(_, e)| {
+                        matches!(
+                            &*e.state
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner),
+                            LoadState::Loaded { .. }
+                        )
+                    })
+                    .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                    .map(|(_, e)| Arc::clone(e))
+            };
+            let Some(victim) = victim else {
+                // Nothing evictable (only the protected model is
+                // resident): the budget over-run rides until handles
+                // drop naturally.
+                return;
+            };
+            let mut state = victim
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Re-check under the lock: a racing `get` may have touched
+            // the entry, but evicting it is still safe — its handle
+            // keeps the model alive; only the registry's copy drops.
+            if let LoadState::Loaded { cost, .. } = &*state {
+                let cost = *cost;
+                *state = LoadState::Unloaded;
+                drop(state);
+                self.resident_bytes.fetch_sub(cost, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The peeked header for a named model, if registered. Never decodes
+    /// or touches weight payloads.
+    pub fn header(&self, name: &str) -> Option<Arc<ModelHeader>> {
+        self.entries
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(name)
-            .cloned()
+            .map(|e| Arc::clone(&e.header))
     }
 
-    /// Handles for every loaded model, sorted by name.
-    pub fn all(&self) -> Vec<Arc<LoadedModel>> {
-        self.models
+    /// Headers for every registered model, sorted by name. Listing is
+    /// metadata-only: no weight payload is decoded or cloned.
+    pub fn list_headers(&self) -> Vec<Arc<ModelHeader>> {
+        self.entries
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .values()
-            .cloned()
+            .map(|e| Arc::clone(&e.header))
             .collect()
     }
 
-    /// Number of loaded models.
+    /// Whether a model's weights are currently resident (decoded and
+    /// held by the registry).
+    pub fn is_resident(&self, name: &str) -> bool {
+        let entry = {
+            let entries = self
+                .entries
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            entries.get(name).cloned()
+        };
+        entry.is_some_and(|e| {
+            matches!(
+                &*e.state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+                LoadState::Loaded { .. }
+            )
+        })
+    }
+
+    /// Number of registered models.
     pub fn len(&self) -> usize {
-        self.models
+        self.entries
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .len()
     }
 
-    /// Whether no models are loaded.
+    /// Whether no models are registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Rescans the directory and atomically applies the changes.
+    /// A point-in-time snapshot of the residency counters.
+    pub fn stats(&self) -> RegistryStats {
+        let (models, resident_models) = {
+            let entries = self
+                .entries
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let resident = entries
+                .values()
+                .filter(|e| {
+                    matches!(
+                        &*e.state
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner),
+                        LoadState::Loaded { .. }
+                    )
+                })
+                .count() as u64;
+            (entries.len() as u64, resident)
+        };
+        RegistryStats {
+            models,
+            resident_models,
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            max_resident_bytes: self.config.max_resident_bytes.unwrap_or(0),
+            loads: self.loads.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            load_failures: self.load_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Rescans the directory and atomically applies the changes —
+    /// **header-only**: validation peeks the leading frames of new and
+    /// changed files, decoding no weight payload.
     ///
-    /// Decoding happens **outside** the write lock: requests keep being
-    /// served from the current map while new buffers validate, and the
-    /// final swap is a brief lock that moves `Arc`s, not model weights.
-    /// Returns what changed; `Err` only when the directory itself cannot
-    /// be listed.
+    /// Peeking happens **outside** the write lock: requests keep being
+    /// served from the current map while new headers validate, and the
+    /// final swap is a brief lock that moves `Arc`s. Unchanged files
+    /// keep their entry (resident weights stay resident); a changed
+    /// file's entry resets to `Unloaded` — including one parked in
+    /// `Failed`, so repairing a corrupt file and reloading un-poisons
+    /// it. Returns what changed; `Err` only when the directory itself
+    /// cannot be listed.
     pub fn reload(&self) -> std::io::Result<ReloadReport> {
         let _serialized = self
             .reload_lock
@@ -188,54 +578,83 @@ impl Registry {
             }
         }
 
-        // Decode new/changed files without holding any lock.
+        // Peek new/changed files without holding any lock.
         let current: BTreeMap<String, Fingerprint> = {
-            let models = self
-                .models
+            let entries = self
+                .entries
                 .read()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            models
+            entries
                 .iter()
-                .map(|(name, model)| (name.clone(), model.fingerprint))
+                .map(|(name, e)| (name.clone(), e.header.fingerprint))
                 .collect()
         };
-        let mut fresh: Vec<Arc<LoadedModel>> = Vec::new();
+        let mut fresh: Vec<Arc<ModelEntry>> = Vec::new();
         for (name, fp, path) in &seen {
             if current.get(name) == Some(fp) {
                 report.unchanged.push(name.clone());
                 continue;
             }
-            match load_model(name, *fp, path) {
-                Ok(model) => {
-                    fresh.push(Arc::new(model));
+            match SnapshotHeader::peek_file(path) {
+                Ok(header) => {
+                    fresh.push(Arc::new(ModelEntry {
+                        header: Arc::new(ModelHeader {
+                            name: name.clone(),
+                            path: path.clone(),
+                            fingerprint: *fp,
+                            header,
+                        }),
+                        state: Mutex::new(LoadState::Unloaded),
+                        loaded_cond: Condvar::new(),
+                        last_used: AtomicU64::new(0),
+                    }));
                     report.loaded.push(name.clone());
                 }
-                Err(reason) => report.failed.push((name.clone(), reason)),
+                Err(e) => report.failed.push((name.clone(), e.to_string())),
             }
         }
 
         // Atomic swap: drop vanished entries, insert fresh ones. Entries
-        // whose file failed to decode are intentionally left as-is.
+        // whose file failed to peek are intentionally left as-is.
         let keep: std::collections::BTreeSet<&str> = seen
             .iter()
             .map(|(name, _, _)| name.as_str())
             .chain(report.failed.iter().map(|(name, _)| name.as_str()))
             .collect();
-        let mut models = self
-            .models
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let vanished: Vec<String> = models
-            .keys()
-            .filter(|name| !keep.contains(name.as_str()))
-            .cloned()
-            .collect();
-        for name in vanished {
-            models.remove(&name);
-            report.removed.push(name);
+        let mut replaced: Vec<Arc<ModelEntry>> = Vec::new();
+        {
+            let mut entries = self
+                .entries
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let vanished: Vec<String> = entries
+                .keys()
+                .filter(|name| !keep.contains(name.as_str()))
+                .cloned()
+                .collect();
+            for name in vanished {
+                if let Some(old) = entries.remove(&name) {
+                    replaced.push(old);
+                }
+                report.removed.push(name);
+            }
+            for entry in fresh {
+                if let Some(old) = entries.insert(entry.header.name.clone(), entry) {
+                    replaced.push(old);
+                }
+            }
         }
-        for model in fresh {
-            models.insert(model.name.clone(), model);
+        // Release the budget charge of entries this reload dropped or
+        // superseded while they were resident; in-flight handles still
+        // keep the models themselves alive.
+        for old in replaced {
+            let state = old
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let LoadState::Loaded { cost, .. } = &*state {
+                self.resident_bytes.fetch_sub(*cost, Ordering::Relaxed);
+            }
         }
         Ok(report)
     }
@@ -262,13 +681,13 @@ fn fingerprint(path: &Path) -> std::io::Result<Fingerprint> {
     Ok((meta.len(), mtime))
 }
 
-fn load_model(name: &str, fingerprint: Fingerprint, path: &Path) -> Result<LoadedModel, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("read failed: {e}"))?;
+/// The full checksummed decode a lazy `get` performs on first touch.
+fn load_model(header: &ModelHeader) -> Result<LoadedModel, String> {
+    let bytes = std::fs::read(&header.path).map_err(|e| format!("read failed: {e}"))?;
     let snapshot = SynthesisSnapshot::from_bytes(&bytes).map_err(|e| e.to_string())?;
     Ok(LoadedModel {
-        name: name.to_string(),
+        name: header.name.clone(),
         snapshot,
-        fingerprint,
     })
 }
 
@@ -293,8 +712,13 @@ mod tests {
         let _ = std::fs::create_dir_all(&dir);
         let (registry, report) = Registry::open(&dir).unwrap();
         assert!(registry.is_empty());
-        assert!(registry.get("anything").is_none());
+        assert!(matches!(
+            registry.get("anything"),
+            Err(RegistryError::NotFound)
+        ));
+        assert!(registry.header("anything").is_none());
         assert_eq!(report, ReloadReport::default());
+        assert_eq!(registry.stats(), RegistryStats::default());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -221,6 +221,71 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// The frame header of a snapshot buffer, decoded without touching the
+/// payload: what type the buffer claims to hold and how long it claims
+/// to be.
+///
+/// This is the cheap half of the codec: [`peek_frame`] needs only the
+/// first [`HEADER_LEN`] bytes of a buffer (or file), so a caller can
+/// learn a snapshot's tag and total framed length — and decide whether
+/// to pay for the full, checksummed decode — from a bounded read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Format version stored in the frame (always [`FORMAT_VERSION`] —
+    /// other versions are rejected by [`peek_frame`] itself).
+    pub version: u32,
+    /// Type tag (see [`tags`]).
+    pub tag: u32,
+    /// Payload length `L` the frame claims.
+    pub payload_len: u64,
+}
+
+impl FrameInfo {
+    /// Total byte length of the framed buffer this header describes
+    /// (header + payload + checksum), or `None` if it overflows `usize`.
+    pub fn framed_len(&self) -> Option<usize> {
+        usize::try_from(self.payload_len)
+            .ok()
+            .and_then(|p| p.checked_add(HEADER_LEN + CHECKSUM_LEN))
+    }
+}
+
+/// Decodes the frame header from the leading bytes of a buffer: magic,
+/// version, tag, payload length. `bytes` may be any prefix of the full
+/// buffer as long as it covers the [`HEADER_LEN`]-byte header.
+///
+/// No checksum is verified — the CRC lives at the *end* of the buffer,
+/// which a header peek deliberately never reads. Corruption in the
+/// peeked region is caught only by the magic/version checks and by the
+/// semantic validation of whatever fields the caller goes on to read;
+/// the full-decode path ([`Decoder::new`]) remains the integrity
+/// authority.
+pub fn peek_frame(bytes: &[u8]) -> Result<FrameInfo> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            needed: HEADER_LEN,
+            available: bytes.len(),
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let tag = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice"));
+    Ok(FrameInfo {
+        version,
+        tag,
+        payload_len,
+    })
+}
+
 /// Builds one framed snapshot buffer (see the crate docs for the layout).
 ///
 /// Create with the type's tag, write the payload fields in their fixed
@@ -379,6 +444,39 @@ impl<'a> Decoder<'a> {
         if computed != stored {
             return Err(StoreError::ChecksumMismatch { computed, stored });
         }
+        Ok(Decoder {
+            payload: &bytes[HEADER_LEN..HEADER_LEN + payload_len],
+            pos: 0,
+        })
+    }
+
+    /// Positions a decoder over the **prefix** of a framed buffer for
+    /// header peeking: validates magic, version and tag (via
+    /// [`peek_frame`]) and exposes however much of the payload `bytes`
+    /// actually carries, capped at the frame's declared payload length.
+    ///
+    /// Unlike [`Decoder::new`], this neither requires the complete
+    /// buffer nor verifies the checksum — it is the read path for
+    /// *metadata peeks* (leading geometry/config fields) where decoding
+    /// the multi-megabyte weight payload just to list a model would
+    /// defeat the point. Every field read remains bounds-checked
+    /// against the available prefix (a read past it is a typed
+    /// [`StoreError::Truncated`]), and [`Decoder::finish`] must **not**
+    /// be called on a prefix decoder (the unread weight payload is the
+    /// whole point). Integrity-critical decodes must keep using
+    /// [`Decoder::new`].
+    pub fn over_prefix(bytes: &'a [u8], expected_tag: u32) -> Result<Self> {
+        let info = peek_frame(bytes)?;
+        if info.tag != expected_tag {
+            return Err(StoreError::WrongTag {
+                expected: expected_tag,
+                found: info.tag,
+            });
+        }
+        let available = bytes.len() - HEADER_LEN;
+        let payload_len = usize::try_from(info.payload_len)
+            .unwrap_or(usize::MAX)
+            .min(available);
         Ok(Decoder {
             payload: &bytes[HEADER_LEN..HEADER_LEN + payload_len],
             pos: 0,
@@ -550,6 +648,57 @@ mod tests {
         assert_eq!(dec.nested().unwrap(), inner.as_slice());
         assert_eq!(dec.u8().unwrap(), 9);
         dec.finish().unwrap();
+    }
+
+    #[test]
+    fn peek_frame_reads_the_header_from_a_bounded_prefix() {
+        let bytes = sample_buffer();
+        let info = peek_frame(&bytes[..HEADER_LEN]).unwrap();
+        assert_eq!(info.tag, tags::MATRIX);
+        assert_eq!(info.version, FORMAT_VERSION);
+        assert_eq!(info.framed_len(), Some(bytes.len()));
+        // The full buffer peeks identically.
+        assert_eq!(peek_frame(&bytes).unwrap(), info);
+        // Too short a prefix is a typed truncation, never a panic.
+        for cut in 0..HEADER_LEN {
+            assert!(matches!(
+                peek_frame(&bytes[..cut]),
+                Err(StoreError::Truncated { .. })
+            ));
+        }
+        // Magic and version are still enforced on the peek path.
+        let mut bad = bytes.clone();
+        bad[1] = b'!';
+        assert_eq!(peek_frame(&bad), Err(StoreError::BadMagic));
+        let mut bad = bytes.clone();
+        bad[4..8].copy_from_slice(&(FORMAT_VERSION + 7).to_le_bytes());
+        assert!(matches!(
+            peek_frame(&bad),
+            Err(StoreError::UnsupportedVersion { found, .. }) if found == FORMAT_VERSION + 7
+        ));
+    }
+
+    #[test]
+    fn prefix_decoder_reads_leading_fields_without_the_tail() {
+        let bytes = sample_buffer();
+        // Drop the checksum and most of the payload: the leading u64 and
+        // bool are still readable, exactly as a full decode would see them.
+        let mut dec = Decoder::over_prefix(&bytes[..HEADER_LEN + 9], tags::MATRIX).unwrap();
+        assert_eq!(dec.u64().unwrap(), 3);
+        assert!(dec.bool().unwrap());
+        // Reading past the available prefix is a typed truncation.
+        assert!(matches!(dec.f64(), Err(StoreError::Truncated { .. })));
+        // The tag is enforced.
+        assert!(matches!(
+            Decoder::over_prefix(&bytes, tags::GMM),
+            Err(StoreError::WrongTag { .. })
+        ));
+        // A prefix longer than the declared payload is capped at the
+        // frame's own length: trailing junk past the checksum is ignored.
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(b"junk");
+        let mut dec = Decoder::over_prefix(&extended, tags::MATRIX).unwrap();
+        assert_eq!(dec.u64().unwrap(), 3);
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! Serve over HTTP: train P3GM once, write the snapshot to a model
-//! directory, start `p3gm-server` on an ephemeral port, and drive it
-//! with a plain `std::net::TcpStream` client — list the models, reuse
-//! one keep-alive connection for two sampling requests (byte-identical
-//! to the same requests on separate connections), download a large
-//! batch as a chunked CSV stream, exhaust the privacy budget (HTTP
-//! 429), then shut down gracefully.
+//! Serve over HTTP: train P3GM once, write 100 tenant snapshots to a
+//! model directory, start `p3gm-server` on an ephemeral port with a
+//! residency budget holding ~3 decoded models, and drive it with a
+//! plain `std::net::TcpStream` client — list all 100 models from
+//! headers alone (zero weight payloads decoded), reuse one keep-alive
+//! connection for two sampling requests (byte-identical to the same
+//! requests on separate connections), download a large batch as a
+//! chunked CSV stream, exhaust the privacy budget (HTTP 429), watch
+//! LRU eviction in `GET /stats`, then shut down gracefully.
 //!
 //! Run with:
 //! ```text
@@ -15,11 +17,11 @@
 
 use p3gm::core::config::PgmConfig;
 use p3gm::core::pgm::PhasedGenerativeModel;
-use p3gm::core::snapshot::SynthesisSnapshot;
+use p3gm::core::snapshot::{SnapshotHeader, SynthesisSnapshot};
 use p3gm::core::synthesis::LabelledSynthesizer;
 use p3gm::datasets::tabular::adult_like;
 use p3gm::server::http::ResponseReader;
-use p3gm::server::{start, ServerConfig};
+use p3gm::server::{json, start, ServerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::Write;
@@ -75,26 +77,55 @@ fn main() {
     println!("trained: certified {stamp}");
 
     // 2. The model directory is the server's unit of deployment: one
-    //    snapshot file per model, plus the durable budget ledger.
+    //    snapshot file per model, plus the durable budget ledger. A
+    //    hundred tenants share this node: the demo model plus 99 tenant
+    //    snapshots (same trained weights, per-tenant names).
     let dir = std::env::temp_dir().join(format!("p3gm_serve_http_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create model dir");
-    std::fs::write(dir.join("adult-demo.snapshot"), snapshot.to_bytes()).expect("write snapshot");
+    let bytes = snapshot.to_bytes();
+    std::fs::write(dir.join("adult-demo.snapshot"), &bytes).expect("write snapshot");
+    for i in 0..99 {
+        std::fs::write(dir.join(format!("tenant-{i:03}.snapshot")), &bytes)
+            .expect("write tenant snapshot");
+    }
 
-    // 3. Start the server with a budget that allows five releases: each
-    //    sampling response is charged the model's stamped ε, so the sixth
-    //    request must be refused with 429.
-    let server = start(ServerConfig {
-        budget_epsilon: Some(5.5 * stamp.epsilon),
-        ..ServerConfig::new(&dir)
-    })
+    // 3. Start the server with a residency budget holding ~3 models
+    //    (the registry peeks each file's header at startup and decodes
+    //    weights lazily on first request) and a privacy budget allowing
+    //    five releases per model: each sampling response is charged the
+    //    model's stamped ε, so the sixth request must be refused with
+    //    429.
+    let per_model = SnapshotHeader::peek(&bytes)
+        .expect("peek snapshot header")
+        .approx_resident_bytes();
+    let server = start(
+        ServerConfig::builder(&dir)
+            .budget_epsilon(Some(5.5 * stamp.epsilon))
+            .max_resident_bytes(Some(3 * per_model))
+            .build(),
+    )
     .expect("start server");
     let addr = server.addr();
     println!("serving {} model(s) on http://{addr}", server.model_count());
+    assert_eq!(server.model_count(), 100);
 
-    // 4. List the models.
+    // 4. List the models — served from headers alone: all 100 listed,
+    //    zero weight payloads decoded.
     let (status, body) = request(addr, "GET", "/models", "");
     assert_eq!(status, 200);
-    println!("GET /models -> {body}");
+    let listed = json::parse(&body)
+        .expect("parse /models")
+        .get("models")
+        .and_then(|m| m.as_arr().map(|a| a.len()))
+        .expect("models array");
+    assert_eq!(listed, 100, "every tenant lists from its header");
+    let stats = server.registry_stats();
+    assert_eq!(
+        (stats.loads, stats.resident_models),
+        (0, 0),
+        "listing 100 models must decode zero weight payloads"
+    );
+    println!("GET /models -> 100 tenants listed, 0 weight payloads decoded");
 
     // 5. Keep-alive: two sampling requests ride ONE connection, and each
     //    body is byte-identical to the same request on its own fresh
@@ -158,7 +189,35 @@ fn main() {
     assert_eq!(status, 429, "sixth release must exhaust the budget: {body}");
     println!("sixth request refused: {body}");
 
-    // 8. Graceful shutdown: stop accepting, drain idle keep-alive
+    // 8. Touch six tenants: each first request decodes that tenant's
+    //    weights, and the 3-model residency budget evicts the least
+    //    recently used — visible in GET /stats. Every model stays
+    //    listable and servable; only its weights page in and out.
+    for i in 0..6 {
+        let (status, _) = request(
+            addr,
+            "POST",
+            &format!("/models/tenant-{i:03}/sample"),
+            r#"{"seed": 1, "n": 5}"#,
+        );
+        assert_eq!(status, 200, "tenant-{i:03} must sample");
+    }
+    let (status, body) = request(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    println!("GET /stats -> {body}");
+    let stats = server.registry_stats();
+    assert!(
+        stats.resident_models <= 3,
+        "residency budget holds ~3 models, {} resident",
+        stats.resident_models
+    );
+    assert!(
+        stats.evictions >= 3,
+        "6 tenants through a 3-model budget must evict, got {}",
+        stats.evictions
+    );
+
+    // 9. Graceful shutdown: stop accepting, drain idle keep-alive
     //    connections, finish in-flight work, join.
     server.shutdown();
     println!("server shut down cleanly");

@@ -86,11 +86,12 @@ fn model_dir(test: &str, names: &[&str]) -> PathBuf {
 }
 
 fn start_server(dir: &PathBuf, threads: usize, budget: Option<f64>) -> ServerHandle {
-    start(ServerConfig {
-        threads,
-        budget_epsilon: budget,
-        ..ServerConfig::new(dir)
-    })
+    start(
+        ServerConfig::builder(dir)
+            .threads(threads)
+            .budget_epsilon(budget)
+            .build(),
+    )
     .unwrap()
 }
 
@@ -256,10 +257,11 @@ fn keep_alive_connection_serves_many_requests_with_fresh_connection_bytes() {
 #[test]
 fn requests_per_connection_are_bounded() {
     let dir = model_dir("reqcap", &["m"]);
-    let server = start(ServerConfig {
-        max_requests_per_connection: 2,
-        ..ServerConfig::new(&dir)
-    })
+    let server = start(
+        ServerConfig::builder(&dir)
+            .max_requests_per_connection(2)
+            .build(),
+    )
     .unwrap();
     let addr = server.addr();
 
@@ -285,11 +287,12 @@ fn requests_per_connection_are_bounded() {
 #[test]
 fn stalled_and_trickling_clients_get_a_typed_408() {
     let dir = model_dir("slowloris", &["m"]);
-    let server = start(ServerConfig {
-        request_read_timeout: Duration::from_millis(300),
-        keep_alive_timeout: Duration::from_secs(5),
-        ..ServerConfig::new(&dir)
-    })
+    let server = start(
+        ServerConfig::builder(&dir)
+            .request_read_timeout(Duration::from_millis(300))
+            .keep_alive_timeout(Duration::from_secs(5))
+            .build(),
+    )
     .unwrap();
     let addr = server.addr();
 
@@ -328,10 +331,11 @@ fn stalled_and_trickling_clients_get_a_typed_408() {
 #[test]
 fn idle_connections_are_closed_silently() {
     let dir = model_dir("idle", &["m"]);
-    let server = start(ServerConfig {
-        keep_alive_timeout: Duration::from_millis(200),
-        ..ServerConfig::new(&dir)
-    })
+    let server = start(
+        ServerConfig::builder(&dir)
+            .keep_alive_timeout(Duration::from_millis(200))
+            .build(),
+    )
     .unwrap();
     let addr = server.addr();
 
@@ -452,11 +456,16 @@ fn mid_stream_abort_charges_the_ledger_exactly_once() {
     let mut stream = connect(addr);
     write_request(&mut stream, "POST", "/models/m/sample", body);
     let mut first = [0u8; 256];
-    let got = stream.read(&mut first).unwrap();
-    assert!(got > 0, "the stream must start before the abort");
+    let mut got = 0;
+    while got < "HTTP/1.1 200".len() {
+        let n = stream.read(&mut first[got..]).unwrap();
+        assert!(n > 0, "the stream must start before the abort");
+        got += n;
+    }
     assert!(
         String::from_utf8_lossy(&first[..got]).starts_with("HTTP/1.1 200"),
-        "the charge precedes the first chunk"
+        "the charge precedes the first chunk; got {:?}",
+        String::from_utf8_lossy(&first[..got])
     );
     drop(stream);
 
@@ -738,11 +747,7 @@ fn budget_exhaustion_is_429_and_survives_restart() {
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x20;
     std::fs::write(&ledger_path, &bytes).unwrap();
-    assert!(start(ServerConfig {
-        budget_epsilon: budget,
-        ..ServerConfig::new(&dir)
-    })
-    .is_err());
+    assert!(start(ServerConfig::builder(&dir).budget_epsilon(budget).build()).is_err());
 
     let _ = std::fs::remove_dir_all(&dir);
 }
