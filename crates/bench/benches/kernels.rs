@@ -1,7 +1,9 @@
-//! Microbenchmarks for the three numeric kernels the P3GM pipeline spends
-//! its time in — blocked matmul, per-example DP-SGD gradients (forward +
-//! backward + clipped sum), and the (DP-)EM E-step — each swept over
-//! 1/2/4 worker threads via `p3gm_parallel::with_threads`.
+//! Microbenchmarks for the numeric kernels the P3GM pipeline spends its
+//! time in — register-tiled matmul and gram, per-example DP-SGD gradients
+//! (batched forward + backward), the fused clip-and-sum pass, and the
+//! batched (DP-)EM E-step (with its n×k log-density sub-kernel measured
+//! separately) — each swept over 1/2/4 worker threads via
+//! `p3gm_parallel::with_threads`.
 //!
 //! Before timing, every kernel's output at 2 and 4 threads is asserted to
 //! be **bit-identical** to the single-threaded run (the determinism
@@ -44,6 +46,40 @@ fn bench_matmul(c: &mut Criterion) {
         c.bench_function(&format!("kernels/matmul_192x192/threads={t}"), |bench| {
             bench.iter(|| with_threads(t, || black_box(a.matmul(&b).unwrap().get(0, 0))))
         });
+    }
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let a = Matrix::from_fn(1024, 64, |i, j| ((i * 64 + j) as f64 * 0.013).sin());
+    let reference = with_threads(1, || a.gram());
+    for t in THREADS {
+        let out = with_threads(t, || a.gram());
+        assert_eq!(
+            out.as_slice(),
+            reference.as_slice(),
+            "gram must be bit-identical at {t} threads"
+        );
+        c.bench_function(&format!("kernels/gram_1024x64/threads={t}"), |bench| {
+            bench.iter(|| with_threads(t, || black_box(a.gram().get(0, 0))))
+        });
+    }
+}
+
+fn bench_clip_and_sum(c: &mut Criterion) {
+    let grads = Matrix::from_fn(512, 2048, |i, j| ((i * 2048 + j) as f64 * 0.0007).sin());
+    let reference = with_threads(1, || clip_and_sum_gradients(&grads, 1.0));
+    for t in THREADS {
+        let sum = with_threads(t, || clip_and_sum_gradients(&grads, 1.0));
+        assert_eq!(
+            sum, reference,
+            "clip-and-sum must be bit-identical at {t} threads"
+        );
+        c.bench_function(
+            &format!("kernels/clip_and_sum_512x2048/threads={t}"),
+            |bench| {
+                bench.iter(|| with_threads(t, || black_box(clip_and_sum_gradients(&grads, 1.0)[0])))
+            },
+        );
     }
 }
 
@@ -100,6 +136,27 @@ fn bench_em_estep(c: &mut Criterion) {
     }
 }
 
+fn bench_em_log_densities(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(777);
+    let k = 5;
+    let d = 16;
+    let means = Matrix::from_fn(k, d, |i, j| ((i * d + j) as f64 * 0.37).sin());
+    let model = Gmm::isotropic(vec![1.0; k], means, 0.5).unwrap();
+    let data = model.sample_n(&mut rng, 4_000);
+    let reference = with_threads(1, || model.log_densities_batch(&data));
+    for t in THREADS {
+        let logs = with_threads(t, || model.log_densities_batch(&data));
+        assert_eq!(
+            logs.as_slice(),
+            reference.as_slice(),
+            "EM log densities must be bit-identical at {t} threads"
+        );
+        c.bench_function(&format!("kernels/em_logdens_n4000/threads={t}"), |bench| {
+            bench.iter(|| with_threads(t, || black_box(model.log_densities_batch(&data).get(0, 0))))
+        });
+    }
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -110,6 +167,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = kernels;
     config = config();
-    targets = bench_matmul, bench_dpsgd_gradients, bench_em_estep
+    targets = bench_matmul, bench_gram, bench_clip_and_sum, bench_dpsgd_gradients,
+        bench_em_estep, bench_em_log_densities
 }
 criterion_main!(kernels);

@@ -160,6 +160,32 @@ impl Cholesky {
         Ok(crate::vector::norm2_squared(&y))
     }
 
+    /// Inverse of the lower factor, `L⁻¹` (itself lower triangular), via one
+    /// forward substitution per unit-basis column.
+    ///
+    /// Multiplying by `L⁻¹` whitens a vector — `‖L⁻¹(x − μ)‖²` is the
+    /// Mahalanobis distance — which lets batched density evaluation replace
+    /// per-row triangular solves with one matrix product against a
+    /// precomputed factor. The entries are deterministic functions of the
+    /// factor bits, so caches rebuilt from persisted covariances reproduce
+    /// them exactly.
+    pub fn inverse_lower(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut unit = vec![0.0; n];
+        for j in 0..n {
+            unit[j] = 1.0;
+            let col = self
+                .solve_lower(&unit)
+                .expect("unit basis vector has the factor's dimension");
+            for (i, &v) in col.iter().enumerate().skip(j) {
+                inv.set(i, j, v);
+            }
+            unit[j] = 0.0;
+        }
+        inv
+    }
+
     /// Computes the inverse of the original matrix `A`.
     pub fn inverse(&self) -> Result<Matrix> {
         let n = self.dim();

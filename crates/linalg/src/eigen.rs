@@ -135,7 +135,7 @@ impl SymmetricEigen {
         let lambda = Matrix::from_diagonal(&self.eigenvalues);
         let v = &self.eigenvectors;
         v.matmul(&lambda)
-            .and_then(|m| m.matmul(&v.transpose()))
+            .and_then(|m| m.matmul_transposed(v))
             .unwrap_or_else(|_| Matrix::zeros(n, n))
     }
 }

@@ -13,11 +13,16 @@
 use crate::error::LinalgError;
 use crate::Result;
 
-/// Column-count threshold above which `matmul` tiles the shared dimension:
-/// three row-sized working sets (lhs row tail, rhs row, out row) should fit
-/// in L1/L2 comfortably; beyond that, walking `k` in blocks keeps the rhs
-/// rows that a block touches hot across the whole output row.
-const MATMUL_TILE: usize = 256;
+/// Register-tile height of the matmul/gram microkernels: output rows
+/// processed together so their accumulators stay in registers.
+const TILE_MR: usize = 4;
+/// Register-tile width of the matmul/gram microkernels: output columns
+/// processed together as `[f64; TILE_NR]` accumulator rows — two AVX-512
+/// vectors (or four AVX2 vectors) per output row once autovectorized.
+const TILE_NR: usize = 16;
+/// k-block length of the matmul microkernel, sized so a block of `other`
+/// rows stays resident in L1 while the tile sweeps across the output.
+const TILE_KC: usize = 256;
 
 /// A dense, row-major matrix of `f64` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -244,11 +249,16 @@ impl Matrix {
 
     /// Matrix-matrix product `self * other`.
     ///
-    /// The kernel is blocked over the shared dimension (i-k-j order with a
-    /// `k` tile, so the inner loop walks contiguous memory in both `other`
-    /// and the output) and parallelized over output-row chunks. Each output
-    /// row is computed independently, so the result is bit-identical for
-    /// every thread count.
+    /// The kernel is a register-tiled microkernel: groups of `TILE_MR`
+    /// output rows sweep `TILE_NR`-wide column tiles whose accumulators
+    /// live in `[f64; TILE_NR]` arrays (packed vector registers after
+    /// autovectorization), with the shared dimension blocked by
+    /// `TILE_KC` so the active rows of `other` stay in L1. Every output
+    /// element still accumulates its `k` terms in strictly increasing `k`
+    /// order with a single accumulator, so the result is bit-identical to
+    /// the naive i-k-j scalar product — and, because work is parallelized
+    /// over independent output-row chunks, bit-identical for every thread
+    /// count.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -258,26 +268,84 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
+        if self.rows == 0 || other.cols == 0 {
+            return Ok(out);
+        }
         let out_cols = other.cols;
-        let rows_per_chunk = p3gm_parallel::default_chunk_len(self.rows);
+        let rows_per_chunk = p3gm_parallel::default_tile(self.rows, TILE_MR);
         p3gm_parallel::par_chunks_mut(
             out.as_mut_slice(),
-            rows_per_chunk * out_cols.max(1),
+            rows_per_chunk * out_cols,
             |chunk_index, out_chunk| {
                 let row_base = chunk_index * rows_per_chunk;
-                for (local, out_row) in out_chunk.chunks_mut(out_cols.max(1)).enumerate() {
-                    let lhs_row = self.row(row_base + local);
-                    for k_tile in (0..self.cols).step_by(MATMUL_TILE) {
-                        let k_end = (k_tile + MATMUL_TILE).min(self.cols);
-                        for (k, &a) in lhs_row[k_tile..k_end].iter().enumerate() {
-                            if a == 0.0 {
-                                continue;
-                            }
-                            let other_row = other.row(k_tile + k);
-                            for (o, &b) in out_row.iter_mut().zip(other_row.iter()) {
-                                *o += a * b;
-                            }
-                        }
+                let chunk_rows = out_chunk.len() / out_cols;
+                let mut local = 0;
+                while local < chunk_rows {
+                    let height = TILE_MR.min(chunk_rows - local);
+                    let out_rows = &mut out_chunk[local * out_cols..(local + height) * out_cols];
+                    match height {
+                        4 => matmul_row_block::<4>(self, other, row_base + local, out_rows),
+                        3 => matmul_row_block::<3>(self, other, row_base + local, out_rows),
+                        2 => matmul_row_block::<2>(self, other, row_base + local, out_rows),
+                        _ => matmul_row_block::<1>(self, other, row_base + local, out_rows),
+                    }
+                    local += height;
+                }
+            },
+        );
+        Ok(out)
+    }
+
+    /// Matrix product with a transposed right-hand side, `self * otherᵀ`,
+    /// without materializing the transpose.
+    ///
+    /// Each output element is the lane-folded dot product of a row of
+    /// `self` with a row of `other` — bit-identical to
+    /// [`crate::vector::dot_lanes`] on the same rows, and therefore
+    /// bit-identical for every thread count (lane partials fold in lane
+    /// order, the ragged tail in element order; see the `vector` docs).
+    /// This is the batched kernel behind the PCA inverse transform and the
+    /// `nn` crate's batched linear layers, whose row-major weights are
+    /// naturally the transposed operand.
+    pub fn matmul_transposed(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_transposed",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        self.matmul_transposed_flat(other.as_slice(), other.rows)
+    }
+
+    /// [`Matrix::matmul_transposed`] against a borrowed row-major buffer of
+    /// `b_rows` rows of `self.cols()` values each (the layout of a linear
+    /// layer's weights), so callers that keep weights in a plain `Vec<f64>`
+    /// can use the batched kernel without copying into a `Matrix`.
+    pub fn matmul_transposed_flat(&self, b: &[f64], b_rows: usize) -> Result<Matrix> {
+        if b.len() != b_rows * self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_transposed",
+                lhs: self.shape(),
+                rhs: (b_rows, b.len().checked_div(b_rows).unwrap_or(0)),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, b_rows);
+        if self.rows == 0 || b_rows == 0 || self.cols == 0 {
+            // Empty shared dimension: every dot product is the empty sum.
+            return Ok(out);
+        }
+        let out_cols = b_rows;
+        let rows_per_chunk = p3gm_parallel::default_tile(self.rows, TILE_MR);
+        p3gm_parallel::par_chunks_mut(
+            out.as_mut_slice(),
+            rows_per_chunk * out_cols,
+            |chunk_index, out_chunk| {
+                let row_base = chunk_index * rows_per_chunk;
+                for (local, out_row) in out_chunk.chunks_mut(out_cols).enumerate() {
+                    let a_row = self.row(row_base + local);
+                    for (o, b_row) in out_row.iter_mut().zip(b.chunks_exact(self.cols)) {
+                        *o = crate::vector::dot_lanes(a_row, b_row);
                     }
                 }
             },
@@ -285,7 +353,8 @@ impl Matrix {
         Ok(out)
     }
 
-    /// Matrix-vector product `self * v`.
+    /// Matrix-vector product `self * v`: one lane-folded dot product per
+    /// row (see [`crate::vector::dot_lanes`]).
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
         if self.cols != v.len() {
             return Err(LinalgError::DimensionMismatch {
@@ -296,12 +365,13 @@ impl Matrix {
         }
         Ok(self
             .row_iter()
-            .map(|row| crate::vector::dot(row, v))
+            .map(|row| crate::vector::dot_lanes(row, v))
             .collect())
     }
 
     /// Vector-matrix product `v^T * self`, returned as a vector of length
-    /// `self.cols()`.
+    /// `self.cols()`. The branch-free inner loop is a row-wise axpy that
+    /// vectorizes cleanly; rows accumulate in ascending order.
     pub fn vecmat(&self, v: &[f64]) -> Result<Vec<f64>> {
         if self.rows != v.len() {
             return Err(LinalgError::DimensionMismatch {
@@ -313,9 +383,6 @@ impl Matrix {
         let mut out = vec![0.0; self.cols];
         for (i, row) in self.row_iter().enumerate() {
             let vi = v[i];
-            if vi == 0.0 {
-                continue;
-            }
             for (o, &r) in out.iter_mut().zip(row.iter()) {
                 *o += vi * r;
             }
@@ -351,12 +418,13 @@ impl Matrix {
                 rhs: other.shape(),
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        // Write into a preallocated buffer: the indexed loop compiles to a
+        // straight vectorizable sweep, with no iterator-collect growth
+        // checks in the hot path.
+        let mut data = vec![0.0f64; self.data.len()];
+        for ((o, &a), &b) in data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = f(a, b);
+        }
         Ok(Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -543,28 +611,23 @@ impl Matrix {
     /// Computes `self^T * self` (the Gram matrix), a common step when forming
     /// covariance matrices.
     ///
-    /// Row chunks accumulate `d x d` partial Gram matrices in parallel; the
-    /// partials are folded in chunk order, so the result is deterministic
-    /// for every thread count.
+    /// Row chunks accumulate `d x d` partial Gram matrices in parallel
+    /// using the same register tiles as [`Matrix::matmul`]; the partials
+    /// are folded in
+    /// chunk order, so the result is deterministic for every thread count.
+    /// Only the upper triangle is accumulated — the Gram matrix is exactly
+    /// symmetric because `a[i][j] * a[i][l]` and `a[i][l] * a[i][j]` are
+    /// the same product summed in the same row order — and mirrored into
+    /// the lower triangle once after the fold, halving the FLOPs.
     pub fn gram(&self) -> Matrix {
+        let d = self.cols;
         let chunk_len = p3gm_parallel::default_chunk_len(self.rows);
-        p3gm_parallel::par_map_reduce(
+        let mut out = p3gm_parallel::par_map_reduce(
             self.rows,
             chunk_len,
             |range| {
-                let mut partial = Matrix::zeros(self.cols, self.cols);
-                for i in range {
-                    let row = self.row(i);
-                    for (j, &rj) in row.iter().enumerate() {
-                        if rj == 0.0 {
-                            continue;
-                        }
-                        let out_row = partial.row_mut(j);
-                        for (o, &rk) in out_row.iter_mut().zip(row.iter()) {
-                            *o += rj * rk;
-                        }
-                    }
-                }
+                let mut partial = Matrix::zeros(d, d);
+                gram_chunk(self, range, &mut partial);
                 partial
             },
             |mut a, b| {
@@ -572,7 +635,14 @@ impl Matrix {
                 a
             },
         )
-        .unwrap_or_else(|| Matrix::zeros(self.cols, self.cols))
+        .unwrap_or_else(|| Matrix::zeros(d, d));
+        for j in 1..d {
+            for l in 0..j {
+                let upper = out.data[l * d + j];
+                out.data[j * d + l] = upper;
+            }
+        }
+        out
     }
 
     /// Returns `true` if every element of `self` is within `tol` of the
@@ -627,6 +697,143 @@ impl Matrix {
                 self.set(j, i, avg);
             }
         }
+    }
+}
+
+/// The matmul microkernel: computes `R` consecutive output rows of `a * b`
+/// (rows `a_base..a_base + R`) into `out_rows` (row-major, `b.cols()` values
+/// per row).
+///
+/// The output sweeps [`TILE_NR`]-wide column tiles whose accumulators live
+/// in `[f64; TILE_NR]` arrays — packed vector registers once LLVM
+/// autovectorizes the fixed-bound inner loops — and the shared dimension is
+/// blocked by [`TILE_KC`] so the active rows of `b` stay L1-resident.
+/// Accumulator tiles are loaded from and stored back to `out_rows` at
+/// k-block boundaries, so every output element still sums its `k` terms in
+/// strictly increasing `k` order: bit-identical to the naive scalar kernel.
+fn matmul_row_block<const R: usize>(a: &Matrix, b: &Matrix, a_base: usize, out_rows: &mut [f64]) {
+    let k_dim = a.cols;
+    let n = b.cols;
+    let a_rows: [&[f64]; R] = std::array::from_fn(|r| a.row(a_base + r));
+    let mut k0 = 0;
+    loop {
+        let k_len = TILE_KC.min(k_dim - k0);
+        let mut j0 = 0;
+        while j0 + TILE_NR <= n {
+            let mut acc = [[0.0f64; TILE_NR]; R];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                acc_row.copy_from_slice(&out_rows[r * n + j0..r * n + j0 + TILE_NR]);
+            }
+            for k in 0..k_len {
+                let b_row = &b.row(k0 + k)[j0..j0 + TILE_NR];
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = a_rows[r][k0 + k];
+                    for (o, &bv) in acc_row.iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                out_rows[r * n + j0..r * n + j0 + TILE_NR].copy_from_slice(acc_row);
+            }
+            j0 += TILE_NR;
+        }
+        // Ragged column tail narrower than one tile.
+        if j0 < n {
+            let w = n - j0;
+            let mut acc = [[0.0f64; TILE_NR]; R];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                acc_row[..w].copy_from_slice(&out_rows[r * n + j0..r * n + n]);
+            }
+            for k in 0..k_len {
+                let b_row = &b.row(k0 + k)[j0..];
+                for (r, acc_row) in acc.iter_mut().enumerate() {
+                    let av = a_rows[r][k0 + k];
+                    for (o, &bv) in acc_row[..w].iter_mut().zip(b_row) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                out_rows[r * n + j0..r * n + n].copy_from_slice(&acc_row[..w]);
+            }
+        }
+        k0 += k_len;
+        if k0 >= k_dim {
+            break;
+        }
+    }
+}
+
+/// The gram microkernel: accumulates the `R`-row × `w`-column output tile at
+/// `(j0, l0)` of `rowsᵀ rows` into `partial`, where `rows` is a chunk of
+/// row-major `d`-wide rows.
+///
+/// The tile's accumulators stay in registers while all chunk rows stream
+/// through once; rows are visited in ascending order per tile, so each
+/// output element accumulates its per-row terms in the same order as the
+/// scalar kernel.
+fn gram_tile<const R: usize>(
+    rows: &[f64],
+    d: usize,
+    j0: usize,
+    l0: usize,
+    w: usize,
+    partial: &mut Matrix,
+) {
+    let mut acc = [[0.0f64; TILE_NR]; R];
+    for (r, acc_row) in acc.iter_mut().enumerate() {
+        acc_row[..w].copy_from_slice(&partial.row(j0 + r)[l0..l0 + w]);
+    }
+    if w == TILE_NR {
+        for row in rows.chunks_exact(d) {
+            let b_row = &row[l0..l0 + TILE_NR];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let av = row[j0 + r];
+                for (o, &bv) in acc_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    } else {
+        for row in rows.chunks_exact(d) {
+            let b_row = &row[l0..l0 + w];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let av = row[j0 + r];
+                for (o, &bv) in acc_row[..w].iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        partial.row_mut(j0 + r)[l0..l0 + w].copy_from_slice(&acc_row[..w]);
+    }
+}
+
+/// Accumulates one chunk of rows into an upper-triangle-only partial Gram
+/// matrix using [`gram_tile`] register tiles; only tiles whose column range
+/// reaches the diagonal are computed (the mirror happens once after the
+/// chunk fold).
+fn gram_chunk(a: &Matrix, range: std::ops::Range<usize>, partial: &mut Matrix) {
+    let d = a.cols;
+    let rows = &a.data[range.start * d..range.end * d];
+    let mut j0 = 0;
+    while j0 < d {
+        let height = TILE_MR.min(d - j0);
+        // Start at the tile column containing the diagonal element (j0, j0).
+        let mut l0 = (j0 / TILE_NR) * TILE_NR;
+        while l0 < d {
+            let w = TILE_NR.min(d - l0);
+            match height {
+                4 => gram_tile::<4>(rows, d, j0, l0, w, partial),
+                3 => gram_tile::<3>(rows, d, j0, l0, w, partial),
+                2 => gram_tile::<2>(rows, d, j0, l0, w, partial),
+                _ => gram_tile::<1>(rows, d, j0, l0, w, partial),
+            }
+            l0 += TILE_NR;
+        }
+        j0 += height;
     }
 }
 

@@ -17,6 +17,83 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
 }
 
+/// The SIMD lane width shared by every lane-folded kernel in this
+/// workspace: reductions split their input into groups of `LANES` strided
+/// partial accumulators, then fold the lanes **in lane order** followed by
+/// the ragged tail **in element order**. The fold order is a pure function
+/// of the input length, so lane-folded results are bit-identical across
+/// thread counts and across hardware (Rust never contracts `a * b + c`
+/// into a fused multiply-add unless `mul_add` is spelled out).
+pub const LANES: usize = 4;
+
+/// Dot product with [`LANES`] fixed-order partial accumulators.
+///
+/// Shaped for autovectorization: the main loop walks `LANES`-wide chunks of
+/// both slices and keeps one accumulator per lane, so LLVM turns it into
+/// packed multiply/add without any reassociation license. The result
+/// generally differs from [`dot`] in the last few ULPs (different — but
+/// still fixed — summation order).
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn dot_lanes(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot_lanes: length mismatch");
+    let mut acc = [0.0f64; LANES];
+    let mut chunks_a = a.chunks_exact(LANES);
+    let mut chunks_b = b.chunks_exact(LANES);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    // Lane partials fold in lane order, then the tail in element order.
+    let mut s = 0.0;
+    for &l in &acc {
+        s += l;
+    }
+    for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        s += x * y;
+    }
+    s
+}
+
+/// Squared Euclidean norm with [`LANES`] fixed-order partial accumulators;
+/// the lane-folded sibling of [`norm2_squared`] (same fold order as
+/// [`dot_lanes`]).
+#[inline]
+pub fn norm2_squared_lanes(a: &[f64]) -> f64 {
+    dot_lanes(a, a)
+}
+
+/// Squared Euclidean distance with [`LANES`] fixed-order partial
+/// accumulators; the lane-folded sibling of [`squared_distance`].
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn squared_distance_lanes(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "squared_distance_lanes: length mismatch");
+    let mut acc = [0.0f64; LANES];
+    let mut chunks_a = a.chunks_exact(LANES);
+    let mut chunks_b = b.chunks_exact(LANES);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        for l in 0..LANES {
+            let d = ca[l] - cb[l];
+            acc[l] += d * d;
+        }
+    }
+    let mut s = 0.0;
+    for &l in &acc {
+        s += l;
+    }
+    for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
 /// Euclidean (L2) norm.
 #[inline]
 pub fn norm2(a: &[f64]) -> f64 {

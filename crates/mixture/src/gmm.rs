@@ -24,6 +24,19 @@ pub struct Gmm {
     inverses: Vec<Matrix>,
     /// Cached log-determinants.
     log_dets: Vec<f64>,
+    /// Cached whitening operators: the inverse Cholesky factors `L_k⁻¹`
+    /// stacked vertically into one `(k·d) x d` matrix, so the batched
+    /// E-step computes every row's Mahalanobis terms with a single
+    /// `data · stacked_whitenᵀ` product.
+    stacked_whiten: Matrix,
+    /// Cached whitened means: row `k` is `L_k⁻¹ μ_k`.
+    whitened_means: Matrix,
+    /// Cached `ln w_k` (weights clamped away from zero as in
+    /// [`Gmm::log_density`]).
+    log_weights: Vec<f64>,
+    /// Cached Gaussian normalization constants
+    /// `-0.5 (d ln 2π + ln det Σ_k)`.
+    log_norm_consts: Vec<f64>,
 }
 
 impl Gmm {
@@ -63,15 +76,30 @@ impl Gmm {
         }
         let weights: Vec<f64> = weights.iter().map(|w| w.max(0.0) / total).collect();
 
-        let (factors, inverses, log_dets) = build_caches(&covariances)?;
-        Ok(Gmm {
+        let caches = build_caches(&weights, &means, &covariances)?;
+        Ok(Gmm::from_parts(weights, means, covariances, caches))
+    }
+
+    /// Assembles a mixture from validated parameters and freshly built
+    /// caches.
+    fn from_parts(
+        weights: Vec<f64>,
+        means: Matrix,
+        covariances: Vec<Matrix>,
+        c: GmmCaches,
+    ) -> Self {
+        Gmm {
             weights,
             means,
             covariances,
-            factors,
-            inverses,
-            log_dets,
-        })
+            factors: c.factors,
+            inverses: c.inverses,
+            log_dets: c.log_dets,
+            stacked_whiten: c.stacked_whiten,
+            whitened_means: c.whitened_means,
+            log_weights: c.log_weights,
+            log_norm_consts: c.log_norm_consts,
+        }
     }
 
     /// Builds an isotropic mixture (`σ² I` covariances) — a convenient
@@ -138,22 +166,62 @@ impl Gmm {
         vector::log_sum_exp(&logs)
     }
 
-    /// Average log-likelihood of a set of rows, accumulated with the
-    /// deterministic chunked reduction (bit-identical for every thread
-    /// count).
+    /// Average log-likelihood of a set of rows, computed over
+    /// [`Gmm::log_densities_batch`] and accumulated with the deterministic
+    /// chunked reduction (bit-identical for every thread count).
     pub fn mean_log_likelihood(&self, data: &Matrix) -> f64 {
         if data.rows() == 0 {
             return 0.0;
         }
+        let logs = self.log_densities_batch(data);
         let chunk_len = p3gm_parallel::default_chunk_len(data.rows());
         let total = p3gm_parallel::par_map_reduce(
             data.rows(),
             chunk_len,
-            |range| range.map(|i| self.log_density(data.row(i))).sum::<f64>(),
+            |range| range.map(|i| vector::log_sum_exp(logs.row(i))).sum::<f64>(),
             |a, b| a + b,
         )
         .unwrap_or(0.0);
         total / data.rows() as f64
+    }
+
+    /// Log of the **weighted** component densities for a whole batch: entry
+    /// `(i, k)` of the returned `n x k` matrix is
+    /// `ln(w_k · N(data.row(i); μ_k, Σ_k))`.
+    ///
+    /// This is the batched E-step kernel. Instead of one triangular solve
+    /// per (row, component), the Mahalanobis terms come from a single
+    /// `data · stacked_whitenᵀ` product against the cached stacked `L_k⁻¹`
+    /// factors — `‖L_k⁻¹ x − L_k⁻¹ μ_k‖²` with the whitened means also
+    /// cached — followed by one branch-free lane-folded pass per row. Both
+    /// stages parallelize over row chunks with fixed reduction order, so
+    /// the result is bit-identical for every thread count.
+    pub fn log_densities_batch(&self, data: &Matrix) -> Matrix {
+        let k = self.n_components();
+        let d = self.dim();
+        let whitened = data
+            .matmul_transposed(&self.stacked_whiten)
+            .expect("dimension checked at construction");
+        let mut out = Matrix::zeros(data.rows(), k);
+        let rows_per_chunk = p3gm_parallel::default_chunk_len(data.rows());
+        p3gm_parallel::par_chunks_mut(
+            out.as_mut_slice(),
+            rows_per_chunk * k,
+            |chunk_index, out_chunk| {
+                let base = chunk_index * rows_per_chunk;
+                for (local, out_row) in out_chunk.chunks_mut(k).enumerate() {
+                    let w_row = whitened.row(base + local);
+                    for (c, o) in out_row.iter_mut().enumerate() {
+                        let maha = vector::squared_distance_lanes(
+                            &w_row[c * d..(c + 1) * d],
+                            self.whitened_means.row(c),
+                        );
+                        *o = self.log_weights[c] + self.log_norm_consts[c] - 0.5 * maha;
+                    }
+                }
+            },
+        );
+        out
     }
 
     /// Posterior responsibilities `p(component | x)`.
@@ -167,23 +235,24 @@ impl Gmm {
     /// Posterior responsibilities for a whole batch: row `i` of the
     /// returned `n x k` matrix is `p(component | data.row(i))`.
     ///
-    /// This is the (DP-)EM E-step kernel: rows are processed independently
-    /// on parallel row chunks, so the result is bit-identical for every
-    /// thread count.
+    /// This is the (DP-)EM E-step kernel: the `n x k` weighted log
+    /// densities come from the batched [`Gmm::log_densities_batch`] matrix
+    /// kernel, then each row is exp-normalized in place (the same
+    /// `log_sum_exp` fold as [`vector::softmax`], with no per-row
+    /// allocations). Rows are processed independently on parallel row
+    /// chunks, so the result is bit-identical for every thread count.
     pub fn responsibilities_batch(&self, data: &Matrix) -> Matrix {
         let k = self.n_components();
-        let mut resp = Matrix::zeros(data.rows(), k);
+        let mut resp = self.log_densities_batch(data);
         let rows_per_chunk = p3gm_parallel::default_chunk_len(data.rows());
-        p3gm_parallel::par_chunks_mut(
-            resp.as_mut_slice(),
-            rows_per_chunk * k,
-            |chunk_index, resp_chunk| {
-                let base = chunk_index * rows_per_chunk;
-                for (local, resp_row) in resp_chunk.chunks_mut(k).enumerate() {
-                    resp_row.copy_from_slice(&self.responsibilities(data.row(base + local)));
+        p3gm_parallel::par_chunks_mut(resp.as_mut_slice(), rows_per_chunk * k, |_, resp_chunk| {
+            for resp_row in resp_chunk.chunks_mut(k) {
+                let lse = vector::log_sum_exp(resp_row);
+                for v in resp_row.iter_mut() {
+                    *v = (*v - lse).exp();
                 }
-            },
-        );
+            }
+        });
         resp
     }
 
@@ -331,16 +400,9 @@ impl Gmm {
                 msg: format!("weights sum to {total}, expected 1"),
             });
         }
-        let (factors, inverses, log_dets) =
-            build_caches(&covariances).map_err(|e| StoreError::Invalid { msg: e.to_string() })?;
-        Ok(Gmm {
-            weights,
-            means,
-            covariances,
-            factors,
-            inverses,
-            log_dets,
-        })
+        let caches = build_caches(&weights, &means, &covariances)
+            .map_err(|e| StoreError::Invalid { msg: e.to_string() })?;
+        Ok(Gmm::from_parts(weights, means, covariances, caches))
     }
 
     /// Variational (Hershey–Olsen) approximation of
@@ -379,15 +441,32 @@ impl Gmm {
     }
 }
 
-/// Builds the per-component Cholesky factors, inverses and
-/// log-determinants a [`Gmm`] caches. Deterministic: identical covariance
-/// bits always yield identical caches (which is what makes persisted
-/// mixtures sample bit-identically after a reload).
-fn build_caches(covariances: &[Matrix]) -> Result<(Vec<Cholesky>, Vec<Matrix>, Vec<f64>)> {
-    let mut factors = Vec::with_capacity(covariances.len());
-    let mut inverses = Vec::with_capacity(covariances.len());
-    let mut log_dets = Vec::with_capacity(covariances.len());
-    for cov in covariances {
+/// Everything a [`Gmm`] caches besides its defining parameters.
+struct GmmCaches {
+    factors: Vec<Cholesky>,
+    inverses: Vec<Matrix>,
+    log_dets: Vec<f64>,
+    stacked_whiten: Matrix,
+    whitened_means: Matrix,
+    log_weights: Vec<f64>,
+    log_norm_consts: Vec<f64>,
+}
+
+/// Builds the per-component caches: Cholesky factors, inverses,
+/// log-determinants, and the batched-E-step operators (stacked `L_k⁻¹`
+/// whitening matrix, whitened means `L_k⁻¹ μ_k`, log weights, Gaussian
+/// normalization constants). Deterministic: identical parameter bits always
+/// yield identical caches (which is what makes persisted mixtures sample —
+/// and batch-evaluate — bit-identically after a reload).
+fn build_caches(weights: &[f64], means: &Matrix, covariances: &[Matrix]) -> Result<GmmCaches> {
+    let k = covariances.len();
+    let d = means.cols();
+    let mut factors = Vec::with_capacity(k);
+    let mut inverses = Vec::with_capacity(k);
+    let mut log_dets = Vec::with_capacity(k);
+    let mut stacked_whiten = Matrix::zeros(k * d, d);
+    let mut whitened_means = Matrix::zeros(k, d);
+    for (c, cov) in covariances.iter().enumerate() {
         let chol =
             Cholesky::new_with_jitter(cov, 1e-6, 12).map_err(|e| MixtureError::Numerical {
                 msg: format!("covariance not positive definite: {e}"),
@@ -395,11 +474,36 @@ fn build_caches(covariances: &[Matrix]) -> Result<(Vec<Cholesky>, Vec<Matrix>, V
         let inv = chol.inverse().map_err(|e| MixtureError::Numerical {
             msg: format!("covariance inversion failed: {e}"),
         })?;
+        let whiten = chol.inverse_lower();
+        for r in 0..d {
+            stacked_whiten
+                .row_mut(c * d + r)
+                .copy_from_slice(whiten.row(r));
+        }
+        whitened_means.row_mut(c).copy_from_slice(
+            &whiten
+                .matvec(means.row(c))
+                .expect("dimensions checked at construction"),
+        );
         log_dets.push(chol.log_determinant());
         inverses.push(inv);
         factors.push(chol);
     }
-    Ok((factors, inverses, log_dets))
+    let log_weights = weights.iter().map(|w| w.max(1e-300).ln()).collect();
+    let half_d_ln_2pi = 0.5 * d as f64 * (2.0 * std::f64::consts::PI).ln();
+    let log_norm_consts = log_dets
+        .iter()
+        .map(|ld| -(half_d_ln_2pi + 0.5 * ld))
+        .collect();
+    Ok(GmmCaches {
+        factors,
+        inverses,
+        log_dets,
+        stacked_whiten,
+        whitened_means,
+        log_weights,
+        log_norm_consts,
+    })
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Fully-connected (affine) layer.
 
-use p3gm_linalg::vector;
+use p3gm_linalg::{vector, Matrix};
 use p3gm_privacy::sampling;
 use rand::Rng;
 
@@ -77,6 +77,11 @@ impl Linear {
 
     /// Forward pass: `z = W x + b`.
     ///
+    /// Uses the lane-folded [`vector::dot_lanes`] kernel — the same dot
+    /// product [`Linear::forward_batch`] computes through
+    /// [`Matrix::matmul_transposed_flat`] — so a single-example forward is
+    /// bit-identical to the corresponding row of a batched forward.
+    ///
     /// # Panics
     /// Debug-asserts that `x.len() == in_dim`.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
@@ -84,7 +89,30 @@ impl Linear {
         let mut z = self.bias.clone();
         for (i, zi) in z.iter_mut().enumerate() {
             let row = &self.weights[i * self.in_dim..(i + 1) * self.in_dim];
-            *zi += vector::dot(row, x);
+            *zi += vector::dot_lanes(row, x);
+        }
+        z
+    }
+
+    /// Batched forward pass: `Z = X Wᵀ + 1 bᵀ` for a `batch x in_dim` input,
+    /// computed with the register-tiled `A·Bᵀ` kernel directly against the
+    /// layer's row-major weights (no transpose is materialized).
+    ///
+    /// Row `i` of the result is bit-identical to `forward(x.row(i))`: both
+    /// reduce each dot product with the same lane fold, and the bias add is
+    /// a single IEEE addition on either side.
+    ///
+    /// # Panics
+    /// Debug-asserts that `x.cols() == in_dim`.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        debug_assert_eq!(x.cols(), self.in_dim, "Linear::forward_batch input size");
+        let mut z = x
+            .matmul_transposed_flat(&self.weights, self.out_dim)
+            .expect("weights buffer matches layer dimensions");
+        for i in 0..z.rows() {
+            for (o, &b) in z.row_mut(i).iter_mut().zip(self.bias.iter()) {
+                *o += b;
+            }
         }
         z
     }

@@ -216,39 +216,76 @@ impl Mlp {
     /// Batched forward pass: one input per row of `x`, one output per row of
     /// the result.
     ///
-    /// Rows are processed independently on parallel row chunks, so the
-    /// result is bit-identical for every thread count.
+    /// The batch flows through the network layer-wise: each layer is one
+    /// register-tiled `X Wᵀ` product ([`Linear::forward_batch`]) followed by
+    /// an element-wise activation sweep — no per-row dispatch or
+    /// allocation. Row `i` of the result is bit-identical to
+    /// `forward(x.row(i))` (both paths reduce every dot product with the
+    /// same lane fold), and the matrix kernel parallelizes over row chunks,
+    /// so the result is also bit-identical for every thread count.
     pub fn forward_batch(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.in_dim(), "forward_batch input width");
-        let out_dim = self.out_dim();
-        let mut out = Matrix::zeros(x.rows(), out_dim);
-        let rows_per_chunk = p3gm_parallel::default_chunk_len(x.rows());
-        p3gm_parallel::par_chunks_mut(
-            out.as_mut_slice(),
-            rows_per_chunk * out_dim.max(1),
-            |chunk_index, out_chunk| {
-                let base = chunk_index * rows_per_chunk;
-                for (local, out_row) in out_chunk.chunks_mut(out_dim.max(1)).enumerate() {
-                    out_row.copy_from_slice(&self.forward(x.row(base + local)));
-                }
-            },
-        );
-        out
+        let last = self.layers.len() - 1;
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.forward_batch(&h);
+            let act = if i == last {
+                self.output_activation
+            } else {
+                self.hidden_activation
+            };
+            z.map_inplace(|v| act.apply(v));
+            h = z;
+        }
+        h
     }
 
     /// Per-example parameter gradients for a batch: row `i` of the returned
     /// `B x P` matrix is the flat gradient of example `i` given the loss
     /// gradient `grad_outputs.row(i)` with respect to the network output.
     ///
-    /// This is the DP-SGD hot kernel: each example's forward/backward pass
-    /// runs independently on parallel row chunks (bit-identical for every
-    /// thread count), and the resulting batch feeds straight into
-    /// `p3gm-privacy`'s clipped-sum aggregation.
+    /// This is the DP-SGD hot kernel; the resulting batch feeds straight
+    /// into `p3gm-privacy`'s clipped-sum aggregation.
+    ///
+    /// The forward passes run **batched** (the same register-tiled layer
+    /// kernels as [`Mlp::forward_batch`], with per-layer input and
+    /// pre-activation matrices as the shared cache), then each example's
+    /// backward pass runs independently on parallel row chunks over the
+    /// cached rows. Cached rows are bit-identical to a single-example
+    /// [`Mlp::forward_cached`], and the backward op sequence is unchanged,
+    /// so each gradient row equals [`Mlp::example_gradient`] exactly — and
+    /// the batch is bit-identical for every thread count.
     pub fn per_example_gradients(&self, x: &Matrix, grad_outputs: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.in_dim(), "per_example_gradients input");
         assert_eq!(grad_outputs.cols(), self.out_dim());
         assert_eq!(x.rows(), grad_outputs.rows(), "batch size mismatch");
         let n_params = self.num_params();
+        let last = self.layers.len() - 1;
+
+        // Batched forward, caching each layer's input batch and
+        // pre-activation batch.
+        let mut inputs: Vec<Matrix> = Vec::with_capacity(self.layers.len());
+        let mut pre_activations: Vec<Matrix> = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward_batch(&h);
+            inputs.push(std::mem::replace(&mut h, z.clone()));
+            let act = if i == last {
+                self.output_activation
+            } else {
+                self.hidden_activation
+            };
+            h.map_inplace(|v| act.apply(v));
+            pre_activations.push(z);
+        }
+
+        let mut offsets = Vec::with_capacity(self.layers.len());
+        let mut acc = 0;
+        for layer in &self.layers {
+            offsets.push(acc);
+            acc += layer.num_params();
+        }
+
         let mut grads = Matrix::zeros(x.rows(), n_params);
         let rows_per_chunk = p3gm_parallel::default_chunk_len(x.rows());
         p3gm_parallel::par_chunks_mut(
@@ -258,8 +295,20 @@ impl Mlp {
                 let base = chunk_index * rows_per_chunk;
                 for (local, grad_row) in grad_chunk.chunks_mut(n_params.max(1)).enumerate() {
                     let i = base + local;
-                    let cache = self.forward_cached(x.row(i));
-                    self.backward(&cache, grad_outputs.row(i), grad_row);
+                    let mut grad = grad_outputs.row(i).to_vec();
+                    for (l, layer) in self.layers.iter().enumerate().rev() {
+                        let act = if l == last {
+                            self.output_activation
+                        } else {
+                            self.hidden_activation
+                        };
+                        act.backprop_inplace(pre_activations[l].row(i), &mut grad);
+                        let start = offsets[l];
+                        let w_len = layer.in_dim() * layer.out_dim();
+                        let (gw, gb) =
+                            grad_row[start..start + layer.num_params()].split_at_mut(w_len);
+                        grad = layer.backward(inputs[l].row(i), &grad, gw, gb);
+                    }
                 }
             },
         );

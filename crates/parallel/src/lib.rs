@@ -103,6 +103,19 @@ pub fn default_chunk_len(n_items: usize) -> usize {
     n_items.div_ceil(64).max(1)
 }
 
+/// The default chunk length rounded **up** to a whole number of `tile`-row
+/// groups, for row-parallel kernels whose microkernel processes `tile` rows
+/// at a time.
+///
+/// Every chunk except possibly the last then holds only whole tiles, so a
+/// register-tiled kernel never straddles a chunk boundary mid-tile. Like
+/// [`default_chunk_len`], the result depends only on the problem size —
+/// never on the thread count — preserving bit-identical chunk boundaries.
+pub fn default_tile(n_items: usize, tile: usize) -> usize {
+    let tile = tile.max(1);
+    default_chunk_len(n_items).div_ceil(tile) * tile
+}
+
 /// The index range covered by chunk `index` of a problem of `n_items` items
 /// split into `chunk_len`-sized chunks.
 pub fn chunk_range(n_items: usize, chunk_len: usize, index: usize) -> Range<usize> {

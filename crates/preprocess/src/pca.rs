@@ -145,8 +145,10 @@ impl Pca {
                 ),
             });
         }
+        // `Z Vᵀ` via the transposed-product kernel: `components` is `d x d'`
+        // with the latent axis last, so no transpose is materialized.
         let mut out = data
-            .matmul(&self.components.transpose())
+            .matmul_transposed(&self.components)
             .map_err(|e| PreprocessError::Numerical { msg: e.to_string() })?;
         for i in 0..out.rows() {
             p3gm_linalg::vector::axpy(1.0, &self.mean, out.row_mut(i));

@@ -224,12 +224,20 @@ pub fn clip_and_sum_gradients(per_example: &Matrix, clip_norm: f64) -> Vec<f64> 
         per_example.rows(),
         chunk_len,
         |range| {
+            // Fused clip-and-accumulate: the squared norm comes from the
+            // lane-folded kernel (4 fixed-order partial accumulators, see
+            // `vector::dot_lanes`), then the row is scaled directly into
+            // the partial sum — no per-row scratch copy.
             let mut partial = vec![0.0; dim];
-            let mut clipped = vec![0.0; dim];
             for i in range {
-                clipped.copy_from_slice(per_example.row(i));
-                vector::clip_norm(&mut clipped, clip_norm);
-                vector::axpy(1.0, &clipped, &mut partial);
+                let row = per_example.row(i);
+                let norm = vector::norm2_squared_lanes(row).sqrt();
+                let factor = if norm > clip_norm && norm > 0.0 {
+                    clip_norm / norm
+                } else {
+                    1.0
+                };
+                vector::axpy(factor, row, &mut partial);
             }
             partial
         },

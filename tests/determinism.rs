@@ -1,9 +1,11 @@
 //! Property-based determinism tests for the `p3gm-parallel` execution
 //! layer: every parallel kernel must produce **bit-identical** output
 //! regardless of the worker-thread count (the serial `P3GM_THREADS=1` run
-//! is the reference). Exercised on arbitrary inputs for the three kernel
-//! families the pipeline spends its time in — matmul, the (DP-)EM
-//! responsibilities E-step, and the DP-SGD clipped gradient sum — plus
+//! is the reference). Exercised on arbitrary inputs for the kernel
+//! families the pipeline spends its time in — matmul and its transposed
+//! variant, gram, the (DP-)EM batched log-densities and responsibilities
+//! E-step, the batched MLP forward, and the DP-SGD clipped gradient sum
+//! and per-example gradient batch — plus
 //! the snapshot sampling pipeline, whose canonical stream must be
 //! invariant to delivery chunking, request size and thread count alike.
 
@@ -67,6 +69,61 @@ proptest! {
         let reference = with_threads(1, || a.matmul(&b).unwrap());
         for threads in [2, 3, 4, 8] {
             let out = with_threads(threads, || a.matmul(&b).unwrap());
+            assert_bits_equal(&out, &reference);
+        }
+    }
+
+    #[test]
+    fn matmul_transposed_is_bit_identical_across_thread_counts(
+        a in data_matrix(41, 17),
+        b in data_matrix(29, 17),
+    ) {
+        let reference = with_threads(1, || a.matmul_transposed(&b).unwrap());
+        for threads in [2, 3, 4, 8] {
+            let out = with_threads(threads, || a.matmul_transposed(&b).unwrap());
+            assert_bits_equal(&out, &reference);
+        }
+    }
+
+    #[test]
+    fn gram_is_bit_identical_across_thread_counts(
+        a in data_matrix(83, 13),
+    ) {
+        let reference = with_threads(1, || a.gram());
+        for threads in [2, 3, 4, 8] {
+            let out = with_threads(threads, || a.gram());
+            assert_bits_equal(&out, &reference);
+        }
+    }
+
+    #[test]
+    fn em_log_densities_are_bit_identical_across_thread_counts(
+        data in data_matrix(110, 3),
+        w in 0.1..0.9f64,
+    ) {
+        let means = Matrix::from_rows(&[
+            vec![-1.0, 0.0, 0.5],
+            vec![1.5, 0.5, -0.5],
+        ]).unwrap();
+        let gmm = Gmm::isotropic(vec![w, 1.0 - w], means, 0.7).unwrap();
+        let reference = with_threads(1, || gmm.log_densities_batch(&data));
+        for threads in [2, 4] {
+            let out = with_threads(threads, || gmm.log_densities_batch(&data));
+            assert_bits_equal(&out, &reference);
+        }
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_across_thread_counts(
+        x in data_matrix(45, 6),
+        seed in 0u64..1_000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&mut rng, &[6, 10, 4], Activation::Relu, Activation::Sigmoid);
+        let reference = with_threads(1, || mlp.forward_batch(&x));
+        for threads in [2, 4] {
+            let out = with_threads(threads, || mlp.forward_batch(&x));
             assert_bits_equal(&out, &reference);
         }
     }

@@ -1,0 +1,207 @@
+//! Microkernel correctness: every register-tiled / lane-folded kernel must
+//! match a retained naive scalar reference over arbitrary shapes, including
+//! ragged tails smaller than one tile.
+//!
+//! Two classes of agreement are asserted:
+//!
+//! * **Bitwise** where the tiling preserves the scalar accumulation order.
+//!   `Matrix::matmul` register tiles reorder the *loop nest*, but every
+//!   output element still sums its `k` terms with one accumulator in
+//!   strictly increasing `k` order — exactly the naive i-k-j triple loop —
+//!   so the comparison is `to_bits` equality. Likewise `matmul_transposed`
+//!   is defined as `vector::dot_lanes` per element, and a batched MLP
+//!   forward row is defined as the single-example forward.
+//! * **Error-bounded** where a kernel deliberately uses a different — but
+//!   still fixed — summation order (lane folds, chunked reductions). Any
+//!   two summation orders of the terms `t_i` differ by at most
+//!   `2 (n-1) ε Σ|t_i|` to first order, so the tolerance scales with the
+//!   sum of absolute terms — a tight ULP-level bound that still fails
+//!   loudly on genuine kernel bugs.
+
+use p3gm::linalg::{vector, Matrix};
+use p3gm::mixture::Gmm;
+use p3gm::nn::activation::Activation;
+use p3gm::nn::mlp::Mlp;
+use p3gm::privacy::mechanisms::clip_and_sum_gradients;
+use proptest::prelude::*;
+
+/// Strategy: a matrix with the given shape and bounded values.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |values| Matrix::from_vec(rows, cols, values).unwrap())
+}
+
+/// Naive scalar reference: i-k-j matmul with one accumulator per output
+/// element in increasing-k order (what the tiled kernel must reproduce
+/// bit for bit).
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) * b.get(k, j);
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+/// First-order bound on the difference between two fixed summation orders
+/// of the same terms: `2 (n-1) ε Σ|t_i|`, padded with a tiny absolute term
+/// for sums near zero.
+fn reorder_tol(n_terms: usize, abs_sum: f64) -> f64 {
+    2.0 * n_terms as f64 * f64::EPSILON * abs_sum + 1e-300
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The register-tiled matmul is bit-identical to the naive scalar
+    /// triple loop on arbitrary shapes (tiling never splits the k
+    /// accumulation).
+    #[test]
+    fn matmul_matches_naive_bitwise(m in 1usize..40, k in 1usize..24, n in 1usize..40, seed in 0u64..1_000) {
+        let a = Matrix::from_fn(m, k, |i, j| (((seed + 1) as f64) * ((i * k + j + 1) as f64) * 0.13).sin() * 5.0);
+        let b = Matrix::from_fn(k, n, |i, j| (((seed + 7) as f64) * ((i * n + j + 1) as f64) * 0.29).cos() * 5.0);
+        let tiled = a.matmul(&b).unwrap();
+        let reference = naive_matmul(&a, &b);
+        for (x, y) in tiled.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// `matmul_transposed` is, per element, exactly the lane-folded dot of
+    /// the two rows — and within a reordering bound of the naive
+    /// sequential dot.
+    #[test]
+    fn matmul_transposed_matches_lane_dot_and_naive(m in 1usize..40, k in 1usize..24, n in 1usize..40, seed in 0u64..1_000) {
+        let a = Matrix::from_fn(m, k, |i, j| (((seed + 3) as f64) * ((i * k + j + 1) as f64) * 0.17).sin() * 5.0);
+        let b = Matrix::from_fn(n, k, |i, j| (((seed + 11) as f64) * ((i * k + j + 1) as f64) * 0.23).cos() * 5.0);
+        let out = a.matmul_transposed(&b).unwrap();
+        prop_assert_eq!(out.shape(), (m, n));
+        for i in 0..m {
+            for j in 0..n {
+                let lanes = vector::dot_lanes(a.row(i), b.row(j));
+                prop_assert_eq!(out.get(i, j).to_bits(), lanes.to_bits());
+                let naive = vector::dot(a.row(i), b.row(j));
+                let abs_sum: f64 = a.row(i).iter().zip(b.row(j)).map(|(x, y)| (x * y).abs()).sum();
+                prop_assert!((lanes - naive).abs() <= reorder_tol(k, abs_sum));
+            }
+        }
+    }
+
+    /// The tiled upper-triangle + mirror gram kernel matches the naive
+    /// full `AᵀA` within the chunked-reduction reordering bound, and is
+    /// exactly symmetric.
+    #[test]
+    fn gram_matches_naive(a in matrix(37, 13)) {
+        let gram = a.gram();
+        for j in 0..a.cols() {
+            for l in 0..a.cols() {
+                prop_assert_eq!(gram.get(j, l).to_bits(), gram.get(l, j).to_bits());
+                let naive: f64 = (0..a.rows()).map(|i| a.get(i, j) * a.get(i, l)).sum();
+                let abs_sum: f64 = (0..a.rows()).map(|i| (a.get(i, j) * a.get(i, l)).abs()).sum();
+                prop_assert!((gram.get(j, l) - naive).abs() <= reorder_tol(a.rows(), abs_sum));
+            }
+        }
+    }
+
+    /// The lane-folded dot/norm kernels match their sequential references
+    /// within the reordering bound, on lengths straddling the lane width.
+    #[test]
+    fn lane_kernels_match_sequential(values in proptest::collection::vec(-10.0..10.0f64, 140), len in 1usize..70) {
+        let a: Vec<f64> = values[..len].to_vec();
+        let b: Vec<f64> = values[len..2 * len].to_vec();
+        let abs_dot: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        prop_assert!((vector::dot_lanes(&a, &b) - vector::dot(&a, &b)).abs() <= reorder_tol(a.len(), abs_dot));
+        // Norms have non-negative terms: same bound, no cancellation slack needed.
+        prop_assert!(
+            (vector::norm2_squared_lanes(&a) - vector::norm2_squared(&a)).abs()
+                <= reorder_tol(a.len(), vector::norm2_squared(&a))
+        );
+        prop_assert!(
+            (vector::squared_distance_lanes(&a, &b) - vector::squared_distance(&a, &b)).abs()
+                <= reorder_tol(a.len(), vector::squared_distance(&a, &b))
+        );
+    }
+
+    /// The fused clip-and-sum matches the naive per-row copy → clip → add
+    /// reference: per-row clip factors agree to a few ULPs and the chunked
+    /// sum reorders, so each component carries a reordering bound scaled
+    /// by the absolute column mass.
+    #[test]
+    fn clip_and_sum_matches_naive(grads in matrix(53, 9), clip in 0.2..5.0f64) {
+        let fused = clip_and_sum_gradients(&grads, clip);
+        let mut reference = vec![0.0f64; grads.cols()];
+        let mut abs_mass = vec![0.0f64; grads.cols()];
+        for i in 0..grads.rows() {
+            let mut row = grads.row(i).to_vec();
+            vector::clip_norm(&mut row, clip);
+            for (j, &v) in row.iter().enumerate() {
+                reference[j] += v;
+                abs_mass[j] += v.abs();
+            }
+        }
+        for j in 0..grads.cols() {
+            // The lane-folded norm perturbs each row's clip factor by
+            // O(d·ε) relatively, then the chunked sum reorders: both
+            // effects stay within the reordering bound over the clipped
+            // column mass (with the norm's d terms included).
+            let tol = reorder_tol(grads.rows() + grads.cols(), abs_mass[j]);
+            prop_assert!(
+                (fused[j] - reference[j]).abs() <= tol,
+                "column {}: fused {} vs naive {} (tol {})", j, fused[j], reference[j], tol
+            );
+        }
+    }
+
+    /// The batched E-step matches the naive per-row, per-component
+    /// reference (log weight + Cholesky-solve log density) within a
+    /// modest tolerance — the batch path whitens with a precomputed
+    /// `L⁻¹` instead of solving, so agreement is relative, not bitwise —
+    /// and its exp-normalized rows match the single-row responsibilities.
+    #[test]
+    fn batched_e_step_matches_naive(data in matrix(31, 3), w in 0.1..0.9f64, var in 0.3..2.0f64) {
+        let means = Matrix::from_rows(&[
+            vec![-1.0, 0.2, 0.5],
+            vec![1.5, -0.4, -0.5],
+        ]).unwrap();
+        let gmm = Gmm::isotropic(vec![w, 1.0 - w], means, var).unwrap();
+        let logs = gmm.log_densities_batch(&data);
+        let resp = gmm.responsibilities_batch(&data);
+        for i in 0..data.rows() {
+            let x = data.row(i);
+            for k in 0..2 {
+                let naive = gmm.weights()[k].max(1e-300).ln() + gmm.component_log_density(k, x);
+                let got = logs.get(i, k);
+                prop_assert!(
+                    (got - naive).abs() <= 1e-9 * naive.abs().max(1.0),
+                    "log density ({}, {}): {} vs {}", i, k, got, naive
+                );
+            }
+            let single = gmm.responsibilities(x);
+            prop_assert!((resp.get(i, 0) - single[0]).abs() <= 1e-9);
+            prop_assert!((resp.get(i, 1) - single[1]).abs() <= 1e-9);
+            prop_assert!((resp.get(i, 0) + resp.get(i, 1) - 1.0).abs() <= 1e-12);
+        }
+    }
+
+    /// A batched MLP forward row is bit-identical to the single-example
+    /// forward (both reduce with the same lane-folded dot and add the bias
+    /// with one IEEE addition), including on widths smaller than a lane.
+    #[test]
+    fn forward_batch_matches_row_forward_bitwise(x in matrix(19, 5), seed in 0u64..1_000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&mut rng, &[5, 7, 3], Activation::Relu, Activation::Sigmoid);
+        let batch = mlp.forward_batch(&x);
+        for i in 0..x.rows() {
+            let single = mlp.forward(x.row(i));
+            for (b, s) in batch.row(i).iter().zip(single.iter()) {
+                prop_assert_eq!(b.to_bits(), s.to_bits());
+            }
+        }
+    }
+}
