@@ -1,0 +1,541 @@
+//! A hand-rolled, panic-free lexer for Rust source **bytes**.
+//!
+//! The rule engine ([`crate::rules`]) needs just enough lexical structure
+//! to match token patterns in *code* while never being fooled by the same
+//! characters inside comments, string literals, raw strings, or char
+//! literals — and it must survive arbitrary (adversarial, non-UTF-8,
+//! truncated) input without panicking, because the analyzer itself is
+//! bound by the workspace's "never panic on untrusted bytes" contract.
+//!
+//! The lexer is deliberately *not* a full Rust tokenizer: it classifies
+//! exactly the shapes the rules consume (identifiers, numbers, literals,
+//! comments, single-byte punctuation) and guarantees two properties the
+//! proptest suite pins down:
+//!
+//! 1. **Totality** — `lex` returns for every possible byte string; all
+//!    indexing is bounds-checked, unterminated literals and comments
+//!    extend to end of input.
+//! 2. **Losslessness** — token spans are monotonically increasing,
+//!    non-overlapping, and cover every non-whitespace byte, so the
+//!    original source can be reconstructed from spans plus whitespace.
+//!
+//! Byte values ≥ 0x80 are treated as identifier characters (a superset
+//! of Rust's XID rules — good enough for matching ASCII rule tokens,
+//! and total on invalid UTF-8).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including `r#raw` identifiers).
+    Ident,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// One byte of punctuation (`.`, `(`, `::` is two `:` tokens, ...).
+    Punct(u8),
+    /// String literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`, `c"..."`.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime: `'ident` (no closing quote).
+    Lifetime,
+    /// Line comment `// ...` (including `///` and `//!`), newline excluded.
+    LineComment,
+    /// Block comment `/* ... */`, nesting-aware.
+    BlockComment,
+    /// Any byte the lexer cannot classify (e.g. a stray `'`).
+    Unknown,
+}
+
+/// One lexed token: kind plus its byte span and 1-based line number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's bytes within `src`. Returns an empty slice rather than
+    /// panicking if the span is somehow out of bounds.
+    pub fn text<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        src.get(self.start..self.end).unwrap_or(&[])
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+/// Lexes `src` completely. Total: never panics, consumes every byte.
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    Lexer {
+        src,
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line = self.line.saturating_add(1);
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos >= self.src.len() {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind(b);
+            // Totality backstop: every branch must advance; if one did
+            // not (a bug, not expected), consume the byte as Unknown so
+            // the loop always terminates.
+            if self.pos == start {
+                self.bump();
+                tokens.push(Token {
+                    kind: TokenKind::Unknown,
+                    start,
+                    end: self.pos,
+                    line,
+                });
+                continue;
+            }
+            tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        tokens
+    }
+
+    fn next_kind(&mut self, b: u8) -> TokenKind {
+        match b {
+            b'/' => match self.peek(1) {
+                Some(b'/') => self.line_comment(),
+                Some(b'*') => self.block_comment(),
+                _ => self.punct(),
+            },
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'0'..=b'9' => self.number(),
+            _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+            _ => self.punct(),
+        }
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        let b = self.peek(0).unwrap_or(0);
+        self.bump();
+        if b.is_ascii_graphic() {
+            TokenKind::Punct(b)
+        } else {
+            TokenKind::Unknown
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // Consume `/*`, then track nesting; unterminated runs to EOF.
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// A `"..."` string with `\` escapes; unterminated runs to EOF.
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// A raw string starting at `r` (hashes already counted by caller):
+    /// consumes `r#*"` then scans for `"#*`; unterminated runs to EOF.
+    fn raw_string(&mut self, hashes: usize) -> TokenKind {
+        // `r` + hashes + opening quote.
+        self.bump_n(1 + hashes + 1);
+        while self.peek(0).is_some() {
+            if self.peek(0) == Some(b'"') {
+                let mut matched = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some(b'#') {
+                        matched = false;
+                        break;
+                    }
+                }
+                if matched {
+                    self.bump_n(1 + hashes);
+                    return TokenKind::Str;
+                }
+            }
+            self.bump();
+        }
+        TokenKind::Str
+    }
+
+    /// `'` — a char literal, byte-for-byte lookahead, or a lifetime.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        match self.peek(1) {
+            // `'\...'`: escaped char literal. Consume the quote, the
+            // backslash, and the escape-class byte (which may itself be
+            // `\` or `'`), then scan to the closing quote — no escape
+            // can contain a further `'` before the close.
+            Some(b'\\') => {
+                self.bump_n(3);
+                while let Some(b) = self.peek(0) {
+                    match b {
+                        b'\'' => {
+                            self.bump();
+                            break;
+                        }
+                        b'\n' => break, // unterminated; don't eat the file
+                        _ => self.bump(),
+                    }
+                }
+                TokenKind::Char
+            }
+            // `'x'` (single non-quote, non-backslash byte then `'`).
+            Some(c) if c != b'\'' && self.peek(2) == Some(b'\'') && !is_ident_continue(c) => {
+                self.bump_n(3);
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                // Could still be 'x' (char) or 'ident (lifetime): consume
+                // the identifier run, then check for a closing quote.
+                self.bump(); // the `'`
+                while let Some(b) = self.peek(0) {
+                    if is_ident_continue(b) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                    TokenKind::Char
+                } else {
+                    TokenKind::Lifetime
+                }
+            }
+            // `'('`-style: single punctuation char literal.
+            Some(c) if c != b'\'' && self.peek(2) == Some(b'\'') => {
+                self.bump_n(3);
+                TokenKind::Char
+            }
+            _ => {
+                self.bump();
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer part (covers 0x/0b/0o digits and `_` separators).
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: consume `.` only when followed by a digit, so
+        // `4096.unwrap()`-style method calls keep their `.` punct.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            while let Some(b) = self.peek(0) {
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Exponent sign (`1e-9`): the `e` was consumed above; a sign
+        // followed by digits continues the literal.
+        if (self.src.get(self.pos.wrapping_sub(1)) == Some(&b'e')
+            || self.src.get(self.pos.wrapping_sub(1)) == Some(&b'E'))
+            && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+            && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.bump();
+            while let Some(b) = self.peek(0) {
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        TokenKind::Number
+    }
+
+    /// An identifier — or a literal prefix (`r""`, `b''`, `br#""#`,
+    /// `c""`, `r#ident`).
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        // Raw strings and raw identifiers first: `r` / `br` / `cr`.
+        let (prefix_len, raw_capable) = match (self.peek(0), self.peek(1)) {
+            (Some(b'r'), _) => (0, true),
+            (Some(b'b') | Some(b'c'), Some(b'r')) => (1, true),
+            _ => (0, false),
+        };
+        if raw_capable {
+            let mut hashes = 0usize;
+            while self.peek(prefix_len + 1 + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            match self.peek(prefix_len + 1 + hashes) {
+                Some(b'"') => {
+                    self.bump_n(prefix_len);
+                    return self.raw_string(hashes);
+                }
+                // `r#ident` raw identifier (exactly one hash, no quote).
+                Some(c) if hashes == 1 && prefix_len == 0 && is_ident_start(c) => {
+                    self.bump_n(2);
+                    while let Some(b) = self.peek(0) {
+                        if is_ident_continue(b) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    return TokenKind::Ident;
+                }
+                _ => {}
+            }
+        }
+        // `b"..."`, `c"..."`, `b'x'` prefixed literals.
+        match (self.peek(0), self.peek(1)) {
+            (Some(b'b') | Some(b'c'), Some(b'"')) => {
+                self.bump();
+                return self.string();
+            }
+            (Some(b'b'), Some(b'\'')) => {
+                self.bump();
+                return self.char_or_lifetime();
+            }
+            _ => {}
+        }
+        // Plain identifier.
+        while let Some(b) = self.peek(0) {
+            if is_ident_continue(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src.as_bytes()).iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src.as_bytes())
+            .iter()
+            .map(|t| String::from_utf8_lossy(t.text(src.as_bytes())).into_owned())
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(texts("x.unwrap()"), vec!["x", ".", "unwrap", "(", ")"],);
+        assert_eq!(
+            kinds("a::b"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Punct(b':'),
+                TokenKind::Punct(b':'),
+                TokenKind::Ident
+            ],
+        );
+    }
+
+    #[test]
+    fn comments_are_single_tokens() {
+        assert_eq!(
+            kinds("a // mul_add in a comment\nb"),
+            vec![TokenKind::Ident, TokenKind::LineComment, TokenKind::Ident],
+        );
+        assert_eq!(
+            kinds("a /* outer /* nested mul_add */ still */ b"),
+            vec![TokenKind::Ident, TokenKind::BlockComment, TokenKind::Ident],
+        );
+    }
+
+    #[test]
+    fn strings_swallow_rule_tokens() {
+        assert_eq!(
+            kinds(r#"let s = "call mul_add() here";"#),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct(b'='),
+                TokenKind::Str,
+                TokenKind::Punct(b';'),
+            ],
+        );
+        assert_eq!(
+            kinds(r##"let s = r#"raw "quoted" mul_add"#;"##),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Punct(b'='),
+                TokenKind::Str,
+                TokenKind::Punct(b';'),
+            ],
+        );
+        assert_eq!(
+            kinds(r#"b"bytes" c"cstr""#),
+            vec![TokenKind::Str, TokenKind::Str]
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        assert_eq!(kinds(r#""a\"b" x"#), vec![TokenKind::Str, TokenKind::Ident]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        assert_eq!(kinds("'a'"), vec![TokenKind::Char]);
+        assert_eq!(kinds("'\\n'"), vec![TokenKind::Char]);
+        assert_eq!(kinds("'\\''"), vec![TokenKind::Char]);
+        assert_eq!(kinds("b'x'"), vec![TokenKind::Char]);
+        assert_eq!(kinds("'('"), vec![TokenKind::Char]);
+        assert_eq!(
+            kinds("&'static str"),
+            vec![
+                TokenKind::Punct(b'&'),
+                TokenKind::Lifetime,
+                TokenKind::Ident,
+            ],
+        );
+        // A lifetime followed by a generic close must not eat the `>`.
+        assert_eq!(
+            kinds("Foo<'a>"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Punct(b'<'),
+                TokenKind::Lifetime,
+                TokenKind::Punct(b'>'),
+            ],
+        );
+    }
+
+    #[test]
+    fn numbers_keep_method_dots() {
+        assert_eq!(texts("0.5.sqrt"), vec!["0.5", ".", "sqrt"]);
+        assert_eq!(texts("1e-9"), vec!["1e-9"]);
+        assert_eq!(texts("0xFF_u32"), vec!["0xFF_u32"]);
+        assert_eq!(texts("4096.powi"), vec!["4096", ".", "powi"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(kinds("r#type"), vec![TokenKind::Ident]);
+        assert_eq!(texts("r#type"), vec!["r#type"]);
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof() {
+        assert_eq!(kinds("\"never closed"), vec![TokenKind::Str]);
+        assert_eq!(kinds("r#\"never closed\""), vec![TokenKind::Str]);
+        assert_eq!(kinds("/* never closed"), vec![TokenKind::BlockComment]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex(b"a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn non_utf8_bytes_lex_without_panicking() {
+        let src = [b'a', 0xFF, 0xFE, b' ', b'+', 0x00, b'z'];
+        let toks = lex(&src);
+        assert!(!toks.is_empty());
+        // Spans are monotone and in bounds.
+        let mut prev_end = 0;
+        for t in &toks {
+            assert!(t.start >= prev_end);
+            assert!(t.end <= src.len());
+            assert!(t.end > t.start);
+            prev_end = t.end;
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! # p3gm-conform — machine-checked determinism & hardening contracts
+//!
+//! The P3GM workspace rests on two repo-wide contracts that ordinary
+//! tests can only spot-check:
+//!
+//! * **Determinism** — every result is bit-identical under any thread
+//!   count (`P3GM_THREADS`): no FMA contraction, fixed reduction order,
+//!   all parallelism through `p3gm-parallel`.
+//! * **Hardening** — the byte-facing layers (`p3gm-store` decode,
+//!   `server::http`, `server::json`, the ledger load path) never panic
+//!   on untrusted input; hostile bytes map to typed errors.
+//!
+//! This crate turns those contracts into a static-analysis pass: a
+//! hand-rolled, panic-free [`lexer`] (comment / string / raw-string /
+//! char-literal aware, total on arbitrary bytes) feeds a token-stream
+//! [`rules`] engine that walks every workspace crate's sources and
+//! enforces the named rules D1–D6 (see [`rules`] for the table).
+//! Violations are suppressible only by an in-review-visible annotation
+//! trailing the offending line:
+//!
+//! ```text
+//! let c = d.powi(t); // conform: allow(d1) — <why this one site is sound>
+//! ```
+//!
+//! Ship shape: this library (unit- and proptest-covered), the
+//! `p3gm-conform` binary for CI, and the workspace's `tests/conformance.rs`
+//! which runs the pass inside tier-1 `cargo test`.
+//!
+//! ```no_run
+//! let report = p3gm_conform::scan_workspace(std::path::Path::new(".")).unwrap();
+//! assert!(report.violations.is_empty(), "{}", report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use lexer::{lex, Token, TokenKind};
+pub use rules::{check_source, scope_for, RuleId, Scope, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into: vendored stand-ins (external code,
+/// not bound by the contracts), build output, VCS metadata.
+pub const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "node_modules"];
+
+/// The outcome of a workspace scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Files that had at least one rule in scope and were checked.
+    pub files_checked: usize,
+    /// All unsuppressed violations, sorted by (path, line, rule).
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Whether the workspace conforms.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations, one per line, ready to print.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Walks the workspace rooted at `root` and checks every `.rs` file that
+/// has a rule in scope. Traversal order is sorted by file name, so the
+/// report is deterministic for a given tree — the analyzer holds itself
+/// to the contract it enforces.
+///
+/// `Err` is returned only when the walk itself fails (unreadable root or
+/// file); rule violations are data, not errors.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let mut pending: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = pending.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .collect::<std::io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                    pending.push(path);
+                }
+                continue;
+            }
+            if !name.ends_with(".rs") {
+                continue;
+            }
+            let rel = relative_path(root, &path);
+            if scope_for(&rel).is_empty() {
+                continue;
+            }
+            let src = std::fs::read(&path)?;
+            report.files_checked += 1;
+            report.violations.extend(check_source(&rel, &src));
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// `path` relative to `root`, `/`-separated regardless of platform.
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_paths_are_slash_separated() {
+        let root = Path::new("/w");
+        let p = Path::new("/w/crates/linalg/src/lib.rs");
+        assert_eq!(relative_path(root, p), "crates/linalg/src/lib.rs");
+    }
+
+    #[test]
+    fn scan_reports_seeded_violations_and_skips_vendor() {
+        let dir = std::env::temp_dir().join(format!("p3gm_conform_scan_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/linalg/src")).unwrap();
+        std::fs::create_dir_all(dir.join("vendor/rand/src")).unwrap();
+        std::fs::write(
+            dir.join("crates/linalg/src/lib.rs"),
+            "#![forbid(unsafe_code)]\nfn f(a: f64) -> f64 { a.mul_add(2.0, 1.0) }\n",
+        )
+        .unwrap();
+        // The same violation under vendor/ must be invisible.
+        std::fs::write(
+            dir.join("vendor/rand/src/lib.rs"),
+            "fn f(a: f64) -> f64 { a.mul_add(2.0, 1.0) }\n",
+        )
+        .unwrap();
+        let report = scan_workspace(&dir).unwrap();
+        assert_eq!(report.files_checked, 1);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, RuleId::D1);
+        assert_eq!(report.violations[0].path, "crates/linalg/src/lib.rs");
+        assert!(report.render().contains("crates/linalg/src/lib.rs:2: D1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_of_a_clean_tree_is_clean() {
+        let dir = std::env::temp_dir().join(format!("p3gm_conform_clean_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/mixture/src")).unwrap();
+        std::fs::write(
+            dir.join("crates/mixture/src/lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn f(x: f64) -> f64 { x * x }\n",
+        )
+        .unwrap();
+        let report = scan_workspace(&dir).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.files_checked, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

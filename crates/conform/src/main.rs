@@ -1,0 +1,76 @@
+//! `p3gm-conform` — the CI entry point for the workspace conformance
+//! pass. See the `p3gm_conform` library docs for the rules.
+//!
+//! ```text
+//! usage: p3gm-conform [--list-rules] [ROOT]
+//! ```
+//!
+//! Scans the workspace rooted at `ROOT` (default: the current
+//! directory), printing one line per violation. Exit status: `0` when
+//! the tree conforms, `1` when violations were found, `2` on usage or
+//! I/O errors — so CI can distinguish "dirty tree" from "broken run".
+
+#![forbid(unsafe_code)]
+
+use p3gm_conform::{scan_workspace, RuleId};
+use std::path::Path;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<String> = None;
+    for arg in &args {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in RuleId::ALL {
+                    println!("{rule}: {}", rule.summary());
+                }
+                println!("{}: {}", RuleId::A0, RuleId::A0.summary());
+                return 0;
+            }
+            "--help" | "-h" => {
+                println!("usage: p3gm-conform [--list-rules] [ROOT]");
+                return 0;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("p3gm-conform: unknown flag `{arg}`");
+                eprintln!("usage: p3gm-conform [--list-rules] [ROOT]");
+                return 2;
+            }
+            _ => {
+                if root.is_some() {
+                    eprintln!("p3gm-conform: more than one ROOT given");
+                    return 2;
+                }
+                root = Some(arg.clone());
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| ".".to_string());
+    match scan_workspace(Path::new(&root)) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                println!(
+                    "p3gm-conform: {} files checked, 0 violations",
+                    report.files_checked
+                );
+                0
+            } else {
+                println!(
+                    "p3gm-conform: {} files checked, {} violations",
+                    report.files_checked,
+                    report.violations.len()
+                );
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("p3gm-conform: scan of `{root}` failed: {e}");
+            2
+        }
+    }
+}

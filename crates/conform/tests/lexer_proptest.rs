@@ -1,0 +1,397 @@
+//! Property tests for the conformance lexer.
+//!
+//! Two input classes drive every property: raw uniform bytes (adversarial,
+//! mostly non-UTF-8, truncated literals everywhere) and bytes mapped into a
+//! "rusty" alphabet dense in the characters that drive lexer state (quotes,
+//! slashes, stars, hashes, backslashes, `r`/`b`/`c` prefixes) so comment and
+//! literal forms actually occur at useful rates.
+//!
+//! Pinned properties:
+//!
+//! 1. **Totality** — `lex` returns for every byte string (a panic or hang
+//!    here fails the test run).
+//! 2. **Losslessness** — spans are monotone, non-overlapping, in bounds,
+//!    and every byte outside a span is ASCII whitespace.
+//! 3. **Stripping agreement** — blanking the interiors of comment/string/
+//!    char tokens agrees byte-for-byte with an independent character-level
+//!    state machine implementing the same lexical spec.
+//! 4. **Engine totality** — `check_source` never panics on arbitrary bytes
+//!    at either a numeric-crate path or an untrusted-byte-zone path.
+
+use p3gm_conform::lexer::{lex, TokenKind};
+use p3gm_conform::rules::check_source;
+use proptest::prelude::*;
+
+/// Maps a uniform byte into an alphabet dense in lexer-state characters.
+fn rusty_byte(raw: u32) -> u8 {
+    const ALPHABET: &[u8] = b"/*\"'\\#rbc_ax0 9.\n(){};:!<>&=-eE+u8fnmul_add";
+    ALPHABET[(raw as usize) % ALPHABET.len()]
+}
+
+fn raw_bytes(len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u32..256, len)
+        .prop_map(|pool| pool.into_iter().map(|b| b as u8).collect())
+}
+
+fn rusty_bytes(len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u32..4096, len)
+        .prop_map(|pool| pool.into_iter().map(rusty_byte).collect())
+}
+
+/// Losslessness: spans monotone, non-overlapping, in bounds; every byte not
+/// covered by a span is ASCII whitespace.
+fn assert_lossless(src: &[u8]) {
+    let tokens = lex(src);
+    let mut prev_end = 0usize;
+    for t in &tokens {
+        assert!(t.start >= prev_end, "overlapping spans at {}", t.start);
+        assert!(t.end > t.start, "empty span at {}", t.start);
+        assert!(t.end <= src.len(), "span past EOF: {}..{}", t.start, t.end);
+        for (i, &b) in src.iter().enumerate().take(t.start).skip(prev_end) {
+            assert!(
+                b.is_ascii_whitespace(),
+                "byte {i} ({b:#04x}) skipped but not whitespace",
+            );
+        }
+        prev_end = t.end;
+    }
+    for (i, &b) in src.iter().enumerate().skip(prev_end) {
+        assert!(
+            b.is_ascii_whitespace(),
+            "trailing byte {i} ({b:#04x}) skipped but not whitespace",
+        );
+    }
+}
+
+/// Blanks the spans of comment, string, and char tokens with spaces
+/// (newlines kept so line structure survives) using the lexer's tokens.
+fn strip_via_tokens(src: &[u8]) -> Vec<u8> {
+    let mut out = src.to_vec();
+    for t in lex(src) {
+        let blank = matches!(
+            t.kind,
+            TokenKind::Str | TokenKind::Char | TokenKind::LineComment | TokenKind::BlockComment
+        );
+        if blank {
+            for b in out.iter_mut().take(t.end).skip(t.start) {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+/// An independent character-level reference for comment/string stripping:
+/// one forward scan with explicit states, no token list. Implements the
+/// same lexical spec as `lexer::lex` (same escape rules, same char-vs-
+/// lifetime disambiguation, same literal prefixes) so the two must agree
+/// byte-for-byte on every input.
+fn naive_strip(src: &[u8]) -> Vec<u8> {
+    let mut out = src.to_vec();
+    let mut i = 0usize;
+    // Blanks src[from..to] into `out`, preserving newlines.
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for b in out.iter_mut().take(to).skip(from) {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+    while i < src.len() {
+        let b = src[i];
+        match b {
+            b'/' if src.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < src.len() && src[i] != b'\n' {
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if src.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                let mut depth = 1usize;
+                while i < src.len() {
+                    if src[i] == b'/' && src.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if src[i] == b'*' && src.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.min(src.len());
+                blank(&mut out, start, end);
+                i = end;
+            }
+            b'"' => i = naive_string(src, &mut out, i),
+            b'\'' => i = naive_char_or_lifetime(src, &mut out, i),
+            b'0'..=b'9' => i = naive_number(src, i),
+            _ if is_ident_start(b) => i = naive_ident_or_literal(src, &mut out, i),
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Plain `"..."` string starting at `src[i] == b'"'`; blanks it and
+/// returns the index after the literal. Escapes consume two bytes;
+/// unterminated runs to EOF.
+fn naive_string(src: &[u8], out: &mut [u8], i: usize) -> usize {
+    let start = i;
+    let mut j = i + 1;
+    while j < src.len() {
+        match src[j] {
+            b'\\' => j = (j + 2).min(src.len()),
+            b'"' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    for b in out.iter_mut().take(j).skip(start) {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+    j
+}
+
+/// `'`-led literal starting at `src[i]`: escaped char, short char,
+/// ident-run char, punctuation char, lifetime (not blanked), or a stray
+/// quote (not blanked). Mirrors the spec's arm order exactly.
+fn naive_char_or_lifetime(src: &[u8], out: &mut [u8], i: usize) -> usize {
+    let start = i;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for b in out.iter_mut().take(to).skip(from) {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+    match src.get(i + 1) {
+        Some(b'\\') => {
+            // Quote, backslash, escape-class byte, then scan to the close.
+            let mut j = (i + 3).min(src.len());
+            while j < src.len() {
+                match src[j] {
+                    b'\'' => {
+                        j += 1;
+                        break;
+                    }
+                    b'\n' => break,
+                    _ => j += 1,
+                }
+            }
+            blank(out, start, j);
+            j
+        }
+        Some(&c) if c != b'\'' && src.get(i + 2) == Some(&b'\'') && !is_ident_continue(c) => {
+            blank(out, start, i + 3);
+            i + 3
+        }
+        Some(&c) if is_ident_start(c) || c.is_ascii_digit() => {
+            let mut j = i + 1;
+            while j < src.len() && is_ident_continue(src[j]) {
+                j += 1;
+            }
+            if src.get(j) == Some(&b'\'') {
+                blank(out, start, j + 1);
+                j + 1
+            } else {
+                // Lifetime: plain code, left intact.
+                j
+            }
+        }
+        Some(&c) if c != b'\'' && src.get(i + 2) == Some(&b'\'') => {
+            blank(out, start, i + 3);
+            i + 3
+        }
+        _ => i + 1, // stray quote, left intact
+    }
+}
+
+/// Numeric literal starting at a digit; consumed atomically (so a trailing
+/// `b`/`r` inside `0b101` can never look like a literal prefix) and never
+/// blanked. Returns the index after the literal.
+fn naive_number(src: &[u8], i: usize) -> usize {
+    let run = |src: &[u8], mut j: usize| {
+        while j < src.len() && (src[j].is_ascii_alphanumeric() || src[j] == b'_') {
+            j += 1;
+        }
+        j
+    };
+    let mut j = run(src, i);
+    if src.get(j) == Some(&b'.') && src.get(j + 1).is_some_and(|b| b.is_ascii_digit()) {
+        j = run(src, j + 1);
+    }
+    if matches!(src.get(j.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+        && matches!(src.get(j), Some(b'+') | Some(b'-'))
+        && src.get(j + 1).is_some_and(|b| b.is_ascii_digit())
+    {
+        j = run(src, j + 1);
+    }
+    j
+}
+
+/// Identifier or prefixed literal starting at an ident-start byte: raw
+/// strings (`r"`, `br#"`, `cr"`), raw identifiers (`r#ident`), prefixed
+/// strings/chars (`b"`, `c"`, `b'`), else a plain identifier run.
+fn naive_ident_or_literal(src: &[u8], out: &mut [u8], i: usize) -> usize {
+    let start = i;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for b in out.iter_mut().take(to).skip(from) {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+    let (prefix_len, raw_capable) = match (src.get(i), src.get(i + 1)) {
+        (Some(b'r'), _) => (0usize, true),
+        (Some(b'b') | Some(b'c'), Some(b'r')) => (1, true),
+        _ => (0, false),
+    };
+    if raw_capable {
+        let mut hashes = 0usize;
+        while src.get(i + prefix_len + 1 + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        match src.get(i + prefix_len + 1 + hashes) {
+            Some(b'"') => {
+                // Raw string: scan past the opening quote for `"` + hashes.
+                let mut j = i + prefix_len + 1 + hashes + 1;
+                loop {
+                    if j >= src.len() {
+                        break;
+                    }
+                    if src[j] == b'"'
+                        && src[j + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&b| b == b'#')
+                            .count()
+                            == hashes
+                    {
+                        j = (j + 1 + hashes).min(src.len());
+                        break;
+                    }
+                    j += 1;
+                }
+                blank(out, start, j);
+                return j;
+            }
+            Some(&c) if hashes == 1 && prefix_len == 0 && is_ident_start(c) => {
+                // `r#ident` raw identifier: plain code.
+                let mut j = i + 2;
+                while j < src.len() && is_ident_continue(src[j]) {
+                    j += 1;
+                }
+                return j;
+            }
+            _ => {}
+        }
+    }
+    match (src.get(i), src.get(i + 1)) {
+        (Some(b'b') | Some(b'c'), Some(b'"')) => {
+            let j = naive_string(src, out, i + 1);
+            // The prefix byte is part of the literal: blank it too.
+            blank(out, start, j);
+            return j;
+        }
+        (Some(b'b'), Some(b'\'')) => {
+            let j = naive_char_or_lifetime(src, out, i + 1);
+            // Blank the prefix only when the `'...'` part was a literal —
+            // its opening quote got spaced out. Lifetimes and stray
+            // quotes stay as code, and so does their `b` prefix.
+            if out.get(i + 1) == Some(&b' ') {
+                blank(out, start, j);
+            }
+            return j;
+        }
+        _ => {}
+    }
+    let mut j = i;
+    while j < src.len() && is_ident_continue(src[j]) {
+        j += 1;
+    }
+    j
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lex_is_total_and_lossless_on_raw_bytes(src in raw_bytes(512)) {
+        assert_lossless(&src);
+    }
+
+    #[test]
+    fn lex_is_total_and_lossless_on_rusty_bytes(src in rusty_bytes(512)) {
+        assert_lossless(&src);
+    }
+
+    #[test]
+    fn stripping_agrees_with_naive_reference_on_rusty_bytes(src in rusty_bytes(384)) {
+        let via_tokens = strip_via_tokens(&src);
+        let via_naive = naive_strip(&src);
+        prop_assert_eq!(
+            String::from_utf8_lossy(&via_tokens),
+            String::from_utf8_lossy(&via_naive)
+        );
+    }
+
+    #[test]
+    fn stripping_agrees_with_naive_reference_on_raw_bytes(src in raw_bytes(256)) {
+        prop_assert_eq!(strip_via_tokens(&src), naive_strip(&src));
+    }
+
+    #[test]
+    fn check_source_is_total_on_arbitrary_bytes(src in raw_bytes(384)) {
+        // Numeric crate: D1/D3/D5/D6 in scope. Must classify, not panic.
+        let _ = check_source("crates/linalg/src/lib.rs", &src);
+        // Untrusted-byte zone: D2/D4/D5 in scope.
+        let _ = check_source("crates/store/src/lib.rs", &src);
+    }
+}
+
+/// Deterministic spot checks of the stripping pair on the hard shapes, so
+/// a proptest regression has named anchors.
+#[test]
+fn stripping_spot_checks() {
+    let cases: &[&[u8]] = &[
+        b"let x = a.powi(2); // powi in comment\n",
+        b"/* outer /* inner */ still */ mul_add",
+        b"let s = \"mul_add \\\" quoted\"; x",
+        b"let r = r#\"raw \"q\" here\"#; y",
+        b"let b = b\"bytes\"; let c = c\"cstr\";",
+        b"let ch = '\\''; let l: &'static str = s;",
+        b"b'x' 'y' '(' Foo<'a>",
+        b"0b101 0xFF_u32 1e-9 4096.powi",
+        b"r#type r##notraw \"tail",
+        b"'\\n",
+    ];
+    for case in cases {
+        assert_eq!(
+            String::from_utf8_lossy(&strip_via_tokens(case)),
+            String::from_utf8_lossy(&naive_strip(case)),
+            "case: {}",
+            String::from_utf8_lossy(case),
+        );
+    }
+}

@@ -11,6 +11,10 @@
 pub struct PolyakAverager {
     decay: f64,
     steps: u64,
+    /// `decay^steps`, maintained incrementally — one multiply per
+    /// update in a fixed order, so the bias correction never goes
+    /// through `powi` (whose expansion order codegen may choose).
+    decay_pow: f64,
     avg: Vec<f64>,
 }
 
@@ -23,6 +27,7 @@ impl PolyakAverager {
         PolyakAverager {
             decay,
             steps: 0,
+            decay_pow: 1.0,
             avg: Vec::new(),
         }
     }
@@ -38,8 +43,10 @@ impl PolyakAverager {
         if self.avg.len() != params.len() {
             self.avg = vec![0.0; params.len()];
             self.steps = 0;
+            self.decay_pow = 1.0;
         }
         self.steps += 1;
+        self.decay_pow *= self.decay;
         let d = self.decay;
         for (a, &p) in self.avg.iter_mut().zip(params.iter()) {
             *a = d * *a + (1.0 - d) * p;
@@ -51,7 +58,7 @@ impl PolyakAverager {
         if self.steps == 0 {
             return None;
         }
-        let correction = 1.0 - self.decay.powi(self.steps.min(i32::MAX as u64) as i32);
+        let correction = 1.0 - self.decay_pow;
         Some(self.avg.iter().map(|&a| a / correction).collect())
     }
 }

@@ -83,6 +83,11 @@ pub struct Adam {
     beta2: f64,
     eps: f64,
     t: u64,
+    /// `beta1^t` / `beta2^t`, maintained by one multiply per step in a
+    /// fixed order — the bias correction never goes through `powi`,
+    /// whose expansion order is codegen's choice.
+    beta1_pow: f64,
+    beta2_pow: f64,
     m: Vec<f64>,
     v: Vec<f64>,
 }
@@ -104,6 +109,8 @@ impl Adam {
             beta2,
             eps,
             t: 0,
+            beta1_pow: 1.0,
+            beta2_pow: 1.0,
             m: Vec::new(),
             v: Vec::new(),
         }
@@ -126,12 +133,16 @@ impl Optimizer for Adam {
             self.m = vec![0.0; params.len()];
             self.v = vec![0.0; params.len()];
             self.t = 0;
+            self.beta1_pow = 1.0;
+            self.beta2_pow = 1.0;
         }
         self.t += 1;
         let b1 = self.beta1;
         let b2 = self.beta2;
-        let bias1 = 1.0 - b1.powi(self.t as i32);
-        let bias2 = 1.0 - b2.powi(self.t as i32);
+        self.beta1_pow *= b1;
+        self.beta2_pow *= b2;
+        let bias1 = 1.0 - self.beta1_pow;
+        let bias2 = 1.0 - self.beta2_pow;
         for i in 0..params.len() {
             let g = grad[i];
             self.m[i] = b1 * self.m[i] + (1.0 - b1) * g;

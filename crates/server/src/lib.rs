@@ -812,6 +812,7 @@ fn stats(service: &Service) -> Response {
             ("hits".to_string(), num(s.hits)),
             ("misses".to_string(), num(s.misses)),
             ("load_failures".to_string(), num(s.load_failures)),
+            ("header_peeks".to_string(), num(s.header_peeks)),
         ]),
     )
 }

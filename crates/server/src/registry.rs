@@ -244,6 +244,12 @@ pub struct RegistryStats {
     pub misses: u64,
     /// Full decodes that failed.
     pub load_failures: u64,
+    /// Snapshot files whose header frames were read from disk (initial
+    /// scan + reloads). Reload is incremental: files whose `(len,
+    /// mtime)` fingerprint is unchanged are **not** re-peeked, so this
+    /// counter grows only by the number of new or changed files — a
+    /// no-change `POST /reload` over a thousand tenants leaves it flat.
+    pub header_peeks: u64,
 }
 
 /// A directory of named snapshots: headers eagerly peeked, weights
@@ -266,6 +272,7 @@ pub struct Registry {
     hits: AtomicU64,
     misses: AtomicU64,
     load_failures: AtomicU64,
+    header_peeks: AtomicU64,
 }
 
 impl Registry {
@@ -293,6 +300,7 @@ impl Registry {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             load_failures: AtomicU64::new(0),
+            header_peeks: AtomicU64::new(0),
         };
         let report = registry.reload()?;
         Ok((registry, report))
@@ -521,6 +529,7 @@ impl Registry {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             load_failures: self.load_failures.load(Ordering::Relaxed),
+            header_peeks: self.header_peeks.load(Ordering::Relaxed),
         }
     }
 
@@ -595,6 +604,7 @@ impl Registry {
                 report.unchanged.push(name.clone());
                 continue;
             }
+            self.header_peeks.fetch_add(1, Ordering::Relaxed);
             match SnapshotHeader::peek_file(path) {
                 Ok(header) => {
                     fresh.push(Arc::new(ModelEntry {

@@ -250,6 +250,31 @@ impl FrameInfo {
     }
 }
 
+/// Little-endian `u32` from the first four bytes of `bytes`. Slice
+/// patterns make this total: short input is a typed [`StoreError`],
+/// never a panic — the decode paths run on untrusted bytes.
+fn le_u32(bytes: &[u8]) -> Result<u32> {
+    match bytes {
+        [a, b, c, d, ..] => Ok(u32::from_le_bytes([*a, *b, *c, *d])),
+        _ => Err(StoreError::Truncated {
+            needed: 4,
+            available: bytes.len(),
+        }),
+    }
+}
+
+/// Little-endian `u64` from the first eight bytes of `bytes`; total for
+/// the same reason as [`le_u32`].
+fn le_u64(bytes: &[u8]) -> Result<u64> {
+    match bytes {
+        [a, b, c, d, e, f, g, h, ..] => Ok(u64::from_le_bytes([*a, *b, *c, *d, *e, *f, *g, *h])),
+        _ => Err(StoreError::Truncated {
+            needed: 8,
+            available: bytes.len(),
+        }),
+    }
+}
+
 /// Decodes the frame header from the leading bytes of a buffer: magic,
 /// version, tag, payload length. `bytes` may be any prefix of the full
 /// buffer as long as it covers the [`HEADER_LEN`]-byte header.
@@ -270,15 +295,15 @@ pub fn peek_frame(bytes: &[u8]) -> Result<FrameInfo> {
     if bytes[..4] != MAGIC {
         return Err(StoreError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+    let version = le_u32(&bytes[4..])?;
     if version != FORMAT_VERSION {
         return Err(StoreError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
         });
     }
-    let tag = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
-    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice"));
+    let tag = le_u32(&bytes[8..])?;
+    let payload_len = le_u64(&bytes[12..])?;
     Ok(FrameInfo {
         version,
         tag,
@@ -397,21 +422,21 @@ impl<'a> Decoder<'a> {
         if bytes[..4] != MAGIC {
             return Err(StoreError::BadMagic);
         }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice"));
+        let version = le_u32(&bytes[4..])?;
         if version != FORMAT_VERSION {
             return Err(StoreError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
             });
         }
-        let tag = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+        let tag = le_u32(&bytes[8..])?;
         if tag != expected_tag {
             return Err(StoreError::WrongTag {
                 expected: expected_tag,
                 found: tag,
             });
         }
-        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice"));
+        let payload_len = le_u64(&bytes[12..])?;
         let payload_len: usize = payload_len.try_into().map_err(|_| StoreError::Truncated {
             needed: usize::MAX,
             available: bytes.len(),
@@ -435,11 +460,7 @@ impl<'a> Decoder<'a> {
             });
         }
         let body = &bytes[..HEADER_LEN + payload_len];
-        let stored = u32::from_le_bytes(
-            bytes[HEADER_LEN + payload_len..]
-                .try_into()
-                .expect("4-byte checksum"),
-        );
+        let stored = le_u32(&bytes[HEADER_LEN + payload_len..])?;
         let computed = crc32(body);
         if computed != stored {
             return Err(StoreError::ChecksumMismatch { computed, stored });
@@ -503,16 +524,12 @@ impl<'a> Decoder<'a> {
 
     /// Reads a `u32` (little-endian).
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        le_u32(self.take(4)?)
     }
 
     /// Reads a `u64` (little-endian).
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        le_u64(self.take(8)?)
     }
 
     /// Reads a `u64` and converts it to `usize`.

@@ -192,10 +192,60 @@ fn startup_registers_headers_without_decoding_any_weights() {
     let parsed = json::parse(&body).unwrap();
     assert_eq!(parsed.get("models").and_then(json::Json::as_u64), Some(20));
     assert_eq!(parsed.get("loads").and_then(json::Json::as_u64), Some(1));
+    assert_eq!(
+        parsed.get("header_peeks").and_then(json::Json::as_u64),
+        Some(20),
+        "startup peeks each snapshot's header exactly once"
+    );
     let (status, _) = request(addr, "POST", "/stats", "");
     assert_eq!(status, 405);
 
     server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `POST /reload` is incremental: directory entries are read once and
+/// only snapshots whose `(len, mtime)` fingerprint changed are re-peeked
+/// from disk — a no-change reload over many tenants performs **zero**
+/// header reads, observable via the `header_peeks` counter in `/stats`.
+#[test]
+fn reload_repeeks_only_changed_snapshots() {
+    let dir = model_dir("peek_batch", &["a", "b", "c"]);
+    let (registry, report) = Registry::open(&dir).unwrap();
+    assert_eq!(report.loaded.len(), 3);
+    assert_eq!(registry.stats().header_peeks, 3);
+
+    // No-change reloads keep every entry and peek nothing.
+    for _ in 0..3 {
+        let report = registry.reload().unwrap();
+        assert_eq!(report.unchanged.len(), 3, "{report:?}");
+        assert!(report.loaded.is_empty() && report.removed.is_empty());
+    }
+    assert_eq!(
+        registry.stats().header_peeks,
+        3,
+        "unchanged files must not be re-peeked"
+    );
+
+    // Replace one snapshot with a different (longer) one: exactly that
+    // file is re-peeked, the other two are untouched.
+    let old_cost = registry.header("b").unwrap().approx_resident_bytes();
+    let bigger = train_snapshot(11, true, true, 3, 16, 2);
+    std::fs::write(dir.join("b.snapshot"), bigger.to_bytes()).unwrap();
+    let report = registry.reload().unwrap();
+    assert_eq!(report.loaded, vec!["b".to_string()], "{report:?}");
+    assert_eq!(report.unchanged.len(), 2);
+    assert_eq!(registry.stats().header_peeks, 4);
+
+    // The re-registered entry serves the new (wider) model's header.
+    let new_cost = registry.header("b").unwrap().approx_resident_bytes();
+    assert!(new_cost > old_cost, "{new_cost} vs {old_cost}");
+
+    // Deleting a file needs no peek either.
+    std::fs::remove_file(dir.join("c.snapshot")).unwrap();
+    let report = registry.reload().unwrap();
+    assert_eq!(report.removed, vec!["c".to_string()], "{report:?}");
+    assert_eq!(registry.stats().header_peeks, 4);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
