@@ -7,7 +7,7 @@
 //! | Rule | Contract | What it forbids | Where |
 //! |------|----------|-----------------|-------|
 //! | D1 | determinism | `mul_add` / `powi` / `fma` calls (FMA-contractible or expansion-order-dependent intrinsics) | numeric crates |
-//! | D2 | determinism | `thread::spawn`, `Instant::now`, `SystemTime::now` (ad-hoc parallelism / wall-clock) | everywhere except `parallel`, `bench`, `server` |
+//! | D2 | determinism | `thread::spawn`, `Instant::now`, `SystemTime::now` (ad-hoc parallelism / wall-clock) | everywhere except `parallel`, `bench`, `server`, and the obs clock file `crates/obs/src/time.rs` |
 //! | D3 | determinism | `HashMap` / `HashSet` (iteration order must never feed a float reduction) | numeric crates |
 //! | D4 | hardening | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`, `assert!`-family | untrusted-byte zones |
 //! | D5 | hardening | a crate root missing `#![forbid(unsafe_code)]` | every crate root |
@@ -42,6 +42,13 @@ pub const NUMERIC_CRATES: &[&str] = &["linalg", "mixture", "nn", "privacy", "pre
 
 /// Crates allowed to spawn threads and read clocks (D2 exemptions).
 pub const D2_EXEMPT_CRATES: &[&str] = &["parallel", "bench", "server"];
+
+/// Individual files allowed to read clocks (D2 exemptions narrower than
+/// a whole crate). The obs crate's injectable-timer design confines every
+/// real clock to exactly one file — the rest of `crates/obs` (and every
+/// crate consuming it) stays under D2, so a metrics counter can never
+/// smuggle wall-clock reads into a numeric kernel.
+pub const D2_EXEMPT_FILES: &[&str] = &["crates/obs/src/time.rs"];
 
 /// Files whose inputs are untrusted bytes: the D4 no-panic zones.
 pub const D4_ZONES: &[&str] = &[
@@ -103,7 +110,8 @@ impl RuleId {
                 "no mul_add/powi/fma in numeric crates (FMA contraction breaks bit-identity)"
             }
             RuleId::D2 => {
-                "no thread::spawn/Instant::now/SystemTime::now outside parallel, bench, server"
+                "no thread::spawn/Instant::now/SystemTime::now outside parallel, bench, server, \
+                 and the obs clock file"
             }
             RuleId::D3 => "no HashMap/HashSet in numeric crates (iteration order feeds reductions)",
             RuleId::D4 => {
@@ -195,7 +203,9 @@ pub fn scope_for(path: &str) -> Scope {
     scope.d1 = numeric;
     scope.d3 = numeric;
     scope.d6 = numeric;
-    scope.d2 = crate_name != "p3gm" && !D2_EXEMPT_CRATES.contains(&crate_name);
+    scope.d2 = crate_name != "p3gm"
+        && !D2_EXEMPT_CRATES.contains(&crate_name)
+        && !D2_EXEMPT_FILES.contains(&path);
     scope.d4 = D4_ZONES
         .iter()
         .any(|zone| path == *zone || (zone.ends_with('/') && path.starts_with(zone)));
@@ -660,6 +670,11 @@ mod tests {
         assert!(s.d4 && s.d5 && s.d2);
         let s = scope_for("src/lib.rs");
         assert!(s.d5 && !s.d2);
+        // The obs crate is under D2 except its one sanctioned clock file.
+        let s = scope_for("crates/obs/src/lib.rs");
+        assert!(s.d2 && s.d5 && !s.d1);
+        let s = scope_for("crates/obs/src/time.rs");
+        assert!(!s.d2 && !s.d5 && s.is_empty());
         assert!(scope_for("tests/conformance.rs").is_empty());
         assert!(scope_for("crates/linalg/benches/kernels.rs").is_empty());
         assert!(scope_for("vendor/rand/src/lib.rs").is_empty());

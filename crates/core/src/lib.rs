@@ -17,6 +17,9 @@
 //! * [`config`] — hyper-parameter structs for both families.
 //! * [`history`] — per-epoch training statistics (reconstruction loss, KL,
 //!   ELBO) used by the Figure 7 learning-efficiency experiments.
+//! * [`report`] — [`report::TrainReport`]: what a fit *did* (DP-SGD steps,
+//!   clipped-gradient fraction, EM log-likelihood trajectory, optional
+//!   injected-timer phase times) as pure post-processing telemetry.
 //! * [`vae`] — [`vae::Vae`]: end-to-end VAE with optional DP-SGD (DP-VAE).
 //! * [`pgm`] — [`pgm::PhasedGenerativeModel`]: the two-phase model with
 //!   exact or private Encoding Phase and plain or DP-SGD Decoding Phase.
@@ -35,6 +38,7 @@ pub mod averaging;
 pub mod config;
 pub mod history;
 pub mod pgm;
+pub mod report;
 pub mod snapshot;
 pub mod synthesis;
 pub mod vae;
@@ -42,6 +46,7 @@ pub mod vae;
 pub use config::{DecoderLoss, PgmConfig, VaeConfig, VarianceMode};
 pub use history::{EpochStats, TrainingHistory};
 pub use pgm::PhasedGenerativeModel;
+pub use report::TrainReport;
 pub use snapshot::{SampleRequest, SynthesisSnapshot};
 pub use synthesis::{synthesize_labelled, LabelledSynthesizer};
 pub use vae::Vae;

@@ -19,6 +19,7 @@
 use crate::averaging::PolyakAverager;
 use crate::config::{DecoderLoss, PgmConfig, VarianceMode};
 use crate::history::{EpochStats, TrainingHistory};
+use crate::report::TrainReport;
 use crate::{CoreError, GenerativeModel, Result};
 use p3gm_linalg::Matrix;
 use p3gm_mixture::dpem::{self, DpEmConfig};
@@ -29,6 +30,7 @@ use p3gm_nn::dpsgd::{sample_batch_indices, DpSgdConfig};
 use p3gm_nn::loss::{bce_with_logits, sse};
 use p3gm_nn::mlp::Mlp;
 use p3gm_nn::optimizer::{Adam, Optimizer};
+use p3gm_obs::TimeSource;
 use p3gm_preprocess::pca::{DpPca, Pca};
 use p3gm_privacy::rdp::PrivacySpec;
 use p3gm_privacy::sampling;
@@ -96,6 +98,20 @@ impl PhasedGenerativeModel {
         data: &Matrix,
         config: PgmConfig,
     ) -> Result<Self> {
+        Self::encode_phase_observed(rng, data, config, &mut TrainReport::new())
+    }
+
+    /// [`encode_phase`](Self::encode_phase) plus telemetry: the (DP-)EM
+    /// iteration count and log-likelihood trajectory are accumulated into
+    /// `report`. The fitted model is identical — the trace is a diagnostic
+    /// the mixture fit computes anyway (post-processing of its own private
+    /// release, no extra budget), previously discarded here.
+    pub fn encode_phase_observed<R: Rng + ?Sized>(
+        rng: &mut R,
+        data: &Matrix,
+        config: PgmConfig,
+        report: &mut TrainReport,
+    ) -> Result<Self> {
         config.validate(data.rows(), data.cols())?;
         let d = data.cols();
         let n = data.rows();
@@ -144,7 +160,7 @@ impl PhasedGenerativeModel {
         let projected = projection.transform(&scaled)?;
 
         let prior = if config.private {
-            let raw = dpem::fit(
+            let fitted = dpem::fit(
                 rng,
                 &projected,
                 &DpEmConfig {
@@ -155,14 +171,17 @@ impl PhasedGenerativeModel {
                     clip_norm: 1.0,
                 },
             )
-            .map_err(|e| CoreError::Substrate { msg: e.to_string() })?
-            .model;
+            .map_err(|e| CoreError::Substrate { msg: e.to_string() })?;
+            report.em_iterations += fitted.iterations as u64;
+            report
+                .em_log_likelihood
+                .extend_from_slice(&fitted.log_likelihood_trace);
             match &latent_scale {
-                Some(scale) => sanitize_prior(&raw, scale)?,
-                None => raw,
+                Some(scale) => sanitize_prior(&fitted.model, scale)?,
+                None => fitted.model,
             }
         } else {
-            em::fit(
+            let fitted = em::fit(
                 rng,
                 &projected,
                 &EmConfig {
@@ -172,8 +191,12 @@ impl PhasedGenerativeModel {
                     covariance_regularization: 1e-6,
                 },
             )
-            .map_err(|e| CoreError::Substrate { msg: e.to_string() })?
-            .model
+            .map_err(|e| CoreError::Substrate { msg: e.to_string() })?;
+            report.em_iterations += fitted.iterations as u64;
+            report
+                .em_log_likelihood
+                .extend_from_slice(&fitted.log_likelihood_trace);
+            fitted.model
         };
 
         let mut encoder_var = Mlp::new(
@@ -262,13 +285,34 @@ impl PhasedGenerativeModel {
         data: &Matrix,
         config: PgmConfig,
     ) -> Result<(Self, TrainingHistory)> {
+        Self::fit_with_report(rng, data, config, None).map(|(model, history, _)| (model, history))
+    }
+
+    /// [`fit`](Self::fit) plus a [`TrainReport`]: DP-SGD step and
+    /// clipped-gradient counts, the EM log-likelihood trajectory, and —
+    /// only when a [`TimeSource`] is injected — per-phase wall times. The
+    /// trained model is bit-identical to [`fit`](Self::fit) with the same
+    /// rng: telemetry consumes no randomness and alters no update. Pass
+    /// `timer: None` to keep the call fully deterministic (this crate
+    /// never reads a clock itself).
+    pub fn fit_with_report<R: Rng + ?Sized>(
+        rng: &mut R,
+        data: &Matrix,
+        config: PgmConfig,
+        timer: Option<&dyn TimeSource>,
+    ) -> Result<(Self, TrainingHistory, TrainReport)> {
         let epochs = config.epochs;
-        let mut model = Self::encode_phase(rng, data, config)?;
+        let mut report = TrainReport::new();
+        let encode_start = timer.map(TimeSource::now_nanos);
+        let mut model = Self::encode_phase_observed(rng, data, config, &mut report)?;
+        report.record_phase(timer, "encode", encode_start);
+        let decode_start = timer.map(TimeSource::now_nanos);
         let mut history = TrainingHistory::new();
         for _ in 0..epochs {
-            history.push(model.train_epoch(rng, data)?);
+            history.push(model.train_epoch_observed(rng, data, &mut report)?);
         }
-        Ok((model, history))
+        report.record_phase(timer, "decode", decode_start);
+        Ok((model, history, report))
     }
 
     /// The training configuration.
@@ -360,6 +404,19 @@ impl PhasedGenerativeModel {
         rng: &mut R,
         data: &Matrix,
     ) -> Result<EpochStats> {
+        self.train_epoch_observed(rng, data, &mut TrainReport::new())
+    }
+
+    /// [`train_epoch`](Self::train_epoch) plus telemetry accumulated into
+    /// `report`: one epoch, its DP-SGD steps, and the clipped-gradient
+    /// counts from the fused clip-and-sum pass. The counts are
+    /// deterministic (folded in chunk order) and do not alter the update.
+    pub fn train_epoch_observed<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        data: &Matrix,
+        report: &mut TrainReport,
+    ) -> Result<EpochStats> {
         if data.cols() != self.data_dim {
             return Err(CoreError::InvalidData {
                 msg: format!("expected {} features, got {}", self.data_dim, data.cols()),
@@ -435,8 +492,12 @@ impl PhasedGenerativeModel {
             }
             match &dp {
                 Some(cfg) => {
-                    cfg.step(rng, &per_example, &mut params, &mut self.optimizer)
+                    let outcome = cfg
+                        .step_observed(rng, &per_example, &mut params, &mut self.optimizer)
                         .map_err(|e| CoreError::Substrate { msg: e.to_string() })?;
+                    report.dp_sgd_steps += 1;
+                    report.clipped_examples += outcome.clipped_examples;
+                    report.clip_measured_examples += outcome.examples;
                 }
                 None => {
                     let mut avg = per_example.column_sums();
@@ -462,6 +523,7 @@ impl PhasedGenerativeModel {
             steps: steps_per_epoch,
         };
         self.trained_epochs += 1;
+        report.epochs += 1;
         Ok(stats)
     }
 

@@ -8,7 +8,7 @@
 
 use crate::optimizer::Optimizer;
 use p3gm_linalg::Matrix;
-use p3gm_privacy::mechanisms::privatize_gradient_sum;
+use p3gm_privacy::mechanisms::privatize_gradient_sum_counted;
 use p3gm_privacy::PrivacyError;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -66,8 +66,23 @@ impl DpSgdConfig {
         params: &mut [f64],
         optimizer: &mut O,
     ) -> Result<Vec<f64>, PrivacyError> {
+        self.step_observed(rng, per_example_grads, params, optimizer)
+            .map(|outcome| outcome.gradient)
+    }
+
+    /// Like [`step`](DpSgdConfig::step) but also reports what happened:
+    /// how many per-example gradients the clip actually touched. The extra
+    /// fields are telemetry derived from the same fused pass — no extra
+    /// randomness, no change to the update — for `TrainReport` / metrics.
+    pub fn step_observed<R: Rng + ?Sized, O: Optimizer + ?Sized>(
+        &self,
+        rng: &mut R,
+        per_example_grads: &Matrix,
+        params: &mut [f64],
+        optimizer: &mut O,
+    ) -> Result<DpSgdStepOutcome, PrivacyError> {
         self.validate()?;
-        let noisy = privatize_gradient_sum(
+        let (noisy, clipped) = privatize_gradient_sum_counted(
             rng,
             per_example_grads,
             self.clip_norm,
@@ -75,8 +90,23 @@ impl DpSgdConfig {
             self.batch_size,
         )?;
         optimizer.step(params, &noisy);
-        Ok(noisy)
+        Ok(DpSgdStepOutcome {
+            gradient: noisy,
+            clipped_examples: clipped,
+            examples: per_example_grads.rows() as u64,
+        })
     }
+}
+
+/// What one observed DP-SGD step did (see [`DpSgdConfig::step_observed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpSgdStepOutcome {
+    /// The privatized average gradient that was applied.
+    pub gradient: Vec<f64>,
+    /// Rows of the lot whose L2 norm exceeded the clip norm.
+    pub clipped_examples: u64,
+    /// Rows in the lot (the realized, not configured, lot size).
+    pub examples: u64,
 }
 
 /// Samples a lot of `batch_size` example indices uniformly without

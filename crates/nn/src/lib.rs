@@ -36,7 +36,7 @@ pub mod mlp;
 pub mod optimizer;
 
 pub use activation::Activation;
-pub use dpsgd::DpSgdConfig;
+pub use dpsgd::{DpSgdConfig, DpSgdStepOutcome};
 pub use linear::Linear;
 pub use mlp::{Mlp, MlpCache};
 pub use optimizer::{Adam, Optimizer, Sgd};

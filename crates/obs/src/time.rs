@@ -1,0 +1,64 @@
+//! The one file in the workspace outside `parallel`/`bench`/`server` that
+//! may read the real clock: `p3gm-conform` rule D2 allowlists exactly this
+//! path (`crates/obs/src/time.rs`). Everything else in `p3gm-obs` — and in
+//! every numeric crate — receives time only through the injectable
+//! [`TimeSource`] trait.
+
+use crate::TimeSource;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// A monotonic wall clock backed by [`std::time::Instant`], measured from
+/// the moment the clock is constructed.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A clock whose zero point is now.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeSource for WallClock {
+    fn now_nanos(&self) -> u64 {
+        // u64 nanoseconds covers ~584 years of process uptime.
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Milliseconds since the Unix epoch, for timestamping access log lines.
+/// Returns 0 if the system clock is before the epoch.
+pub fn unix_millis() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = WallClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn unix_millis_is_past_2020() {
+        assert!(unix_millis() > 1_577_836_800_000);
+    }
+}

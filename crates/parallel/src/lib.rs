@@ -37,8 +37,62 @@
 
 use std::cell::Cell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Chunks currently executing across every kernel in the process.
+static CHUNKS_IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+/// Chunks ever dispatched (monotone; identical for any thread count because
+/// chunk boundaries are a pure function of the problem size).
+static CHUNKS_TOTAL: AtomicU64 = AtomicU64::new(0);
+/// Worker closures ever run through [`scope`] (monotone).
+static SCOPE_TASKS_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the process-wide pool counters, for
+/// observability exporters (the HTTP server re-exports these on
+/// `GET /metrics`). This crate deliberately has no dependency on the
+/// metrics registry; it only exposes raw counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Chunks executing right now (the queue-depth gauge). Instantaneous
+    /// and inherently racy; 0 whenever the process is quiescent.
+    pub chunks_in_flight: usize,
+    /// Total chunks dispatched since process start. Deterministic across
+    /// thread counts for a fixed workload (chunk boundaries never depend
+    /// on the worker count).
+    pub chunks_total: u64,
+    /// Total worker closures run through [`scope`] since process start.
+    pub scope_tasks_total: u64,
+}
+
+/// Read the process-wide pool counters. Each field is loaded independently
+/// (relaxed), so a snapshot taken mid-kernel may tear between fields; the
+/// monotone totals are individually exact.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        chunks_in_flight: CHUNKS_IN_FLIGHT.load(Ordering::Relaxed),
+        chunks_total: CHUNKS_TOTAL.load(Ordering::Relaxed),
+        scope_tasks_total: SCOPE_TASKS_TOTAL.load(Ordering::Relaxed),
+    }
+}
+
+/// RAII accounting for one executing chunk: bumps the monotone total and
+/// holds the in-flight gauge for the duration (panic-safe via `Drop`).
+struct ChunkGuard;
+
+impl ChunkGuard {
+    fn begin() -> Self {
+        CHUNKS_IN_FLIGHT.fetch_add(1, Ordering::Relaxed);
+        CHUNKS_TOTAL.fetch_add(1, Ordering::Relaxed);
+        ChunkGuard
+    }
+}
+
+impl Drop for ChunkGuard {
+    fn drop(&mut self) {
+        CHUNKS_IN_FLIGHT.fetch_sub(1, Ordering::Relaxed);
+    }
+}
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
@@ -149,6 +203,7 @@ pub fn scope<F: FnOnce() + Send>(workers: Vec<F>) {
     let threads = max_threads().min(workers.len());
     if threads <= 1 {
         for w in workers {
+            SCOPE_TASKS_TOTAL.fetch_add(1, Ordering::Relaxed);
             w();
         }
         return;
@@ -162,6 +217,7 @@ pub fn scope<F: FnOnce() + Send>(workers: Vec<F>) {
             s.spawn(move || {
                 run_pinned_serial(|| {
                     for w in queue {
+                        SCOPE_TASKS_TOTAL.fetch_add(1, Ordering::Relaxed);
                         w();
                     }
                 })
@@ -180,7 +236,12 @@ pub fn scope<F: FnOnce() + Send>(workers: Vec<F>) {
 pub fn par_map_chunks<R: Send>(n_chunks: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
     let threads = max_threads().min(n_chunks);
     if threads <= 1 {
-        return (0..n_chunks).map(f).collect();
+        return (0..n_chunks)
+            .map(|index| {
+                let _chunk = ChunkGuard::begin();
+                f(index)
+            })
+            .collect();
     }
     let counter = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
@@ -194,6 +255,7 @@ pub fn par_map_chunks<R: Send>(n_chunks: usize, f: impl Fn(usize) -> R + Sync) -
                             if index >= n_chunks {
                                 break;
                             }
+                            let _chunk = ChunkGuard::begin();
                             local.push((index, f(index)));
                         }
                         local
@@ -230,7 +292,10 @@ pub fn par_chunks_mut_map<T: Send, R: Send>(
         return data
             .chunks_mut(chunk_len)
             .enumerate()
-            .map(|(index, chunk)| f(index, chunk))
+            .map(|(index, chunk)| {
+                let _chunk = ChunkGuard::begin();
+                f(index, chunk)
+            })
             .collect();
     }
     let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
@@ -243,7 +308,10 @@ pub fn par_chunks_mut_map<T: Send, R: Send>(
                         loop {
                             let next = queue.lock().expect("p3gm-parallel queue poisoned").next();
                             match next {
-                                Some((index, chunk)) => local.push((index, f(index, chunk))),
+                                Some((index, chunk)) => {
+                                    let _chunk = ChunkGuard::begin();
+                                    local.push((index, f(index, chunk)));
+                                }
                                 None => break,
                             }
                         }
@@ -455,6 +523,21 @@ mod tests {
             .collect();
         scope(workers);
         assert_eq!(hits.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn pool_stats_totals_are_monotone_and_count_chunks() {
+        // Other tests in this binary run concurrently, so only assert on
+        // deltas of the monotone totals — they can over-count, never under.
+        let before = pool_stats();
+        with_threads(2, || {
+            par_map_chunks(10, |i| i);
+        });
+        let mid = pool_stats();
+        assert!(mid.chunks_total >= before.chunks_total + 10);
+        scope((0..3).map(|_| || ()).collect::<Vec<_>>());
+        let after = pool_stats();
+        assert!(after.scope_tasks_total >= mid.scope_tasks_total + 3);
     }
 
     #[test]

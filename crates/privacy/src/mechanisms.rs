@@ -218,6 +218,18 @@ pub fn exponential_mechanism<R: Rng + ?Sized>(
 /// exposed separately so benchmarks and determinism tests can exercise it
 /// without consuming randomness.
 pub fn clip_and_sum_gradients(per_example: &Matrix, clip_norm: f64) -> Vec<f64> {
+    clip_and_sum_gradients_counted(per_example, clip_norm).0
+}
+
+/// Like [`clip_and_sum_gradients`], additionally returning how many rows
+/// were actually clipped (norm strictly above `clip_norm`).
+///
+/// The count is a deterministic function of the batch (clipping is decided
+/// per row, counts fold in chunk order with the partial sums), so it is
+/// identical for every thread count. It exists purely as telemetry — the
+/// clipped-gradient fraction surfaced in `TrainReport` — and is computed in
+/// the same fused pass, never fed back into the mechanism.
+pub fn clip_and_sum_gradients_counted(per_example: &Matrix, clip_norm: f64) -> (Vec<f64>, u64) {
     let dim = per_example.cols();
     let chunk_len = p3gm_parallel::default_chunk_len(per_example.rows());
     p3gm_parallel::par_map_reduce(
@@ -229,24 +241,26 @@ pub fn clip_and_sum_gradients(per_example: &Matrix, clip_norm: f64) -> Vec<f64> 
             // `vector::dot_lanes`), then the row is scaled directly into
             // the partial sum — no per-row scratch copy.
             let mut partial = vec![0.0; dim];
+            let mut clipped = 0u64;
             for i in range {
                 let row = per_example.row(i);
                 let norm = vector::norm2_squared_lanes(row).sqrt();
                 let factor = if norm > clip_norm && norm > 0.0 {
+                    clipped += 1;
                     clip_norm / norm
                 } else {
                     1.0
                 };
                 vector::axpy(factor, row, &mut partial);
             }
-            partial
+            (partial, clipped)
         },
-        |mut a, b| {
+        |(mut a, ca), (b, cb)| {
             vector::axpy(1.0, &b, &mut a);
-            a
+            (a, ca + cb)
         },
     )
-    .unwrap_or_else(|| vec![0.0; dim])
+    .unwrap_or_else(|| (vec![0.0; dim], 0))
 }
 
 /// Privatizes a batch of per-example gradients as in DP-SGD (paper §II-D):
@@ -268,6 +282,21 @@ pub fn privatize_gradient_sum<R: Rng + ?Sized>(
     noise_multiplier: f64,
     batch_size: usize,
 ) -> Result<Vec<f64>> {
+    privatize_gradient_sum_counted(rng, per_example, clip_norm, noise_multiplier, batch_size)
+        .map(|(gradient, _)| gradient)
+}
+
+/// Like [`privatize_gradient_sum`], additionally returning the number of
+/// clipped rows (see [`clip_and_sum_gradients_counted`]). The count is
+/// telemetry only: it is derived from the same pass, consumes no extra
+/// randomness, and never alters the privatized gradient.
+pub fn privatize_gradient_sum_counted<R: Rng + ?Sized>(
+    rng: &mut R,
+    per_example: &Matrix,
+    clip_norm: f64,
+    noise_multiplier: f64,
+    batch_size: usize,
+) -> Result<(Vec<f64>, u64)> {
     if per_example.rows() == 0 || per_example.cols() == 0 {
         return Err(PrivacyError::InvalidParameter {
             msg: "privatize_gradient_sum needs at least one non-empty gradient".to_string(),
@@ -281,7 +310,7 @@ pub fn privatize_gradient_sum<R: Rng + ?Sized>(
         });
     }
 
-    let mut sum = clip_and_sum_gradients(per_example, clip_norm);
+    let (mut sum, clipped) = clip_and_sum_gradients_counted(per_example, clip_norm);
     let noise_std = noise_multiplier * clip_norm;
     if noise_std > 0.0 {
         for s in &mut sum {
@@ -290,7 +319,7 @@ pub fn privatize_gradient_sum<R: Rng + ?Sized>(
     }
     let inv_b = 1.0 / batch_size as f64;
     vector::scale(inv_b, &mut sum);
-    Ok(sum)
+    Ok((sum, clipped))
 }
 
 #[cfg(test)]

@@ -46,8 +46,23 @@
 //! | GET    | `/models`               | All models: geometry, privacy stamp, budget    |
 //! | GET    | `/models/{name}`        | One model's geometry, stamp and budget         |
 //! | GET    | `/stats`                | Registry residency and eviction counters       |
+//! | GET    | `/metrics`              | Prometheus text exposition (see below)         |
 //! | POST   | `/models/{name}/sample` | Draw rows: `{"seed", "n", "labels"?, "format"?}` |
 //! | POST   | `/reload`               | Rescan the snapshot directory (hot reload)     |
+//!
+//! ## Observability
+//!
+//! With [`ServerConfig::obs`] metrics enabled (the default), the server
+//! keeps a `p3gm-obs` [`p3gm_obs::MetricsRegistry`] — request counts and
+//! latency by route and status, in-flight gauge, keep-alive reuse,
+//! chunked-stream first-byte latency and bytes, the model registry's
+//! residency counters, per-model `p3gm_epsilon_spent` /
+//! `p3gm_epsilon_remaining` gauges, and the monotone
+//! `p3gm_budget_denials_total` 429 counter — and serves it as Prometheus
+//! text on `GET /metrics`. An optional structured access log (off by
+//! default) writes one line per request. Telemetry is pure
+//! post-processing: nothing in it feeds back into sampling or the (ε, δ)
+//! accounting, and none of it is persisted.
 //!
 //! Model listings and details are served from **peeked snapshot
 //! headers**; weight payloads decode lazily on a model's first sampling
@@ -67,12 +82,16 @@
 pub mod http;
 pub mod json;
 pub mod ledger;
+mod metrics;
 pub mod registry;
 
 use http::{Limits, Method, Request, RequestReader, Response, ResponseBody};
 use json::Json;
 use ledger::{BudgetLedger, LedgerError};
+use metrics::ServerMetrics;
 use p3gm_linalg::Matrix;
+use p3gm_obs::time::unix_millis;
+use p3gm_obs::{AccessLogger, ObsConfig, TimeSource};
 use p3gm_privacy::rdp::PrivacySpec;
 use registry::{LoadedModel, Registry, RegistryConfig, RegistryError};
 use std::io::Read;
@@ -140,6 +159,11 @@ pub struct ServerConfig {
     /// How long a request waits for another request's in-flight decode
     /// of the same model before failing with 503.
     pub load_wait: Duration,
+    /// Observability: metrics (on by default; `GET /metrics` serves the
+    /// Prometheus exposition) and the per-request access log (off by
+    /// default). Telemetry never feeds back into sampling or budget
+    /// accounting and is never persisted.
+    pub obs: ObsConfig,
 }
 
 impl ServerConfig {
@@ -164,6 +188,7 @@ impl ServerConfig {
                 max_requests_per_connection: 100,
                 max_resident_bytes: None,
                 load_wait: Duration::from_secs(30),
+                obs: ObsConfig::enabled(),
             },
         }
     }
@@ -272,6 +297,15 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Observability configuration: metrics on/off and the access-log
+    /// target (see [`ObsConfig`]). `ObsConfig::disabled()` removes all
+    /// instrumentation from the request path; `GET /metrics` then
+    /// answers 404.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.config.obs = obs;
+        self
+    }
+
     /// Finishes the chain.
     pub fn build(self) -> ServerConfig {
         self.config
@@ -318,6 +352,25 @@ struct Service {
     registry: Registry,
     ledger: Mutex<BudgetLedger>,
     max_rows: usize,
+    /// `Some` when [`ObsConfig::metrics`] is on.
+    metrics: Option<ServerMetrics>,
+    /// `Some` when the access log has a target.
+    access_log: Option<AccessLogger>,
+}
+
+impl Service {
+    /// The single registry-stats snapshot both `GET /stats` and
+    /// `GET /metrics` flow through: reads the counters once (see
+    /// [`Registry::stats`] for the tear semantics) and, when metrics are
+    /// on, mirrors that same snapshot into the exposition registry — so
+    /// the two surfaces can never drift apart.
+    fn registry_snapshot(&self) -> registry::RegistryStats {
+        let snapshot = self.registry.stats();
+        if let Some(m) = &self.metrics {
+            m.export_registry_stats(&snapshot);
+        }
+        snapshot
+    }
 }
 
 /// The per-connection pacing knobs, split out of [`ServerConfig`] so the
@@ -359,9 +412,10 @@ impl ServerHandle {
     }
 
     /// The registry's residency counters (the programmatic equivalent of
-    /// `GET /stats`).
+    /// `GET /stats`; flows through the same snapshot path, so the
+    /// exposition registry sees the same numbers).
     pub fn registry_stats(&self) -> registry::RegistryStats {
-        self.service.registry.stats()
+        self.service.registry_snapshot()
     }
 
     /// Stops accepting, wakes every worker, and joins them. In-flight
@@ -407,10 +461,14 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, ServerError> {
         Some(path) => BudgetLedger::open(path, config.budget_epsilon)?,
         None => BudgetLedger::in_memory(config.budget_epsilon),
     };
+    let metrics = config.obs.metrics.then(ServerMetrics::new);
+    let access_log = AccessLogger::open(&config.obs.access_log)?;
     let service = Arc::new(Service {
         registry,
         ledger: Mutex::new(ledger),
         max_rows: config.max_rows,
+        metrics,
+        access_log,
     });
 
     let listener = TcpListener::bind(&config.addr)?;
@@ -605,6 +663,11 @@ fn serve_connection(
         match parsed {
             Ok(request) => {
                 served += 1;
+                let started = Instant::now();
+                let in_flight = service
+                    .metrics
+                    .as_ref()
+                    .map(|m| m.begin_request(served > 1));
                 let keep = request.keep_alive()
                     && served < conn.max_requests_per_connection
                     && !stop.load(Ordering::SeqCst);
@@ -614,7 +677,32 @@ fn serve_connection(
                     // documented fallback buffers the stream.
                     response = response.into_buffered();
                 }
-                if response.write_to(&mut write_half, keep).is_err() {
+                let status = response.status;
+                // Observed BEFORE the body is written: once the client
+                // has the response, the next scrape is guaranteed to see
+                // this request counted. Streamed bodies generate rows
+                // during the write; that phase is covered by the
+                // dedicated first-byte and bytes series the wrapper below
+                // records.
+                let seconds = started.elapsed().as_secs_f64();
+                if let Some(m) = &service.metrics {
+                    m.observe_request(route_label(&request), status, seconds);
+                    m.instrument_stream(&mut response, m.clock.now_nanos());
+                }
+                let write_ok = response.write_to(&mut write_half, keep).is_ok();
+                drop(in_flight);
+                if let Some(log) = &service.access_log {
+                    log.log(&format!(
+                        "t={} method={} target={} status={} keep={} dur_us={}",
+                        unix_millis(),
+                        request.method,
+                        request.target,
+                        status,
+                        keep && write_ok,
+                        (seconds * 1e6) as u64,
+                    ));
+                }
+                if !write_ok {
                     // A failed or aborted write (including mid-stream)
                     // leaves the wire framing unrecoverable.
                     break;
@@ -625,7 +713,19 @@ fn serve_connection(
                 }
             }
             Err(e) => {
-                let mut response = error_response(e.status(), &e.to_string());
+                let status = e.status();
+                if let Some(m) = &service.metrics {
+                    let _in_flight = m.begin_request(served > 0);
+                    m.observe_request("unparsed", status, 0.0);
+                }
+                if let Some(log) = &service.access_log {
+                    log.log(&format!(
+                        "t={} method=- target=- status={status} keep=false dur_us=0 parse_error={:?}",
+                        unix_millis(),
+                        e.to_string(),
+                    ));
+                }
+                let mut response = error_response(status, &e.to_string());
                 let _ = response.write_to(&mut write_half, false);
                 let _ = write_half.shutdown(std::net::Shutdown::Write);
                 // The request was rejected mid-send (oversized head, huge
@@ -655,6 +755,28 @@ fn error_response(status: u16, message: &str) -> Response {
     )
 }
 
+/// The bounded route pattern a request's metrics are labelled with.
+/// Model names collapse to `{name}` so one misbehaving client cannot
+/// inflate the label space (series cardinality stays fixed).
+fn route_label(request: &Request) -> &'static str {
+    let segments: Vec<&str> = request
+        .target
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match segments.as_slice() {
+        [] => "/",
+        ["healthz"] => "/healthz",
+        ["metrics"] => "/metrics",
+        ["models"] => "/models",
+        ["models", _] => "/models/{name}",
+        ["models", _, "sample"] => "/models/{name}/sample",
+        ["stats"] => "/stats",
+        ["reload"] => "/reload",
+        _ => "other",
+    }
+}
+
 /// Dispatches one parsed request to its handler.
 fn route(service: &Service, request: &Request) -> Response {
     let segments: Vec<&str> = request
@@ -677,10 +799,14 @@ fn route(service: &Service, request: &Request) -> Response {
         (Method::Get, ["models"]) => list_models(service),
         (Method::Get, ["models", name]) => model_detail(service, name),
         (Method::Get, ["stats"]) => stats(service),
+        (Method::Get, ["metrics"]) => metrics_endpoint(service),
         (Method::Post, ["models", name, "sample"]) => sample(service, name, &request.body),
         (Method::Post, ["reload"]) => reload(service),
         // Known paths with the wrong method are 405, unknown paths 404.
-        (_, [] | ["healthz"] | ["models"] | ["models", _] | ["stats"] | ["reload"])
+        (
+            _,
+            [] | ["healthz"] | ["models"] | ["models", _] | ["stats"] | ["metrics"] | ["reload"],
+        )
         | (Method::Get, ["models", _, "sample"]) => {
             error_response(405, "method not allowed for this path")
         }
@@ -702,6 +828,7 @@ fn overview() -> Response {
                         "GET /models",
                         "GET /models/{name}",
                         "GET /stats",
+                        "GET /metrics",
                         "POST /models/{name}/sample",
                         "POST /reload",
                     ]
@@ -798,7 +925,7 @@ fn model_detail(service: &Service, name: &str) -> Response {
 }
 
 fn stats(service: &Service) -> Response {
-    let s = service.registry.stats();
+    let s = service.registry_snapshot();
     let num = |v: u64| Json::Num(v as f64);
     Response::json(
         200,
@@ -815,6 +942,35 @@ fn stats(service: &Service) -> Response {
             ("header_peeks".to_string(), num(s.header_peeks)),
         ]),
     )
+}
+
+/// `GET /metrics`: refreshes the scrape-time snapshots (registry
+/// residency, per-model budget gauges, thread-pool counters) and renders
+/// the whole registry as Prometheus text exposition v0.0.4. Answers 404
+/// when metrics are disabled so scrapers fail loudly instead of reading
+/// an empty page.
+fn metrics_endpoint(service: &Service) -> Response {
+    let Some(m) = &service.metrics else {
+        return error_response(404, "metrics are disabled on this server");
+    };
+    // The shared snapshot path also mirrors registry stats into `m`.
+    let _ = service.registry_snapshot();
+    m.export_pool_stats();
+    {
+        let ledger = service
+            .ledger
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for header in service.registry.list_headers() {
+            let name = header.name();
+            m.export_ledger(
+                name,
+                ledger.entry(name).spent_epsilon,
+                ledger.remaining(name),
+            );
+        }
+    }
+    m.render()
 }
 
 fn reload(service: &Service) -> Response {
@@ -1014,6 +1170,9 @@ fn sample(service: &Service, name: &str, body: &[u8]) -> Response {
             budget,
             remaining,
         }) => {
+            if let Some(m) = &service.metrics {
+                m.budget_denial(name);
+            }
             return Response::json(
                 429,
                 &Json::Obj(vec![
@@ -1026,7 +1185,7 @@ fn sample(service: &Service, name: &str, body: &[u8]) -> Response {
                     ("budget_epsilon".to_string(), Json::Num(budget)),
                     ("remaining_epsilon".to_string(), Json::Num(remaining)),
                 ]),
-            )
+            );
         }
         Err(e) => return error_response(500, &format!("budget ledger failure: {e}")),
     };

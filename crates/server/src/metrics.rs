@@ -1,0 +1,348 @@
+//! Server-side observability: pre-registered handles over a
+//! [`p3gm_obs::MetricsRegistry`], per-request instrumentation helpers, and
+//! the scrape-time re-export of registry / ledger / thread-pool state that
+//! `GET /metrics` serves as Prometheus text.
+//!
+//! Everything here is post-processing of values the server already
+//! computed and released: metrics never feed back into sampling or budget
+//! decisions, and nothing recorded here is persisted — the (ε, δ)
+//! accounting state lives exclusively in the [`crate::ledger`].
+
+use crate::http::{Response, ResponseBody};
+use p3gm_obs::time::WallClock;
+use p3gm_obs::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BOUNDS_SECONDS};
+
+/// First-byte latency bounds for chunked streams: the interesting region
+/// is sub-millisecond (the whole point of streaming), so the buckets lean
+/// low.
+const FIRST_BYTE_BOUNDS: &[f64] = &[
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05, 0.25, 1.0,
+];
+
+/// The server's metrics state: one registry plus cached handles for the
+/// hot-path series (per-request lookups happen only for label values that
+/// genuinely vary, like route and status).
+pub(crate) struct ServerMetrics {
+    pub(crate) registry: MetricsRegistry,
+    /// The server's single real clock. The numeric crates never see it —
+    /// they report counts; only this HTTP layer measures durations.
+    pub(crate) clock: WallClock,
+    in_flight: Gauge,
+    keepalive_reuse: Counter,
+    stream_first_byte: Histogram,
+    stream_bytes: Counter,
+}
+
+impl ServerMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let in_flight = registry.gauge(
+            "p3gm_requests_in_flight",
+            "Requests currently being served.",
+            &[],
+        );
+        let keepalive_reuse = registry.counter(
+            "p3gm_keepalive_reuse_total",
+            "Requests served on an already-used keep-alive connection.",
+            &[],
+        );
+        let stream_first_byte = registry.histogram(
+            "p3gm_stream_first_byte_seconds",
+            "Time from request parse to the first chunk of a streamed body.",
+            FIRST_BYTE_BOUNDS,
+            &[],
+        );
+        let stream_bytes = registry.counter(
+            "p3gm_stream_bytes_total",
+            "Body bytes produced by chunked streaming responses.",
+            &[],
+        );
+        ServerMetrics {
+            registry,
+            clock: WallClock::new(),
+            in_flight,
+            keepalive_reuse,
+            stream_first_byte,
+            stream_bytes,
+        }
+    }
+
+    /// Mark a request in flight; the guard decrements on drop (panic-safe).
+    pub(crate) fn begin_request(&self, reused_connection: bool) -> InFlightGuard<'_> {
+        self.in_flight.add(1.0);
+        if reused_connection {
+            self.keepalive_reuse.inc();
+        }
+        InFlightGuard {
+            gauge: &self.in_flight,
+        }
+    }
+
+    /// Record one completed request.
+    pub(crate) fn observe_request(&self, route: &str, status: u16, seconds: f64) {
+        self.registry
+            .counter(
+                "p3gm_requests_total",
+                "HTTP requests served, by route pattern and status.",
+                &[("route", route), ("status", &status.to_string())],
+            )
+            .inc();
+        self.registry
+            .histogram(
+                "p3gm_request_duration_seconds",
+                "Request service time from parse to response ready, by route pattern \
+                 (streamed bodies generate during the write; see the stream series).",
+                LATENCY_BOUNDS_SECONDS,
+                &[("route", route)],
+            )
+            .observe(seconds);
+    }
+
+    /// The monotone ledger-exhaustion counter (satellite fix: 429s are now
+    /// observable over time, and — deliberately — never persisted).
+    pub(crate) fn budget_denial(&self, model: &str) {
+        self.registry
+            .counter(
+                "p3gm_budget_denials_total",
+                "Sampling requests refused with 429 because the model's privacy budget is exhausted.",
+                &[("model", model)],
+            )
+            .inc();
+    }
+
+    /// Wrap a chunked response body so the stream reports its first-byte
+    /// latency (relative to `start_nanos` on the server clock) and its
+    /// produced bytes. Buffered bodies pass through untouched.
+    pub(crate) fn instrument_stream(&self, response: &mut Response, start_nanos: u64) {
+        let body = std::mem::replace(&mut response.body, ResponseBody::Buffered(Vec::new()));
+        match body {
+            ResponseBody::Buffered(bytes) => response.body = ResponseBody::Buffered(bytes),
+            ResponseBody::Chunked(mut source) => {
+                let first_byte = self.stream_first_byte.clone();
+                let bytes_total = self.stream_bytes.clone();
+                let clock_now = {
+                    // Capture only cheap handles in the closure; the clock
+                    // origin is shared through the histogram's span math.
+                    let start = start_nanos;
+                    let clock = self.clock_nanos_fn();
+                    move || (clock)().saturating_sub(start) as f64 * 1e-9
+                };
+                let mut first = true;
+                response.body = ResponseBody::Chunked(Box::new(move || {
+                    let block = source();
+                    if let Some(block) = &block {
+                        if first {
+                            first = false;
+                            first_byte.observe(clock_now());
+                        }
+                        bytes_total.add(block.len() as u64);
+                    }
+                    block
+                }));
+            }
+        }
+    }
+
+    /// A `'static` closure reading the server clock, for instrumented
+    /// stream closures that outlive this borrow.
+    fn clock_nanos_fn(&self) -> impl Fn() -> u64 + Send + 'static {
+        // WallClock is origin + elapsed; re-deriving from a cloned origin
+        // would need Clone, so share via Arc-free trick: read the current
+        // value now and measure deltas with a fresh clock. Simpler and
+        // exact: a fresh WallClock's zero is "now", which is precisely the
+        // reference the caller's start_nanos was taken against only if both
+        // use the same clock — so instead capture a new clock and rebase.
+        let now = p3gm_obs::TimeSource::now_nanos(&self.clock);
+        let fresh = WallClock::new();
+        move || now + p3gm_obs::TimeSource::now_nanos(&fresh)
+    }
+
+    /// Re-export a registry-stats snapshot (the same snapshot `GET /stats`
+    /// serializes — both surfaces flow through
+    /// `Service::registry_snapshot`, so they cannot drift).
+    pub(crate) fn export_registry_stats(&self, s: &crate::registry::RegistryStats) {
+        let gauge = |name: &str, help: &str, v: u64| {
+            self.registry.gauge(name, help, &[]).set(v as f64);
+        };
+        let counter = |name: &str, help: &str, v: u64| {
+            // `store`, not `add`: the registry's atomics are the source of
+            // truth; these series mirror them at snapshot time.
+            self.registry.counter(name, help, &[]).store(v);
+        };
+        gauge(
+            "p3gm_registry_models",
+            "Models registered (headers; weights load lazily).",
+            s.models,
+        );
+        gauge(
+            "p3gm_registry_resident_models",
+            "Models with decoded weights currently resident.",
+            s.resident_models,
+        );
+        gauge(
+            "p3gm_registry_resident_bytes",
+            "Estimated resident model-weight bytes.",
+            s.resident_bytes,
+        );
+        gauge(
+            "p3gm_registry_max_resident_bytes",
+            "Configured resident-bytes ceiling (0 = unlimited).",
+            s.max_resident_bytes,
+        );
+        counter(
+            "p3gm_registry_loads_total",
+            "Weight decodes (cold loads).",
+            s.loads,
+        );
+        counter(
+            "p3gm_registry_evictions_total",
+            "LRU evictions back to header-only entries.",
+            s.evictions,
+        );
+        counter(
+            "p3gm_registry_hits_total",
+            "Lookups served by an already-resident model.",
+            s.hits,
+        );
+        counter(
+            "p3gm_registry_misses_total",
+            "Lookups that had to decode (or wait for) weights.",
+            s.misses,
+        );
+        counter(
+            "p3gm_registry_load_failures_total",
+            "Weight decodes that failed.",
+            s.load_failures,
+        );
+        counter(
+            "p3gm_registry_header_peeks_total",
+            "Snapshot header reads (registration and reload validation).",
+            s.header_peeks,
+        );
+    }
+
+    /// Re-export the process-wide thread-pool counters from
+    /// `p3gm-parallel` (scrape-time snapshot).
+    pub(crate) fn export_pool_stats(&self) {
+        let pool = p3gm_parallel::pool_stats();
+        self.registry
+            .gauge(
+                "p3gm_pool_chunks_in_flight",
+                "Parallel work chunks executing right now (queue depth).",
+                &[],
+            )
+            .set(pool.chunks_in_flight as f64);
+        self.registry
+            .counter(
+                "p3gm_pool_chunks_total",
+                "Parallel work chunks dispatched since process start.",
+                &[],
+            )
+            .store(pool.chunks_total);
+        self.registry
+            .counter(
+                "p3gm_pool_scope_tasks_total",
+                "Task-parallel scope closures run since process start.",
+                &[],
+            )
+            .store(pool.scope_tasks_total);
+    }
+
+    /// Set the per-model ledger gauges from one ledger lock (spent is
+    /// always exported; remaining only when a budget ceiling is set).
+    pub(crate) fn export_ledger(&self, model: &str, spent: f64, remaining: Option<f64>) {
+        self.registry
+            .gauge(
+                "p3gm_epsilon_spent",
+                "Cumulative privacy budget (epsilon) spent per model.",
+                &[("model", model)],
+            )
+            .set(spent);
+        if let Some(remaining) = remaining {
+            self.registry
+                .gauge(
+                    "p3gm_epsilon_remaining",
+                    "Remaining privacy budget (epsilon) per model under the configured ceiling.",
+                    &[("model", model)],
+                )
+                .set(remaining);
+        }
+    }
+
+    /// Render the exposition body.
+    pub(crate) fn render(&self) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            extra_headers: Vec::new(),
+            body: ResponseBody::Buffered(self.registry.render().into_bytes()),
+        }
+    }
+}
+
+/// RAII in-flight marker from [`ServerMetrics::begin_request`].
+pub(crate) struct InFlightGuard<'a> {
+    gauge: &'a Gauge,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.add(-1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_observation_renders_expected_series() {
+        let m = ServerMetrics::new();
+        {
+            let _guard = m.begin_request(false);
+            m.observe_request("/healthz", 200, 0.0003);
+        }
+        let _g2 = m.begin_request(true);
+        m.budget_denial("mnist");
+        let text = m.registry.render();
+        assert!(text.contains("p3gm_requests_total{route=\"/healthz\",status=\"200\"} 1"));
+        assert!(text.contains("p3gm_budget_denials_total{model=\"mnist\"} 1"));
+        assert!(text.contains("p3gm_keepalive_reuse_total 1"));
+        // One request finished (guard dropped), one still in flight.
+        assert!(text.contains("p3gm_requests_in_flight 1"));
+    }
+
+    #[test]
+    fn stream_instrumentation_counts_bytes_and_first_byte() {
+        let m = ServerMetrics::new();
+        let mut remaining = vec![b"world".to_vec(), b"hello ".to_vec()];
+        let source: crate::http::ChunkSource = Box::new(move || remaining.pop());
+        let mut response = Response::chunked("text/plain", source);
+        m.instrument_stream(&mut response, p3gm_obs::TimeSource::now_nanos(&m.clock));
+        let body = response.into_body_bytes();
+        assert_eq!(body, b"hello world");
+        assert_eq!(m.stream_bytes.get(), 11);
+        assert_eq!(m.stream_first_byte.count(), 1);
+    }
+
+    #[test]
+    fn export_ledger_sets_gauges() {
+        let m = ServerMetrics::new();
+        m.export_ledger("adult", 2.5, Some(7.5));
+        m.export_ledger("mnist", 1.0, None);
+        let text = m.registry.render();
+        assert!(text.contains("p3gm_epsilon_spent{model=\"adult\"} 2.5"));
+        assert!(text.contains("p3gm_epsilon_remaining{model=\"adult\"} 7.5"));
+        assert!(text.contains("p3gm_epsilon_spent{model=\"mnist\"} 1"));
+        assert!(!text.contains("p3gm_epsilon_remaining{model=\"mnist\"}"));
+    }
+
+    #[test]
+    fn export_pool_stats_renders() {
+        let m = ServerMetrics::new();
+        m.export_pool_stats();
+        let text = m.registry.render();
+        assert!(text.contains("p3gm_pool_chunks_total"));
+        assert!(text.contains("p3gm_pool_chunks_in_flight"));
+    }
+}

@@ -500,6 +500,17 @@ impl Registry {
     }
 
     /// A point-in-time snapshot of the residency counters.
+    ///
+    /// This is the **single** read path every stats surface
+    /// (`GET /stats`, `GET /metrics`, `ServerHandle::registry_stats`)
+    /// flows through. The counters are independent relaxed atomics read
+    /// one after another, so a snapshot taken during concurrent loads or
+    /// evictions may *tear across fields* — e.g. a `loads` increment
+    /// visible while the matching `resident_bytes` update is not. Each
+    /// field is individually exact and monotone counters never go
+    /// backwards; the tear is accepted because stats are diagnostics,
+    /// not invariants, and a consistent cut would put a lock on the
+    /// request hot path.
     pub fn stats(&self) -> RegistryStats {
         let (models, resident_models) = {
             let entries = self

@@ -71,10 +71,15 @@ fn main() {
         batch_size: 64,
         ..PgmConfig::default()
     };
-    let (model, _) = PhasedGenerativeModel::fit(&mut rng, &prepared, config).expect("train P3GM");
+    let (model, _, report) =
+        PhasedGenerativeModel::fit_with_report(&mut rng, &prepared, config, None)
+            .expect("train P3GM");
     let snapshot = SynthesisSnapshot::capture(model).with_synthesizer(synthesizer);
     let stamp = *snapshot.privacy_stamp().expect("private training stamps");
     println!("trained: certified {stamp}");
+    // What the fit *did*, as deterministic telemetry (pure
+    // post-processing — none of it fed back into training or (ε, δ)).
+    print!("{}", report.render());
 
     // 2. The model directory is the server's unit of deployment: one
     //    snapshot file per model, plus the durable budget ledger. A
@@ -188,6 +193,29 @@ fn main() {
     let (status, body) = request(addr, "POST", "/models/adult-demo/sample", body_a);
     assert_eq!(status, 429, "sixth release must exhaust the budget: {body}");
     println!("sixth request refused: {body}");
+
+    // 7b. Everything above is visible on GET /metrics as Prometheus
+    //     text: request counts by route and status, the monotone 429
+    //     denial counter, and the per-model budget gauges.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for needle in [
+        "p3gm_requests_total{route=\"/models/{name}/sample\",status=\"200\"}",
+        "p3gm_budget_denials_total{model=\"adult-demo\"} 1",
+        "p3gm_epsilon_spent{model=\"adult-demo\"}",
+        "p3gm_epsilon_remaining{model=\"adult-demo\"}",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle:?} in /metrics");
+    }
+    let shown: Vec<&str> = metrics
+        .lines()
+        .filter(|l| {
+            l.starts_with("p3gm_requests_total")
+                || l.starts_with("p3gm_budget_denials_total")
+                || (l.starts_with("p3gm_epsilon_") && l.contains("adult-demo"))
+        })
+        .collect();
+    println!("GET /metrics ->\n  {}", shown.join("\n  "));
 
     // 8. Touch six tenants: each first request decodes that tenant's
     //    weights, and the 3-model residency budget evicts the least

@@ -11,6 +11,9 @@
 //! * [`server`] — std-only HTTP synthesis service serving snapshot files
 //!   (model registry with hot reload, privacy budget ledger, strict
 //!   request parsing).
+//! * [`obs`] — deterministic observability core (atomic counters, gauges,
+//!   fixed-bucket histograms, Prometheus text exposition, injectable-clock
+//!   spans); telemetry is post-processing and never part of DP state.
 //! * [`parallel`] — deterministic std-only data parallelism (scoped thread
 //!   pool, ordered map-reduce, `P3GM_THREADS` override).
 //! * [`linalg`] — dense matrices, Jacobi eigendecomposition, Cholesky.
@@ -57,6 +60,9 @@ pub use p3gm_store as store;
 
 /// HTTP synthesis service (model registry, hot reload, budget ledger).
 pub use p3gm_server as server;
+
+/// Deterministic metrics, Prometheus exposition, and injectable-clock spans.
+pub use p3gm_obs as obs;
 
 /// Deterministic data-parallel execution layer.
 pub use p3gm_parallel as parallel;

@@ -72,6 +72,23 @@ fn d2_fires_on_raw_threads_and_clocks_outside_exempt_crates() {
 }
 
 #[test]
+fn d2_allowlists_exactly_the_obs_clock_file() {
+    // The obs crate's injectable-timer design confines real clocks to one
+    // file; the rest of the crate stays under D2 like everyone else.
+    let clock = format!("{FORBID}pub fn t() {{ let _ = std::time::Instant::now(); }}\n");
+    assert_eq!(rules_hit("crates/obs/src/time.rs", &clock), vec![]);
+    assert_eq!(rules_hit("crates/obs/src/lib.rs", &clock), vec![RuleId::D2]);
+    let wall = format!("{FORBID}pub fn t() {{ let _ = std::time::SystemTime::now(); }}\n");
+    assert_eq!(rules_hit("crates/obs/src/time.rs", &wall), vec![]);
+    // The allowlist must not loosen D2 anywhere else: a clock smuggled
+    // into a numeric crate still fails.
+    assert_eq!(
+        rules_hit("crates/privacy/src/mechanisms.rs", &clock),
+        vec![RuleId::D2]
+    );
+}
+
+#[test]
 fn d3_fires_on_hash_collections_in_numeric_crates() {
     let src = format!("{FORBID}use std::collections::HashMap;\n");
     assert_eq!(

@@ -1015,3 +1015,88 @@ proptest! {
         prop_assert!(!e.to_string().is_empty());
     }
 }
+
+#[test]
+fn metrics_endpoint_exposes_requests_denials_and_budget_end_to_end() {
+    use p3gm::obs::{AccessLogTarget, ObsConfig};
+
+    let dir = model_dir("metrics", &["m"]);
+    let stamp = trained_snapshot().privacy_stamp().copied().unwrap();
+    let log_path = dir.join("access.log");
+    let server = start(
+        ServerConfig::builder(&dir)
+            .threads(2)
+            .budget_epsilon(Some(1.5 * stamp.epsilon))
+            .obs(ObsConfig::enabled().with_access_log(AccessLogTarget::File(log_path.clone())))
+            .build(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let body = r#"{"seed": 3, "n": 4}"#;
+    let (status, _, _) = request(addr, "POST", "/models/m/sample", body);
+    assert_eq!(status, 200);
+    // The budget (1.5 epsilon) only covers one release: the second
+    // sampling request is the seeded 429.
+    let (status, _, _) = request(addr, "POST", "/models/m/sample", body);
+    assert_eq!(status, 429);
+
+    let (status, head, text) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "exposition content type missing: {head}"
+    );
+    for needle in [
+        "# TYPE p3gm_requests_total counter",
+        "p3gm_requests_total{route=\"/models/{name}/sample\",status=\"200\"} 1",
+        "p3gm_requests_total{route=\"/models/{name}/sample\",status=\"429\"} 1",
+        "p3gm_budget_denials_total{model=\"m\"} 1",
+        "p3gm_epsilon_spent{model=\"m\"}",
+        "p3gm_epsilon_remaining{model=\"m\"}",
+        "p3gm_registry_models 1",
+        "p3gm_registry_loads_total 1",
+        "p3gm_stream_bytes_total",
+        "p3gm_request_duration_seconds_bucket{route=\"/models/{name}/sample\",le=\"+Inf\"} 2",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    // /stats and /metrics flow through the same snapshot: the JSON counters
+    // must match the exposition's registry series.
+    let (_, _, stats) = request(addr, "GET", "/stats", "");
+    let stats = json::parse(&stats).unwrap();
+    let loads = stats.get("loads").unwrap().as_u64().unwrap();
+    let (_, _, text) = request(addr, "GET", "/metrics", "");
+    assert!(text.contains(&format!("p3gm_registry_loads_total {loads}")));
+
+    server.shutdown();
+    // One access-log line per request, written to the configured file.
+    let log = std::fs::read_to_string(&log_path).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    assert!(lines.len() >= 5, "expected >= 5 access-log lines:\n{log}");
+    // Workers append concurrently, so assert on presence, not order.
+    assert!(
+        lines.iter().any(|l| l.contains("method=POST")
+            && l.contains("target=/models/m/sample")
+            && l.contains("status=200")
+            && l.contains("dur_us=")),
+        "no 200 sample line in:\n{log}"
+    );
+    assert!(log.contains("status=429"), "{log}");
+
+    // With observability disabled, /metrics answers 404 and no log grows.
+    let dir = model_dir("metrics_off", &["m"]);
+    let server = start(
+        ServerConfig::builder(&dir)
+            .threads(1)
+            .obs(ObsConfig::disabled())
+            .build(),
+    )
+    .unwrap();
+    let (status, _, _) = request(server.addr(), "GET", "/metrics", "");
+    assert_eq!(status, 404);
+    let (status, _, _) = request(server.addr(), "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
