@@ -16,6 +16,14 @@
 //! shrink: the server flushes the head and first rows while the rest of
 //! the batch is still being generated.
 //!
+//! The **concurrent-connections** pass holds N idle keep-alive
+//! connections open (64/512/4096, and a stretch tier sized to the fd
+//! limit, ~10k) while an active subset of 8 connections keeps sampling —
+//! reactor core versus thread-per-connection core. The thread core needs
+//! one OS thread per held connection (its ceiling, and why it stops at
+//! 512 here); the reactor holds every tier on a fixed thread count,
+//! asserted in-bench.
+//!
 //! Setup trains one small P3GM model, writes its snapshot into a
 //! temporary model directory, and starts a fresh server per thread
 //! count. Before timing, the de-chunked response body at every thread
@@ -41,7 +49,7 @@ use p3gm_core::synthesis::LabelledSynthesizer;
 use p3gm_datasets::tabular::adult_like;
 use p3gm_obs::ObsConfig;
 use p3gm_server::http::{ClientResponse, ResponseReader};
-use p3gm_server::{start, ServerConfig, ServerHandle};
+use p3gm_server::{start, ServerConfig, ServerCore, ServerHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{Read, Write};
@@ -53,6 +61,9 @@ const THREADS: [usize; 3] = [1, 2, 4];
 const SAMPLE_BODY: &str = r#"{"seed": 42, "n": 64}"#;
 const LARGE_BODY: &str = r#"{"seed": 42, "n": 4096, "format": "csv"}"#;
 const CLIENT_CONNECTIONS: usize = 4;
+/// Active keep-alive connections issuing requests while the idle herd
+/// is held open in the concurrent-connections pass.
+const ACTIVE_SUBSET: usize = 8;
 
 /// One-write request send (a multi-write `write!` would interact with
 /// Nagle + delayed ACK on reused connections, stalling ~40 ms).
@@ -185,6 +196,205 @@ fn first_byte_latency_ms(addr: SocketAddr, body: &str, iters: usize) -> f64 {
     total.as_secs_f64() * 1000.0 / iters as f64
 }
 
+/// The live OS thread count of this process (server threads included —
+/// the bench runs the server in-process).
+fn os_thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|entries| entries.count())
+        .unwrap_or(0)
+}
+
+/// This process's open-files rlimit, from `/proc/self/limits`.
+fn fd_limit() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|line| line.starts_with("Max open files"))?
+                .split_whitespace()
+                .nth(3)?
+                .parse()
+                .ok()
+        })
+        .unwrap_or(1024)
+}
+
+/// Opens `n` keep-alive connections and completes one health round-trip
+/// on each (all requests written before any response is read, so every
+/// connection is simultaneously open), leaving all of them idle.
+fn hold_idle_connections(addr: SocketAddr, n: usize) -> Vec<KeepAliveClient> {
+    let mut conns: Vec<KeepAliveClient> = (0..n).map(|_| KeepAliveClient::connect(addr)).collect();
+    for conn in conns.iter_mut() {
+        conn.stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: b\r\nContent-Length: 0\r\n\r\n")
+            .expect("idle probe send");
+    }
+    for conn in conns.iter_mut() {
+        let resp = conn.reader.next_response().expect("idle probe response");
+        assert_eq!(resp.status, 200, "every held connection must be served");
+    }
+    conns
+}
+
+/// The server's `p3gm_connections_open` gauge, scraped over one fresh
+/// `Connection: close` request.
+fn scrape_connections_open(addr: SocketAddr) -> f64 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream
+        .write_all(
+            b"GET /metrics HTTP/1.1\r\nHost: b\r\nConnection: close\r\nContent-Length: 0\r\n\r\n",
+        )
+        .expect("send scrape");
+    let response = ResponseReader::new(stream)
+        .next_response()
+        .expect("read metrics");
+    assert_eq!(response.status, 200, "metrics scrape must succeed");
+    String::from_utf8(response.body)
+        .expect("utf-8 exposition")
+        .lines()
+        .find(|line| line.starts_with("p3gm_connections_open"))
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|value| value.parse().ok())
+        .expect("connection gauge value")
+}
+
+/// Holds N idle keep-alive connections while an active subset samples:
+/// the reactor core on a fixed thread budget versus the thread core
+/// spending one OS thread per connection. The stretch tier (reactor
+/// only) is sized to the fd limit — two fds per in-process connection —
+/// and asserts the headline claim: >= 1k connections held open with a
+/// bounded thread count.
+fn bench_concurrent_conns(c: &mut Criterion, dir: &PathBuf, reference: &[u8]) {
+    let start_held_server = |core: ServerCore, threads: usize| -> ServerHandle {
+        start(
+            ServerConfig::builder(dir)
+                .core(core)
+                .threads(threads)
+                .ledger_path(None)
+                .max_requests_per_connection(usize::MAX)
+                .keep_alive_timeout(Duration::from_secs(600))
+                .build(),
+        )
+        .expect("start server")
+    };
+
+    let tiers: [(ServerCore, &str, &[usize]); 2] = [
+        (ServerCore::Reactor, "reactor", &[64, 512, 4096]),
+        // The thread core's ceiling is the bench variable itself: N held
+        // connections pin N worker threads, so its sweep stops at 512.
+        (ServerCore::ThreadPerConnection, "thread", &[64, 512]),
+    ];
+    for (core, label, sizes) in tiers {
+        for &n in sizes {
+            let threads = match core {
+                ServerCore::Reactor => 2,
+                ServerCore::ThreadPerConnection => n + ACTIVE_SUBSET,
+            };
+            let threads_baseline = os_thread_count();
+            let server = start_held_server(core, threads);
+            let addr = server.addr();
+            let idle = hold_idle_connections(addr, n);
+            let threads_held = os_thread_count();
+            println!(
+                "serve/concurrent_conns_idle{n}/core={label}: {n} connections \
+                 held by {} OS threads",
+                threads_held - threads_baseline
+            );
+            if core == ServerCore::Reactor {
+                assert!(
+                    threads_held - threads_baseline <= threads + 2,
+                    "reactor must hold {n} connections without per-connection \
+                     threads: {threads_baseline} -> {threads_held}"
+                );
+            }
+
+            let mut active: Vec<KeepAliveClient> = (0..ACTIVE_SUBSET)
+                .map(|_| KeepAliveClient::connect(addr))
+                .collect();
+            assert_eq!(
+                active[0].request(SAMPLE_BODY).body,
+                reference,
+                "core={label} must serve byte-identical bodies under load"
+            );
+            let mut turn = 0usize;
+            c.bench_function(
+                &format!("serve/concurrent_conns_idle{n}/core={label}"),
+                |b| {
+                    b.iter(|| {
+                        turn = turn.wrapping_add(1);
+                        black_box(active[turn % ACTIVE_SUBSET].request(SAMPLE_BODY).body.len())
+                    })
+                },
+            );
+
+            drop(active);
+            drop(idle);
+            server.shutdown();
+        }
+    }
+
+    // Stretch tier: as many connections as the fd limit allows, capped
+    // at 10k. Each held in-process connection costs two fds (client +
+    // server end), and the scrape/active clients need headroom, so the
+    // herd is raw uncloned sockets verified through the server's own
+    // `p3gm_connections_open` gauge rather than per-connection probes.
+    let stretch = (fd_limit().saturating_sub(500) / 2).min(10_000);
+    let threads_baseline = os_thread_count();
+    let server = start_held_server(ServerCore::Reactor, 2);
+    let addr = server.addr();
+    let idle: Vec<TcpStream> = (0..stretch)
+        .map(|_| TcpStream::connect(addr).expect("stretch connect"))
+        .collect();
+    // The reactor accepts the tail of the herd asynchronously; wait for
+    // its connection gauge to account for every held socket.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let open = scrape_connections_open(addr);
+        if open >= stretch as f64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "reactor accepted only {open} of {stretch} stretch connections"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let threads_held = os_thread_count();
+    assert!(
+        stretch >= 1_000,
+        "stretch tier must exercise >= 1k connections, fd limit {} allows \
+         only {stretch}",
+        fd_limit()
+    );
+    assert!(
+        threads_held - threads_baseline <= 4,
+        "reactor must hold {stretch} connections on a bounded thread count: \
+         {threads_baseline} -> {threads_held}"
+    );
+    let mut active: Vec<KeepAliveClient> = (0..ACTIVE_SUBSET)
+        .map(|_| KeepAliveClient::connect(addr))
+        .collect();
+    const STRETCH_REQS: usize = 400;
+    let t0 = Instant::now();
+    for i in 0..STRETCH_REQS {
+        black_box(active[i % ACTIVE_SUBSET].request(SAMPLE_BODY).body.len());
+    }
+    let rps = STRETCH_REQS as f64 / t0.elapsed().as_secs_f64();
+    println!(
+        "serve/concurrent_conns_idle{stretch}/core=reactor (stretch, fd-limit \
+         {}): {stretch} connections held by {} OS threads, active subset of \
+         {ACTIVE_SUBSET} sustained {rps:.0} req/s",
+        fd_limit(),
+        threads_held - threads_baseline
+    );
+    drop(active);
+    drop(idle);
+    server.shutdown();
+}
+
 fn bench_serve(c: &mut Criterion) {
     let dir = prepare_model_dir();
 
@@ -287,6 +497,8 @@ fn bench_serve(c: &mut Criterion) {
         "metrics instrumentation must be unobservable on the keep-alive \
          path: enabled {enabled_us:.1} us vs disabled {disabled_us:.1} us"
     );
+
+    bench_concurrent_conns(c, &dir, &reference);
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -10,7 +10,7 @@
 //! | D2 | determinism | `thread::spawn`, `Instant::now`, `SystemTime::now` (ad-hoc parallelism / wall-clock) | everywhere except `parallel`, `bench`, `server`, and the obs clock file `crates/obs/src/time.rs` |
 //! | D3 | determinism | `HashMap` / `HashSet` (iteration order must never feed a float reduction) | numeric crates |
 //! | D4 | hardening | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!`, `assert!`-family | untrusted-byte zones |
-//! | D5 | hardening | a crate root missing `#![forbid(unsafe_code)]` | every crate root |
+//! | D5 | hardening | a crate root missing `#![forbid(unsafe_code)]`; for [`D5_SHIM_EXEMPT`] crates the root carries `#![deny(unsafe_code)]` and the `unsafe` token is banned in every file but the sanctioned shim | every crate root + shim-exempt crate files |
 //! | D6 | determinism | `f32` (all numerics are f64 by contract) | numeric crates |
 //!
 //! *Numeric crates*: `linalg`, `mixture`, `nn`, `privacy`, `preprocess`,
@@ -57,6 +57,19 @@ pub const D4_ZONES: &[&str] = &[
     "crates/server/src/json.rs",
     "crates/server/src/ledger.rs",
 ];
+
+/// D5 file-level shim exemptions, mirroring the [`D2_EXEMPT_FILES`]
+/// pattern: `(crate root, sanctioned shim file)` pairs. The named crate
+/// confines all `unsafe` to exactly one file (the server's `poll(2)` FFI
+/// shim). Its root then carries `#![deny(unsafe_code)]` instead of
+/// `forbid` — `forbid` would reject the shim's file-level
+/// `#![allow(unsafe_code)]` override — and in exchange D5 tightens from
+/// an attribute check to a token rule: the `unsafe` keyword is banned
+/// outright in **every** file of that crate except the sanctioned shim,
+/// so the confinement the compiler no longer proves is machine-checked
+/// here instead.
+pub const D5_SHIM_EXEMPT: &[(&str, &str)] =
+    &[("crates/server/src/lib.rs", "crates/server/src/sys.rs")];
 
 /// Identifies one conformance rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -117,7 +130,10 @@ impl RuleId {
             RuleId::D4 => {
                 "no unwrap/expect/panic!/unreachable!/todo!/assert! in untrusted-byte zones"
             }
-            RuleId::D5 => "every crate root must carry #![forbid(unsafe_code)]",
+            RuleId::D5 => {
+                "every crate root must carry #![forbid(unsafe_code)] (shim-exempt crates: \
+                 #![deny(unsafe_code)] at the root, `unsafe` only in the sanctioned shim file)"
+            }
             RuleId::D6 => "no f32 in numeric crates (all numerics are f64 by contract)",
             RuleId::A0 => "conform: allow annotations must parse, justify, and suppress something",
         }
@@ -170,12 +186,15 @@ pub struct Scope {
     pub d4: bool,
     pub d5: bool,
     pub d6: bool,
+    /// D5's token form for [`D5_SHIM_EXEMPT`] crates: the `unsafe`
+    /// keyword is banned in this file (it is not the sanctioned shim).
+    pub d5_unsafe_token: bool,
 }
 
 impl Scope {
     /// Whether no rule at all applies (the file need not be read).
     pub fn is_empty(&self) -> bool {
-        !(self.d1 || self.d2 || self.d3 || self.d4 || self.d5 || self.d6)
+        !(self.d1 || self.d2 || self.d3 || self.d4 || self.d5 || self.d6 || self.d5_unsafe_token)
     }
 }
 
@@ -210,6 +229,18 @@ pub fn scope_for(path: &str) -> Scope {
         .iter()
         .any(|zone| path == *zone || (zone.ends_with('/') && path.starts_with(zone)));
     scope.d5 = inside == "lib.rs" || inside == "main.rs";
+    // Shim-exempt crates trade the compiler-proved `forbid` for a
+    // conform-proved token ban: `unsafe` may appear only in the one
+    // sanctioned shim file.
+    scope.d5_unsafe_token = D5_SHIM_EXEMPT.iter().any(|(root, shim)| {
+        let Some((dir, _)) = root.rsplit_once('/') else {
+            return false;
+        };
+        path != *shim
+            && path
+                .strip_prefix(dir)
+                .is_some_and(|rest| rest.starts_with('/'))
+    });
     scope
 }
 
@@ -371,6 +402,15 @@ pub fn check_source(path: &str, src: &[u8]) -> Vec<Violation> {
             }
         }
 
+        if scope.d5_unsafe_token && tok.kind == TokenKind::Ident && text == b"unsafe" {
+            push(
+                tok.line,
+                RuleId::D5,
+                "`unsafe` outside the sanctioned shim file of a D5 shim-exempt crate (see D5_SHIM_EXEMPT); all unsafe code must stay confined to that one file".to_string(),
+                &mut allows,
+            );
+        }
+
         if scope.d6 && tok.kind == TokenKind::Ident && text == b"f32" {
             push(
                 tok.line,
@@ -382,13 +422,29 @@ pub fn check_source(path: &str, src: &[u8]) -> Vec<Violation> {
     }
 
     // --- D5: crate roots must forbid unsafe code ----------------------
-    if scope.d5 && !has_forbid_unsafe(&code, src) {
-        push(
-            1,
-            RuleId::D5,
-            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
-            &mut allows,
-        );
+    if scope.d5 {
+        let shim_root = D5_SHIM_EXEMPT.iter().any(|(root, _)| path == *root);
+        if shim_root {
+            // A shim-exempt root must still deny unsafe crate-wide
+            // (forbid would reject the shim's file-level allow; the
+            // token rule above covers what deny leaves overridable).
+            if !has_unsafe_lint(&code, src, b"deny") && !has_unsafe_lint(&code, src, b"forbid") {
+                push(
+                    1,
+                    RuleId::D5,
+                    "crate root of a D5 shim-exempt crate is missing `#![deny(unsafe_code)]`"
+                        .to_string(),
+                    &mut allows,
+                );
+            }
+        } else if !has_unsafe_lint(&code, src, b"forbid") {
+            push(
+                1,
+                RuleId::D5,
+                "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+                &mut allows,
+            );
+        }
     }
 
     // --- A0: malformed / stale annotations ----------------------------
@@ -433,9 +489,10 @@ fn path_tail<'a>(code: &[Token], src: &'a [u8], i: usize) -> Option<&'a [u8]> {
     Some(tail.text(src))
 }
 
-/// Whether the token stream contains `#![forbid(unsafe_code)]` (token
-/// subsequence, so formatting and attribute grouping don't matter).
-fn has_forbid_unsafe(code: &[Token], src: &[u8]) -> bool {
+/// Whether the token stream contains `#![<level>(unsafe_code)]` for the
+/// given lint level (token subsequence, so formatting and attribute
+/// grouping don't matter).
+fn has_unsafe_lint(code: &[Token], src: &[u8], level: &[u8]) -> bool {
     let mut i = 0;
     while i + 2 < code.len() {
         if code[i].kind == TokenKind::Punct(b'#')
@@ -443,18 +500,19 @@ fn has_forbid_unsafe(code: &[Token], src: &[u8]) -> bool {
             && code[i + 2].kind == TokenKind::Punct(b'[')
         {
             let end = matching_bracket(code, i + 2);
-            let mut saw_forbid = false;
+            let mut saw_level = false;
             let mut saw_unsafe_code = false;
             for tok in code.iter().take(end).skip(i + 3) {
                 if tok.kind == TokenKind::Ident {
-                    match tok.text(src) {
-                        b"forbid" => saw_forbid = true,
-                        b"unsafe_code" => saw_unsafe_code = true,
-                        _ => {}
+                    let text = tok.text(src);
+                    if text == level {
+                        saw_level = true;
+                    } else if text == b"unsafe_code" {
+                        saw_unsafe_code = true;
                     }
                 }
             }
-            if saw_forbid && saw_unsafe_code {
+            if saw_level && saw_unsafe_code {
                 return true;
             }
             i = end + 1;
@@ -661,9 +719,19 @@ mod tests {
         let s = scope_for("crates/linalg/src/lib.rs");
         assert!(s.d5);
         let s = scope_for("crates/server/src/http.rs");
-        assert!(!s.d1 && !s.d2 && s.d4 && !s.d5);
+        assert!(!s.d1 && !s.d2 && s.d4 && !s.d5 && s.d5_unsafe_token);
+        // Server files carry no token rule but the D5 unsafe ban (the
+        // crate root denies rather than forbids, for the sys.rs shim).
         let s = scope_for("crates/server/src/registry.rs");
-        assert!(s.is_empty());
+        assert!(!s.is_empty() && s.d5_unsafe_token && !s.d4 && !s.d2);
+        // The sanctioned shim itself is the one file allowed `unsafe`.
+        let s = scope_for("crates/server/src/sys.rs");
+        assert!(s.is_empty() && !s.d5_unsafe_token);
+        let s = scope_for("crates/server/src/lib.rs");
+        assert!(s.d5 && s.d5_unsafe_token);
+        // Other crates are untouched by the shim exemption.
+        let s = scope_for("crates/obs/src/metrics.rs");
+        assert!(!s.d5_unsafe_token);
         let s = scope_for("crates/parallel/src/lib.rs");
         assert!(!s.d2 && s.d5);
         let s = scope_for("crates/store/src/lib.rs");
@@ -786,11 +854,73 @@ mod tests {
             ),
             vec![RuleId::D5]
         );
-        // Non-root files in non-numeric crates are not D5's business.
+        // Non-root server files carry no attribute requirement (the
+        // shim exemption's token rule watches them instead).
         assert_eq!(
             rules_hit("crates/server/src/registry.rs", "pub fn f() {}"),
             vec![]
         );
+    }
+
+    #[test]
+    fn d5_shim_exemption_accepts_deny_at_the_root() {
+        // The shim-exempt root may deny instead of forbid...
+        assert_eq!(
+            rules_hit(
+                "crates/server/src/lib.rs",
+                "#![deny(unsafe_code)]\npub mod http;"
+            ),
+            vec![]
+        );
+        // ...forbid is also fine (stricter than required)...
+        assert_eq!(
+            rules_hit(
+                "crates/server/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub mod http;"
+            ),
+            vec![]
+        );
+        // ...but no unsafe lint at all still fails D5.
+        assert_eq!(
+            rules_hit("crates/server/src/lib.rs", "pub mod http;"),
+            vec![RuleId::D5]
+        );
+        // allow(unsafe_code) at the root does not satisfy the deny check.
+        assert_eq!(
+            rules_hit(
+                "crates/server/src/lib.rs",
+                "#![allow(unsafe_code)]\npub mod http;"
+            ),
+            vec![RuleId::D5]
+        );
+    }
+
+    #[test]
+    fn d5_bans_the_unsafe_token_outside_the_shim() {
+        let src = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        // Any server file other than the shim: D5 fires on the token.
+        assert_eq!(
+            rules_hit("crates/server/src/registry.rs", src),
+            vec![RuleId::D5]
+        );
+        // The crate root itself is also covered by the token rule.
+        let root = format!("#![deny(unsafe_code)]\n{src}");
+        assert_eq!(
+            rules_hit("crates/server/src/lib.rs", &root),
+            vec![RuleId::D5]
+        );
+        // The sanctioned shim is out of scope entirely.
+        assert_eq!(rules_hit("crates/server/src/sys.rs", src), vec![]);
+        // Mentions in comments and strings do not count.
+        assert_eq!(
+            rules_hit(
+                "crates/server/src/registry.rs",
+                "// unsafe in prose\nfn f() -> &'static str { \"unsafe\" }"
+            ),
+            vec![]
+        );
+        // Other crates' non-root files never pick up the token rule.
+        assert_eq!(rules_hit("crates/obs/src/metrics.rs", src), vec![]);
     }
 
     #[test]

@@ -532,15 +532,32 @@ pub enum AccessLogTarget {
 
 /// Observability configuration carried by embedding applications (the
 /// HTTP server threads this through its builder).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct ObsConfig {
     /// When false, no metrics are recorded and `GET /metrics` is absent.
-    /// Note `bool::default()` is `false`, so `ObsConfig::default()` is
-    /// disabled; use [`ObsConfig::enabled`] to opt in.
+    /// `ObsConfig::default()` is disabled; use [`ObsConfig::enabled`] to
+    /// opt in.
     pub metrics: bool,
     /// Access log destination; [`AccessLogTarget::Off`] by default.
     pub access_log: AccessLogTarget,
+    /// Write every Nth access-log line (1 = every line, the default).
+    /// Under thousands of mostly-idle keep-alive connections the access
+    /// log becomes the per-request hot path's main write amplification;
+    /// sampling keeps it observable without that cost. Values of 0 are
+    /// treated as 1.
+    pub log_sample_every_n: u64,
+}
+
+impl Default for ObsConfig {
+    /// Everything off, unsampled logging (were anything to be logged).
+    fn default() -> Self {
+        Self {
+            metrics: false,
+            access_log: AccessLogTarget::Off,
+            log_sample_every_n: 1,
+        }
+    }
 }
 
 impl ObsConfig {
@@ -548,7 +565,7 @@ impl ObsConfig {
     pub fn enabled() -> Self {
         Self {
             metrics: true,
-            access_log: AccessLogTarget::Off,
+            ..Self::default()
         }
     }
 
@@ -562,6 +579,13 @@ impl ObsConfig {
         self.access_log = target;
         self
     }
+
+    /// Builder-style access-log sampling override: write every Nth line.
+    /// `0` is normalized to `1` (unsampled).
+    pub fn with_log_sampling(mut self, every_n: u64) -> Self {
+        self.log_sample_every_n = every_n.max(1);
+        self
+    }
 }
 
 /// A line-oriented access logger over a configured target. Writes are
@@ -570,6 +594,11 @@ impl ObsConfig {
 pub struct AccessLogger {
     sink: Mutex<Box<dyn std::io::Write + Send>>,
     errors: Counter,
+    /// Write every Nth line (1 = every line); see
+    /// [`ObsConfig::log_sample_every_n`].
+    every: u64,
+    /// Lines offered to [`AccessLogger::log`], written or sampled away.
+    seen: AtomicU64,
 }
 
 impl std::fmt::Debug for AccessLogger {
@@ -579,8 +608,15 @@ impl std::fmt::Debug for AccessLogger {
 }
 
 impl AccessLogger {
-    /// Open the configured target. `Ok(None)` when logging is off.
+    /// Open the configured target, unsampled. `Ok(None)` when logging is
+    /// off.
     pub fn open(target: &AccessLogTarget) -> std::io::Result<Option<Self>> {
+        Self::open_sampled(target, 1)
+    }
+
+    /// Open the configured target writing every `every_n`th line (`0` and
+    /// `1` both mean every line). `Ok(None)` when logging is off.
+    pub fn open_sampled(target: &AccessLogTarget, every_n: u64) -> std::io::Result<Option<Self>> {
         let sink: Box<dyn std::io::Write + Send> = match target {
             AccessLogTarget::Off => return Ok(None),
             AccessLogTarget::Stdout => Box::new(std::io::stdout()),
@@ -595,13 +631,24 @@ impl AccessLogger {
         Ok(Some(Self {
             sink: Mutex::new(sink),
             errors: Counter::new(),
+            every: every_n.max(1),
+            seen: AtomicU64::new(0),
         }))
     }
 
-    /// Write one line (a newline is appended). I/O errors increment
+    /// Write one line (a newline is appended), subject to sampling: with
+    /// `every_n > 1` only every Nth offered line (starting with the
+    /// first) is written. I/O errors increment
     /// [`error_count`](AccessLogger::error_count) and are otherwise
     /// swallowed: logging must never fail a request.
     pub fn log(&self, line: &str) {
+        if !self
+            .seen
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.every)
+        {
+            return;
+        }
         let mut sink = self.sink.lock().unwrap_or_else(|e| e.into_inner());
         if writeln!(sink, "{line}")
             .and_then(|()| sink.flush())
@@ -697,5 +744,49 @@ mod tests {
     #[test]
     fn access_logger_off_is_none() {
         assert!(AccessLogger::open(&AccessLogTarget::Off).unwrap().is_none());
+        assert!(AccessLogger::open_sampled(&AccessLogTarget::Off, 5)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn obs_config_sampling_defaults_and_normalization() {
+        assert_eq!(ObsConfig::default().log_sample_every_n, 1);
+        assert_eq!(ObsConfig::enabled().log_sample_every_n, 1);
+        // 0 would drop every line via `x % 0` panic; it normalizes to 1.
+        assert_eq!(
+            ObsConfig::enabled().with_log_sampling(0).log_sample_every_n,
+            1
+        );
+        assert_eq!(
+            ObsConfig::enabled()
+                .with_log_sampling(10)
+                .log_sample_every_n,
+            10
+        );
+    }
+
+    #[test]
+    fn access_log_sampling_writes_every_nth_line() {
+        let dir = std::env::temp_dir().join(format!(
+            "p3gm_obs_sample_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.log");
+        let target = AccessLogTarget::File(path.clone());
+        {
+            let log = AccessLogger::open_sampled(&target, 3).unwrap().unwrap();
+            for i in 0..10 {
+                log.log(&format!("line {i}"));
+            }
+            assert_eq!(log.error_count(), 0);
+        }
+        let written = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = written.lines().collect();
+        // Lines 0, 3, 6, 9: the first line always writes, then every 3rd.
+        assert_eq!(lines, vec!["line 0", "line 3", "line 6", "line 9"]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -625,6 +625,157 @@ impl Response {
     }
 }
 
+/// Progress of a resumable response write ([`ResponseWriter::write_some`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteProgress {
+    /// The entire response — head, body and (for chunked bodies) the
+    /// terminator — has been written.
+    Complete,
+    /// The writer returned `WouldBlock`; call
+    /// [`ResponseWriter::write_some`] again when the socket is writable.
+    Blocked,
+}
+
+/// A resumable serializer for one [`Response`] over a nonblocking
+/// writer: the reactor core's replacement for [`Response::write_to`].
+///
+/// `write_to` assumes a blocking socket — a slow reader parks the
+/// calling thread inside `write`. `ResponseWriter` instead makes
+/// incremental progress: [`ResponseWriter::write_some`] writes until the
+/// writer reports `WouldBlock`, then returns [`WriteProgress::Blocked`]
+/// so the caller can park the *connection* (waiting for `POLLOUT`)
+/// rather than a thread. Chunked sources are pulled lazily — the next
+/// block is generated only after the previous one has been handed to the
+/// socket, preserving the bounded-memory streaming property.
+///
+/// The wire bytes are identical to what [`Response::write_to`] produces
+/// for the same response and `keep_alive` flag (pinned by tests): same
+/// head, same RFC 7230 §4.1 chunk framing, same skipping of empty
+/// blocks, same `0\r\n\r\n` terminator.
+pub struct ResponseWriter {
+    /// Bytes framed and awaiting the socket (head, then one framed chunk
+    /// at a time for chunked bodies).
+    pending: Vec<u8>,
+    /// How much of `pending` has been written.
+    pos: usize,
+    /// The remaining chunk source; `None` once the terminator is framed
+    /// (or for buffered bodies, from the start).
+    source: Option<ChunkSource>,
+}
+
+impl std::fmt::Debug for ResponseWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseWriter")
+            .field("pending", &self.pending.len())
+            .field("pos", &self.pos)
+            .field("streaming", &self.source.is_some())
+            .finish()
+    }
+}
+
+impl ResponseWriter {
+    /// Frames `response`'s head (and, for buffered bodies, the whole
+    /// body) and takes ownership of a chunked body's source.
+    pub fn new(response: Response, keep_alive: bool) -> ResponseWriter {
+        let Response {
+            status,
+            content_type,
+            extra_headers,
+            body,
+        } = response;
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let mut pending = Vec::with_capacity(256);
+        // Writes into a Vec cannot fail; the results are discarded so
+        // this stays panic-free on the D4 surface.
+        let _ = write!(
+            pending,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n",
+            status,
+            reason_phrase(status),
+            content_type,
+        );
+        match &body {
+            ResponseBody::Buffered(bytes) => {
+                let _ = write!(pending, "Content-Length: {}\r\n", bytes.len());
+            }
+            ResponseBody::Chunked(_) => {
+                let _ = write!(pending, "Transfer-Encoding: chunked\r\n");
+            }
+        }
+        let _ = write!(pending, "Connection: {connection}\r\n");
+        for (name, value) in &extra_headers {
+            let _ = write!(pending, "{name}: {value}\r\n");
+        }
+        pending.extend_from_slice(b"\r\n");
+        let source = match body {
+            ResponseBody::Buffered(bytes) => {
+                pending.extend_from_slice(&bytes);
+                None
+            }
+            ResponseBody::Chunked(source) => Some(source),
+        };
+        ResponseWriter {
+            pending,
+            pos: 0,
+            source,
+        }
+    }
+
+    /// Writes as much of the response as `writer` accepts. Returns
+    /// [`WriteProgress::Blocked`] on `WouldBlock` (resume on the next
+    /// writability event), [`WriteProgress::Complete`] when the response
+    /// has been fully written, or the underlying error (the connection
+    /// must then be closed — mid-body framing is unrecoverable).
+    pub fn write_some<W: Write>(&mut self, writer: &mut W) -> std::io::Result<WriteProgress> {
+        loop {
+            while self.pos < self.pending.len() {
+                match writer.write(&self.pending[self.pos..]) {
+                    Ok(0) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WriteZero,
+                            "socket accepted no bytes",
+                        ));
+                    }
+                    Ok(n) => self.pos += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        return Ok(WriteProgress::Blocked);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if !self.pending.is_empty() {
+                self.pending.clear();
+                self.pos = 0;
+                // Mirror write_to's per-block flush (a no-op on raw
+                // sockets, meaningful under buffered writers).
+                writer.flush()?;
+            }
+            let Some(source) = &mut self.source else {
+                return Ok(WriteProgress::Complete);
+            };
+            // Frame the next non-empty block; a drained source frames
+            // the terminator instead and ends the stream.
+            loop {
+                match source() {
+                    Some(block) if block.is_empty() => continue,
+                    Some(block) => {
+                        let _ = write!(self.pending, "{:x}\r\n", block.len());
+                        self.pending.extend_from_slice(&block);
+                        self.pending.extend_from_slice(b"\r\n");
+                        break;
+                    }
+                    None => {
+                        self.pending.extend_from_slice(b"0\r\n\r\n");
+                        self.source = None;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The canonical reason phrase for the status codes this service emits.
 pub fn reason_phrase(status: u16) -> &'static str {
     match status {
@@ -1170,6 +1321,97 @@ mod tests {
             .unwrap();
         assert_eq!(parsed.status, 200);
         assert_eq!(parsed.body, payload);
+    }
+
+    /// A writer that accepts at most `burst` bytes per call and returns
+    /// `WouldBlock` on every other call — the worst-case slow reader.
+    struct ChokeWriter {
+        out: Vec<u8>,
+        burst: usize,
+        choked: bool,
+    }
+
+    impl Write for ChokeWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.choked = !self.choked;
+            if self.choked {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "choked",
+                ));
+            }
+            let n = buf.len().min(self.burst);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sample_chunked_response() -> Response {
+        let blocks = vec![b"hello ".to_vec(), Vec::new(), b"world".to_vec()];
+        let mut iter = blocks.into_iter();
+        Response::chunked("text/csv", Box::new(move || iter.next()))
+            .with_header("x-p3gm-privacy", "(1.0, 1e-5)-DP")
+    }
+
+    #[test]
+    fn resumable_writer_matches_write_to_byte_for_byte() {
+        // Buffered.
+        let mk =
+            || Response::json(429, &crate::json::Json::Bool(false)).with_header("x-extra", "v");
+        for keep in [false, true] {
+            let mut want = Vec::new();
+            mk().write_to(&mut want, keep).unwrap();
+            let mut got = Vec::new();
+            let mut writer = ResponseWriter::new(mk(), keep);
+            assert_eq!(
+                writer.write_some(&mut got).unwrap(),
+                WriteProgress::Complete
+            );
+            assert_eq!(got, want);
+        }
+        // Chunked (empty blocks skipped, terminator appended).
+        let mut want = Vec::new();
+        sample_chunked_response().write_to(&mut want, true).unwrap();
+        let mut got = Vec::new();
+        let mut writer = ResponseWriter::new(sample_chunked_response(), true);
+        assert_eq!(
+            writer.write_some(&mut got).unwrap(),
+            WriteProgress::Complete
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn resumable_writer_survives_would_block() {
+        let mut want = Vec::new();
+        sample_chunked_response()
+            .write_to(&mut want, false)
+            .unwrap();
+        let mut writer = ResponseWriter::new(sample_chunked_response(), false);
+        let mut sink = ChokeWriter {
+            out: Vec::new(),
+            burst: 3,
+            choked: false,
+        };
+        let mut blocked = 0usize;
+        loop {
+            match writer.write_some(&mut sink).unwrap() {
+                WriteProgress::Complete => break,
+                WriteProgress::Blocked => blocked += 1,
+            }
+            assert!(blocked < 10_000, "writer made no progress");
+        }
+        assert!(blocked > 0, "choke writer never blocked");
+        assert_eq!(sink.out, want);
+        // Resuming a completed writer is a no-op Complete.
+        assert_eq!(
+            writer.write_some(&mut sink).unwrap(),
+            WriteProgress::Complete
+        );
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub(crate) struct ServerMetrics {
     keepalive_reuse: Counter,
     stream_first_byte: Histogram,
     stream_bytes: Counter,
+    connections_open: Gauge,
+    reactor_wakeups: Counter,
 }
 
 impl ServerMetrics {
@@ -57,6 +59,16 @@ impl ServerMetrics {
             "Body bytes produced by chunked streaming responses.",
             &[],
         );
+        let connections_open = registry.gauge(
+            "p3gm_connections_open",
+            "Client connections currently open (accepted and not yet closed).",
+            &[],
+        );
+        let reactor_wakeups = registry.counter(
+            "p3gm_reactor_wakeups_total",
+            "Reactor event-loop wakeups (poll returns); reactor core only.",
+            &[],
+        );
         ServerMetrics {
             registry,
             clock: WallClock::new(),
@@ -64,18 +76,49 @@ impl ServerMetrics {
             keepalive_reuse,
             stream_first_byte,
             stream_bytes,
+            connections_open,
+            reactor_wakeups,
         }
     }
 
     /// Mark a request in flight; the guard decrements on drop (panic-safe).
-    pub(crate) fn begin_request(&self, reused_connection: bool) -> InFlightGuard<'_> {
+    /// The guard owns its gauge handle, so under the reactor core it can
+    /// travel with the request across executor threads.
+    pub(crate) fn begin_request(&self, reused_connection: bool) -> InFlightGuard {
         self.in_flight.add(1.0);
         if reused_connection {
             self.keepalive_reuse.inc();
         }
         InFlightGuard {
-            gauge: &self.in_flight,
+            gauge: self.in_flight.clone(),
         }
+    }
+
+    /// Mark a connection open; the guard decrements on drop. The
+    /// thread-per-connection core scopes one guard per
+    /// `serve_connection`; the reactor uses the paired
+    /// [`ServerMetrics::connection_opened`] / `connection_closed` calls
+    /// instead because open and close happen at different call sites.
+    pub(crate) fn connection_guard(&self) -> ConnectionGuard {
+        self.connections_open.add(1.0);
+        ConnectionGuard {
+            gauge: self.connections_open.clone(),
+        }
+    }
+
+    /// Mark a connection accepted (reactor core).
+    pub(crate) fn connection_opened(&self) {
+        self.connections_open.add(1.0);
+    }
+
+    /// Mark a connection closed (reactor core).
+    pub(crate) fn connection_closed(&self) {
+        self.connections_open.add(-1.0);
+    }
+
+    /// Count one reactor event-loop wakeup.
+    pub(crate) fn reactor_wakeup(&self) {
+        self.reactor_wakeups.inc();
     }
 
     /// Record one completed request.
@@ -280,12 +323,26 @@ impl ServerMetrics {
     }
 }
 
-/// RAII in-flight marker from [`ServerMetrics::begin_request`].
-pub(crate) struct InFlightGuard<'a> {
-    gauge: &'a Gauge,
+/// RAII in-flight marker from [`ServerMetrics::begin_request`]. Owns its
+/// gauge handle so it is `Send` and can outlive the borrow of
+/// `ServerMetrics` (the reactor core moves it between threads with the
+/// in-flight response).
+pub(crate) struct InFlightGuard {
+    gauge: Gauge,
 }
 
-impl Drop for InFlightGuard<'_> {
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.gauge.add(-1.0);
+    }
+}
+
+/// RAII open-connection marker from [`ServerMetrics::connection_guard`].
+pub(crate) struct ConnectionGuard {
+    gauge: Gauge,
+}
+
+impl Drop for ConnectionGuard {
     fn drop(&mut self) {
         self.gauge.add(-1.0);
     }
@@ -323,6 +380,32 @@ mod tests {
         assert_eq!(body, b"hello world");
         assert_eq!(m.stream_bytes.get(), 11);
         assert_eq!(m.stream_first_byte.count(), 1);
+    }
+
+    #[test]
+    fn connection_and_reactor_series_render() {
+        let m = ServerMetrics::new();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        m.reactor_wakeup();
+        m.reactor_wakeup();
+        m.reactor_wakeup();
+        let guard = m.connection_guard();
+        let text = m.registry.render();
+        assert!(text.contains("p3gm_connections_open 2"), "{text}");
+        assert!(text.contains("p3gm_reactor_wakeups_total 3"), "{text}");
+        drop(guard);
+        assert!(m.registry.render().contains("p3gm_connections_open 1"));
+    }
+
+    #[test]
+    fn in_flight_guard_is_owned_and_sendable() {
+        let m = ServerMetrics::new();
+        let guard = m.begin_request(false);
+        // The reactor hands guards across threads with the request.
+        std::thread::spawn(move || drop(guard)).join().unwrap();
+        assert!(m.registry.render().contains("p3gm_requests_in_flight 0"));
     }
 
     #[test]

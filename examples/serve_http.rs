@@ -196,7 +196,19 @@ fn main() {
 
     // 7b. Everything above is visible on GET /metrics as Prometheus
     //     text: request counts by route and status, the monotone 429
-    //     denial counter, and the per-model budget gauges.
+    //     denial counter, the per-model budget gauges, and the live
+    //     connection gauge — scraped here while one idle keep-alive
+    //     connection is deliberately held open alongside the scrape's
+    //     own connection.
+    let mut held = TcpStream::connect(addr).expect("connect held");
+    held.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    send(&mut held, "GET", "/healthz", "");
+    let mut held_reader = ResponseReader::new(held.try_clone().expect("clone held"));
+    assert_eq!(
+        held_reader.next_response().expect("held response").status,
+        200
+    );
     let (status, metrics) = request(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
     for needle in [
@@ -204,14 +216,29 @@ fn main() {
         "p3gm_budget_denials_total{model=\"adult-demo\"} 1",
         "p3gm_epsilon_spent{model=\"adult-demo\"}",
         "p3gm_epsilon_remaining{model=\"adult-demo\"}",
+        "p3gm_connections_open",
     ] {
         assert!(metrics.contains(needle), "missing {needle:?} in /metrics");
     }
+    let open: f64 = metrics
+        .lines()
+        .find(|l| l.starts_with("p3gm_connections_open"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("connection gauge value");
+    assert!(
+        open >= 2.0,
+        "the held keep-alive connection and the scrape itself must both \
+         show in p3gm_connections_open, got {open}"
+    );
+    drop(held_reader);
+    drop(held);
     let shown: Vec<&str> = metrics
         .lines()
         .filter(|l| {
             l.starts_with("p3gm_requests_total")
                 || l.starts_with("p3gm_budget_denials_total")
+                || l.starts_with("p3gm_connections_open")
                 || (l.starts_with("p3gm_epsilon_") && l.contains("adult-demo"))
         })
         .collect();

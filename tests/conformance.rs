@@ -138,6 +138,30 @@ fn d5_fires_on_a_crate_root_missing_forbid_unsafe() {
 }
 
 #[test]
+fn d5_shim_exemption_confines_unsafe_to_the_server_sys_file() {
+    // The server crate root may deny (not forbid) unsafe, because the
+    // reactor's poll(2) FFI shim needs a file-level allow...
+    let src = "#![deny(unsafe_code)]\npub mod http;\n";
+    assert_eq!(rules_hit("crates/server/src/lib.rs", src), vec![]);
+    // ...the shim file itself is the single sanctioned unsafe site...
+    let shim =
+        "#![allow(unsafe_code)]\npub fn p() { unsafe { std::hint::unreachable_unchecked() } }\n";
+    assert_eq!(rules_hit("crates/server/src/sys.rs", shim), vec![]);
+    // ...and any unsafe token in any OTHER server file is a D5 violation,
+    // so the confinement the compiler no longer proves is checked here.
+    let smuggled = "pub fn p(q: *const u8) -> u8 { unsafe { *q } }\n";
+    assert_eq!(
+        rules_hit("crates/server/src/registry.rs", smuggled),
+        vec![RuleId::D5]
+    );
+    // Every other crate still requires full forbid at the root.
+    assert_eq!(
+        rules_hit("crates/obs/src/lib.rs", "#![deny(unsafe_code)]\n"),
+        vec![RuleId::D5]
+    );
+}
+
+#[test]
 fn d6_fires_on_f32_in_numeric_crates() {
     let src = format!("{FORBID}pub fn f(x: f32) {{ let _ = x; }}\n");
     assert_eq!(
